@@ -1,0 +1,100 @@
+// Methodology check: the paper measures Figure 3 at the node "located at
+// the center of this field" because its analytical model assumes an
+// infinite plane. This bench quantifies the border effect the choice
+// avoids: nodes near the field edge see only disk∩field neighborhoods, so
+// their common-neighbor counts -- and therefore their validated fraction at
+// a given threshold -- fall below the model. The border-corrected expected
+// degree (analysis::expected_neighbors_at) tracks the measured degrees.
+#include <iostream>
+
+#include "analysis/model.h"
+#include "core/deployment_driver.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace snd;
+
+struct Probe {
+  const char* label;
+  util::Vec2 position;
+};
+
+struct Outcome {
+  double degree = 0.0;
+  double accuracy = 0.0;
+};
+
+Outcome run_probe(util::Vec2 position, std::size_t threshold, std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {200.0, 200.0}};
+  config.radio_range = 50.0;
+  config.protocol.threshold_t = threshold;
+  config.seed = seed;
+
+  core::SndDeployment deployment(config);
+  const NodeId probe = deployment.deploy_node_at(position);
+  deployment.deploy_round(800 - 1);  // density 0.02 nodes/m^2, as in Fig. 3
+  deployment.run();
+
+  const core::SndNode* agent = deployment.agent(probe);
+  Outcome outcome;
+  std::size_t actual = 0;
+  std::size_t validated = 0;
+  for (const sim::Device& d : deployment.network().devices()) {
+    if (d.identity == probe) continue;
+    if (!deployment.network().link(agent->device(), d.id)) continue;
+    ++actual;
+    if (topology::contains(agent->functional_neighbors(), d.identity)) ++validated;
+  }
+  outcome.degree = static_cast<double>(actual);
+  outcome.accuracy =
+      actual == 0 ? 0.0 : static_cast<double>(validated) / static_cast<double>(actual);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 6));
+  const auto t = static_cast<std::size_t>(cli.get_int("threshold", 60));
+
+  const analysis::FieldModel model{0.02, 50.0};
+
+  std::cout << "== Border effects: why the paper measures the center node ==\n"
+            << "800 nodes, 200x200 m (density 0.02/m^2), R = 50 m, t = " << t << ", "
+            << seeds << " seeds\n\n";
+
+  const Probe probes[] = {
+      {"center (100,100)", {100.0, 100.0}},
+      {"mid-edge (0,100)", {0.0, 100.0}},
+      {"corner (0,0)", {0.0, 0.0}},
+      {"near-edge (25,100)", {25.0, 100.0}},
+  };
+
+  util::Table table({"probe position", "predicted degree (border model)", "measured degree",
+                     "validated fraction", "infinite-plane model"});
+  for (const Probe& probe : probes) {
+    util::RunningStats degree, accuracy;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const Outcome o = run_probe(probe.position, t, seed * 61);
+      degree.add(o.degree);
+      accuracy.add(o.accuracy);
+    }
+    const double predicted = analysis::expected_neighbors_at(
+        model, {probe.position.x, probe.position.y, 200.0, 200.0});
+    table.add_row({probe.label, util::Table::num(predicted, 1),
+                   util::Table::num(degree.mean(), 1), util::Table::num(accuracy.mean(), 3),
+                   util::Table::num(model.accuracy(t), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: the border-corrected degree prediction matches the\n"
+            << "measurement everywhere; at the center the validated fraction matches\n"
+            << "the paper's infinite-plane model, while edge/corner probes fall short\n"
+            << "of it -- the bias the paper's center-node methodology avoids.\n";
+  return 0;
+}

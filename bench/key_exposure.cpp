@@ -1,0 +1,93 @@
+// Future-work study #2 (paper §6): "delete the master key K quickly without
+// waiting for the completion of neighbor discovery. An attacker will have a
+// high chance of compromising the node and thus the master key during such
+// time."
+//
+// The early-erasure variant validates and erases K as soon as a verified
+// binding record has arrived from every tentative neighbor instead of
+// waiting out the fixed exchange window. This bench measures the K-exposure
+// window (deployment -> erasure) and the accuracy cost, then converts
+// exposure into the attacker's master-key capture probability under a
+// random physical-capture process with rate lambda.
+#include <cmath>
+#include <iostream>
+
+#include "core/deployment_driver.h"
+#include "topology/stats.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace snd;
+
+struct Outcome {
+  double mean_exposure_ms = 0.0;
+  double max_exposure_ms = 0.0;
+  double accuracy = 0.0;
+};
+
+Outcome run(bool early, double channel_loss, std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {200.0, 200.0}};
+  config.radio_range = 50.0;
+  config.channel_loss = channel_loss;
+  config.protocol.threshold_t = 8;
+  config.protocol.early_erasure = early;
+  config.seed = seed;
+
+  core::SndDeployment deployment(config);
+  deployment.deploy_round(400);
+  deployment.run();
+
+  Outcome outcome;
+  util::RunningStats exposure;
+  for (const core::SndNode* agent : deployment.agents()) {
+    exposure.add(agent->key_exposure().to_milliseconds());
+  }
+  outcome.mean_exposure_ms = exposure.mean();
+  outcome.max_exposure_ms = exposure.max();
+  outcome.accuracy =
+      topology::edge_recall(deployment.actual_benign_graph(), deployment.functional_graph());
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+
+  std::cout << "== Master-key exposure window: fixed window vs early erasure ==\n"
+            << "400 nodes, 200x200 m, R = 50 m, t = 8, " << seeds << " seeds\n\n";
+
+  util::Table table({"variant", "channel loss", "mean exposure (ms)", "max exposure (ms)",
+                     "accuracy", "P(K captured), lambda=0.1/s"});
+  for (const double loss : {0.0, 0.05}) {
+    for (const bool early : {false, true}) {
+      util::RunningStats mean_exposure, max_exposure, accuracy;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const Outcome o = run(early, loss, seed * 19);
+        mean_exposure.add(o.mean_exposure_ms);
+        max_exposure.add(o.max_exposure_ms);
+        accuracy.add(o.accuracy);
+      }
+      // Physical capture modeled as Poisson with rate lambda per node: the
+      // chance a node is captured while it still holds K.
+      const double lambda_per_ms = 0.1 / 1000.0;
+      const double capture = 1.0 - std::exp(-lambda_per_ms * mean_exposure.mean());
+      table.add_row({early ? "early erasure" : "fixed window",
+                     util::Table::percent(loss, 0),
+                     util::Table::num(mean_exposure.mean(), 1),
+                     util::Table::num(max_exposure.mean(), 1),
+                     util::Table::num(accuracy.mean(), 3), util::Table::percent(capture, 3)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: early erasure cuts the exposure window roughly in half\n"
+            << "on a clean channel at no accuracy cost; under loss, nodes missing a\n"
+            << "record reply fall back to the fixed window, so the gap narrows.\n";
+  return 0;
+}

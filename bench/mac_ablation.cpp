@@ -1,0 +1,92 @@
+// Ablation of two design choices DESIGN.md calls out:
+//   1. per-message TX jitter (MAC backoff in miniature) -- every node in a
+//      deployment round hits its protocol window edges simultaneously, so
+//      without jitter a contended channel loses most of the exchange;
+//   2. the idealized full-duplex channel vs a half-duplex MAC where a
+//      transmitting node cannot hear.
+// Reported: discovery accuracy and total traffic under the four
+// combinations, plus energy drain per node when battery accounting is on.
+#include <iostream>
+
+#include "core/deployment_driver.h"
+#include "topology/stats.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace snd;
+
+struct Outcome {
+  double accuracy = 0.0;
+  double messages_per_node = 0.0;
+  double mean_energy_spent_j = 0.0;
+};
+
+Outcome run(bool half_duplex, bool jitter, std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {150.0, 150.0}};
+  config.radio_range = 50.0;
+  config.half_duplex = half_duplex;
+  config.energy.enabled = true;
+  config.energy.initial_j = 50.0;
+  config.protocol.threshold_t = 5;
+  config.protocol.hello_repeats = 3;
+  config.protocol.tx_jitter =
+      jitter ? sim::Time::milliseconds(60) : sim::Time::zero();
+  config.seed = seed;
+
+  const std::size_t n = 200;
+  core::SndDeployment deployment(config);
+  deployment.deploy_round(n);
+  deployment.run();
+
+  Outcome outcome;
+  outcome.accuracy =
+      topology::edge_recall(deployment.actual_benign_graph(), deployment.functional_graph());
+  outcome.messages_per_node =
+      static_cast<double>(deployment.network().metrics().total().messages) /
+      static_cast<double>(n);
+  double spent = 0.0;
+  for (const core::SndNode* agent : deployment.agents()) {
+    spent += 50.0 - deployment.network().energy_j(agent->device());
+  }
+  outcome.mean_energy_spent_j = spent / static_cast<double>(n);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+
+  std::cout << "== MAC / jitter ablation ==\n"
+            << "200 nodes, 150x150 m, R = 50 m, t = 5, energy accounting on, " << seeds
+            << " seeds\n\n";
+
+  util::Table table({"channel", "tx jitter", "accuracy", "messages/node",
+                     "energy spent/node (J)"});
+  for (const bool half_duplex : {false, true}) {
+    for (const bool jitter : {true, false}) {
+      util::RunningStats accuracy, messages, energy;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const Outcome o = run(half_duplex, jitter, seed * 23);
+        accuracy.add(o.accuracy);
+        messages.add(o.messages_per_node);
+        energy.add(o.mean_energy_spent_j);
+      }
+      table.add_row({half_duplex ? "half-duplex" : "full-duplex (ideal)",
+                     jitter ? "60 ms" : "off", util::Table::num(accuracy.mean(), 3),
+                     util::Table::num(messages.mean(), 1),
+                     util::Table::num(energy.mean(), 2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: on the ideal channel jitter is cost-free; on the\n"
+            << "half-duplex channel dropping the jitter collapses the exchange (whole\n"
+            << "rounds transmit at the same window edges and deafen each other).\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Microbenchmarks of the cryptographic substrate (google-benchmark): the
+// paper's efficiency argument is that the whole protocol costs "a few
+// efficient one-way hash operations"; these benches put numbers on each
+// primitive as implemented here.
+#include <benchmark/benchmark.h>
+
+#include "core/binding_record.h"
+#include "core/commitment.h"
+#include "crypto/blundo.h"
+#include "crypto/eg_pool.h"
+#include "crypto/hmac.h"
+#include "crypto/secure_channel.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace snd;
+
+void BM_Sha256(benchmark::State& state) {
+  const util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const crypto::SymmetricKey key = crypto::SymmetricKey::from_seed(1);
+  const util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(32)->Arg(256);
+
+void BM_VerificationKey(benchmark::State& state) {
+  const crypto::SymmetricKey master = crypto::SymmetricKey::from_seed(2);
+  NodeId node = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::verification_key(master, node++));
+  }
+}
+BENCHMARK(BM_VerificationKey);
+
+void BM_BindingCommitment(benchmark::State& state) {
+  const crypto::SymmetricKey master = crypto::SymmetricKey::from_seed(3);
+  topology::NeighborList neighbors;
+  for (NodeId i = 0; i < static_cast<NodeId>(state.range(0)); ++i) neighbors.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::binding_commitment(master, 1, 0, neighbors));
+  }
+}
+BENCHMARK(BM_BindingCommitment)->Arg(10)->Arg(50)->Arg(150);
+
+void BM_BindingRecordVerify(benchmark::State& state) {
+  const crypto::SymmetricKey master = crypto::SymmetricKey::from_seed(4);
+  topology::NeighborList neighbors;
+  for (NodeId i = 0; i < static_cast<NodeId>(state.range(0)); ++i) neighbors.push_back(i);
+  const core::BindingRecord record = core::BindingRecord::make(master, 1, 0, neighbors);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(record.verify(master));
+  }
+}
+BENCHMARK(BM_BindingRecordVerify)->Arg(50);
+
+void BM_RelationCommitment(benchmark::State& state) {
+  const crypto::SymmetricKey kv =
+      core::verification_key(crypto::SymmetricKey::from_seed(5), 7);
+  NodeId u = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::relation_commitment(kv, u++));
+  }
+}
+BENCHMARK(BM_RelationCommitment);
+
+void BM_SecureChannelRoundTrip(benchmark::State& state) {
+  const crypto::SymmetricKey pairwise = crypto::SymmetricKey::from_seed(6);
+  crypto::SecureChannel sender(1, 2, pairwise);
+  crypto::SecureChannel receiver(2, 1, pairwise);
+  const util::Bytes message(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(receiver.open(sender.seal(message)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SecureChannelRoundTrip)->Arg(64);
+
+void BM_BlundoPairwise(benchmark::State& state) {
+  crypto::BlundoScheme scheme(7, static_cast<std::size_t>(state.range(0)));
+  scheme.provision(1);
+  scheme.provision(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.pairwise(1, 2));
+  }
+}
+BENCHMARK(BM_BlundoPairwise)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_BlundoProvision(benchmark::State& state) {
+  crypto::BlundoScheme scheme(8, 20);
+  NodeId node = 1;
+  for (auto _ : state) {
+    scheme.provision(node++);
+  }
+}
+BENCHMARK(BM_BlundoProvision);
+
+void BM_EgPairwise(benchmark::State& state) {
+  crypto::EschenauerGligorScheme scheme(9, 10000, 150);
+  scheme.provision(1);
+  scheme.provision(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.pairwise(1, 2));
+  }
+}
+BENCHMARK(BM_EgPairwise);
+
+}  // namespace
+
+BENCHMARK_MAIN();

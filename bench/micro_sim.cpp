@@ -1,0 +1,70 @@
+// Microbenchmarks of the simulation substrate: event scheduling throughput,
+// broadcast fan-out, and the end-to-end cost of a full protocol run at
+// several network sizes (the scaling the paper-scale experiments rely on).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/deployment_driver.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace snd;
+
+void BM_SchedulerPushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < n; ++i) {
+      scheduler.schedule_at(sim::Time::microseconds(static_cast<std::int64_t>((i * 7) % n)),
+                            [] {});
+    }
+    scheduler.run();
+    benchmark::DoNotOptimize(scheduler.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerPushPop)->Arg(1000)->Arg(100000);
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  sim::Network network(std::make_unique<sim::UnitDiskModel>(1000.0), sim::ChannelConfig{}, 1);
+  const auto receivers = static_cast<std::size_t>(state.range(0));
+  const sim::DeviceId sender = network.add_device(0, {0, 0});
+  for (std::size_t i = 0; i < receivers; ++i) {
+    const sim::DeviceId d = network.add_device(static_cast<NodeId>(i + 1),
+                                               {static_cast<double>(i % 100), 1.0});
+    network.set_receiver(d, [](const sim::Packet&) {});
+  }
+  for (auto _ : state) {
+    network.transmit(sender, sim::Packet{.src = 0, .dst = kNoNode, .type = 1, .payload = {}},
+                     "bench");
+    network.scheduler().run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_FullProtocolRun(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::DeploymentConfig config;
+    // Fixed density (one node / 100 m^2): the field grows with n.
+    const double side = std::sqrt(static_cast<double>(nodes) * 100.0);
+    config.field = {{0.0, 0.0}, {side, side}};
+    config.radio_range = 50.0;
+    config.protocol.threshold_t = 5;
+    config.seed = seed++;
+    core::SndDeployment deployment(config);
+    deployment.deploy_round(nodes);
+    deployment.run();
+    benchmark::DoNotOptimize(deployment.functional_graph().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullProtocolRun)->Unit(benchmark::kMillisecond)->Arg(100)->Arg(400)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Theorem 3 reproduction: with at most t compromised nodes, the protocol
+// guarantees 2R-safety -- every compromised identity's benign functional
+// neighbors fit in a circle of radius 2R.
+//
+// The bench mounts the strongest replication attack the model allows: the
+// adversary compromises c mutually-adjacent nodes (a colluding clique, so
+// each stolen binding record lists the other compromised identities),
+// co-locates replicas of ALL of them at a remote site, and waits for a
+// fresh deployment round there. A fresh victim x sees all c compromised
+// identities; checking identity w_i, the common neighbors are the other
+// c-1 compromised identities -- so the attack needs c - 1 >= t + 1, i.e.
+// c >= t + 2, to break containment. The table sweeps c across the t
+// boundary: zero violations up to c = t + 1, violations beyond.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "adversary/attacker.h"
+#include "core/safety.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace snd;
+
+struct Outcome {
+  std::size_t violations = 0;
+  double max_radius = 0.0;
+  std::size_t fooled_fresh_nodes = 0;
+};
+
+Outcome run_attack(std::size_t t, std::size_t compromised, std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {500.0, 500.0}};
+  config.radio_range = 50.0;
+  config.protocol.threshold_t = t;
+  config.seed = seed;
+
+  core::SndDeployment deployment(config);
+  // A dense pocket around (100,100) guarantees `compromised` mutually
+  // adjacent victims; the rest of the field is uniform.
+  std::vector<NodeId> pocket;
+  for (std::size_t i = 0; i < compromised; ++i) {
+    const double angle = 2.0 * 3.14159265 * static_cast<double>(i) /
+                         static_cast<double>(std::max<std::size_t>(compromised, 1));
+    pocket.push_back(deployment.deploy_node_at(
+        {100.0 + 10.0 * std::cos(angle), 100.0 + 10.0 * std::sin(angle)}));
+  }
+  deployment.deploy_round(500);
+  deployment.run();
+
+  // Compromise the whole pocket and replicate every identity at the far
+  // corner.
+  adversary::Attacker attacker(deployment);
+  const util::Vec2 remote{450.0, 450.0};
+  for (NodeId w : pocket) {
+    attacker.compromise(w);
+    attacker.place_replica(w, remote);
+  }
+  deployment.run();
+
+  // Fresh deployment round near the replica site.
+  std::vector<NodeId> fresh;
+  for (int i = 0; i < 10; ++i) {
+    fresh.push_back(deployment.deploy_node_at(
+        {430.0 + 4.0 * (i % 5), 430.0 + 8.0 * static_cast<double>(i / 5)}));
+  }
+  deployment.run();
+
+  const core::SafetyReport report = core::audit_safety(deployment, 2.0 * config.radio_range);
+  Outcome outcome;
+  outcome.violations = report.violation_count();
+  outcome.max_radius = report.max_impact_radius();
+  for (NodeId x : fresh) {
+    const core::SndNode* agent = deployment.agent(x);
+    for (NodeId w : pocket) {
+      if (topology::contains(agent->functional_neighbors(), w)) {
+        ++outcome.fooled_fresh_nodes;
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto t = static_cast<std::size_t>(cli.get_int("threshold", 4));
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+
+  std::cout << "== Theorem 3: 2R-safety vs number of colluding compromised nodes ==\n"
+            << "t = " << t << ", R = 50 m (2R = 100 m), colluding clique replicated at a\n"
+            << "remote site, fresh nodes deployed next to the replicas, " << seeds
+            << " seeds\n\n";
+
+  util::Table table({"compromised c", "prediction", "2R violations", "max impact radius (m)",
+                     "fresh nodes fooled"});
+  for (std::size_t c = 1; c <= t + 3; ++c) {
+    util::RunningStats violations;
+    util::RunningStats radius;
+    util::RunningStats fooled;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const Outcome outcome = run_attack(t, c, seed * 7919);
+      violations.add(static_cast<double>(outcome.violations));
+      radius.add(outcome.max_radius);
+      fooled.add(static_cast<double>(outcome.fooled_fresh_nodes));
+    }
+    table.add_row({util::Table::integer(static_cast<long long>(c)),
+                   c <= t ? "safe (Thm 3)" : c == t + 1 ? "safe (margin)" : "breakable",
+                   util::Table::num(violations.mean(), 2), util::Table::num(radius.max(), 1),
+                   util::Table::num(fooled.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: zero violations for c <= t (the Theorem 3 guarantee; the\n"
+            << "strongest clique attack in fact needs c >= t+2), violations with impact\n"
+            << "radius ~ field diagonal once c crosses t+2.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Future-work study #1 (paper §6): protocol performance when the direct
+// neighbor verification mechanism is imperfect -- i.e. it sometimes rejects
+// genuine neighbors (false reject) or admits non-neighbors (false accept).
+//
+// False rejects shrink tentative lists asymmetrically: u may hold v while v
+// misses u, or both miss common neighbors, so the t+1 overlap gets harder
+// to reach -- accuracy degrades *faster* than the per-link error rate.
+// False accepts add far-away entries that never deliver verifiable binding
+// records within the window, so they cost little accuracy but pollute
+// binding records (storage/bytes). Both trends quantified here.
+#include <iostream>
+
+#include "adversary/wormhole.h"
+#include "core/deployment_driver.h"
+#include "topology/stats.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace snd;
+
+struct Outcome {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double mean_record_entries = 0.0;
+};
+
+Outcome run(double false_reject, double false_accept, std::size_t t, std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {200.0, 200.0}};
+  config.radio_range = 50.0;
+  config.protocol.threshold_t = t;
+  config.seed = seed;
+
+  core::SndDeployment deployment(config);
+  deployment.set_verifier(std::make_shared<verify::ImperfectVerifier>(
+      std::make_shared<verify::OracleVerifier>(), false_reject, false_accept));
+  // A wormhole gives false accepts something to falsely accept: without a
+  // source of receivable-but-remote identities, the false-accept branch
+  // never triggers on a unit-disk radio.
+  adversary::Wormhole wormhole(deployment.network(), {20.0, 100.0}, {180.0, 100.0});
+  wormhole.start();
+  deployment.deploy_round(400);
+  deployment.run();
+
+  Outcome outcome;
+  outcome.accuracy =
+      topology::edge_recall(deployment.actual_benign_graph(), deployment.functional_graph());
+  outcome.precision =
+      topology::edge_precision(deployment.actual_benign_graph(), deployment.functional_graph());
+  double entries = 0.0;
+  for (const core::SndNode* agent : deployment.agents()) {
+    entries += static_cast<double>(agent->record().neighbors.size());
+  }
+  outcome.mean_record_entries = entries / static_cast<double>(deployment.agents().size());
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+  const auto t = static_cast<std::size_t>(cli.get_int("threshold", 8));
+
+  std::cout << "== Sensitivity to imperfect direct verification (paper section 6) ==\n"
+            << "400 nodes, 200x200 m, R = 50 m, t = " << t << ", " << seeds << " seeds\n\n";
+
+  std::cout << "-- sweep false-REJECT rate (genuine neighbors dropped) --\n";
+  util::Table rejects({"false-reject rate", "accuracy", "precision", "record entries/node"});
+  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    util::RunningStats accuracy, precision, entries;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const Outcome o = run(rate, 0.0, t, seed * 11);
+      accuracy.add(o.accuracy);
+      precision.add(o.precision);
+      entries.add(o.mean_record_entries);
+    }
+    rejects.add_row({util::Table::percent(rate, 0), util::Table::num(accuracy.mean(), 3),
+                     util::Table::num(precision.mean(), 3), util::Table::num(entries.mean(), 1)});
+  }
+  rejects.print(std::cout);
+
+  std::cout << "\n-- sweep false-ACCEPT rate (non-neighbors admitted) --\n";
+  util::Table accepts({"false-accept rate", "accuracy", "precision", "record entries/node"});
+  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    util::RunningStats accuracy, precision, entries;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const Outcome o = run(0.0, rate, t, seed * 13);
+      accuracy.add(o.accuracy);
+      precision.add(o.precision);
+      entries.add(o.mean_record_entries);
+    }
+    accepts.add_row({util::Table::percent(rate, 0), util::Table::num(accuracy.mean(), 3),
+                     util::Table::num(precision.mean(), 3), util::Table::num(entries.mean(), 1)});
+  }
+  accepts.print(std::cout);
+
+  std::cout << "\nExpected shape: accuracy degrades with the false-reject rate r (an edge\n"
+            << "needs at least one endpoint's verification draw plus enough surviving\n"
+            << "witnesses, ~1-r^2 before threshold losses). False accepts admit\n"
+            << "wormhole-relayed identities into tentative lists; SND's threshold\n"
+            << "check holds the line -- precision stays ~1 -- until r times the\n"
+            << "relayed neighborhood size reaches t+1, at which point the falsely\n"
+            << "accepted identities start serving as each other's witnesses and\n"
+            << "cross-tunnel relations form. The protocol's tolerance of a leaky\n"
+            << "verifier is therefore quantifiable: keep r < (t+1)/degree.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The introduction's motivating scenario end-to-end: smallest-ID clustering
+// over a sensor field under a node replication attack, with and without
+// secure neighbor discovery.
+//
+// Without validation (clustering on the raw tentative topology), replicas
+// of a low-ID compromised node pull members from across the field into one
+// "cluster" whose head is hundreds of meters away. With SND validation the
+// replicas are rejected and every cluster stays radio-local.
+//
+//   ./cluster_protection [--seed 3]
+#include <iostream>
+#include <map>
+
+#include "adversary/attacker.h"
+#include "apps/clustering.h"
+#include "core/deployment_driver.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace snd;
+
+  const util::Cli cli(argc, argv);
+
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {300.0, 300.0}};
+  config.radio_range = 50.0;
+  config.protocol.threshold_t = 5;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  // Identity 1 -- the smallest ID in the network, i.e. a guaranteed cluster
+  // head wherever it is believed to be a neighbor -- is the attacker's
+  // choice of victim.
+  core::SndDeployment deployment(config);
+  const NodeId victim = deployment.deploy_node_at({40.0, 40.0});
+  deployment.deploy_round(400);
+  deployment.run();
+
+  adversary::Attacker attacker(deployment);
+  attacker.compromise(victim);
+  for (const util::Vec2 site : {util::Vec2{260, 260}, util::Vec2{40, 260}, util::Vec2{260, 40}}) {
+    attacker.place_replica(victim, site);
+  }
+  deployment.run();
+  // Fresh nodes near each replica site: the nodes the attack targets.
+  for (const util::Vec2 site : {util::Vec2{260, 260}, util::Vec2{40, 260}, util::Vec2{260, 40}}) {
+    for (int i = 0; i < 5; ++i) deployment.deploy_node_at({site.x - 8 + 4 * i, site.y + 6});
+  }
+  deployment.run();
+
+  std::map<NodeId, util::Vec2> positions;
+  for (const sim::Device& d : deployment.network().devices()) {
+    if (!d.replica) positions.emplace(d.identity, d.position);
+  }
+
+  std::cout << "== Clustering under a replication attack on the smallest ID ==\n"
+            << "victim = node " << victim << " at (40,40), replicated at 3 remote sites\n\n";
+
+  util::Table table({"neighbor source", "clusters", "members of cluster " +
+                                                         std::to_string(victim),
+                     "max cluster diameter (m)"});
+  for (const auto& [name, graph] :
+       std::initializer_list<std::pair<const char*, topology::Digraph>>{
+           {"tentative (no validation)", deployment.tentative_graph()},
+           {"functional (SND)", deployment.functional_graph()}}) {
+    const apps::Clustering clustering = apps::smallest_id_clustering(graph);
+    const apps::ClusterQuality quality = apps::evaluate_clusters(clustering, positions);
+    const auto it = clustering.clusters.find(victim);
+    const std::size_t victim_members = it != clustering.clusters.end() ? it->second.size() : 0;
+    table.add_row({name, util::Table::integer(static_cast<long long>(clustering.cluster_count())),
+                   util::Table::integer(static_cast<long long>(victim_members)),
+                   util::Table::num(quality.max_diameter_m, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe tentative row shows the paper's motivating failure: \"many sensor\n"
+            << "nodes far from each other may be included in the same cluster\". The\n"
+            << "functional row keeps every cluster within the radio neighborhood.\n";
+  return 0;
+}

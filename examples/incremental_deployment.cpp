@@ -1,0 +1,111 @@
+// Incremental deployment with the binding-record update extension (§4.4).
+//
+// A long-lived network loses nodes to battery exhaustion while new rounds
+// of sensors arrive. Without updates, an old node's frozen binding record
+// slowly empties of *active* tentative neighbors and new arrivals can no
+// longer find t+1 common neighbors with it. With the extension, freshly
+// deployed nodes re-issue old records (verifying hash evidences with K), so
+// old and new nodes keep forming functional relations.
+//
+//   ./incremental_deployment [--rounds 4] [--deaths 12] [--updates 3]
+#include <iostream>
+
+#include "core/deployment_driver.h"
+#include "topology/stats.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace snd;
+
+struct RoundStats {
+  std::size_t new_nodes = 0;
+  double new_to_old_links = 0.0;  // mean functional links from new to old nodes
+  double mean_record_version = 0.0;
+};
+
+std::vector<RoundStats> simulate(std::uint32_t max_updates, std::size_t rounds,
+                                 std::size_t deaths_per_round, std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {150.0, 150.0}};
+  config.radio_range = 50.0;
+  config.protocol.threshold_t = 12;
+  config.protocol.max_updates = max_updates;
+  config.seed = seed;
+
+  core::SndDeployment deployment(config);
+  std::vector<NodeId> old_nodes = deployment.deploy_round(180);
+  deployment.run();
+  for (NodeId id : old_nodes) deployment.agent(id)->set_auto_update(true);
+
+  std::vector<RoundStats> per_round;
+  util::Rng death_rng(seed ^ 0xdead);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Battery deaths thin the original population.
+    for (std::size_t d = 0; d < deaths_per_round; ++d) {
+      const auto index = death_rng.uniform_int(old_nodes.size());
+      if (const core::SndNode* agent = deployment.agent(old_nodes[index])) {
+        deployment.kill_device(agent->device());
+      }
+    }
+
+    const std::vector<NodeId> fresh = deployment.deploy_round(20);
+    deployment.run();
+    for (NodeId id : fresh) deployment.agent(id)->set_auto_update(true);
+
+    RoundStats stats;
+    stats.new_nodes = fresh.size();
+    double links = 0.0;
+    for (NodeId id : fresh) {
+      for (NodeId v : deployment.agent(id)->functional_neighbors()) {
+        if (v <= old_nodes.back()) links += 1.0;
+      }
+    }
+    stats.new_to_old_links = links / static_cast<double>(fresh.size());
+    double versions = 0.0;
+    std::size_t alive = 0;
+    for (NodeId id : old_nodes) {
+      const core::SndNode* agent = deployment.agent(id);
+      if (agent == nullptr) continue;
+      if (!deployment.network().device(agent->device()).alive) continue;
+      versions += agent->record_version();
+      ++alive;
+    }
+    stats.mean_record_version = alive > 0 ? versions / static_cast<double>(alive) : 0.0;
+    per_round.push_back(stats);
+  }
+  return per_round;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 4));
+  const auto deaths = static_cast<std::size_t>(cli.get_int("deaths", 12));
+  const auto updates = static_cast<std::uint32_t>(cli.get_int("updates", 3));
+
+  std::cout << "== Incremental deployment with battery deaths ==\n"
+            << "180 initial nodes, " << deaths << " deaths + 20 arrivals per round, t = 12\n\n";
+
+  const auto without = simulate(0, rounds, deaths, 42);
+  const auto with = simulate(updates, rounds, deaths, 42);
+
+  util::Table table({"round", "new-to-old links (no updates)",
+                     "new-to-old links (m=" + std::to_string(updates) + ")",
+                     "mean record version (m=" + std::to_string(updates) + ")"});
+  for (std::size_t r = 0; r < rounds; ++r) {
+    table.add_row({util::Table::integer(static_cast<long long>(r + 1)),
+                   util::Table::num(without[r].new_to_old_links, 1),
+                   util::Table::num(with[r].new_to_old_links, 1),
+                   util::Table::num(with[r].mean_record_version, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWith updates enabled, old nodes keep absorbing each round's arrivals\n"
+            << "into their binding records, so later rounds still validate them; with\n"
+            << "the extension off, new-to-old connectivity decays as the original\n"
+            << "cohort dies out (the §4.4 motivation).\n";
+  return 0;
+}

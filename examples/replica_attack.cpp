@@ -1,0 +1,87 @@
+// Replica attack demonstration (paper §4.2, Theorem 3).
+//
+// An attacker compromises one node *after* it completed neighbor discovery
+// (and erased the master key K), clones it at the far corner of a larger
+// field, and waits for a second deployment round. The stolen binding record
+// names the original neighborhood, so newly deployed nodes next to the
+// replica find no overlap and reject it: the identity's impact stays inside
+// a 2R circle.
+//
+// Run with --leak-master to violate the deployment-time trust window
+// (compromise before key erasure): the attacker then forges binding records
+// and relation commitments, and containment collapses -- the §6 caveat.
+#include <iostream>
+
+#include "adversary/attacker.h"
+#include "core/deployment_driver.h"
+#include "core/safety.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace snd;
+
+  const util::Cli cli(argc, argv);
+  const bool leak_master = cli.get_bool("leak-master", false);
+
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {400.0, 400.0}};
+  config.radio_range = 50.0;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  config.protocol.threshold_t = static_cast<std::size_t>(cli.get_int("threshold", 8));
+
+  core::SndDeployment deployment(config);
+  deployment.deploy_round(600);  // ~ one node per 267 m^2
+
+  if (leak_master) {
+    // Compromise mid-discovery: run only until Hellos are out, then strike.
+    deployment.run_for(sim::Time::milliseconds(50));
+  } else {
+    deployment.run();  // all nodes finish and erase K first
+  }
+
+  // Compromise the node nearest the field center and replicate it at the
+  // four corners.
+  const NodeId victim = [&]() {
+    NodeId best = 1;
+    double best_distance = 1e18;
+    for (const sim::Device& d : deployment.network().devices()) {
+      const double dist = util::distance(d.position, config.field.center());
+      if (dist < best_distance) {
+        best_distance = dist;
+        best = d.identity;
+      }
+    }
+    return best;
+  }();
+
+  adversary::Attacker attacker(deployment);
+  attacker.compromise(victim);
+  std::cout << "compromised node " << victim
+            << " (master key stolen: " << std::boolalpha << attacker.master_key_leaked()
+            << ")\n";
+
+  for (const util::Vec2 corner : {util::Vec2{30, 30}, util::Vec2{370, 30},
+                                  util::Vec2{30, 370}, util::Vec2{370, 370}}) {
+    attacker.place_replica(victim, corner);
+  }
+  deployment.run();
+
+  // Second deployment round: fresh nodes everywhere, including next to the
+  // replicas -- the nodes the attacker hopes to fool.
+  deployment.deploy_round(300);
+  deployment.run();
+
+  const core::SafetyReport report = core::audit_safety(deployment, 2.0 * config.radio_range);
+  for (const auto& identity_report : report.identities) {
+    std::cout << "identity " << identity_report.identity << ": accepted by "
+              << identity_report.accepting_nodes.size()
+              << " benign node(s), impact radius = "
+              << util::Table::num(identity_report.impact_radius(), 1) << " m (limit "
+              << 2.0 * config.radio_range << " m) -> "
+              << (identity_report.violates ? "2R-SAFETY VIOLATED" : "contained") << "\n";
+  }
+  std::cout << (report.holds() ? "\nresult: 2R-safety holds\n"
+                               : "\nresult: 2R-safety UNDER ATTACK FAILED\n");
+  return report.holds() == !leak_master ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#include "adversary/chaff.h"
+
+namespace snd::adversary {
+
+ChaffAttacker::ChaffAttacker(sim::Network& network, sim::DeviceId device,
+                             NodeId fake_identity_base, std::size_t fakes_per_hello)
+    : network_(network),
+      device_(device),
+      next_fake_(fake_identity_base),
+      fakes_per_hello_(fakes_per_hello) {}
+
+ChaffAttacker::~ChaffAttacker() { network_.set_receiver(device_, nullptr); }
+
+void ChaffAttacker::start() {
+  network_.set_receiver(device_, [this](const sim::Packet& packet) { on_packet(packet); });
+}
+
+void ChaffAttacker::on_packet(const sim::Packet& packet) {
+  if (static_cast<core::MessageType>(packet.type) != core::MessageType::kHello) return;
+  for (std::size_t i = 0; i < fakes_per_hello_; ++i) {
+    sim::Packet fake{.src = next_fake_++,
+                     .dst = packet.src,
+                     .type = static_cast<std::uint8_t>(core::MessageType::kHelloAck),
+                     .payload = {}};
+    network_.transmit(device_, std::move(fake), "attack.chaff");
+    ++fakes_sent_;
+  }
+}
+
+}  // namespace snd::adversary

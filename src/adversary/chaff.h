@@ -1,0 +1,42 @@
+// Chaff attack used by the hostile-performance experiment (§4.5.2): a
+// planted radio answers every Hello with HelloAcks under a stream of
+// invented identities, trying to pollute tentative neighbor lists and drag
+// the accuracy of benign discovery down without jamming. The paper argues
+// this cannot work -- a benign pair's decision depends only on their own
+// two lists, chaff identities never produce verifiable binding records, and
+// list entries cannot be removed -- and the bench confirms it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/wire.h"
+#include "sim/network.h"
+
+namespace snd::adversary {
+
+class ChaffAttacker {
+ public:
+  /// `fake_identity_base`: first invented identity (use a range disjoint
+  /// from real ones). `fakes_per_hello`: how many fake ACKs per Hello heard.
+  ChaffAttacker(sim::Network& network, sim::DeviceId device, NodeId fake_identity_base,
+                std::size_t fakes_per_hello);
+
+  ChaffAttacker(const ChaffAttacker&) = delete;
+  ChaffAttacker& operator=(const ChaffAttacker&) = delete;
+  ~ChaffAttacker();
+
+  void start();
+
+  [[nodiscard]] std::uint64_t fakes_sent() const { return fakes_sent_; }
+
+ private:
+  void on_packet(const sim::Packet& packet);
+
+  sim::Network& network_;
+  sim::DeviceId device_;
+  NodeId next_fake_;
+  std::size_t fakes_per_hello_;
+  std::uint64_t fakes_sent_ = 0;
+};
+
+}  // namespace snd::adversary

@@ -1,0 +1,99 @@
+// The agent the attacker installs on compromised devices and replicas.
+//
+// Capability model (paper §2): the adversary eavesdrops, forges, replays,
+// and fully controls compromised nodes -- but it only knows what it stole.
+// The decisive case split is whether the stolen secrets still contained the
+// master key K:
+//
+//   * K absent (the protocol's intended deployment-time guarantee): the
+//     agent can only replay the stolen binding record R(w) and stolen
+//     identity keys. New nodes near a replica reject w because N(w) names
+//     the original neighborhood (no overlap); old nodes reject relation
+//     commitments it cannot compute. With the update extension it can run
+//     the *creeping* attack: collect legitimate evidences near the replica
+//     and have newly deployed nodes re-issue R(w), extending reach by R per
+//     update (bounded by m; Theorem 4).
+//
+//   * K present (trusted-deployment-window violated, paper §6 caveat): the
+//     agent forges fresh binding records around any replica and mints
+//     relation commitments C(w, x) = H(K_x | w) for every identity it
+//     hears, defeating the protocol completely.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/messenger.h"
+#include "core/protocol.h"
+#include "core/wire.h"
+#include "crypto/keypredist.h"
+#include "sim/network.h"
+
+namespace snd::adversary {
+
+struct MaliciousBehavior {
+  /// Answer Hellos so the stolen identity stays discoverable.
+  bool respond_to_hello = true;
+  /// Serve the (stolen or forged) binding record on request.
+  bool serve_record = true;
+  /// If K was stolen: forge binding records listing locally heard nodes.
+  bool forge_records_with_master = true;
+  /// If K was stolen: push relation commitments to every identity heard.
+  bool push_commitments_with_master = true;
+  /// Run the §4.4 creeping attack: gather evidences, request updates.
+  bool creep_with_updates = false;
+};
+
+class MaliciousAgent {
+ public:
+  MaliciousAgent(sim::Network& network, sim::DeviceId device,
+                 core::SndNode::Secrets stolen_secrets,
+                 std::shared_ptr<crypto::KeyPredistribution> keys,
+                 core::ProtocolConfig protocol_config, MaliciousBehavior behavior);
+
+  MaliciousAgent(const MaliciousAgent&) = delete;
+  MaliciousAgent& operator=(const MaliciousAgent&) = delete;
+  ~MaliciousAgent();
+
+  void start();
+
+  [[nodiscard]] NodeId identity() const { return messenger_.identity(); }
+  [[nodiscard]] bool has_master_key() const { return secrets_.master.present(); }
+  /// Identities overheard in this device's radio vicinity.
+  [[nodiscard]] const std::set<NodeId>& heard_identities() const { return heard_; }
+  /// Current (possibly creep-updated or forged) record being served.
+  [[nodiscard]] const std::optional<core::BindingRecord>& record() const {
+    return secrets_.record;
+  }
+  [[nodiscard]] std::size_t updates_obtained() const { return updates_obtained_; }
+  [[nodiscard]] const std::map<NodeId, crypto::Digest>& evidence() const {
+    return evidence_buffer_;
+  }
+
+  /// Out-of-band state sync from the attacker: adopt a fresher binding
+  /// record (replicas of one identity pool what any of them obtained) and
+  /// merge harvested evidences. Unverifiable entries are harmless -- the
+  /// update server drops them.
+  void adopt_state(const std::optional<core::BindingRecord>& record,
+                   const std::map<NodeId, crypto::Digest>& evidence);
+
+ private:
+  void on_packet(const sim::Packet& packet);
+  void note_identity(NodeId id);
+  void serve_record_to(NodeId requester);
+  void try_creep_update(NodeId new_node);
+
+  sim::Network& network_;
+  sim::DeviceId device_;
+  core::SndNode::Secrets secrets_;
+  core::ProtocolConfig protocol_config_;
+  MaliciousBehavior behavior_;
+  core::Messenger messenger_;
+
+  std::set<NodeId> heard_;
+  std::set<NodeId> commitments_pushed_;
+  std::map<NodeId, crypto::Digest> evidence_buffer_;
+  std::size_t updates_obtained_ = 0;
+};
+
+}  // namespace snd::adversary

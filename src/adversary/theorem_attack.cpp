@@ -1,0 +1,101 @@
+#include "adversary/theorem_attack.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace snd::adversary {
+
+bool Theorem1Attack::succeeds(const core::ValidationFunction& F) const {
+  return F.validate(u, w, original_view) && F.validate(fu, w, victim_view);
+}
+
+Theorem1Attack build_theorem1_attack(const core::ValidationFunction& F, std::size_t n,
+                                     NodeId first_id) {
+  const std::size_t m = F.minimum_deployment_size();
+  if (n < 2 * m - 1) {
+    throw std::invalid_argument(
+        "Theorem 1 requires n >= 2m-1 nodes (below the bound, d-safety can hold)");
+  }
+
+  Theorem1Attack attack;
+
+  // A = {first_id .. first_id+m-1} hosts G_A, a copy of the minimum
+  // deployment on which F accepts the pair (u, w).
+  const auto min_dep = F.minimum_deployment(first_id);
+  attack.original_view = min_dep.graph;
+  attack.u = min_dep.u;
+  attack.w = min_dep.w;
+
+  // B = m-1 fresh IDs; f maps A \ {w} onto B.
+  std::map<NodeId, NodeId> f;
+  NodeId next_b = first_id + static_cast<NodeId>(m);
+  for (NodeId x : min_dep.graph.nodes()) {
+    if (x != attack.w) f[x] = next_b++;
+  }
+  attack.fu = f.at(attack.u);
+
+  // G_B: G_A with w removed, relabeled into B. All-benign, legitimately
+  // deployable far away from G_A.
+  topology::Digraph ga_minus_w = min_dep.graph;
+  ga_minus_w.remove_node(attack.w);
+  topology::Digraph gb = ga_minus_w.relabeled([&f](NodeId x) { return f.at(x); });
+
+  // Honest graph G = G_A ∪ G_B ∪ G_C (G_C: any leftover benign nodes,
+  // arbitrarily connected among themselves -- a ring here).
+  attack.honest_graph = min_dep.graph;
+  for (const auto& [src, dst] : gb.edges()) attack.honest_graph.add_edge(src, dst);
+  const NodeId c_begin = next_b;
+  const auto c_count = static_cast<NodeId>(n - (2 * m - 1));
+  for (NodeId i = 0; i < c_count; ++i) {
+    const NodeId a = c_begin + i;
+    attack.honest_graph.add_node(a);
+    if (c_count > 1) attack.honest_graph.add_edge(a, c_begin + (i + 1) % c_count);
+  }
+
+  // The attacker compromises w and forges G(w): w's relations transported
+  // into B -- {(w, f(x)) : (w,x) in G_A} ∪ {(f(x), w) : (x,w) in G_A}.
+  for (NodeId x : min_dep.graph.successors(attack.w)) {
+    if (x != attack.w) attack.forged_relations.add_edge(attack.w, f.at(x));
+  }
+  for (const auto& [src, dst] : min_dep.graph.edges()) {
+    if (dst == attack.w && src != attack.w) {
+      attack.forged_relations.add_edge(f.at(src), attack.w);
+    }
+  }
+
+  // f(u)'s view: G_B plus the forged relations == G_A relabeled except w.
+  attack.victim_view = gb;
+  for (const auto& [src, dst] : attack.forged_relations.edges()) {
+    attack.victim_view.add_edge(src, dst);
+  }
+
+  return attack;
+}
+
+bool Theorem2Attack::succeeds(const core::ValidationFunction& F) const {
+  return F.validate(u, v, attacked_graph);
+}
+
+Theorem2Attack build_theorem2_attack(const topology::Digraph& G, NodeId u,
+                                     const std::vector<NodeId>& u_neighborhood, NodeId v) {
+  Theorem2Attack attack;
+  attack.u = u;
+  attack.v = v;
+  attack.attacked_graph = G;
+
+  // A genuinely new node x deployed next to u would tentatively hear u and
+  // u's neighborhood; its relation set X is {(x, u)} ∪ {(x, c)} ∪ mirrors.
+  // The attacker compromises the remote node v and submits X with x
+  // renamed to v (X_{x->v} in the proof). Isomorphism-invariance of F does
+  // the rest.
+  attack.attacked_graph.add_edge(v, u);
+  attack.attacked_graph.add_edge(u, v);
+  for (NodeId c : u_neighborhood) {
+    if (c == v || c == u) continue;
+    attack.attacked_graph.add_edge(v, c);
+    attack.attacked_graph.add_edge(c, v);
+  }
+  return attack;
+}
+
+}  // namespace snd::adversary

@@ -1,0 +1,62 @@
+// Constructive attacks realizing the paper's impossibility results.
+//
+// These operate purely on tentative-topology graphs and a
+// ValidationFunction: they are the adversary of Section 3, who controls
+// what subgraph a victim node gets to see. No radio simulation is involved
+// -- which is the point: *no* topology-only validation function, however it
+// gathers its subgraph, survives these constructions.
+#pragma once
+
+#include <vector>
+
+#include "core/validation.h"
+#include "topology/graph.h"
+
+namespace snd::adversary {
+
+/// Theorem 1: given any F with minimum deployment size m and a network of
+/// n >= 2m-1 nodes, builds a tentative topology in which one compromised
+/// node w obtains functional acceptance from two benign nodes (u and f(u))
+/// that can be placed arbitrarily far apart, violating d-safety for every d.
+struct Theorem1Attack {
+  /// The honest deployment graph G = G_A ∪ G_B ∪ G_C before the attack.
+  topology::Digraph honest_graph;
+  /// Relations forged by the attacker after compromising w: G(w).
+  topology::Digraph forged_relations;
+  /// The view of victim f(u): G_B ∪ G(w).
+  topology::Digraph victim_view;
+  /// The view of the original neighbor u: G_A.
+  topology::Digraph original_view;
+  NodeId w = kNoNode;      // the compromised node
+  NodeId u = kNoNode;      // accepts w legitimately
+  NodeId fu = kNoNode;     // the far-away victim that also accepts w
+
+  /// True iff both F(u, w, original_view) and F(fu, w, victim_view) hold --
+  /// i.e. the attack defeated d-safety.
+  [[nodiscard]] bool succeeds(const core::ValidationFunction& F) const;
+};
+
+/// Builds the Theorem 1 construction for `F` over a network of `n` node IDs
+/// starting at `first_id`. Requires n >= 2m - 1; throws std::invalid_argument
+/// otherwise (the theorem's precondition).
+Theorem1Attack build_theorem1_attack(const core::ValidationFunction& F, std::size_t n,
+                                     NodeId first_id = 1);
+
+/// Theorem 2 instantiated against the topology-only common-neighbor rule:
+/// the network G is extendable at u (a new node x placed next to u would be
+/// accepted), so the attacker compromises a far-away node v that F never
+/// consulted, renames x's would-be relations to v, and gets v accepted by u.
+struct Theorem2Attack {
+  topology::Digraph attacked_graph;  // G plus the forged relations X_{x->v}
+  NodeId u = kNoNode;                // the extendable benign node
+  NodeId v = kNoNode;                // far-away compromised victim identity
+
+  [[nodiscard]] bool succeeds(const core::ValidationFunction& F) const;
+};
+
+/// `u_neighborhood`: identities tentatively adjacent to u in G (the nodes a
+/// genuinely new local node would also hear). `v` must not appear in it.
+Theorem2Attack build_theorem2_attack(const topology::Digraph& G, NodeId u,
+                                     const std::vector<NodeId>& u_neighborhood, NodeId v);
+
+}  // namespace snd::adversary

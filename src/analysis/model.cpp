@@ -1,0 +1,76 @@
+#include "analysis/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/geometry.h"
+
+namespace snd::analysis {
+
+double FieldModel::expected_neighbors() const {
+  return density * std::numbers::pi * radio_range * radio_range - 1.0;
+}
+
+double FieldModel::expected_common_neighbors(double c) const {
+  return util::expected_common_neighbors(density, radio_range, c);
+}
+
+double FieldModel::tau_for_threshold(std::size_t t) const {
+  const double needed = static_cast<double>(t) + 1.0;
+  if (expected_common_neighbors(0.0) < needed) return 0.0;
+  if (expected_common_neighbors(2.0) >= needed) return 2.0;
+
+  // N(c) is strictly decreasing on [0, 2]; bisect.
+  double lo = 0.0;
+  double hi = 2.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (expected_common_neighbors(mid) >= needed) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+double FieldModel::accuracy(std::size_t t) const {
+  const double tau = tau_for_threshold(t);
+  // Validated neighbors live within tau*R: D*pi*(tau R)^2 - 1 of them on
+  // average, out of D*pi*R^2 - 1 actual neighbors.
+  const double denominator = expected_neighbors();
+  if (denominator <= 0.0) return 0.0;
+  const double numerator =
+      density * std::numbers::pi * tau * tau * radio_range * radio_range - 1.0;
+  return std::clamp(numerator / denominator, 0.0, 1.0);
+}
+
+double FieldModel::accuracy_approx(std::size_t t) const {
+  const double tau = tau_for_threshold(t);
+  return std::min(tau * tau, 1.0);
+}
+
+double expected_neighbors_at(const FieldModel& model, const FieldPosition& position) {
+  const util::Circle radio{{position.x, position.y}, model.radio_range};
+  const util::Rect field{{0.0, 0.0}, {position.field_width, position.field_height}};
+  return model.density * util::circle_rect_intersection_area(radio, field) - 1.0;
+}
+
+std::size_t FieldModel::max_threshold_for_accuracy(double target) const {
+  // accuracy(t) is non-increasing in t; binary search over t.
+  std::size_t lo = 0;
+  std::size_t hi = static_cast<std::size_t>(std::max(0.0, expected_common_neighbors(0.0))) + 1;
+  if (accuracy(lo) < target) return 0;
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (accuracy(mid) >= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace snd::analysis

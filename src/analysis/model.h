@@ -1,0 +1,55 @@
+// Closed-form performance model from paper §4.5.1.
+//
+// For two tentative neighbors at distance c*R (0 <= c <= 2) in a uniform
+// deployment of density D, the expected number of common neighbors is
+//   N(c) = D R^2 (2 acos(c/2) - c sqrt(1 - (c/2)^2)) - 2.
+// With threshold t, let tau be the distance ratio where N(tau) = t+1; pairs
+// closer than tau*R are expected to validate. The fraction of actual
+// neighbors kept in the functional list is then
+//   f_b = (D pi tau^2 R^2 - 1) / (D pi R^2 - 1)  ~=  tau^2.
+#pragma once
+
+#include <cstddef>
+
+namespace snd::analysis {
+
+struct FieldModel {
+  double density = 0.02;     // nodes per square meter
+  double radio_range = 50.0;  // R, meters
+
+  /// Expected neighbors of a node: D*pi*R^2 - 1.
+  [[nodiscard]] double expected_neighbors() const;
+
+  /// Expected common-neighbor count N(c) for two nodes at distance c*R.
+  [[nodiscard]] double expected_common_neighbors(double c) const;
+
+  /// tau such that N(tau) = t+1, in [0, 2]. Returns 0 if even coincident
+  /// nodes cannot reach t+1 common neighbors at this density; the model
+  /// predicts no validations then.
+  [[nodiscard]] double tau_for_threshold(std::size_t t) const;
+
+  /// Exact model accuracy f_b for threshold t (clamped to [0, 1]).
+  [[nodiscard]] double accuracy(std::size_t t) const;
+
+  /// The paper's tau^2 approximation of f_b.
+  [[nodiscard]] double accuracy_approx(std::size_t t) const;
+
+  /// Largest t for which the model predicts accuracy >= `target`.
+  /// Inverts the accuracy curve; used for parameter-selection tooling.
+  [[nodiscard]] std::size_t max_threshold_for_accuracy(double target) const;
+};
+
+struct FieldPosition {
+  double x = 0.0;
+  double y = 0.0;
+  double field_width = 100.0;
+  double field_height = 100.0;
+};
+
+/// Border-corrected expected neighbor count for a node at `position` in a
+/// finite field: density * area(radio disk ∩ field) - 1. The paper's
+/// infinite-plane formulas overestimate degrees near the field edge, which
+/// is why its simulations measure the center node; this quantifies the gap.
+double expected_neighbors_at(const FieldModel& model, const FieldPosition& position);
+
+}  // namespace snd::analysis

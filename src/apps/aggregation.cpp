@@ -1,0 +1,50 @@
+#include "apps/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snd::apps {
+
+double synthetic_field(util::Vec2 position) {
+  // Linear gradient plus a Gaussian hot spot: values differ by O(10) across
+  // a few hundred meters, so geographically wrong members shift averages
+  // noticeably.
+  const double gradient = 0.05 * position.x + 0.02 * position.y;
+  const util::Vec2 hot_spot{120.0, 80.0};
+  const double d2 = util::distance_squared(position, hot_spot);
+  return 20.0 + gradient + 15.0 * std::exp(-d2 / (2.0 * 60.0 * 60.0));
+}
+
+AggregationReport evaluate_aggregation(const Clustering& clustering,
+                                       const std::map<NodeId, util::Vec2>& positions,
+                                       const std::function<double(util::Vec2)>& field) {
+  AggregationReport report;
+  double error_sum = 0.0;
+  for (const auto& [head, members] : clustering.clusters) {
+    const auto head_position = positions.find(head);
+    if (head_position == positions.end()) continue;
+
+    double sum = 0.0;
+    std::size_t sampled = 0;
+    for (NodeId member : members) {
+      const auto it = positions.find(member);
+      if (it == positions.end()) continue;
+      sum += field(it->second);
+      ++sampled;
+    }
+    if (sampled == 0) continue;
+
+    const double cluster_average = sum / static_cast<double>(sampled);
+    const double truth = field(head_position->second);
+    const double error = std::abs(cluster_average - truth);
+    error_sum += error;
+    report.max_error = std::max(report.max_error, error);
+    ++report.clusters_evaluated;
+  }
+  if (report.clusters_evaluated > 0) {
+    report.mean_error = error_sum / static_cast<double>(report.clusters_evaluated);
+  }
+  return report;
+}
+
+}  // namespace snd::apps

@@ -1,0 +1,40 @@
+// Cluster-based in-network aggregation -- the paper's second motivating
+// application: "some data aggregation (e.g., average in a particular area)
+// may generate incorrect results" when clusters absorb far-away members
+// through false neighbor relations.
+//
+// Each sensor samples a smooth synthetic field at its position; a cluster
+// head aggregates its members' readings into one average that is supposed
+// to describe the head's vicinity. The aggregation error of a cluster is
+// the difference between that average and the true field value at the
+// head -- small for geographically tight clusters, large when members
+// were pulled in from a region where the field differs.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "apps/clustering.h"
+#include "util/geometry.h"
+
+namespace snd::apps {
+
+/// A spatial quantity sensors measure (temperature-like): smooth gradient
+/// plus a radial hot spot, so distant field positions read differently.
+double synthetic_field(util::Vec2 position);
+
+struct AggregationReport {
+  /// Mean |cluster average - true value at head| over clusters.
+  double mean_error = 0.0;
+  /// Worst cluster's error.
+  double max_error = 0.0;
+  std::size_t clusters_evaluated = 0;
+};
+
+/// Evaluates per-cluster averaging error. `positions`: identity ->
+/// deployment position; `field` defaults to synthetic_field.
+AggregationReport evaluate_aggregation(
+    const Clustering& clustering, const std::map<NodeId, util::Vec2>& positions,
+    const std::function<double(util::Vec2)>& field = synthetic_field);
+
+}  // namespace snd::apps

@@ -1,0 +1,87 @@
+#include "apps/clustering.h"
+
+#include <algorithm>
+
+namespace snd::apps {
+
+bool Clustering::is_head(NodeId id) const {
+  const auto it = head_of.find(id);
+  return it != head_of.end() && it->second == id;
+}
+
+Clustering smallest_id_clustering(const topology::Digraph& neighbors) {
+  Clustering clustering;
+  const std::vector<NodeId> nodes = neighbors.nodes();
+
+  // Pass 1: heads are nodes with the smallest ID in their closed
+  // neighborhood.
+  std::set<NodeId> heads;
+  for (NodeId u : nodes) {
+    const auto& succ = neighbors.successors(u);
+    const bool smallest = succ.empty() || u < *succ.begin();
+    if (smallest) heads.insert(u);
+  }
+
+  // Pass 2: non-heads join their smallest-ID head neighbor, or become
+  // heads themselves if none of their neighbors is one.
+  for (NodeId u : nodes) {
+    if (heads.contains(u)) {
+      clustering.head_of[u] = u;
+      continue;
+    }
+    NodeId chosen = u;
+    for (NodeId v : neighbors.successors(u)) {
+      if (heads.contains(v)) {
+        chosen = v;
+        break;  // successors are ordered; first head is the smallest
+      }
+    }
+    clustering.head_of[u] = chosen;
+  }
+
+  for (const auto& [node, head] : clustering.head_of) {
+    clustering.clusters[head].push_back(node);
+  }
+  for (auto& [head, members] : clustering.clusters) {
+    std::sort(members.begin(), members.end());
+  }
+  return clustering;
+}
+
+ClusterQuality evaluate_clusters(const Clustering& clustering,
+                                 const std::map<NodeId, util::Vec2>& positions) {
+  ClusterQuality quality;
+  quality.cluster_count = clustering.cluster_count();
+
+  double diameter_sum = 0.0;
+  std::size_t measured_clusters = 0;
+  for (const auto& [head, members] : clustering.clusters) {
+    std::vector<util::Vec2> points;
+    for (NodeId member : members) {
+      const auto it = positions.find(member);
+      if (it != positions.end()) points.push_back(it->second);
+    }
+    if (points.empty()) continue;
+
+    const auto head_pos = positions.find(head);
+    double diameter = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (head_pos != positions.end()) {
+        quality.max_member_to_head_m = std::max(
+            quality.max_member_to_head_m, util::distance(points[i], head_pos->second));
+      }
+      for (std::size_t j = i + 1; j < points.size(); ++j) {
+        diameter = std::max(diameter, util::distance(points[i], points[j]));
+      }
+    }
+    quality.max_diameter_m = std::max(quality.max_diameter_m, diameter);
+    diameter_sum += diameter;
+    ++measured_clusters;
+  }
+  if (measured_clusters > 0) {
+    quality.mean_diameter_m = diameter_sum / static_cast<double>(measured_clusters);
+  }
+  return quality;
+}
+
+}  // namespace snd::apps

@@ -1,0 +1,46 @@
+// Smallest-ID clustering (Baker-Ephremides LCA; paper references [1][2]):
+// the downstream algorithm the paper's introduction uses to motivate secure
+// neighbor discovery. A node becomes cluster head if its ID is smallest in
+// its closed neighborhood; otherwise it joins its smallest-ID head
+// neighbor. Run over a tentative topology containing fabricated relations,
+// clusters absorb members from far-apart regions -- the failure mode the
+// protocol exists to prevent. Quality metrics quantify exactly that.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/geometry.h"
+
+namespace snd::apps {
+
+struct Clustering {
+  /// node -> its cluster head (heads map to themselves).
+  std::map<NodeId, NodeId> head_of;
+  /// head -> members (including the head), sorted.
+  std::map<NodeId, std::vector<NodeId>> clusters;
+
+  [[nodiscard]] std::size_t cluster_count() const { return clusters.size(); }
+  [[nodiscard]] bool is_head(NodeId id) const;
+};
+
+/// Neighborhoods are the successor sets of `neighbors` (a tentative or
+/// functional topology).
+Clustering smallest_id_clustering(const topology::Digraph& neighbors);
+
+struct ClusterQuality {
+  std::size_t cluster_count = 0;
+  /// Largest distance between any member and its cluster head.
+  double max_member_to_head_m = 0.0;
+  /// Largest pairwise member distance within any single cluster.
+  double max_diameter_m = 0.0;
+  double mean_diameter_m = 0.0;
+};
+
+/// `positions`: identity -> deployment position. Members without a known
+/// position are skipped.
+ClusterQuality evaluate_clusters(const Clustering& clustering,
+                                 const std::map<NodeId, util::Vec2>& positions);
+
+}  // namespace snd::apps

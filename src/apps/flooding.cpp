@@ -1,0 +1,35 @@
+#include "apps/flooding.h"
+
+#include <queue>
+#include <vector>
+
+namespace snd::apps {
+
+FloodCost estimate_flood(const sim::Network& network, sim::DeviceId origin,
+                         std::size_t payload_bytes) {
+  FloodCost cost;
+  if (origin >= network.device_count() || !network.device(origin).alive) return cost;
+
+  std::vector<bool> visited(network.device_count(), false);
+  std::queue<sim::DeviceId> frontier;
+  visited[origin] = true;
+  frontier.push(origin);
+
+  while (!frontier.empty()) {
+    const sim::DeviceId current = frontier.front();
+    frontier.pop();
+    ++cost.reached;
+    ++cost.transmissions;
+    cost.bytes += payload_bytes + sim::Packet::kHeaderBytes;
+
+    for (const sim::Device& candidate : network.devices()) {
+      if (visited[candidate.id] || !candidate.alive) continue;
+      if (!network.link(current, candidate.id)) continue;
+      visited[candidate.id] = true;
+      frontier.push(candidate.id);
+    }
+  }
+  return cost;
+}
+
+}  // namespace snd::apps

@@ -1,0 +1,26 @@
+// Network-wide flooding cost model. Replica-detection schemes end with a
+// flooded revocation of the detected identity (Parno et al. §5); SND never
+// needs one. Classic blind flooding: every node that receives the message
+// retransmits it exactly once.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace snd::apps {
+
+struct FloodCost {
+  /// Devices the flood reached (including the origin).
+  std::size_t reached = 0;
+  /// Retransmissions (one per reached device).
+  std::size_t transmissions = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// BFS over the ground-truth link graph from `origin`, charging one
+/// retransmission of `payload_bytes` (+ MAC header) per reached device.
+FloodCost estimate_flood(const sim::Network& network, sim::DeviceId origin,
+                         std::size_t payload_bytes);
+
+}  // namespace snd::apps

@@ -1,0 +1,65 @@
+#include "apps/georouting.h"
+
+#include <limits>
+
+namespace snd::apps {
+
+GeoRouter::GeoRouter(const sim::Network& network) : network_(network) {}
+
+GeoRouter::GeoRouter(const sim::Network& network, topology::Digraph allowed)
+    : network_(network), allowed_(std::move(allowed)) {}
+
+bool GeoRouter::edge_allowed(const sim::Device& a, const sim::Device& b) const {
+  if (!network_.link(a.id, b.id)) return false;
+  if (!allowed_) return true;
+  return allowed_->has_edge(a.identity, b.identity);
+}
+
+std::optional<sim::DeviceId> GeoRouter::best_next_hop(sim::DeviceId current,
+                                                      util::Vec2 target) const {
+  const sim::Device& here = network_.device(current);
+  const double current_distance = util::distance(here.position, target);
+
+  std::optional<sim::DeviceId> best;
+  double best_distance = current_distance;
+  for (const sim::Device& candidate : network_.devices()) {
+    if (candidate.id == current || !candidate.alive) continue;
+    if (!edge_allowed(here, candidate)) continue;
+    const double d = util::distance(candidate.position, target);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate.id;
+    }
+  }
+  return best;
+}
+
+Route GeoRouter::route(sim::DeviceId from, sim::DeviceId to) const {
+  const util::Vec2 target = network_.device(to).position;
+  Route route = route_to_position(from, target);
+  route.success = route.success && route.path.back() == to;
+  return route;
+}
+
+Route GeoRouter::route_to_position(sim::DeviceId from, util::Vec2 target) const {
+  Route route;
+  route.path.push_back(from);
+
+  sim::DeviceId current = from;
+  // Greedy progress strictly decreases distance-to-target, so the walk
+  // cannot revisit a device; the bound is a defensive backstop.
+  const std::size_t max_hops = network_.device_count() + 1;
+  while (route.path.size() <= max_hops) {
+    if (network_.device(current).position == target) break;
+    const auto next = best_next_hop(current, target);
+    if (!next) break;  // local minimum: we are the closest reachable device
+    route.length_m += util::distance(network_.device(current).position,
+                                     network_.device(*next).position);
+    current = *next;
+    route.path.push_back(current);
+  }
+  route.success = true;
+  return route;
+}
+
+}  // namespace snd::apps

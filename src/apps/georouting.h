@@ -1,0 +1,53 @@
+// Greedy geographic forwarding (GPSR's greedy mode, paper reference [12])
+// over the simulated field. Serves two roles:
+//   * substrate for the Parno et al. baseline, which routes location claims
+//     to witnesses across the whole network, and
+//   * downstream consumer for the application-impact experiments, where
+//     forwarding is restricted to the *functional* topology to show what
+//     false neighbor relations do to routing.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/network.h"
+#include "topology/graph.h"
+
+namespace snd::apps {
+
+struct Route {
+  bool success = false;
+  std::vector<sim::DeviceId> path;  // includes source; includes final device
+  double length_m = 0.0;
+
+  [[nodiscard]] std::size_t hops() const { return path.empty() ? 0 : path.size() - 1; }
+};
+
+class GeoRouter {
+ public:
+  /// Routes over all alive devices using ground-truth radio links.
+  explicit GeoRouter(const sim::Network& network);
+
+  /// Routes only along links whose (identity -> identity) edge exists in
+  /// `allowed`: forwarding restricted to validated functional relations.
+  GeoRouter(const sim::Network& network, topology::Digraph allowed);
+
+  /// Greedy forwarding from `from` toward the device holding `to`'s
+  /// position; fails at a local minimum (no neighbor closer to the target).
+  [[nodiscard]] Route route(sim::DeviceId from, sim::DeviceId to) const;
+
+  /// Greedy forwarding toward an arbitrary position; terminates at the
+  /// device where no neighbor makes progress (the "closest node" that
+  /// geographic witness schemes address).
+  [[nodiscard]] Route route_to_position(sim::DeviceId from, util::Vec2 target) const;
+
+ private:
+  [[nodiscard]] bool edge_allowed(const sim::Device& a, const sim::Device& b) const;
+  [[nodiscard]] std::optional<sim::DeviceId> best_next_hop(sim::DeviceId current,
+                                                           util::Vec2 target) const;
+
+  const sim::Network& network_;
+  std::optional<topology::Digraph> allowed_;
+};
+
+}  // namespace snd::apps

@@ -1,0 +1,74 @@
+#include "baseline/centralized.h"
+
+#include "apps/georouting.h"
+#include "core/validation.h"
+
+namespace snd::baseline {
+
+CentralizedResult run_centralized_validation(core::SndDeployment& deployment,
+                                             sim::DeviceId base_station,
+                                             std::size_t threshold_t) {
+  CentralizedResult result;
+  const sim::Network& network = deployment.network();
+  const apps::GeoRouter router(network);
+  std::vector<std::uint64_t> relayed(network.device_count(), 0);
+
+  // --- Convergecast: every agent reports R(u) to the base station. ---
+  std::map<NodeId, topology::NeighborList> reported;
+  for (const core::SndNode* agent : deployment.agents()) {
+    if (!agent->has_record()) continue;
+    const apps::Route route = router.route(agent->device(), base_station);
+    if (!route.success) {
+      ++result.unreachable_nodes;
+      continue;
+    }
+    const std::size_t report_bytes =
+        agent->record().serialize().size() + sim::Packet::kHeaderBytes;
+    result.uplink_messages += route.hops();
+    result.uplink_bytes += route.hops() * report_bytes;
+    // Every hop except the final receiver retransmits the report.
+    for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+      relayed[route.path[i]] += report_bytes;
+    }
+
+    // The base station holds K and verifies the record before use.
+    if (agent->record().verify(deployment.master_key())) {
+      reported.emplace(agent->identity(), agent->record().neighbors);
+    }
+  }
+
+  // --- Global decision: the same threshold rule, full topology view. ---
+  topology::Digraph tentative;
+  for (const auto& [node, neighbors] : reported) {
+    tentative.add_node(node);
+    for (NodeId v : neighbors) tentative.add_edge(node, v);
+  }
+  const core::CommonNeighborValidator validator(threshold_t);
+  for (const auto& [u, neighbors] : reported) {
+    result.functional.add_node(u);
+    for (NodeId v : neighbors) {
+      if (!reported.contains(v)) continue;
+      if (validator.validate(u, v, tentative)) result.functional.add_edge(u, v);
+    }
+  }
+
+  // --- Dissemination: each node receives its functional list. ---
+  for (const core::SndNode* agent : deployment.agents()) {
+    if (!reported.contains(agent->identity())) continue;
+    const apps::Route route = router.route(base_station, agent->device());
+    if (!route.success) continue;
+    const std::size_t list_bytes =
+        4 * result.functional.successors(agent->identity()).size() + 8 +
+        sim::Packet::kHeaderBytes;
+    result.downlink_messages += route.hops();
+    result.downlink_bytes += route.hops() * list_bytes;
+    for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+      relayed[route.path[i]] += list_bytes;
+    }
+  }
+
+  for (std::uint64_t b : relayed) result.max_relayed_bytes = std::max(result.max_relayed_bytes, b);
+  return result;
+}
+
+}  // namespace snd::baseline

@@ -1,0 +1,51 @@
+// Centralized neighbor validation -- the strawman the paper's Section 4
+// opens with: "have a trusted base station discover the tentative network
+// topology G and make a centralized decision for every node", rejected
+// because of the communication it costs over unreliable multi-hop links.
+//
+// This comparator makes that cost concrete. A base station that keeps the
+// master key K collects every node's binding record + tentative list over
+// greedy geographic routing (convergecast), verifies the records, applies
+// the same t+1 common-neighbor rule globally, and routes each node its
+// decided functional list. The centralized_vs_localized bench contrasts the
+// per-node byte cost and its scaling against the localized protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "core/deployment_driver.h"
+#include "topology/graph.h"
+
+namespace snd::baseline {
+
+struct CentralizedResult {
+  /// Functional topology decided by the base station.
+  topology::Digraph functional;
+  /// Convergecast cost: every per-hop transmission of a report.
+  std::uint64_t uplink_messages = 0;
+  std::uint64_t uplink_bytes = 0;
+  /// Dissemination cost: routing each node its functional list.
+  std::uint64_t downlink_messages = 0;
+  std::uint64_t downlink_bytes = 0;
+  /// Nodes greedy routing could not connect to the base station; they get
+  /// no decisions at all (the reliability argument against centralization).
+  std::size_t unreachable_nodes = 0;
+  /// Heaviest per-device relay load: bytes forwarded by the busiest node.
+  /// Convergecast concentrates traffic on the base station's neighbors --
+  /// the energy hotspot that kills centralized designs first.
+  std::uint64_t max_relayed_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return uplink_messages + downlink_messages;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const { return uplink_bytes + downlink_bytes; }
+};
+
+/// Runs one centralized validation round over the deployment's current
+/// state. `base_station` must be an existing device (typically placed at a
+/// field corner or center before deployment).
+CentralizedResult run_centralized_validation(core::SndDeployment& deployment,
+                                             sim::DeviceId base_station,
+                                             std::size_t threshold_t);
+
+}  // namespace snd::baseline

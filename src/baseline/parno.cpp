@@ -1,0 +1,137 @@
+#include "baseline/parno.h"
+
+#include <algorithm>
+
+#include "apps/georouting.h"
+#include "util/bytes.h"
+
+namespace snd::baseline {
+
+namespace {
+
+util::Bytes claim_message(NodeId id, util::Vec2 position) {
+  util::Bytes out;
+  util::put_u32(out, id);
+  util::put_u64(out, static_cast<std::uint64_t>(position.x * 1e6));
+  util::put_u64(out, static_cast<std::uint64_t>(position.y * 1e6));
+  return out;
+}
+
+}  // namespace
+
+ParnoDetector::ParnoDetector(const sim::Network& network,
+                             crypto::SimSignatureAuthority& authority, std::uint64_t seed)
+    : network_(network), authority_(authority), rng_(seed) {}
+
+DetectionResult ParnoDetector::randomized_multicast(const ParnoConfig& config) {
+  return run(config, /*store_along_path=*/false, config.witnesses_per_neighbor);
+}
+
+DetectionResult ParnoDetector::line_selected_multicast(const ParnoConfig& config) {
+  // Line-selected: the claimer's neighbors launch r lines in total; nodes
+  // along each line store the claim.
+  return run(config, /*store_along_path=*/true, 1);
+}
+
+DetectionResult ParnoDetector::run(const ParnoConfig& config, bool store_along_path,
+                                   std::size_t destinations_per_neighbor) {
+  DetectionResult result;
+  apps::GeoRouter router(network_);
+
+  // Ground truth: identities with several physical devices.
+  std::map<NodeId, std::size_t> device_count;
+  for (const sim::Device& d : network_.devices()) {
+    if (d.alive) ++device_count[d.identity];
+  }
+  for (const auto& [id, count] : device_count) {
+    if (count > 1) ++result.replicated_identities;
+  }
+
+  const util::Rect field = [this] {
+    util::Rect r{{0, 0}, {0, 0}};
+    bool first = true;
+    for (const sim::Device& d : network_.devices()) {
+      if (first) {
+        r = {d.position, d.position};
+        first = false;
+        continue;
+      }
+      r.lo.x = std::min(r.lo.x, d.position.x);
+      r.lo.y = std::min(r.lo.y, d.position.y);
+      r.hi.x = std::max(r.hi.x, d.position.x);
+      r.hi.y = std::max(r.hi.y, d.position.y);
+    }
+    return r;
+  }();
+
+  // Per-device claim store: device -> (identity -> positions seen).
+  std::vector<std::map<NodeId, std::vector<util::Vec2>>> stores(network_.device_count());
+
+  auto store_claim = [&](sim::DeviceId at, const Claim& claim) {
+    ++result.verify_ops;  // witness verifies the signature before storing
+    auto& positions = stores[at][claim.id];
+    for (const util::Vec2& previous : positions) {
+      if (util::distance(previous, claim.position) > config.conflict_distance) {
+        result.detected.insert(claim.id);
+      }
+    }
+    positions.push_back(claim.position);
+  };
+
+  for (const sim::Device& claimer : network_.devices()) {
+    if (!claimer.alive) continue;
+    authority_.enroll(claimer.identity);
+
+    const Claim claim{claimer.identity, claimer.position};
+    const util::Bytes message = claim_message(claim.id, claim.position);
+    (void)authority_.sign(claimer.identity, message);
+    ++result.sign_ops;
+
+    // Local broadcast of the claim to the neighbors.
+    ++result.messages;
+    result.bytes += kClaimBytes + sim::Packet::kHeaderBytes;
+
+    for (sim::DeviceId neighbor : network_.devices_in_range(claimer.id)) {
+      ++result.verify_ops;  // neighbor checks the claim before forwarding
+      if (!rng_.chance(config.forward_probability)) continue;
+
+      const std::size_t lines =
+          store_along_path ? config.lines_per_claim : destinations_per_neighbor;
+      for (std::size_t w = 0; w < lines; ++w) {
+        const util::Vec2 destination{rng_.uniform(field.lo.x, field.hi.x),
+                                     rng_.uniform(field.lo.y, field.hi.y)};
+        const apps::Route route = router.route_to_position(neighbor, destination);
+        result.messages += route.hops();
+        result.bytes += route.hops() * (kClaimBytes + sim::Packet::kHeaderBytes);
+
+        if (store_along_path) {
+          for (sim::DeviceId hop : route.path) store_claim(hop, claim);
+        } else if (!route.path.empty()) {
+          store_claim(route.path.back(), claim);
+        }
+      }
+      if (store_along_path) break;  // r lines total, not per neighbor
+    }
+  }
+
+  result.detected_identities = 0;
+  for (NodeId id : result.detected) {
+    if (device_count[id] > 1) ++result.detected_identities;
+  }
+
+  std::uint64_t total_stored = 0;
+  for (const auto& store : stores) {
+    std::size_t stored = 0;
+    for (const auto& [id, positions] : store) stored += positions.size();
+    total_stored += stored;
+    result.max_stored_claims = std::max(result.max_stored_claims, stored);
+  }
+  result.mean_stored_claims =
+      network_.device_count() == 0
+          ? 0.0
+          : static_cast<double>(total_stored) / static_cast<double>(network_.device_count());
+
+  return result;
+}
+
+}  // namespace snd::baseline

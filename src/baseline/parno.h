@@ -1,0 +1,92 @@
+// Baseline: distributed detection of node replication attacks, Parno,
+// Perrig & Gligor (IEEE S&P 2005) -- the paper's comparison target (§4.5.3).
+//
+// Both schemes have every node flood a *signed location claim* to parts of
+// the network; a witness holding two claims for one identity at two
+// distant positions has caught a replica:
+//   * randomized multicast: each neighbor of the claimer forwards the claim
+//     to g randomly selected witness locations (birthday-paradox overlap);
+//   * line-selected multicast: claims travel along r routed lines and every
+//     node on the way stores them; two replicas' lines intersecting at any
+//     node triggers detection.
+//
+// This implementation measures what the comparison needs: detection
+// probability, total messages/bytes (every geographic-routing hop is one
+// transmission), signature operations, and per-node claim storage.
+// Signatures are the simulated ECDSA of crypto/sim_signature.h (see
+// DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "crypto/sim_signature.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace snd::baseline {
+
+struct ParnoConfig {
+  /// g: witness destinations per forwarding neighbor (randomized multicast).
+  std::size_t witnesses_per_neighbor = 3;
+  /// p: probability that a neighbor forwards a heard claim.
+  double forward_probability = 0.25;
+  /// r: line segments per claim (line-selected multicast).
+  std::size_t lines_per_claim = 6;
+  /// Two claims for one identity at positions farther apart than this
+  /// constitute a conflict.
+  double conflict_distance = 1.0;
+};
+
+struct DetectionResult {
+  /// Identities with more than one physical device (ground truth).
+  std::size_t replicated_identities = 0;
+  /// Of those, how many some witness caught.
+  std::size_t detected_identities = 0;
+  std::set<NodeId> detected;
+
+  std::uint64_t messages = 0;  // every per-hop transmission
+  std::uint64_t bytes = 0;
+  std::uint64_t sign_ops = 0;
+  std::uint64_t verify_ops = 0;
+  double mean_stored_claims = 0.0;
+  std::size_t max_stored_claims = 0;
+
+  [[nodiscard]] double detection_rate() const {
+    return replicated_identities == 0
+               ? 1.0
+               : static_cast<double>(detected_identities) /
+                     static_cast<double>(replicated_identities);
+  }
+};
+
+/// Serialized size of a location claim: id + position + ECDSA signature.
+inline constexpr std::size_t kClaimBytes = 4 + 16 + crypto::kSignatureSize;
+
+class ParnoDetector {
+ public:
+  ParnoDetector(const sim::Network& network, crypto::SimSignatureAuthority& authority,
+                std::uint64_t seed);
+
+  DetectionResult randomized_multicast(const ParnoConfig& config);
+  DetectionResult line_selected_multicast(const ParnoConfig& config);
+
+ private:
+  struct Claim {
+    NodeId id;
+    util::Vec2 position;
+  };
+
+  /// Runs one detection round; `store_along_path` switches between the two
+  /// schemes (witness-only storage vs store-at-every-hop).
+  DetectionResult run(const ParnoConfig& config, bool store_along_path,
+                      std::size_t destinations_per_neighbor);
+
+  const sim::Network& network_;
+  crypto::SimSignatureAuthority& authority_;
+  util::Rng rng_;
+};
+
+}  // namespace snd::baseline

@@ -1,0 +1,53 @@
+#include "core/binding_record.h"
+
+#include <algorithm>
+
+namespace snd::core {
+
+BindingRecord BindingRecord::make(const crypto::SymmetricKey& master, NodeId node,
+                                  std::uint32_t version, topology::NeighborList neighbors) {
+  std::sort(neighbors.begin(), neighbors.end());
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()), neighbors.end());
+  BindingRecord record{
+      .node = node, .version = version, .neighbors = std::move(neighbors), .commitment = {}};
+  record.commitment = binding_commitment(master, node, version, record.neighbors);
+  return record;
+}
+
+bool BindingRecord::verify(const crypto::SymmetricKey& master) const {
+  if (!std::is_sorted(neighbors.begin(), neighbors.end())) return false;
+  return binding_commitment(master, node, version, neighbors) == commitment;
+}
+
+util::Bytes BindingRecord::serialize() const {
+  util::Bytes out;
+  util::put_u32(out, node);
+  util::put_u32(out, version);
+  util::put_u16(out, static_cast<std::uint16_t>(neighbors.size()));
+  for (NodeId n : neighbors) util::put_u32(out, n);
+  util::put_bytes(out, commitment.bytes);
+  return out;
+}
+
+std::optional<BindingRecord> BindingRecord::parse(const util::Bytes& data) {
+  util::ByteReader reader(data);
+  BindingRecord record;
+  const auto node = reader.u32();
+  const auto version = reader.u32();
+  const auto count = reader.u16();
+  if (!node || !version || !count) return std::nullopt;
+  record.node = *node;
+  record.version = *version;
+  record.neighbors.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    const auto n = reader.u32();
+    if (!n) return std::nullopt;
+    record.neighbors.push_back(*n);
+  }
+  const auto digest = reader.bytes(crypto::kDigestSize);
+  if (!digest || !reader.exhausted()) return std::nullopt;
+  std::copy(digest->begin(), digest->end(), record.commitment.bytes.begin());
+  return record;
+}
+
+}  // namespace snd::core

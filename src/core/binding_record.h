@@ -1,0 +1,39 @@
+// The binding record R(u) = {version, N(u), C(u)} (paper §4.1, extended
+// format from §4.4). It "binds node u to the place defined by the set of
+// nodes in N(u)" and is the object compromised nodes cannot re-forge once
+// K is erased.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/commitment.h"
+#include "crypto/key.h"
+#include "topology/graph.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace snd::core {
+
+struct BindingRecord {
+  NodeId node = kNoNode;
+  /// Number of times this record has been re-issued (0 = initial binding).
+  std::uint32_t version = 0;
+  topology::NeighborList neighbors;
+  crypto::Digest commitment;
+
+  /// Creates a committed record for `node` over `neighbors` using K.
+  static BindingRecord make(const crypto::SymmetricKey& master, NodeId node,
+                            std::uint32_t version, topology::NeighborList neighbors);
+
+  /// Recomputes the commitment with K and compares. Only callers still
+  /// holding the master key (newly deployed nodes) can verify.
+  [[nodiscard]] bool verify(const crypto::SymmetricKey& master) const;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static std::optional<BindingRecord> parse(const util::Bytes& data);
+
+  friend bool operator==(const BindingRecord&, const BindingRecord&) = default;
+};
+
+}  // namespace snd::core

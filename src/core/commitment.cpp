@@ -1,0 +1,45 @@
+#include "core/commitment.h"
+
+namespace snd::core {
+
+crypto::SymmetricKey verification_key(const crypto::SymmetricKey& master, NodeId node) {
+  crypto::Sha256 ctx;
+  ctx.update_framed("snd.vkey");
+  ctx.update_framed(master.material());
+  ctx.update_u64(node);
+  return crypto::SymmetricKey::from_digest(ctx.finalize());
+}
+
+crypto::Digest binding_commitment(const crypto::SymmetricKey& master, NodeId node,
+                                  std::uint32_t version,
+                                  const topology::NeighborList& neighbors) {
+  crypto::Sha256 ctx;
+  ctx.update_framed("snd.binding");
+  ctx.update_framed(master.material());
+  ctx.update_u64(version);
+  ctx.update_u64(neighbors.size());
+  for (NodeId n : neighbors) ctx.update_u64(n);
+  ctx.update_u64(node);
+  return ctx.finalize();
+}
+
+crypto::Digest relation_commitment(const crypto::SymmetricKey& verification_key_of_v, NodeId u) {
+  crypto::Sha256 ctx;
+  ctx.update_framed("snd.relation");
+  ctx.update_framed(verification_key_of_v.material());
+  ctx.update_u64(u);
+  return ctx.finalize();
+}
+
+crypto::Digest relation_evidence(const crypto::SymmetricKey& master, NodeId u, NodeId v,
+                                 std::uint32_t version) {
+  crypto::Sha256 ctx;
+  ctx.update_framed("snd.evidence");
+  ctx.update_framed(master.material());
+  ctx.update_u64(u);
+  ctx.update_u64(v);
+  ctx.update_u64(version);
+  return ctx.finalize();
+}
+
+}  // namespace snd::core

@@ -1,0 +1,40 @@
+// The protocol's cryptographic derivations (paper §4.1), all instances of
+// the one-way hash H:
+//
+//   verification key   K_u    = H(K | u)
+//   binding commitment C(u)   = H(K | i | N(u) | u)     (i = record version)
+//   relation commit    C(u,v) = H(K_v | u)
+//   update evidence    E(u,v) = H(K | u | v | i)
+//
+// Each derivation is domain-separated by a label and length-framed, so no
+// two of them can collide even on crafted inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/key.h"
+#include "crypto/sha256.h"
+#include "topology/graph.h"
+#include "util/ids.h"
+
+namespace snd::core {
+
+/// K_u = H(K | u): computed by every node at initialization and kept
+/// forever; only holders of the master key K can recompute it.
+crypto::SymmetricKey verification_key(const crypto::SymmetricKey& master, NodeId node);
+
+/// C(u) = H(K | version | N(u) | u): binds node u to its tentative
+/// neighborhood. Only verifiable/creatable while K is held.
+crypto::Digest binding_commitment(const crypto::SymmetricKey& master, NodeId node,
+                                  std::uint32_t version, const topology::NeighborList& neighbors);
+
+/// C(u, v) = H(K_v | u): proves u was newly deployed (it derived K_v from
+/// K) and selected v as a functional neighbor.
+crypto::Digest relation_commitment(const crypto::SymmetricKey& verification_key_of_v, NodeId u);
+
+/// E(u, v) = H(K | u | v | i): evidence from (newly deployed) u that it
+/// considers v a tentative neighbor while v's record is at version i.
+crypto::Digest relation_evidence(const crypto::SymmetricKey& master, NodeId u, NodeId v,
+                                 std::uint32_t version);
+
+}  // namespace snd::core

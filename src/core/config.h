@@ -1,0 +1,58 @@
+// Tunables for the localized neighbor validation protocol (paper §4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace snd::core {
+
+struct ProtocolConfig {
+  /// The security threshold t: a functional relation requires at least t+1
+  /// shared tentative neighbors. Theorem 3 tolerates up to t compromised
+  /// nodes. The central accuracy/security trade-off (Figures 3-4).
+  std::size_t threshold_t = 10;
+
+  /// m: maximum number of binding-record updates (§4.4 extension).
+  /// 0 disables the extension entirely. Theorem 4 gives (m+1)R-safety.
+  std::uint32_t max_updates = 0;
+
+  /// How long a freshly deployed node collects HelloAcks before freezing
+  /// its tentative neighbor list N(u).
+  sim::Time discovery_window = sim::Time::milliseconds(200);
+
+  /// Additional time for collecting binding records before the threshold
+  /// check runs and relation commitments go out.
+  sim::Time exchange_window = sim::Time::milliseconds(300);
+
+  /// With the update extension on, how long after validation a new node
+  /// keeps K alive to serve update requests. K is erased at
+  /// deploy + discovery_window + exchange_window + update_service_window.
+  sim::Time update_service_window = sim::Time::milliseconds(100);
+
+  /// Early key erasure -- the paper's second future-work direction (§6):
+  /// "delete the master key K quickly without waiting for the completion of
+  /// neighbor discovery". When enabled, a node runs validation and erases K
+  /// the moment a verified binding record has arrived from every tentative
+  /// neighbor, instead of sitting out the full exchange window. The window
+  /// timer remains as a fallback for neighbors that never answer. Shrinks
+  /// the interval in which a physical capture yields K (measured by the
+  /// key_exposure bench) at the cost of serving fewer record updates.
+  bool early_erasure = false;
+
+  /// Hello broadcast repetition (robustness against channel loss).
+  std::size_t hello_repeats = 2;
+  sim::Time hello_spacing = sim::Time::milliseconds(25);
+  /// Max random delay before the first Hello.
+  sim::Time hello_jitter = sim::Time::milliseconds(10);
+
+  /// Max uniform per-message delay applied to the record-request burst,
+  /// the record broadcast, and the commitment/evidence burst. Every node in
+  /// a round hits its window edges at the same instant; without this
+  /// desynchronization a half-duplex channel loses most of the exchange to
+  /// collisions (MAC backoff in miniature).
+  sim::Time tx_jitter = sim::Time::milliseconds(60);
+};
+
+}  // namespace snd::core

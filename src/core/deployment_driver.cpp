@@ -1,0 +1,134 @@
+#include "core/deployment_driver.h"
+
+#include <cassert>
+
+namespace snd::core {
+
+SndDeployment::SndDeployment(DeploymentConfig config)
+    : config_(config),
+      master_(crypto::SymmetricKey::from_seed(config.seed ^ 0x6d61737465724bULL)),
+      deploy_rng_(config.seed) {
+  std::unique_ptr<sim::PropagationModel> propagation;
+  if (config_.log_normal_shadowing) {
+    propagation = std::make_unique<sim::LogNormalModel>(
+        config_.radio_range, config_.path_loss_exponent, config_.shadowing_sigma_db,
+        config_.seed);
+  } else {
+    propagation = std::make_unique<sim::UnitDiskModel>(config_.radio_range);
+  }
+  sim::ChannelConfig channel;
+  channel.loss_probability = config_.channel_loss;
+  channel.half_duplex = config_.half_duplex;
+  network_ = std::make_unique<sim::Network>(std::move(propagation), channel, config_.seed ^ 1,
+                                            config_.energy);
+  verifier_ = std::make_shared<verify::OracleVerifier>();
+  keys_ = crypto::KdcScheme::from_seed(config_.seed ^ 2);
+}
+
+void SndDeployment::set_verifier(std::shared_ptr<verify::DirectVerifier> verifier) {
+  assert(agents_.empty() && "set_verifier must precede the first deploy");
+  verifier_ = std::move(verifier);
+}
+
+void SndDeployment::set_key_scheme(std::shared_ptr<crypto::KeyPredistribution> keys) {
+  assert(agents_.empty() && "set_key_scheme must precede the first deploy");
+  keys_ = std::move(keys);
+}
+
+std::vector<NodeId> SndDeployment::deploy_round(std::size_t n) {
+  const auto positions = sim::deploy_uniform(n, config_.field, deploy_rng_);
+  std::vector<NodeId> identities;
+  identities.reserve(n);
+  for (const util::Vec2& position : positions) identities.push_back(deploy_node_at(position));
+  return identities;
+}
+
+NodeId SndDeployment::deploy_node_at(util::Vec2 position) {
+  const NodeId identity = next_identity_++;
+  const sim::DeviceId device = network_->add_device(identity, position);
+  auto agent = std::make_unique<SndNode>(*network_, device, identity, master_, verifier_, keys_,
+                                         config_.protocol);
+  agent->start();
+  agents_.emplace(device, std::move(agent));
+  return identity;
+}
+
+void SndDeployment::run() { network_->scheduler().run(); }
+
+void SndDeployment::run_for(sim::Time duration) {
+  network_->scheduler().run_until(network_->now() + duration);
+}
+
+SndNode* SndDeployment::agent_for_device(sim::DeviceId device) {
+  const auto it = agents_.find(device);
+  return it != agents_.end() ? it->second.get() : nullptr;
+}
+
+SndNode* SndDeployment::agent(NodeId identity) {
+  for (auto& [device, agent] : agents_) {
+    if (agent->identity() == identity && !network_->device(device).replica) return agent.get();
+  }
+  return nullptr;
+}
+
+const SndNode* SndDeployment::agent(NodeId identity) const {
+  for (const auto& [device, agent] : agents_) {
+    if (agent->identity() == identity && !network_->device(device).replica) return agent.get();
+  }
+  return nullptr;
+}
+
+std::vector<const SndNode*> SndDeployment::agents() const {
+  std::vector<const SndNode*> out;
+  out.reserve(agents_.size());
+  for (const auto& [device, agent] : agents_) out.push_back(agent.get());
+  return out;
+}
+
+std::unique_ptr<SndNode> SndDeployment::detach_agent(sim::DeviceId device) {
+  const auto it = agents_.find(device);
+  if (it == agents_.end()) return nullptr;
+  std::unique_ptr<SndNode> agent = std::move(it->second);
+  agents_.erase(it);
+  agent->stop();
+  return agent;
+}
+
+void SndDeployment::kill_device(sim::DeviceId device) {
+  network_->device(device).alive = false;
+  if (SndNode* agent = agent_for_device(device)) agent->stop();
+}
+
+topology::Digraph SndDeployment::actual_benign_graph() const {
+  topology::Digraph graph;
+  const auto& devices = network_->devices();
+  for (const sim::Device& a : devices) {
+    if (!a.benign() || !a.alive) continue;
+    graph.add_node(a.identity);
+    for (const sim::Device& b : devices) {
+      if (a.id == b.id || !b.benign() || !b.alive) continue;
+      if (network_->link(a.id, b.id)) graph.add_edge(a.identity, b.identity);
+    }
+  }
+  return graph;
+}
+
+topology::Digraph SndDeployment::tentative_graph() const {
+  topology::Digraph graph;
+  for (const auto& [device, agent] : agents_) {
+    graph.add_node(agent->identity());
+    for (NodeId v : agent->tentative_neighbors()) graph.add_edge(agent->identity(), v);
+  }
+  return graph;
+}
+
+topology::Digraph SndDeployment::functional_graph() const {
+  topology::Digraph graph;
+  for (const auto& [device, agent] : agents_) {
+    graph.add_node(agent->identity());
+    for (NodeId v : agent->functional_neighbors()) graph.add_edge(agent->identity(), v);
+  }
+  return graph;
+}
+
+}  // namespace snd::core

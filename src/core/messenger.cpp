@@ -1,0 +1,86 @@
+#include "core/messenger.h"
+
+namespace snd::core {
+
+Messenger::Messenger(sim::Network& network, sim::DeviceId device, NodeId identity,
+                     std::shared_ptr<crypto::KeyPredistribution> keys)
+    : network_(network),
+      device_(device),
+      identity_(identity),
+      keys_(std::move(keys)),
+      // Device-distinct starting nonce so replicas of one identity never
+      // collide in the receiver's replay cache.
+      nonce_counter_(static_cast<std::uint64_t>(device) << 32) {}
+
+crypto::SymmetricKey Messenger::pair_key(NodeId peer) const {
+  auto key = keys_->pairwise(identity_, peer);
+  return key ? std::move(*key) : crypto::SymmetricKey();
+}
+
+namespace {
+util::Bytes mac_input(NodeId src, NodeId dst, std::uint8_t type,
+                      const util::Bytes& payload, std::uint64_t nonce) {
+  util::Bytes input;
+  util::put_u32(input, src);
+  util::put_u32(input, dst);
+  util::put_u8(input, type);
+  util::put_var_bytes(input, payload);
+  util::put_u64(input, nonce);
+  return input;
+}
+}  // namespace
+
+bool Messenger::send(NodeId to, std::uint8_t type, const util::Bytes& payload,
+                     std::string_view category) {
+  const crypto::SymmetricKey key = pair_key(to);
+  if (!key.present()) return false;
+
+  const std::uint64_t nonce = ++nonce_counter_;
+  const crypto::ShortMac mac = crypto::short_mac(key, mac_input(identity_, to, type, payload, nonce));
+
+  util::Bytes body = payload;
+  util::put_u64(body, nonce);
+  util::put_bytes(body, mac);
+
+  sim::Packet packet{.src = identity_, .dst = to, .type = type, .payload = std::move(body)};
+  network_.transmit(device_, std::move(packet), category);
+  return true;
+}
+
+void Messenger::broadcast(std::uint8_t type, const util::Bytes& payload,
+                          std::string_view category) {
+  sim::Packet packet{.src = identity_, .dst = kNoNode, .type = type, .payload = payload};
+  network_.transmit(device_, std::move(packet), category);
+}
+
+void Messenger::send_unauth(NodeId to, std::uint8_t type, const util::Bytes& payload,
+                            std::string_view category) {
+  sim::Packet packet{.src = identity_, .dst = to, .type = type, .payload = payload};
+  network_.transmit(device_, std::move(packet), category);
+}
+
+std::optional<util::Bytes> Messenger::open(const sim::Packet& packet) {
+  if (packet.dst != identity_) return std::nullopt;
+  if (packet.payload.size() < kAuthOverhead) return std::nullopt;
+
+  const std::size_t payload_size = packet.payload.size() - kAuthOverhead;
+  util::Bytes payload(packet.payload.begin(),
+                      packet.payload.begin() + static_cast<std::ptrdiff_t>(payload_size));
+  util::ByteReader tail(std::span(packet.payload).subspan(payload_size));
+  const auto nonce = tail.u64();
+  const auto mac = tail.bytes(crypto::kShortMacSize);
+  if (!nonce || !mac) return std::nullopt;
+
+  const crypto::SymmetricKey key = pair_key(packet.src);
+  if (!key.present()) return std::nullopt;
+  if (!crypto::verify_short_mac(
+          key, mac_input(packet.src, identity_, packet.type, payload, *nonce), *mac)) {
+    return std::nullopt;
+  }
+
+  auto& seen = seen_nonces_[packet.src];
+  if (!seen.insert(*nonce).second) return std::nullopt;  // replay
+  return payload;
+}
+
+}  // namespace snd::core

@@ -1,0 +1,371 @@
+#include "core/protocol.h"
+
+#include <algorithm>
+
+#include "core/validation.h"
+
+namespace snd::core {
+
+namespace {
+constexpr std::string_view kCatHello = "snd.hello";
+constexpr std::string_view kCatAck = "snd.ack";
+constexpr std::string_view kCatRecord = "snd.record";
+constexpr std::string_view kCatCommit = "snd.commit";
+constexpr std::string_view kCatEvidence = "snd.evidence";
+constexpr std::string_view kCatUpdate = "snd.update";
+}  // namespace
+
+SndNode::SndNode(sim::Network& network, sim::DeviceId device, NodeId identity,
+                 const crypto::SymmetricKey& master_key,
+                 std::shared_ptr<verify::DirectVerifier> verifier,
+                 std::shared_ptr<crypto::KeyPredistribution> keys, ProtocolConfig config)
+    : network_(network),
+      device_(device),
+      identity_(identity),
+      master_(master_key),
+      verification_key_(verification_key(master_key, identity)),
+      verifier_(std::move(verifier)),
+      keys_(keys),
+      config_(config),
+      messenger_(network, device, identity, std::move(keys)) {
+  keys_->provision(identity);
+}
+
+SndNode::~SndNode() { stop(); }
+
+void SndNode::schedule(sim::Time at, std::function<void()> action) {
+  pending_events_.push_back(network_.scheduler().schedule_at(at, std::move(action)));
+}
+
+sim::Time SndNode::jittered_now() {
+  const auto max_ns = static_cast<double>(config_.tx_jitter.ns());
+  return network_.now() +
+         sim::Time::nanoseconds(static_cast<std::int64_t>(network_.rng().uniform(0.0, max_ns)));
+}
+
+void SndNode::start() {
+  if (started_) return;
+  started_ = true;
+  deployed_at_ = network_.now();
+
+  network_.set_receiver(device_, [this](const sim::Packet& packet) { on_packet(packet); });
+
+  const sim::Time jitter = sim::Time::nanoseconds(static_cast<std::int64_t>(
+      network_.rng().uniform(0.0, static_cast<double>(config_.hello_jitter.ns()))));
+  schedule(network_.now() + jitter, [this]() { send_hellos(config_.hello_repeats); });
+  schedule(network_.now() + config_.discovery_window, [this]() { finish_discovery(); });
+  schedule(network_.now() + config_.discovery_window + config_.exchange_window,
+           [this]() { run_validation(); });
+}
+
+void SndNode::stop() {
+  network_.set_receiver(device_, nullptr);
+  for (sim::EventId id : pending_events_) network_.scheduler().cancel(id);
+  pending_events_.clear();
+}
+
+void SndNode::send_hellos(std::size_t remaining) {
+  if (remaining == 0 || discovery_complete_) return;
+  messenger_.broadcast(static_cast<std::uint8_t>(MessageType::kHello), {}, kCatHello);
+  schedule(network_.now() + config_.hello_spacing,
+           [this, remaining]() { send_hellos(remaining - 1); });
+}
+
+void SndNode::on_packet(const sim::Packet& packet) {
+  if (packet.src == identity_) return;  // our own identity (e.g. a replica)
+
+  switch (static_cast<MessageType>(packet.type)) {
+    case MessageType::kHello:
+      on_hello(packet);
+      return;
+    case MessageType::kHelloAck:
+      on_hello_ack(packet);
+      return;
+    default:
+      break;
+  }
+
+  // Record replies are local broadcasts: the record is self-authenticating
+  // (its commitment verifies under K), so one transmission serves every
+  // requester in range.
+  if (static_cast<MessageType>(packet.type) == MessageType::kRecordReply) {
+    on_record_reply(packet, packet.payload);
+    return;
+  }
+
+  // Everything else is authenticated unicast.
+  const auto payload = messenger_.open(packet);
+  if (!payload) return;
+
+  switch (static_cast<MessageType>(packet.type)) {
+    case MessageType::kRecordRequest:
+      on_record_request(packet);
+      break;
+    case MessageType::kRelationCommit:
+      on_relation_commit(packet, *payload);
+      break;
+    case MessageType::kEvidence:
+      on_evidence(packet, *payload);
+      break;
+    case MessageType::kUpdateRequest:
+      on_update_request(packet, *payload);
+      break;
+    case MessageType::kUpdateReply:
+      on_update_reply(packet, *payload);
+      break;
+    default:
+      break;
+  }
+}
+
+void SndNode::on_hello(const sim::Packet& packet) {
+  // Make ourselves discoverable to the new node (once per identity --
+  // repeated Hellos from the same node need no duplicate ACKs).
+  if (acked_identities_.insert(packet.src).second) {
+    messenger_.send_unauth(packet.src, static_cast<std::uint8_t>(MessageType::kHelloAck), {},
+                           kCatAck);
+  }
+  // If we are still discovering, a Hello also reveals a candidate neighbor.
+  consider_tentative(packet);
+
+  // Update extension: a Hello marks a freshly deployed node that still
+  // holds K and can re-issue our binding record.
+  if (auto_update_ && validated_) request_update(packet.src);
+}
+
+void SndNode::on_hello_ack(const sim::Packet& packet) { consider_tentative(packet); }
+
+void SndNode::consider_tentative(const sim::Packet& packet) {
+  if (!started_ || discovery_complete_) return;
+  if (topology::contains(tentative_, packet.src)) return;
+  // Direct verification is a (potentially expensive) challenge-response:
+  // it runs once per candidate identity and the verdict is remembered, not
+  // re-rolled for every overheard packet.
+  const auto cached = verification_cache_.find(packet.src);
+  bool accepted;
+  if (cached != verification_cache_.end()) {
+    accepted = cached->second;
+  } else {
+    accepted = verifier_->verify(network_, device_, packet.sender_device, packet.src);
+    verification_cache_.emplace(packet.src, accepted);
+  }
+  if (!accepted) return;
+  topology::insert_sorted(tentative_, packet.src);
+}
+
+void SndNode::finish_discovery() {
+  if (discovery_complete_) return;
+  discovery_complete_ = true;
+
+  record_ = BindingRecord::make(master_, identity_, 0, tentative_);
+
+  // Serve record requests that raced ahead of our record creation.
+  if (pending_record_request_) broadcast_record();
+  pending_record_request_ = false;
+
+  // Collect the binding record of every tentative neighbor. Every node in
+  // the round hits this point simultaneously, so requests are individually
+  // jittered to avoid a synchronized burst.
+  for (NodeId v : tentative_) {
+    schedule(jittered_now(), [this, v]() {
+      messenger_.send(v, static_cast<std::uint8_t>(MessageType::kRecordRequest), {},
+                      kCatRecord);
+    });
+  }
+}
+
+void SndNode::on_record_request(const sim::Packet& packet) {
+  (void)packet;
+  if (!record_) {
+    pending_record_request_ = true;
+    return;
+  }
+  // Requests burst in together (all new neighbors finish discovery at the
+  // same window edge); aggregate them into a single, jittered broadcast
+  // reply.
+  if (record_broadcast_scheduled_) return;
+  record_broadcast_scheduled_ = true;
+  schedule(jittered_now() + sim::Time::milliseconds(20), [this]() { broadcast_record(); });
+}
+
+void SndNode::broadcast_record() {
+  record_broadcast_scheduled_ = false;
+  if (!record_) return;
+  messenger_.broadcast(static_cast<std::uint8_t>(MessageType::kRecordReply),
+                       record_->serialize(), kCatRecord);
+}
+
+void SndNode::on_record_reply(const sim::Packet& packet, const util::Bytes& payload) {
+  if (validated_ || !master_.present()) return;
+  // Only records of tentative neighbors matter (bounds memory under chaff).
+  if (!topology::contains(tentative_, packet.src)) return;
+  const auto reply = RecordReplyPayload::parse(payload);
+  if (!reply) return;
+  const BindingRecord& record = reply->record;
+  if (record.node != packet.src) return;
+  if (!record.verify(master_)) return;  // forged or corrupted commitment
+
+  // Keep the highest version. The broadcast channel lets anyone replay an
+  // OLD (still commitment-valid) record of a node that has since updated;
+  // preferring the higher version neutralizes that substitution, and the
+  // adversary cannot mint higher versions without K.
+  const auto existing = neighbor_records_.find(record.node);
+  if (existing != neighbor_records_.end() && existing->second.version >= record.version) return;
+  neighbor_records_.insert_or_assign(record.node, record);
+
+  // Early-erasure variant (§6): every tentative neighbor has answered, so
+  // there is nothing left that needs K -- validate and erase immediately
+  // rather than waiting out the exchange window.
+  if (config_.early_erasure && discovery_complete_ &&
+      neighbor_records_.size() == tentative_.size()) {
+    run_validation();
+  }
+}
+
+void SndNode::run_validation() {
+  if (validated_) return;
+  validated_ = true;
+
+  for (NodeId v : tentative_) {
+    const auto it = neighbor_records_.find(v);
+    if (it == neighbor_records_.end()) continue;
+    const BindingRecord& record = it->second;
+
+    if (meets_threshold(tentative_, record.neighbors, config_.threshold_t)) {
+      topology::insert_sorted(functional_, v);
+      // Commitments are computed now, while K is in hand, but put on the
+      // air jittered so a whole round's worth does not collide.
+      const crypto::Digest commit =
+          relation_commitment(verification_key(master_, v), identity_);
+      schedule(jittered_now(), [this, v, commit]() {
+        messenger_.send(v, static_cast<std::uint8_t>(MessageType::kRelationCommit),
+                        RelationCommitPayload{commit}.serialize(), kCatCommit);
+      });
+    }
+
+    // Extension: leave evidence with every tentative neighbor so a future
+    // new deployment can re-issue their records including us.
+    if (config_.max_updates > 0) {
+      const EvidencePayload evidence{
+          record.version, relation_evidence(master_, identity_, v, record.version)};
+      schedule(jittered_now(), [this, v, evidence]() {
+        messenger_.send(v, static_cast<std::uint8_t>(MessageType::kEvidence),
+                        evidence.serialize(), kCatEvidence);
+      });
+    }
+  }
+
+  // Binding records of neighbors are no longer needed (paper §4.3).
+  neighbor_records_.clear();
+
+  if (config_.max_updates > 0) {
+    // Keep K alive briefly to serve update requests, then erase.
+    schedule(network_.now() + config_.update_service_window, [this]() { erase_master_key(); });
+  } else {
+    erase_master_key();
+  }
+}
+
+void SndNode::erase_master_key() {
+  if (master_.present()) {
+    master_.erase();
+    erased_at_ = network_.now();
+  }
+}
+
+sim::Time SndNode::key_exposure() const {
+  return (erased_at_ ? *erased_at_ : network_.now()) - deployed_at_;
+}
+
+void SndNode::on_relation_commit(const sim::Packet& packet, const util::Bytes& payload) {
+  const auto commit = RelationCommitPayload::parse(payload);
+  if (!commit) return;
+  // Only a node that held K (i.e. one that was newly deployed) can compute
+  // C(x, us) = H(K_us | x); our own K_us verifies it.
+  if (commit->commitment != relation_commitment(verification_key_, packet.src)) return;
+  topology::insert_sorted(functional_, packet.src);
+}
+
+void SndNode::on_evidence(const sim::Packet& packet, const util::Bytes& payload) {
+  if (config_.max_updates == 0 || !record_) return;
+  const auto evidence = EvidencePayload::parse(payload);
+  if (!evidence) return;
+  // Evidence must bind our *current* record version; we cannot check the
+  // digest itself (K is gone) -- the update server will.
+  if (evidence->record_version != record_->version) return;
+  evidence_buffer_.insert_or_assign(packet.src, evidence->evidence);
+}
+
+bool SndNode::request_update(NodeId server) {
+  if (config_.max_updates == 0 || !record_) return false;
+  if (record_->version >= config_.max_updates) return false;
+
+  UpdateRequestPayload request{*record_, {}};
+  for (const auto& [issuer, digest] : evidence_buffer_) {
+    if (!topology::contains(record_->neighbors, issuer)) {
+      request.evidences.emplace_back(issuer, digest);
+    }
+  }
+  if (request.evidences.empty()) return false;
+
+  ++updates_requested_;
+  return messenger_.send(server, static_cast<std::uint8_t>(MessageType::kUpdateRequest),
+                         request.serialize(), kCatUpdate);
+}
+
+void SndNode::on_update_request(const sim::Packet& packet, const util::Bytes& payload) {
+  // Only a newly deployed node still holding K can serve updates.
+  if (!master_.present() || config_.max_updates == 0) return;
+  const auto request = UpdateRequestPayload::parse(payload);
+  if (!request) return;
+  const BindingRecord& old_record = request->record;
+  if (old_record.node != packet.src) return;
+  if (!old_record.verify(master_)) return;
+  if (old_record.version >= config_.max_updates) return;  // cap reached (§4.4)
+
+  topology::NeighborList updated = old_record.neighbors;
+  bool any_verified = false;
+  for (const auto& [issuer, digest] : request->evidences) {
+    if (topology::contains(updated, issuer)) continue;
+    if (digest != relation_evidence(master_, issuer, old_record.node, old_record.version)) {
+      continue;  // unverifiable claim; skip it, keep the rest
+    }
+    topology::insert_sorted(updated, issuer);
+    any_verified = true;
+  }
+  if (!any_verified) return;
+
+  const BindingRecord updated_record =
+      BindingRecord::make(master_, old_record.node, old_record.version + 1, std::move(updated));
+  messenger_.send(packet.src, static_cast<std::uint8_t>(MessageType::kUpdateReply),
+                  updated_record.serialize(), kCatUpdate);
+}
+
+void SndNode::on_update_reply(const sim::Packet& packet, const util::Bytes& payload) {
+  (void)packet;
+  if (config_.max_updates == 0 || !record_) return;
+  const auto reply = UpdateReplyPayload::parse(payload);
+  if (!reply) return;
+  const BindingRecord& updated = reply->record;
+  if (updated.node != identity_) return;
+  if (updated.version != record_->version + 1) return;
+  // We cannot re-verify the commitment (K is erased); authenticity rests on
+  // the pairwise-authenticated channel to the newly deployed server.
+  record_ = updated;
+  // All buffered evidence was bound to the previous version; new evidence
+  // must cite the new version number (§4.4).
+  evidence_buffer_.clear();
+}
+
+SndNode::Secrets SndNode::steal_secrets() const {
+  Secrets secrets;
+  secrets.master = master_;  // copies only if still present
+  secrets.verification_key = verification_key_;
+  secrets.record = record_;
+  secrets.tentative = tentative_;
+  secrets.functional = functional_;
+  secrets.evidence_buffer = evidence_buffer_;
+  return secrets;
+}
+
+}  // namespace snd::core

@@ -1,0 +1,58 @@
+#include "core/safety.h"
+
+#include <algorithm>
+#include <set>
+
+namespace snd::core {
+
+bool SafetyReport::holds() const { return violation_count() == 0; }
+
+std::size_t SafetyReport::violation_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(identities.begin(), identities.end(),
+                    [](const IdentitySafetyReport& r) { return r.violates; }));
+}
+
+double SafetyReport::max_impact_radius() const {
+  double max_radius = 0.0;
+  for (const IdentitySafetyReport& r : identities) {
+    max_radius = std::max(max_radius, r.impact_radius());
+  }
+  return max_radius;
+}
+
+IdentitySafetyReport audit_identity(const SndDeployment& deployment, NodeId identity, double d) {
+  IdentitySafetyReport report;
+  report.identity = identity;
+
+  std::vector<util::Vec2> positions;
+  const sim::Network& network = deployment.network();
+  for (const SndNode* agent : deployment.agents()) {
+    const sim::Device& device = network.device(agent->device());
+    if (!device.benign()) continue;
+    if (!topology::contains(agent->functional_neighbors(), identity)) continue;
+    report.accepting_nodes.push_back(agent->identity());
+    positions.push_back(device.position);
+  }
+  std::sort(report.accepting_nodes.begin(), report.accepting_nodes.end());
+
+  report.impact_circle = util::minimum_enclosing_circle(positions);
+  report.violates = report.impact_circle.radius > d + 1e-6;
+  return report;
+}
+
+SafetyReport audit_safety(const SndDeployment& deployment, double d) {
+  SafetyReport report;
+  report.required_radius = d;
+
+  std::set<NodeId> compromised;
+  for (const sim::Device& device : deployment.network().devices()) {
+    if (device.compromised) compromised.insert(device.identity);
+  }
+  for (NodeId identity : compromised) {
+    report.identities.push_back(audit_identity(deployment, identity, d));
+  }
+  return report;
+}
+
+}  // namespace snd::core

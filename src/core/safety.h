@@ -1,0 +1,45 @@
+// Empirical d-safety measurement (Definition 6). For every compromised
+// identity, the auditor gathers the benign nodes that accepted it as a
+// functional neighbor -- across the original device and all replicas -- and
+// computes the minimum enclosing circle of their positions. The identity
+// satisfies d-safety iff that circle's radius is <= d. Theorem 3 predicts
+// d = 2R with <= t compromised nodes; Theorem 4 predicts d = (m+1)R under
+// the update extension.
+#pragma once
+
+#include <vector>
+
+#include "core/deployment_driver.h"
+#include "util/geometry.h"
+#include "util/ids.h"
+
+namespace snd::core {
+
+struct IdentitySafetyReport {
+  NodeId identity = kNoNode;
+  /// Benign nodes whose functional list contains `identity`.
+  std::vector<NodeId> accepting_nodes;
+  /// Minimum enclosing circle of the accepting nodes' positions.
+  util::Circle impact_circle;
+  bool violates = false;
+
+  [[nodiscard]] double impact_radius() const { return impact_circle.radius; }
+};
+
+struct SafetyReport {
+  double required_radius = 0.0;  // the d that was checked
+  std::vector<IdentitySafetyReport> identities;
+
+  [[nodiscard]] bool holds() const;
+  [[nodiscard]] std::size_t violation_count() const;
+  /// Largest impact radius over all compromised identities (0 if none).
+  [[nodiscard]] double max_impact_radius() const;
+};
+
+/// Audits d-safety for every compromised identity in the deployment.
+SafetyReport audit_safety(const SndDeployment& deployment, double d);
+
+/// Impact report for one specific identity (compromised or not).
+IdentitySafetyReport audit_identity(const SndDeployment& deployment, NodeId identity, double d);
+
+}  // namespace snd::core

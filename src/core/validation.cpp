@@ -1,0 +1,38 @@
+#include "core/validation.h"
+
+namespace snd::core {
+
+bool meets_threshold(const topology::NeighborList& nu, const topology::NeighborList& nv,
+                     std::size_t t) {
+  return topology::intersection_size(nu, nv) >= t + 1;
+}
+
+bool CommonNeighborValidator::validate(NodeId u, NodeId v, const topology::Digraph& B) const {
+  return meets_threshold(B.successor_list(u), B.successor_list(v), t_);
+}
+
+ValidationFunction::MinimumDeployment CommonNeighborValidator::minimum_deployment(
+    NodeId first_id) const {
+  MinimumDeployment deployment;
+  deployment.u = first_id;
+  deployment.w = first_id + 1;
+  deployment.graph.add_node(deployment.u);
+  deployment.graph.add_node(deployment.w);
+  for (std::size_t i = 0; i <= t_; ++i) {
+    const NodeId common = first_id + 2 + static_cast<NodeId>(i);
+    deployment.graph.add_edge(deployment.u, common);
+    deployment.graph.add_edge(deployment.w, common);
+    // Common neighbors see both endpoints back (physical links are mutual).
+    deployment.graph.add_edge(common, deployment.u);
+    deployment.graph.add_edge(common, deployment.w);
+  }
+  deployment.graph.add_edge(deployment.u, deployment.w);
+  deployment.graph.add_edge(deployment.w, deployment.u);
+  return deployment;
+}
+
+std::string CommonNeighborValidator::name() const {
+  return "common-neighbor(t=" + std::to_string(t_) + ")";
+}
+
+}  // namespace snd::core

@@ -1,0 +1,95 @@
+#include "core/wire.h"
+
+#include <algorithm>
+
+namespace snd::core {
+
+namespace {
+
+void put_digest(util::Bytes& out, const crypto::Digest& digest) {
+  util::put_bytes(out, digest.bytes);
+}
+
+std::optional<crypto::Digest> read_digest(util::ByteReader& reader) {
+  const auto raw = reader.bytes(crypto::kDigestSize);
+  if (!raw) return std::nullopt;
+  crypto::Digest digest;
+  std::copy(raw->begin(), raw->end(), digest.bytes.begin());
+  return digest;
+}
+
+}  // namespace
+
+std::optional<RecordReplyPayload> RecordReplyPayload::parse(const util::Bytes& data) {
+  auto record = BindingRecord::parse(data);
+  if (!record) return std::nullopt;
+  return RecordReplyPayload{std::move(*record)};
+}
+
+util::Bytes RelationCommitPayload::serialize() const {
+  util::Bytes out;
+  put_digest(out, commitment);
+  return out;
+}
+
+std::optional<RelationCommitPayload> RelationCommitPayload::parse(const util::Bytes& data) {
+  util::ByteReader reader(data);
+  const auto digest = read_digest(reader);
+  if (!digest || !reader.exhausted()) return std::nullopt;
+  return RelationCommitPayload{*digest};
+}
+
+util::Bytes EvidencePayload::serialize() const {
+  util::Bytes out;
+  util::put_u32(out, record_version);
+  put_digest(out, evidence);
+  return out;
+}
+
+std::optional<EvidencePayload> EvidencePayload::parse(const util::Bytes& data) {
+  util::ByteReader reader(data);
+  const auto version = reader.u32();
+  const auto digest = read_digest(reader);
+  if (!version || !digest || !reader.exhausted()) return std::nullopt;
+  return EvidencePayload{*version, *digest};
+}
+
+util::Bytes UpdateRequestPayload::serialize() const {
+  util::Bytes out;
+  util::put_var_bytes(out, record.serialize());
+  util::put_u16(out, static_cast<std::uint16_t>(evidences.size()));
+  for (const auto& [issuer, digest] : evidences) {
+    util::put_u32(out, issuer);
+    put_digest(out, digest);
+  }
+  return out;
+}
+
+std::optional<UpdateRequestPayload> UpdateRequestPayload::parse(const util::Bytes& data) {
+  util::ByteReader reader(data);
+  const auto record_bytes = reader.var_bytes();
+  if (!record_bytes) return std::nullopt;
+  auto record = BindingRecord::parse(*record_bytes);
+  if (!record) return std::nullopt;
+
+  UpdateRequestPayload payload{std::move(*record), {}};
+  const auto count = reader.u16();
+  if (!count) return std::nullopt;
+  payload.evidences.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    const auto issuer = reader.u32();
+    const auto digest = read_digest(reader);
+    if (!issuer || !digest) return std::nullopt;
+    payload.evidences.emplace_back(*issuer, *digest);
+  }
+  if (!reader.exhausted()) return std::nullopt;
+  return payload;
+}
+
+std::optional<UpdateReplyPayload> UpdateReplyPayload::parse(const util::Bytes& data) {
+  auto record = BindingRecord::parse(data);
+  if (!record) return std::nullopt;
+  return UpdateReplyPayload{std::move(*record)};
+}
+
+}  // namespace snd::core

@@ -1,0 +1,65 @@
+// Wire formats for the protocol's eight message types. Payloads are
+// hand-serialized (big-endian, length-prefixed) and every parse is
+// bounds-checked: a malformed packet from the adversary must fail cleanly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/binding_record.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace snd::core {
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,          // broadcast: "identity u is here, discovering"
+  kHelloAck = 2,       // reply to a Hello, making the sender discoverable
+  kRecordRequest = 3,  // u asks tentative neighbor v for R(v)
+  kRecordReply = 4,    // v returns R(v)
+  kRelationCommit = 5, // u -> v: C(u,v), establishing the functional relation
+  kEvidence = 6,       // u -> old node v: E(u,v) for future record updates
+  kUpdateRequest = 7,  // old v -> new u: R(v) + buffered evidences
+  kUpdateReply = 8,    // new u -> v: re-issued R(v)
+};
+
+struct RecordReplyPayload {
+  BindingRecord record;
+
+  [[nodiscard]] util::Bytes serialize() const { return record.serialize(); }
+  static std::optional<RecordReplyPayload> parse(const util::Bytes& data);
+};
+
+struct RelationCommitPayload {
+  crypto::Digest commitment;  // C(u, v); u = packet src, v = packet dst
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static std::optional<RelationCommitPayload> parse(const util::Bytes& data);
+};
+
+struct EvidencePayload {
+  std::uint32_t record_version = 0;  // version of v's record the evidence binds
+  crypto::Digest evidence;           // E(u, v)
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static std::optional<EvidencePayload> parse(const util::Bytes& data);
+};
+
+struct UpdateRequestPayload {
+  BindingRecord record;
+  std::vector<std::pair<NodeId, crypto::Digest>> evidences;  // (issuer x, E(x, v))
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static std::optional<UpdateRequestPayload> parse(const util::Bytes& data);
+};
+
+struct UpdateReplyPayload {
+  BindingRecord record;
+
+  [[nodiscard]] util::Bytes serialize() const { return record.serialize(); }
+  static std::optional<UpdateReplyPayload> parse(const util::Bytes& data);
+};
+
+}  // namespace snd::core

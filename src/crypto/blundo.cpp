@@ -1,0 +1,113 @@
+#include "crypto/blundo.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace snd::crypto {
+
+namespace gf {
+
+std::uint64_t add(std::uint64_t a, std::uint64_t b) { return (a + b) % kPrime; }
+
+std::uint64_t sub(std::uint64_t a, std::uint64_t b) { return (a + kPrime - b % kPrime) % kPrime; }
+
+std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+  // Operands < 2^31, so the product fits in 64 bits exactly.
+  return (a % kPrime) * (b % kPrime) % kPrime;
+}
+
+std::uint64_t pow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  base %= kPrime;
+  while (exp > 0) {
+    if (exp & 1) result = mul(result, base);
+    base = mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t inv(std::uint64_t a) {
+  // Fermat: a^(q-2) mod q.
+  assert(a % kPrime != 0);
+  return pow(a, kPrime - 2);
+}
+
+}  // namespace gf
+
+BlundoScheme::BlundoScheme(std::uint64_t seed, std::size_t lambda) : lambda_(lambda) {
+  util::Rng rng(seed);
+  coeffs_.resize(kParallelPolys);
+  for (auto& matrix : coeffs_) {
+    matrix.assign(lambda_ + 1, std::vector<std::uint64_t>(lambda_ + 1, 0));
+    for (std::size_t i = 0; i <= lambda_; ++i) {
+      for (std::size_t j = i; j <= lambda_; ++j) {
+        const std::uint64_t a = rng.uniform_int(gf::kPrime);
+        matrix[i][j] = a;
+        matrix[j][i] = a;  // symmetry gives f(u,v) == f(v,u)
+      }
+    }
+  }
+}
+
+std::uint64_t BlundoScheme::coefficient(std::size_t poly, std::size_t i, std::size_t j) const {
+  return coeffs_[poly][i][j];
+}
+
+void BlundoScheme::provision(NodeId node) {
+  if (shares_.contains(node)) return;
+  // Node IDs map to nonzero field elements; id 0 maps to q-1 to avoid the
+  // degenerate point x = 0.
+  const std::uint64_t x = node % gf::kPrime == 0 ? gf::kPrime - 1 : node % gf::kPrime;
+  std::vector<std::vector<std::uint64_t>> node_shares(kParallelPolys);
+  for (std::size_t p = 0; p < kParallelPolys; ++p) {
+    // Share coefficient for y^j: sum_i a_ij * x^i.
+    std::vector<std::uint64_t>& share = node_shares[p];
+    share.assign(lambda_ + 1, 0);
+    std::uint64_t x_pow = 1;
+    for (std::size_t i = 0; i <= lambda_; ++i) {
+      for (std::size_t j = 0; j <= lambda_; ++j) {
+        share[j] = gf::add(share[j], gf::mul(coefficient(p, i, j), x_pow));
+      }
+      x_pow = gf::mul(x_pow, x);
+    }
+  }
+  shares_.emplace(node, std::move(node_shares));
+}
+
+std::uint64_t BlundoScheme::evaluate_share(const std::vector<std::uint64_t>& share,
+                                           std::uint64_t y) {
+  // Horner evaluation of the univariate share at y.
+  std::uint64_t acc = 0;
+  for (auto it = share.rbegin(); it != share.rend(); ++it) acc = gf::add(gf::mul(acc, y), *it);
+  return acc;
+}
+
+std::optional<SymmetricKey> BlundoScheme::pairwise(NodeId u, NodeId v) const {
+  if (u == v) return std::nullopt;
+  const auto it = shares_.find(u);
+  if (it == shares_.end() || !shares_.contains(v)) return std::nullopt;
+  const std::uint64_t y = v % gf::kPrime == 0 ? gf::kPrime - 1 : v % gf::kPrime;
+
+  Sha256 ctx;
+  ctx.update_framed("snd.blundo.key");
+  for (std::size_t p = 0; p < kParallelPolys; ++p) {
+    ctx.update_u64(evaluate_share(it->second[p], y));
+  }
+  return SymmetricKey::from_digest(ctx.finalize());
+}
+
+std::size_t BlundoScheme::storage_bytes_per_node() const {
+  // kParallelPolys shares of lambda+1 field elements, 4 bytes each.
+  return kParallelPolys * (lambda_ + 1) * 4;
+}
+
+const std::vector<std::uint64_t>& BlundoScheme::share(NodeId node, std::size_t poly) const {
+  const auto it = shares_.find(node);
+  if (it == shares_.end()) throw std::out_of_range("BlundoScheme::share: node not provisioned");
+  return it->second.at(poly);
+}
+
+}  // namespace snd::crypto

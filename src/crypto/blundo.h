@@ -1,0 +1,65 @@
+// Blundo et al. polynomial-based pairwise key predistribution, the building
+// block of Liu-Ning's polynomial pool scheme (paper reference [13]).
+//
+// A trusted server samples a symmetric bivariate polynomial
+//   f(x, y) = sum_{i,j <= lambda} a_ij x^i y^j   with a_ij = a_ji
+// over GF(q). Node u stores the univariate share f(u, y) (lambda+1
+// coefficients). Any two nodes compute the same key f(u, v) = f(v, u) from
+// their own shares; an adversary needs more than lambda colluding shares to
+// reconstruct f. We run kParallelPolys independent polynomials and hash the
+// concatenated evaluations so the derived key has full width.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keypredist.h"
+#include "util/rng.h"
+
+namespace snd::crypto {
+
+/// GF(q) with q = 2^31 - 1 (Mersenne prime); element ops used by the scheme
+/// and by the collusion-attack test that reconstructs f via interpolation.
+namespace gf {
+inline constexpr std::uint64_t kPrime = (1ULL << 31) - 1;
+std::uint64_t add(std::uint64_t a, std::uint64_t b);
+std::uint64_t sub(std::uint64_t a, std::uint64_t b);
+std::uint64_t mul(std::uint64_t a, std::uint64_t b);
+std::uint64_t pow(std::uint64_t base, std::uint64_t exp);
+std::uint64_t inv(std::uint64_t a);
+}  // namespace gf
+
+class BlundoScheme final : public KeyPredistribution {
+ public:
+  /// lambda: collusion threshold (degree). Storage per node grows linearly.
+  BlundoScheme(std::uint64_t seed, std::size_t lambda);
+
+  void provision(NodeId node) override;
+  [[nodiscard]] std::optional<SymmetricKey> pairwise(NodeId u, NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "blundo"; }
+  [[nodiscard]] std::size_t storage_bytes_per_node() const override;
+
+  [[nodiscard]] std::size_t lambda() const { return lambda_; }
+
+  /// A provisioned node's share of polynomial `poly`: coefficients of
+  /// f_poly(node, y), lowest degree first. Exposed so the adversary model
+  /// (and the collusion test) can steal exactly what a node stores.
+  [[nodiscard]] const std::vector<std::uint64_t>& share(NodeId node, std::size_t poly) const;
+
+  /// Evaluates the share polynomial at y (what a node computes on-line).
+  static std::uint64_t evaluate_share(const std::vector<std::uint64_t>& share, std::uint64_t y);
+
+  static constexpr std::size_t kParallelPolys = 8;
+
+ private:
+  /// Maps GF element of the master polynomial: a_ij with i <= j.
+  [[nodiscard]] std::uint64_t coefficient(std::size_t poly, std::size_t i, std::size_t j) const;
+
+  std::size_t lambda_;
+  // coeffs_[poly][i][j] symmetric matrix of polynomial coefficients.
+  std::vector<std::vector<std::vector<std::uint64_t>>> coeffs_;
+  std::unordered_map<NodeId, std::vector<std::vector<std::uint64_t>>> shares_;
+};
+
+}  // namespace snd::crypto

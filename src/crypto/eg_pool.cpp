@@ -1,0 +1,103 @@
+#include "crypto/eg_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace snd::crypto {
+
+namespace {
+/// log C(n, k) via lgamma; -inf encoded as a large negative for k > n.
+double log_choose(double n, double k) {
+  if (k < 0.0 || k > n) return -1e300;
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+}  // namespace
+
+EschenauerGligorScheme::EschenauerGligorScheme(std::uint64_t seed, std::size_t pool_size,
+                                               std::size_t ring_size, std::size_t q)
+    : pool_size_(pool_size),
+      ring_size_(std::min(ring_size, pool_size)),
+      q_(std::max<std::size_t>(q, 1)),
+      pool_root_(SymmetricKey::from_seed(seed ^ 0xe96f00cULL)),
+      rng_(seed) {}
+
+void EschenauerGligorScheme::provision(NodeId node) {
+  if (rings_.contains(node)) return;
+  const auto sample = rng_.sample_without_replacement(pool_size_, ring_size_);
+  std::vector<std::uint32_t> ring(sample.begin(), sample.end());
+  std::sort(ring.begin(), ring.end());
+  rings_.emplace(node, std::move(ring));
+}
+
+std::optional<SymmetricKey> EschenauerGligorScheme::pairwise(NodeId u, NodeId v) const {
+  if (u == v) return std::nullopt;
+  const auto iu = rings_.find(u);
+  const auto iv = rings_.find(v);
+  if (iu == rings_.end() || iv == rings_.end()) return std::nullopt;
+
+  std::vector<std::uint32_t> shared;
+  std::set_intersection(iu->second.begin(), iu->second.end(), iv->second.begin(),
+                        iv->second.end(), std::back_inserter(shared));
+  if (shared.size() < q_) return std::nullopt;
+
+  Sha256 ctx;
+  ctx.update_framed("snd.eg.link");
+  ctx.update_u64(std::min(u, v));
+  ctx.update_u64(std::max(u, v));
+  for (std::uint32_t pool_index : shared) {
+    const Digest pool_key =
+        Sha256().update_framed(pool_root_.material()).update_u64(pool_index).finalize();
+    ctx.update(pool_key.bytes);
+  }
+  return SymmetricKey::from_digest(ctx.finalize());
+}
+
+std::size_t EschenauerGligorScheme::storage_bytes_per_node() const {
+  return ring_size_ * kKeySize;
+}
+
+const std::vector<std::uint32_t>& EschenauerGligorScheme::ring(NodeId node) const {
+  const auto it = rings_.find(node);
+  if (it == rings_.end()) {
+    throw std::out_of_range("EschenauerGligorScheme::ring: node not provisioned");
+  }
+  return it->second;
+}
+
+double EschenauerGligorScheme::probability_exactly_shared(std::size_t i) const {
+  // Chan-Perrig-Song: p(i) = C(P,i) C(P-i, 2(m-i)) C(2(m-i), m-i) / C(P,m)^2.
+  const auto p = static_cast<double>(pool_size_);
+  const auto m = static_cast<double>(ring_size_);
+  const auto x = static_cast<double>(i);
+  if (x > m || 2.0 * (m - x) > p - x) return 0.0;
+  const double log_p = log_choose(p, x) + log_choose(p - x, 2.0 * (m - x)) +
+                       log_choose(2.0 * (m - x), m - x) - 2.0 * log_choose(p, m);
+  return std::exp(log_p);
+}
+
+double EschenauerGligorScheme::analytical_share_probability() const {
+  if (2 * ring_size_ > pool_size_ && q_ == 1) return 1.0;
+  double miss = 0.0;
+  for (std::size_t i = 0; i < q_; ++i) miss += probability_exactly_shared(i);
+  return std::clamp(1.0 - miss, 0.0, 1.0);
+}
+
+double EschenauerGligorScheme::analytical_compromise_probability(
+    std::size_t captured_nodes) const {
+  // P(a given pool key is known to the adversary after capturing x rings).
+  const double key_known =
+      1.0 - std::pow(1.0 - static_cast<double>(ring_size_) / static_cast<double>(pool_size_),
+                     static_cast<double>(captured_nodes));
+  const double connect = analytical_share_probability();
+  if (connect <= 0.0) return 0.0;
+  double compromised = 0.0;
+  for (std::size_t i = q_; i <= ring_size_; ++i) {
+    compromised += std::pow(key_known, static_cast<double>(i)) * probability_exactly_shared(i);
+  }
+  return std::clamp(compromised / connect, 0.0, 1.0);
+}
+
+}  // namespace snd::crypto

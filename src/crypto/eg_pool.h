@@ -1,0 +1,61 @@
+// Eschenauer-Gligor random key predistribution (paper reference [7]) with
+// the Chan-Perrig-Song q-composite generalization (paper reference [4]).
+//
+// A pool of `pool_size` keys is generated off-line; each node is loaded with
+// a random `ring_size`-subset (its key ring). Two nodes share a pairwise key
+// iff their rings intersect in at least q keys (q = 1 recovers the classic
+// EG scheme); the derived key hashes every shared pool key together with the
+// (ordered) identity pair, matching shared-key discovery + link-key
+// derivation of the original schemes. Larger q strengthens resilience
+// against small-scale node capture at the price of connectivity.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keypredist.h"
+#include "util/rng.h"
+
+namespace snd::crypto {
+
+class EschenauerGligorScheme final : public KeyPredistribution {
+ public:
+  /// q = 1: classic EG; q > 1: q-composite (requires q shared pool keys).
+  EschenauerGligorScheme(std::uint64_t seed, std::size_t pool_size, std::size_t ring_size,
+                         std::size_t q = 1);
+
+  void provision(NodeId node) override;
+  [[nodiscard]] std::optional<SymmetricKey> pairwise(NodeId u, NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "eschenauer-gligor"; }
+  [[nodiscard]] std::size_t storage_bytes_per_node() const override;
+
+  /// Sorted pool-key indices held by a provisioned node.
+  [[nodiscard]] const std::vector<std::uint32_t>& ring(NodeId node) const;
+
+  /// Analytical connectivity: P(two rings share at least q keys) for the
+  /// configured pool/ring sizes (the EG formula generalized to q-composite).
+  [[nodiscard]] double analytical_share_probability() const;
+
+  /// Resilience metric from the q-composite paper: the probability that an
+  /// adversary who captured `captured_nodes` rings can decrypt the link key
+  /// of a random uncompromised pair.
+  [[nodiscard]] double analytical_compromise_probability(std::size_t captured_nodes) const;
+
+  [[nodiscard]] std::size_t pool_size() const { return pool_size_; }
+  [[nodiscard]] std::size_t ring_size() const { return ring_size_; }
+  [[nodiscard]] std::size_t q() const { return q_; }
+
+ private:
+  /// P(two rings share exactly `i` keys).
+  [[nodiscard]] double probability_exactly_shared(std::size_t i) const;
+
+  std::size_t pool_size_;
+  std::size_t ring_size_;
+  std::size_t q_ = 1;
+  SymmetricKey pool_root_;  // pool key i = H(root | i)
+  mutable util::Rng rng_;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> rings_;
+};
+
+}  // namespace snd::crypto

@@ -1,0 +1,47 @@
+#include "crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace snd::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+}
+
+Digest hmac_sha256(const SymmetricKey& key, std::span<const std::uint8_t> message) {
+  // Keys are at most kKeySize (32) < kBlockSize, so no pre-hash step needed.
+  std::array<std::uint8_t, kBlockSize> padded{};
+  const auto material = key.material();
+  std::memcpy(padded.data(), material.data(), material.size());
+
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(padded[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(padded[i] ^ 0x5c);
+  }
+
+  const Digest inner = Sha256().update(ipad).update(message).finalize();
+  return Sha256().update(opad).update(inner.bytes).finalize();
+}
+
+Digest hmac_sha256(const SymmetricKey& key, std::string_view message) {
+  return hmac_sha256(
+      key, std::span(reinterpret_cast<const std::uint8_t*>(message.data()), message.size()));
+}
+
+ShortMac short_mac(const SymmetricKey& key, std::span<const std::uint8_t> message) {
+  const Digest full = hmac_sha256(key, message);
+  ShortMac mac;
+  std::memcpy(mac.data(), full.bytes.data(), mac.size());
+  return mac;
+}
+
+bool verify_short_mac(const SymmetricKey& key, std::span<const std::uint8_t> message,
+                      std::span<const std::uint8_t> mac) {
+  const ShortMac expected = short_mac(key, message);
+  return util::constant_time_equal(expected, mac);
+}
+
+}  // namespace snd::crypto

@@ -1,0 +1,27 @@
+// HMAC-SHA256 (RFC 2104) and a short truncated-MAC helper sized for sensor
+// network packets (TinySec-style 8-byte MACs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/key.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace snd::crypto {
+
+/// Full 32-byte HMAC-SHA256 tag.
+Digest hmac_sha256(const SymmetricKey& key, std::span<const std::uint8_t> message);
+Digest hmac_sha256(const SymmetricKey& key, std::string_view message);
+
+inline constexpr std::size_t kShortMacSize = 8;
+using ShortMac = std::array<std::uint8_t, kShortMacSize>;
+
+/// Truncated MAC for byte-budgeted sensor packets.
+ShortMac short_mac(const SymmetricKey& key, std::span<const std::uint8_t> message);
+/// Constant-time verification.
+bool verify_short_mac(const SymmetricKey& key, std::span<const std::uint8_t> message,
+                      std::span<const std::uint8_t> mac);
+
+}  // namespace snd::crypto

@@ -1,0 +1,23 @@
+#include "crypto/kdf.h"
+
+namespace snd::crypto {
+
+SymmetricKey derive_key(const SymmetricKey& key, std::string_view label, std::uint64_t context) {
+  Sha256 ctx;
+  ctx.update_framed(label);
+  ctx.update_framed(key.material());
+  ctx.update_u64(context);
+  return SymmetricKey::from_digest(ctx.finalize());
+}
+
+SymmetricKey derive_pair_key(const SymmetricKey& key, std::string_view label, std::uint64_t a,
+                             std::uint64_t b) {
+  Sha256 ctx;
+  ctx.update_framed(label);
+  ctx.update_framed(key.material());
+  ctx.update_u64(a);
+  ctx.update_u64(b);
+  return SymmetricKey::from_digest(ctx.finalize());
+}
+
+}  // namespace snd::crypto

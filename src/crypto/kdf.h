@@ -1,0 +1,23 @@
+// Key derivation helpers used throughout the protocol:
+//   - derive_key(k, label, ...) for domain-separated subkeys, and
+//   - the paper's specific derivations (verification key K_u = H(K|u), etc.)
+//     live in core/commitment.h; this header is the generic layer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/key.h"
+#include "crypto/sha256.h"
+
+namespace snd::crypto {
+
+/// Domain-separated subkey: H(label | key | context64).
+SymmetricKey derive_key(const SymmetricKey& key, std::string_view label,
+                        std::uint64_t context = 0);
+
+/// Domain-separated subkey bound to two identities (order-sensitive).
+SymmetricKey derive_pair_key(const SymmetricKey& key, std::string_view label,
+                             std::uint64_t a, std::uint64_t b);
+
+}  // namespace snd::crypto

@@ -1,0 +1,76 @@
+#include "crypto/key.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/bytes.h"
+
+namespace snd::crypto {
+
+namespace {
+// Volatile write loop so the zeroization is not optimized away.
+void secure_zero(std::uint8_t* data, std::size_t size) {
+  volatile std::uint8_t* p = data;
+  for (std::size_t i = 0; i < size; ++i) p[i] = 0;
+}
+}  // namespace
+
+SymmetricKey SymmetricKey::from_bytes(std::span<const std::uint8_t> material) {
+  SymmetricKey key;
+  // Shorter material is zero-padded; longer material is compressed by
+  // hashing so every input yields a full-entropy-width key.
+  if (material.size() <= kKeySize) {
+    std::memcpy(key.material_.data(), material.data(), material.size());
+  } else {
+    key.material_ = Sha256::hash(material).bytes;
+  }
+  key.present_ = true;
+  return key;
+}
+
+SymmetricKey SymmetricKey::from_digest(const Digest& digest) {
+  SymmetricKey key;
+  key.material_ = digest.bytes;
+  key.present_ = true;
+  return key;
+}
+
+SymmetricKey SymmetricKey::from_seed(std::uint64_t seed) {
+  return from_digest(Sha256().update("snd.key.seed").update_u64(seed).finalize());
+}
+
+SymmetricKey::SymmetricKey(SymmetricKey&& other) noexcept
+    : material_(other.material_), present_(other.present_) {
+  other.erase();
+}
+
+SymmetricKey& SymmetricKey::operator=(SymmetricKey&& other) noexcept {
+  if (this != &other) {
+    material_ = other.material_;
+    present_ = other.present_;
+    other.erase();
+  }
+  return *this;
+}
+
+void SymmetricKey::erase() {
+  secure_zero(material_.data(), material_.size());
+  present_ = false;
+}
+
+std::span<const std::uint8_t> SymmetricKey::material() const {
+  assert(present_);
+  return material_;
+}
+
+bool operator==(const SymmetricKey& a, const SymmetricKey& b) {
+  if (a.present_ != b.present_) return false;
+  if (!a.present_) return true;
+  return util::constant_time_equal(a.material_, b.material_);
+}
+
+std::string SymmetricKey::hex() const {
+  return present_ ? util::to_hex(material_) : "<erased>";
+}
+
+}  // namespace snd::crypto

@@ -1,0 +1,57 @@
+// Symmetric key material with explicit erasure semantics.
+//
+// The paper's protocol hinges on a node deleting the master key K after
+// neighbor discovery: "once a secret is deleted from the memory of a sensor
+// node, it is not possible for an attacker to recover such secret even if
+// this node is compromised later" (§4). SymmetricKey models that contract:
+// erase() zeroizes the material and flips a present flag; the adversary's
+// secret extraction only sees keys whose present flag is still set.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "crypto/sha256.h"
+
+namespace snd::crypto {
+
+inline constexpr std::size_t kKeySize = 32;
+
+class SymmetricKey {
+ public:
+  /// An erased/absent key.
+  SymmetricKey() = default;
+
+  static SymmetricKey from_bytes(std::span<const std::uint8_t> material);
+  static SymmetricKey from_digest(const Digest& digest);
+  /// Deterministic key from a 64-bit seed (test/deployment tooling).
+  static SymmetricKey from_seed(std::uint64_t seed);
+
+  SymmetricKey(const SymmetricKey&) = default;
+  SymmetricKey& operator=(const SymmetricKey&) = default;
+  /// Moved-from keys are erased, so key material never lingers in
+  /// moved-from objects.
+  SymmetricKey(SymmetricKey&& other) noexcept;
+  SymmetricKey& operator=(SymmetricKey&& other) noexcept;
+  ~SymmetricKey() { erase(); }
+
+  /// Zeroizes the material. Irreversible for this object.
+  void erase();
+
+  [[nodiscard]] bool present() const { return present_; }
+  /// Key material; must only be called when present().
+  [[nodiscard]] std::span<const std::uint8_t> material() const;
+
+  /// Constant-time comparison; two absent keys compare equal.
+  friend bool operator==(const SymmetricKey& a, const SymmetricKey& b);
+
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  std::array<std::uint8_t, kKeySize> material_{};
+  bool present_ = false;
+};
+
+}  // namespace snd::crypto

@@ -1,0 +1,16 @@
+#include "crypto/keypredist.h"
+
+#include <algorithm>
+
+namespace snd::crypto {
+
+std::unique_ptr<KdcScheme> KdcScheme::from_seed(std::uint64_t seed) {
+  return std::make_unique<KdcScheme>(SymmetricKey::from_seed(seed));
+}
+
+std::optional<SymmetricKey> KdcScheme::pairwise(NodeId u, NodeId v) const {
+  if (u == v) return std::nullopt;
+  return derive_pair_key(master_, "snd.kdc.pair", std::min(u, v), std::max(u, v));
+}
+
+}  // namespace snd::crypto

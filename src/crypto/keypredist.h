@@ -1,0 +1,57 @@
+// Pairwise key predistribution schemes.
+//
+// The paper assumes "every two nodes in the field can establish a pairwise
+// key" via predistribution ([3],[4],[6],[7],[13] in the paper). This header
+// defines the scheme interface plus the trivial KDC-derived scheme; the
+// Blundo polynomial scheme (deterministic, λ-collusion-secure) and the
+// Eschenauer-Gligor random pool (probabilistic) live in blundo.h / eg_pool.h.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/kdf.h"
+#include "crypto/key.h"
+#include "util/ids.h"
+
+namespace snd::crypto {
+
+class KeyPredistribution {
+ public:
+  virtual ~KeyPredistribution() = default;
+
+  /// Installs per-node secret material at manufacture time. Must be called
+  /// once per node before pairwise() involving that node.
+  virtual void provision(NodeId node) = 0;
+
+  /// The pairwise key both endpoints derive from their own material, or
+  /// std::nullopt if the scheme fails for this pair (possible for
+  /// probabilistic schemes). Symmetric: pairwise(u,v) == pairwise(v,u).
+  [[nodiscard]] virtual std::optional<SymmetricKey> pairwise(NodeId u, NodeId v) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Per-node storage cost in bytes (scheme-dependent), for overhead tables.
+  [[nodiscard]] virtual std::size_t storage_bytes_per_node() const = 0;
+};
+
+/// Trivial scheme: every node carries K_uv = H(master | min(u,v) | max(u,v))
+/// material implicitly (models a KDC/base-station-assisted setup). Always
+/// succeeds; zero resilience if the master secret leaks. Default for
+/// protocol simulations because the paper assumes universal pairwise keys.
+class KdcScheme final : public KeyPredistribution {
+ public:
+  explicit KdcScheme(SymmetricKey master) : master_(std::move(master)) {}
+  static std::unique_ptr<KdcScheme> from_seed(std::uint64_t seed);
+
+  void provision(NodeId) override {}
+  [[nodiscard]] std::optional<SymmetricKey> pairwise(NodeId u, NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "kdc"; }
+  [[nodiscard]] std::size_t storage_bytes_per_node() const override { return kKeySize; }
+
+ private:
+  SymmetricKey master_;
+};
+
+}  // namespace snd::crypto

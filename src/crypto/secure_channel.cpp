@@ -1,0 +1,40 @@
+#include "crypto/secure_channel.h"
+
+#include "crypto/stream_cipher.h"
+
+namespace snd::crypto {
+
+SecureChannel::SecureChannel(std::uint64_t self, std::uint64_t peer,
+                             const SymmetricKey& pairwise_key)
+    : send_enc_(derive_pair_key(pairwise_key, "snd.chan.enc", self, peer)),
+      send_mac_(derive_pair_key(pairwise_key, "snd.chan.mac", self, peer)),
+      recv_enc_(derive_pair_key(pairwise_key, "snd.chan.enc", peer, self)),
+      recv_mac_(derive_pair_key(pairwise_key, "snd.chan.mac", peer, self)) {}
+
+util::Bytes SecureChannel::seal(std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t seq = ++send_seq_;
+  util::Bytes out;
+  util::put_u64(out, seq);
+  const util::Bytes ciphertext = ctr_crypt(send_enc_, seq, plaintext);
+  util::put_bytes(out, ciphertext);
+  const ShortMac mac = short_mac(send_mac_, out);
+  util::put_bytes(out, mac);
+  return out;
+}
+
+std::optional<util::Bytes> SecureChannel::open(std::span<const std::uint8_t> sealed) {
+  if (sealed.size() < kOverheadBytes) return std::nullopt;
+  const auto body = sealed.first(sealed.size() - kShortMacSize);
+  const auto mac = sealed.last(kShortMacSize);
+  if (!verify_short_mac(recv_mac_, body, mac)) return std::nullopt;
+
+  util::ByteReader reader(body);
+  const auto seq = reader.u64();
+  if (!seq || *seq <= recv_seq_) return std::nullopt;  // replayed or reordered
+  recv_seq_ = *seq;
+
+  const auto ciphertext = reader.bytes(reader.remaining());
+  return ctr_crypt(recv_enc_, *seq, *ciphertext);
+}
+
+}  // namespace snd::crypto

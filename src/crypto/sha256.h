@@ -1,0 +1,67 @@
+// SHA-256 (FIPS 180-4), implemented from scratch so the library has no
+// external crypto dependency. This is the one-way hash H(.) the paper's
+// protocol is built on; all commitments, verification keys, and MACs reduce
+// to it. A process-global operation counter feeds the §4.3 overhead bench.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace snd::crypto {
+
+inline constexpr std::size_t kDigestSize = 32;
+
+/// A 256-bit hash value with value semantics.
+struct Digest {
+  std::array<std::uint8_t, kDigestSize> bytes{};
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+  [[nodiscard]] std::span<const std::uint8_t> span() const { return bytes; }
+  [[nodiscard]] std::string hex() const { return util::to_hex(bytes); }
+  /// First 8 bytes as a big-endian integer, for hashing into containers.
+  [[nodiscard]] std::uint64_t prefix64() const;
+};
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view text);
+  /// Appends a single length-framed field: u32 length then the bytes.
+  /// Framing makes multi-field hashes injective (no ambiguity between
+  /// H(a|bc) and H(ab|c)), which the paper's commitments implicitly need.
+  Sha256& update_framed(std::span<const std::uint8_t> data);
+  Sha256& update_framed(std::string_view text);
+  /// Appends a big-endian u64 field.
+  Sha256& update_u64(std::uint64_t v);
+
+  /// Finalizes and returns the digest; the context must not be reused after.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// Number of SHA-256 compression-function invocations since process start
+/// or the last reset. Cheap (relaxed atomic); used for computation-overhead
+/// accounting in the benches.
+std::uint64_t hash_op_count();
+void reset_hash_op_count();
+
+}  // namespace snd::crypto

@@ -1,0 +1,26 @@
+#include "crypto/stream_cipher.h"
+
+#include "crypto/sha256.h"
+
+namespace snd::crypto {
+
+util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
+                      std::span<const std::uint8_t> data) {
+  util::Bytes out(data.begin(), data.end());
+  std::uint64_t counter = 0;
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    Sha256 ctx;
+    ctx.update_framed("snd.ctr");
+    ctx.update_framed(key.material());
+    ctx.update_u64(nonce);
+    ctx.update_u64(counter++);
+    const Digest block = ctx.finalize();
+    const std::size_t take = std::min(out.size() - offset, block.bytes.size());
+    for (std::size_t i = 0; i < take; ++i) out[offset + i] ^= block.bytes[i];
+    offset += take;
+  }
+  return out;
+}
+
+}  // namespace snd::crypto

@@ -1,0 +1,20 @@
+// Counter-mode stream cipher built on SHA-256: keystream block i is
+// H(key | nonce | i). Paired with HMAC in SecureChannel (encrypt-then-MAC)
+// this gives the paper's assumed "encrypted and authenticated" links without
+// an external cipher dependency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/key.h"
+#include "util/bytes.h"
+
+namespace snd::crypto {
+
+/// XORs `data` with the keystream for (key, nonce). Symmetric: applying it
+/// twice with the same parameters restores the plaintext.
+util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
+                      std::span<const std::uint8_t> data);
+
+}  // namespace snd::crypto

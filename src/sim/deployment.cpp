@@ -1,0 +1,49 @@
+#include "sim/deployment.h"
+
+#include <algorithm>
+
+namespace snd::sim {
+
+std::vector<util::Vec2> deploy_uniform(std::size_t n, const util::Rect& field, util::Rng& rng) {
+  std::vector<util::Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(field.lo.x, field.hi.x), rng.uniform(field.lo.y, field.hi.y)});
+  }
+  return out;
+}
+
+std::vector<util::Vec2> deploy_grid(std::size_t nx, std::size_t ny, const util::Rect& field,
+                                    double jitter_fraction, util::Rng& rng) {
+  std::vector<util::Vec2> out;
+  out.reserve(nx * ny);
+  const double cell_w = field.width() / static_cast<double>(nx);
+  const double cell_h = field.height() / static_cast<double>(ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double cx = field.lo.x + (static_cast<double>(ix) + 0.5) * cell_w;
+      const double cy = field.lo.y + (static_cast<double>(iy) + 0.5) * cell_h;
+      const double jx = jitter_fraction * cell_w * (rng.uniform() - 0.5);
+      const double jy = jitter_fraction * cell_h * (rng.uniform() - 0.5);
+      out.push_back({cx + jx, cy + jy});
+    }
+  }
+  return out;
+}
+
+std::vector<util::Vec2> deploy_clustered(std::size_t n, std::size_t cluster_count, double spread,
+                                         const util::Rect& field, util::Rng& rng) {
+  const std::vector<util::Vec2> centers = deploy_uniform(cluster_count, field, rng);
+  std::vector<util::Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const util::Vec2& c = centers[i % centers.size()];
+    util::Vec2 p{c.x + rng.normal(0.0, spread), c.y + rng.normal(0.0, spread)};
+    p.x = std::clamp(p.x, field.lo.x, field.hi.x);
+    p.y = std::clamp(p.y, field.lo.y, field.hi.y);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace snd::sim

@@ -1,0 +1,25 @@
+// Deployment position generators for the simulated field. The paper's
+// evaluation deploys uniformly at random (§4.5.1); grid and Gaussian-cluster
+// layouts are provided for robustness experiments.
+#pragma once
+
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/rng.h"
+
+namespace snd::sim {
+
+/// n positions i.i.d. uniform over the rectangle.
+std::vector<util::Vec2> deploy_uniform(std::size_t n, const util::Rect& field, util::Rng& rng);
+
+/// nx-by-ny grid with optional per-point uniform jitter (fraction of cell).
+std::vector<util::Vec2> deploy_grid(std::size_t nx, std::size_t ny, const util::Rect& field,
+                                    double jitter_fraction, util::Rng& rng);
+
+/// Positions clustered around `cluster_count` uniformly placed centers with
+/// Gaussian spread, clamped to the field.
+std::vector<util::Vec2> deploy_clustered(std::size_t n, std::size_t cluster_count, double spread,
+                                         const util::Rect& field, util::Rng& rng);
+
+}  // namespace snd::sim

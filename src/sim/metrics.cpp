@@ -1,0 +1,31 @@
+#include "sim/metrics.h"
+
+namespace snd::sim {
+
+void Metrics::count_tx(std::string_view category, std::size_t bytes) {
+  auto it = categories_.find(category);
+  if (it == categories_.end()) it = categories_.emplace(std::string(category), Counter{}).first;
+  ++it->second.messages;
+  it->second.bytes += bytes;
+}
+
+Metrics::Counter Metrics::total() const {
+  Counter sum;
+  for (const auto& [name, counter] : categories_) {
+    sum.messages += counter.messages;
+    sum.bytes += counter.bytes;
+  }
+  return sum;
+}
+
+Metrics::Counter Metrics::category(std::string_view name) const {
+  const auto it = categories_.find(name);
+  return it != categories_.end() ? it->second : Counter{};
+}
+
+void Metrics::reset() {
+  categories_.clear();
+  deliveries_ = 0;
+}
+
+}  // namespace snd::sim

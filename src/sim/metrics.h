@@ -1,0 +1,37 @@
+// Per-network counters for the overhead experiments (§4.3, §4.5.3): every
+// transmission is charged to a named category so benches can report
+// messages/bytes per protocol phase.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace snd::sim {
+
+class Metrics {
+ public:
+  struct Counter {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void count_tx(std::string_view category, std::size_t bytes);
+  void count_delivery() { ++deliveries_; }
+
+  [[nodiscard]] Counter total() const;
+  [[nodiscard]] Counter category(std::string_view name) const;
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& by_category() const {
+    return categories_;
+  }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter, std::less<>> categories_;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace snd::sim

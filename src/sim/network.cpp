@@ -1,0 +1,166 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace snd::sim {
+
+Network::Network(std::unique_ptr<PropagationModel> propagation, ChannelConfig config,
+                 std::uint64_t seed, EnergyConfig energy)
+    : propagation_(std::move(propagation)), config_(config), energy_(energy), rng_(seed) {
+  assert(propagation_ != nullptr);
+}
+
+DeviceId Network::add_device(NodeId identity, util::Vec2 position) {
+  const auto id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(Device{.id = id,
+                            .identity = identity,
+                            .position = position,
+                            .deployed_at = scheduler_.now()});
+  receivers_.emplace_back();
+  tx_bytes_.push_back(0);
+  energy_j_.push_back(energy_.initial_j);
+  tx_busy_until_.push_back(Time::zero());
+  return id;
+}
+
+void Network::drain(DeviceId id, double joules) {
+  if (!energy_.enabled) return;
+  energy_j_[id] -= joules;
+  if (energy_j_[id] <= 0.0) {
+    energy_j_[id] = 0.0;
+    devices_[id].alive = false;
+  }
+}
+
+DeviceId Network::add_replica(NodeId identity, util::Vec2 position) {
+  const DeviceId id = add_device(identity, position);
+  devices_[id].replica = true;
+  devices_[id].compromised = true;
+  return id;
+}
+
+std::vector<DeviceId> Network::devices_with_identity(NodeId identity) const {
+  std::vector<DeviceId> out;
+  for (const Device& d : devices_) {
+    if (d.alive && d.identity == identity) out.push_back(d.id);
+  }
+  return out;
+}
+
+void Network::set_receiver(DeviceId id, std::function<void(const Packet&)> handler) {
+  receivers_.at(id) = std::move(handler);
+}
+
+Time Network::transmission_time(std::size_t wire_bytes) const {
+  const double seconds = static_cast<double>(wire_bytes) * 8.0 / config_.bit_rate_bps;
+  return Time::seconds(seconds);
+}
+
+void Network::transmit(DeviceId from, Packet packet, std::string_view category) {
+  const Device& sender = devices_.at(from);
+  if (!sender.alive) return;
+  packet.sender_device = from;
+
+  metrics_.count_tx(category, packet.wire_bytes());
+  tx_bytes_[from] += packet.wire_bytes();
+  drain(from, energy_.tx_j_per_byte * static_cast<double>(packet.wire_bytes()));
+  if (!devices_[from].alive) return;  // battery died putting this on the air
+
+  const Time tx_time = transmission_time(packet.wire_bytes());
+  // Half-duplex: a device's transmissions queue behind each other.
+  Time start = scheduler_.now();
+  if (config_.half_duplex) {
+    start = std::max(start, tx_busy_until_[from]);
+    tx_busy_until_[from] = start + tx_time;
+  }
+  const bool sender_jammed = jammed(sender.position);
+
+  // Resolve the receiver set now (link state, jamming, and loss are
+  // evaluated at transmission time). Overhearers share a single scheduled
+  // event -- their per-receiver propagation-delay differences are
+  // nanoseconds against the ~0.5 ms MAC processing delay, and one event per
+  // transmission keeps the event heap small on dense fields. Receivers the
+  // packet is *addressed to* get exact per-receiver timing: protocols that
+  // measure time of flight (distance bounding) depend on it.
+  std::vector<DeviceId> overhearers;
+  double max_distance = 0.0;
+  const auto shared = std::make_shared<const Packet>(std::move(packet));
+
+  auto deliver = [this, start, shared](DeviceId to) {
+    const Device& d = devices_[to];
+    if (!d.alive || !receivers_[to]) return;
+    // Half-duplex: a receiver that was transmitting during our airtime
+    // missed the packet.
+    if (config_.half_duplex && tx_busy_until_[to] > start) return;
+    drain(to, energy_.rx_j_per_byte * static_cast<double>(shared->wire_bytes()));
+    if (!devices_[to].alive) return;
+    metrics_.count_delivery();
+    receivers_[to](*shared);
+  };
+
+  for (const Device& receiver : devices_) {
+    if (receiver.id == from || !receiver.alive) continue;
+    if (!receivers_[receiver.id]) continue;
+    if (!propagation_->link_exists(sender.position, receiver.position)) continue;
+    if (sender_jammed || jammed(receiver.position)) continue;
+    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) continue;
+
+    const double distance = util::distance(sender.position, receiver.position);
+    if (!shared->is_broadcast() && receiver.identity == shared->dst) {
+      const Time at = start + tx_time + PropagationModel::propagation_delay(distance) +
+                      config_.processing_delay;
+      const DeviceId to = receiver.id;
+      scheduler_.schedule_at(at, [deliver, to]() { deliver(to); });
+    } else {
+      overhearers.push_back(receiver.id);
+      max_distance = std::max(max_distance, distance);
+    }
+  }
+  if (overhearers.empty()) return;
+
+  const Time deliver_at = start + tx_time + PropagationModel::propagation_delay(max_distance) +
+                          config_.processing_delay;
+  scheduler_.schedule_at(deliver_at,
+                         [deliver, overhearers = std::move(overhearers)]() {
+                           for (DeviceId to : overhearers) deliver(to);
+                         });
+}
+
+bool Network::link(DeviceId a, DeviceId b) const {
+  if (a == b) return false;
+  const Device& da = devices_.at(a);
+  const Device& db = devices_.at(b);
+  if (!da.alive || !db.alive) return false;
+  return propagation_->link_exists(da.position, db.position);
+}
+
+std::vector<DeviceId> Network::devices_in_range(DeviceId id) const {
+  std::vector<DeviceId> out;
+  for (const Device& d : devices_) {
+    if (d.id != id && d.alive && link(id, d.id)) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::uint64_t Network::max_tx_bytes() const {
+  std::uint64_t max_bytes = 0;
+  for (std::uint64_t b : tx_bytes_) max_bytes = std::max(max_bytes, b);
+  return max_bytes;
+}
+
+std::size_t Network::add_jammer(util::Circle area) {
+  jammers_.push_back(area);
+  return jammers_.size() - 1;
+}
+
+void Network::remove_jammer(std::size_t handle) { jammers_.at(handle).reset(); }
+
+bool Network::jammed(util::Vec2 position) const {
+  for (const auto& jammer : jammers_) {
+    if (jammer && jammer->contains(position)) return true;
+  }
+  return false;
+}
+
+}  // namespace snd::sim

@@ -1,0 +1,146 @@
+// The simulated sensor field: physical devices, the shared radio channel,
+// jamming, and per-category traffic metrics, driven by one Scheduler.
+//
+// Protocol code interacts with the network only through transmit() and a
+// per-device receive callback; everything it can learn about its
+// surroundings arrives in packets, as on real hardware. Ground-truth
+// queries (positions, geometric links) exist for deployment tooling,
+// direct-verification oracles, and auditing -- never for protocol logic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "sim/packet.h"
+#include "sim/propagation.h"
+#include "sim/scheduler.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+
+namespace snd::sim {
+
+/// A physical radio in the field. Replicas are separate devices sharing a
+/// compromised identity.
+struct Device {
+  DeviceId id = kNoDevice;
+  NodeId identity = kNoNode;
+  util::Vec2 position;
+  Time deployed_at;
+  bool alive = true;
+  bool compromised = false;
+  bool replica = false;
+
+  [[nodiscard]] bool benign() const { return !compromised && !replica; }
+};
+
+struct ChannelConfig {
+  /// 802.15.4 data rate.
+  double bit_rate_bps = 250'000.0;
+  /// Independent per-delivery loss probability (in addition to jamming).
+  double loss_probability = 0.0;
+  /// Receiver-side MAC/processing latency per packet.
+  Time processing_delay = Time::microseconds(500);
+
+  /// Half-duplex MAC: a device's transmissions serialize (a new send waits
+  /// for the previous one to clear the air), and a device cannot receive
+  /// while it is transmitting. Off by default; ablation studies enable it.
+  bool half_duplex = false;
+};
+
+/// Per-device energy accounting (mica2-class radio costs). When enabled, a
+/// device that exhausts its budget dies -- the organic battery-death
+/// process behind the paper's §4.4 motivation.
+struct EnergyConfig {
+  bool enabled = false;
+  /// Initial budget per device, joules.
+  double initial_j = 5.0;
+  /// Transmit / receive energy per byte on the air.
+  double tx_j_per_byte = 59.2e-6;
+  double rx_j_per_byte = 28.6e-6;
+};
+
+class Network {
+ public:
+  Network(std::unique_ptr<PropagationModel> propagation, ChannelConfig config,
+          std::uint64_t seed, EnergyConfig energy = {});
+
+  // -- Deployment -----------------------------------------------------------
+  /// Adds a device at `position`, stamped with the current simulation time.
+  DeviceId add_device(NodeId identity, util::Vec2 position);
+  DeviceId add_replica(NodeId identity, util::Vec2 position);
+
+  [[nodiscard]] Device& device(DeviceId id) { return devices_.at(id); }
+  [[nodiscard]] const Device& device(DeviceId id) const { return devices_.at(id); }
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+
+  /// All alive devices currently claiming `identity` (> 1 under replication).
+  [[nodiscard]] std::vector<DeviceId> devices_with_identity(NodeId identity) const;
+
+  // -- Radio ----------------------------------------------------------------
+  /// Installs the receive callback for a device (one per device; protocol
+  /// stacks multiplex on Packet::type).
+  void set_receiver(DeviceId id, std::function<void(const Packet&)> handler);
+
+  /// Transmits over the air from `from`. Every alive device with a radio
+  /// link to the sender receives a copy (promiscuous delivery; agents filter
+  /// on dst). Charged once to `category` in the metrics.
+  void transmit(DeviceId from, Packet packet, std::string_view category);
+
+  // -- Ground truth (tooling/auditing only) -----------------------------
+  [[nodiscard]] bool link(DeviceId a, DeviceId b) const;
+  [[nodiscard]] std::vector<DeviceId> devices_in_range(DeviceId id) const;
+
+  // -- Jamming ---------------------------------------------------------
+  /// Returns a handle for remove_jammer. While active, any transmission
+  /// whose sender or receiver sits inside the circle is destroyed.
+  std::size_t add_jammer(util::Circle area);
+  void remove_jammer(std::size_t handle);
+  [[nodiscard]] bool jammed(util::Vec2 position) const;
+
+  // -- Infrastructure ---------------------------------------------------
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] Time now() const { return scheduler_.now(); }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] const PropagationModel& propagation() const { return *propagation_; }
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+  [[nodiscard]] Time transmission_time(std::size_t wire_bytes) const;
+  [[nodiscard]] const ChannelConfig& channel_config() const { return config_; }
+
+  /// Total bytes this device has put on the air (radio/energy load).
+  [[nodiscard]] std::uint64_t tx_bytes(DeviceId id) const { return tx_bytes_.at(id); }
+  /// Heaviest per-device radio load in the network (hotspot metric).
+  [[nodiscard]] std::uint64_t max_tx_bytes() const;
+
+  /// Remaining energy budget, joules (initial_j when accounting is off).
+  [[nodiscard]] double energy_j(DeviceId id) const { return energy_j_.at(id); }
+  /// Overrides one device's remaining budget (heterogeneous batteries).
+  void set_energy_j(DeviceId id, double joules) { energy_j_.at(id) = joules; }
+  [[nodiscard]] const EnergyConfig& energy_config() const { return energy_; }
+
+ private:
+  /// Drains `joules` from a device; kills it at exhaustion.
+  void drain(DeviceId id, double joules);
+
+  std::unique_ptr<PropagationModel> propagation_;
+  ChannelConfig config_;
+  EnergyConfig energy_;
+  util::Rng rng_;
+  Scheduler scheduler_;
+  Metrics metrics_;
+  std::vector<Device> devices_;
+  std::vector<std::function<void(const Packet&)>> receivers_;
+  std::vector<std::uint64_t> tx_bytes_;
+  std::vector<double> energy_j_;
+  /// Half-duplex: when each device's current transmission clears the air.
+  std::vector<Time> tx_busy_until_;
+  std::vector<std::optional<util::Circle>> jammers_;
+};
+
+}  // namespace snd::sim

@@ -1,0 +1,38 @@
+// The radio-layer frame exchanged between physical devices.
+//
+// The library distinguishes *devices* (physical radios, unique DeviceId)
+// from *identities* (NodeId, what protocols see). Replication attacks make
+// several devices claim one identity, so the claimed source identity in a
+// packet is data, not truth: `sender_device` records which physical radio
+// actually transmitted (used only by the channel and by ground-truth
+// auditing, never by protocol logic).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace snd::sim {
+
+using DeviceId = std::uint32_t;
+inline constexpr DeviceId kNoDevice = 0xffffffffu;
+
+struct Packet {
+  DeviceId sender_device = kNoDevice;
+  /// Claimed source identity (unauthenticated at this layer).
+  NodeId src = kNoNode;
+  /// Destination identity; kNoNode means local broadcast.
+  NodeId dst = kNoNode;
+  /// Protocol discriminator (each module defines its own message types).
+  std::uint8_t type = 0;
+  util::Bytes payload;
+
+  /// 802.15.4-style MAC/PHY framing overhead per transmission.
+  static constexpr std::size_t kHeaderBytes = 11;
+
+  [[nodiscard]] std::size_t wire_bytes() const { return kHeaderBytes + payload.size(); }
+  [[nodiscard]] bool is_broadcast() const { return dst == kNoNode; }
+};
+
+}  // namespace snd::sim

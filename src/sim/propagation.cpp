@@ -1,0 +1,61 @@
+#include "sim/propagation.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace snd::sim {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hash_position(util::Vec2 p) {
+  std::uint64_t xb = 0;
+  std::uint64_t yb = 0;
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(&xb, &p.x, sizeof(xb));
+  std::memcpy(&yb, &p.y, sizeof(yb));
+  return mix64(xb) ^ mix64(yb * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+Time PropagationModel::propagation_delay(double distance) {
+  constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+  return Time::nanoseconds(static_cast<std::int64_t>(distance / kSpeedOfLight * 1e9));
+}
+
+bool UnitDiskModel::link_exists(util::Vec2 a, util::Vec2 b) const {
+  return util::distance_squared(a, b) <= range_ * range_;
+}
+
+LogNormalModel::LogNormalModel(double range, double path_loss_exponent, double sigma_db,
+                               std::uint64_t seed)
+    : range_(range), exponent_(path_loss_exponent), sigma_db_(sigma_db), seed_(seed) {}
+
+double LogNormalModel::link_fade_db(util::Vec2 a, util::Vec2 b) const {
+  // Symmetric link hash: XOR makes the fade independent of endpoint order.
+  const std::uint64_t link_hash = mix64(hash_position(a) ^ hash_position(b) ^ seed_);
+  // Two 32-bit halves -> uniform pair -> one normal draw (Box-Muller).
+  const double u1 =
+      (static_cast<double>(link_hash >> 32) + 1.0) / 4294967297.0;  // (0, 1)
+  const double u2 = static_cast<double>(link_hash & 0xffffffffu) / 4294967296.0;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return sigma_db_ * z;
+}
+
+bool LogNormalModel::link_exists(util::Vec2 a, util::Vec2 b) const {
+  const double d = util::distance(a, b);
+  if (d <= 0.0) return true;
+  const double margin_db = 10.0 * exponent_ * std::log10(range_ / d) + link_fade_db(a, b);
+  return margin_db >= 0.0;
+}
+
+}  // namespace snd::sim

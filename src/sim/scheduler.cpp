@@ -1,0 +1,99 @@
+#include "sim/scheduler.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace snd::sim {
+
+EventId Scheduler::schedule_at(Time at, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at < now_ ? now_ : at, id, std::move(action)});
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  // Only remember cancellations that can still matter.
+  if (id < next_id_) cancelled_.insert(id);
+}
+
+void Scheduler::sift_up(std::size_t index) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 2;
+    if (!earlier(heap_[index], heap_[parent])) break;
+    std::swap(heap_[index], heap_[parent]);
+    index = parent;
+  }
+}
+
+void Scheduler::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = index;
+    const std::size_t left = 2 * index + 1;
+    const std::size_t right = 2 * index + 2;
+    if (left < n && earlier(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && earlier(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == index) return;
+    std::swap(heap_[index], heap_[smallest]);
+    index = smallest;
+  }
+}
+
+void Scheduler::drop_cancelled_head() {
+  if (heap_.empty()) {
+    // Nothing can be pending: any recorded cancellations are stale
+    // (cancel-after-fire) and can be forgotten.
+    cancelled_.clear();
+    return;
+  }
+  while (!heap_.empty() && !cancelled_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    if (heap_.size() > 1) heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  drop_cancelled_head();
+  if (heap_.empty()) return false;
+  out = std::move(heap_.front());
+  if (heap_.size() > 1) heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return true;
+}
+
+bool Scheduler::peek(Time& at) {
+  drop_cancelled_head();
+  if (heap_.empty()) return false;
+  at = heap_.front().at;
+  return true;
+}
+
+bool Scheduler::step() {
+  Entry entry;
+  if (!pop_next(entry)) return false;
+  now_ = entry.at;
+  entry.action();
+  ++executed_;
+  return true;
+}
+
+Time Scheduler::run_until(Time deadline) {
+  Time next;
+  while (peek(next)) {
+    if (next > deadline) return now_;
+    step();
+  }
+  return now_;
+}
+
+std::string Time::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", to_seconds());
+  return buf;
+}
+
+}  // namespace snd::sim

@@ -1,0 +1,46 @@
+// Simulation time as a strong type (integer nanoseconds). Integer ticks keep
+// event ordering exact and runs bit-reproducible across platforms.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace snd::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time nanoseconds(std::int64_t ns) { return Time(ns); }
+  static constexpr Time microseconds(std::int64_t us) { return Time(us * 1'000); }
+  static constexpr Time milliseconds(std::int64_t ms) { return Time(ms * 1'000'000); }
+  static constexpr Time seconds(double s) {
+    return Time(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Time zero() { return Time(0); }
+  /// Later than every schedulable event.
+  static constexpr Time infinity() { return Time(INT64_MAX); }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_milliseconds() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  constexpr Time& operator+=(Time other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace snd::sim

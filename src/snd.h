@@ -1,0 +1,26 @@
+// Umbrella header for the SND library: secure neighbor discovery against
+// node compromises in sensor networks (Liu, ICDCS 2009).
+//
+// Most applications only need:
+//   core::SndDeployment  -- build a field, run the protocol (deployment_driver.h)
+//   core::audit_safety   -- check d-safety empirically (safety.h)
+//   adversary::Attacker  -- mount compromise/replication attacks (attacker.h)
+//   analysis::FieldModel -- the paper's closed-form accuracy model (model.h)
+#pragma once
+
+#include "adversary/attacker.h"         // IWYU pragma: export
+#include "adversary/chaff.h"            // IWYU pragma: export
+#include "adversary/theorem_attack.h"   // IWYU pragma: export
+#include "adversary/wormhole.h"         // IWYU pragma: export
+#include "analysis/model.h"             // IWYU pragma: export
+#include "apps/aggregation.h"           // IWYU pragma: export
+#include "apps/clustering.h"            // IWYU pragma: export
+#include "apps/georouting.h"            // IWYU pragma: export
+#include "baseline/centralized.h"       // IWYU pragma: export
+#include "baseline/parno.h"             // IWYU pragma: export
+#include "core/deployment_driver.h"     // IWYU pragma: export
+#include "core/safety.h"                // IWYU pragma: export
+#include "core/validation.h"            // IWYU pragma: export
+#include "crypto/blundo.h"              // IWYU pragma: export
+#include "crypto/eg_pool.h"             // IWYU pragma: export
+#include "verify/verifier.h"            // IWYU pragma: export

@@ -1,0 +1,87 @@
+#include "topology/partition.h"
+
+#include <algorithm>
+#include <map>
+
+namespace snd::topology {
+
+namespace {
+
+// Union-find over node IDs.
+class DisjointSet {
+ public:
+  NodeId find(NodeId x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_.emplace(x, x);
+      return x;
+    }
+    if (it->second == x) return x;
+    const NodeId root = find(it->second);
+    it->second = root;  // path compression
+    return root;
+  }
+
+  void unite(NodeId a, NodeId b) {
+    const NodeId ra = find(a);
+    const NodeId rb = find(b);
+    if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
+  }
+
+ private:
+  std::map<NodeId, NodeId> parent_;
+};
+
+std::vector<std::vector<NodeId>> group_components(
+    const Digraph& graph, const std::function<bool(NodeId, NodeId)>& joined) {
+  DisjointSet sets;
+  for (NodeId u : graph.nodes()) sets.find(u);
+  for (const auto& [u, v] : graph.edges()) {
+    if (joined(u, v)) sets.unite(u, v);
+  }
+
+  std::map<NodeId, std::vector<NodeId>> by_root;
+  for (NodeId u : graph.nodes()) by_root[sets.find(u)].push_back(u);
+
+  std::vector<std::vector<NodeId>> components;
+  components.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    components.push_back(std::move(members));
+  }
+  std::sort(components.begin(), components.end(), [](const auto& a, const auto& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a.front() < b.front();
+  });
+  return components;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> weakly_connected_components(const Digraph& graph) {
+  return group_components(graph, [](NodeId, NodeId) { return true; });
+}
+
+std::vector<std::vector<NodeId>> mutual_components(const Digraph& graph) {
+  return group_components(graph,
+                          [&graph](NodeId u, NodeId v) { return graph.mutual_edge(u, v); });
+}
+
+PartitionReport analyze_partitions(
+    const Digraph& graph, const std::function<bool(const std::vector<NodeId>&)>& useful) {
+  const auto components = weakly_connected_components(graph);
+
+  PartitionReport report;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const bool is_useful = useful ? useful(components[i]) : i == 0;
+    if (is_useful) {
+      report.partitions.push_back(components[i]);
+    } else {
+      report.isolated.insert(report.isolated.end(), components[i].begin(), components[i].end());
+    }
+  }
+  std::sort(report.isolated.begin(), report.isolated.end());
+  return report;
+}
+
+}  // namespace snd::topology

@@ -1,0 +1,36 @@
+// Partition analysis of the functional topology (paper §3.1): the
+// functional graph may split into several partitions; a partition is
+// "useful" per an application-supplied predicate (the paper's example:
+// only the largest one), and nodes outside every useful partition are
+// isolated.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace snd::topology {
+
+/// Weakly connected components (edges treated as undirected), each sorted,
+/// ordered by descending size then by smallest member.
+std::vector<std::vector<NodeId>> weakly_connected_components(const Digraph& graph);
+
+/// Components over *mutual* edges only (both directions present) -- the
+/// conservative reading of "can actually be used by the application".
+std::vector<std::vector<NodeId>> mutual_components(const Digraph& graph);
+
+struct PartitionReport {
+  std::vector<std::vector<NodeId>> partitions;  // descending size
+  std::vector<NodeId> isolated;                 // nodes in no useful partition
+
+  [[nodiscard]] std::size_t useful_count() const { return partitions.size(); }
+};
+
+/// Splits nodes into useful partitions and isolated nodes. `useful` decides
+/// per component; defaults (when null) to "only the largest component".
+PartitionReport analyze_partitions(
+    const Digraph& graph,
+    const std::function<bool(const std::vector<NodeId>&)>& useful = nullptr);
+
+}  // namespace snd::topology

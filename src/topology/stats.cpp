@@ -1,0 +1,40 @@
+#include "topology/stats.h"
+
+#include <algorithm>
+
+namespace snd::topology {
+
+DegreeStats degree_stats(const Digraph& graph) {
+  DegreeStats stats;
+  if (graph.node_count() == 0) return stats;
+  stats.min_out_degree = SIZE_MAX;
+  double total = 0.0;
+  for (NodeId u : graph.nodes()) {
+    const std::size_t degree = graph.successors(u).size();
+    total += static_cast<double>(degree);
+    stats.min_out_degree = std::min(stats.min_out_degree, degree);
+    stats.max_out_degree = std::max(stats.max_out_degree, degree);
+  }
+  stats.mean_out_degree = total / static_cast<double>(graph.node_count());
+  return stats;
+}
+
+double edge_recall(const Digraph& actual, const Digraph& functional) {
+  if (actual.edge_count() == 0) return 1.0;
+  std::size_t kept = 0;
+  for (const auto& [u, v] : actual.edges()) {
+    if (functional.has_edge(u, v)) ++kept;
+  }
+  return static_cast<double>(kept) / static_cast<double>(actual.edge_count());
+}
+
+double edge_precision(const Digraph& actual, const Digraph& functional) {
+  if (functional.edge_count() == 0) return 1.0;
+  std::size_t genuine = 0;
+  for (const auto& [u, v] : functional.edges()) {
+    if (actual.has_edge(u, v)) ++genuine;
+  }
+  return static_cast<double>(genuine) / static_cast<double>(functional.edge_count());
+}
+
+}  // namespace snd::topology

@@ -1,0 +1,29 @@
+// Topology metrics: degree statistics and the paper's accuracy measure
+// (§3.2) -- the fraction of actual neighbor relations that survive into the
+// functional topology.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/graph.h"
+
+namespace snd::topology {
+
+struct DegreeStats {
+  double mean_out_degree = 0.0;
+  std::size_t min_out_degree = 0;
+  std::size_t max_out_degree = 0;
+};
+
+DegreeStats degree_stats(const Digraph& graph);
+
+/// Fraction of `actual`'s edges present in `functional` (1.0 for an empty
+/// actual graph). With `actual` = the geometric ground-truth neighbor graph
+/// restricted to benign nodes, this is the paper's accuracy metric.
+double edge_recall(const Digraph& actual, const Digraph& functional);
+
+/// Fraction of `functional`'s edges that are also in `actual` (precision);
+/// < 1.0 means fabricated relations were accepted.
+double edge_precision(const Digraph& actual, const Digraph& functional);
+
+}  // namespace snd::topology

@@ -1,0 +1,64 @@
+// Byte-buffer utilities: hex encoding, integer (de)serialization, and a
+// bounds-checked reader used by all wire formats in the library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snd::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding of a byte span.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decode a hex string; returns std::nullopt on odd length or bad digits.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Append big-endian fixed-width integers (wire formats are big-endian).
+void put_u8(Bytes& out, std::uint8_t v);
+void put_u16(Bytes& out, std::uint16_t v);
+void put_u32(Bytes& out, std::uint32_t v);
+void put_u64(Bytes& out, std::uint64_t v);
+void put_bytes(Bytes& out, std::span<const std::uint8_t> data);
+/// Length-prefixed (u16) byte string.
+void put_var_bytes(Bytes& out, std::span<const std::uint8_t> data);
+
+/// Sequential bounds-checked reader over an immutable byte span.
+/// All getters return std::nullopt once the buffer is exhausted; after a
+/// failed read the reader is poisoned and every further read fails, so
+/// callers may check a single read at the end of a parse sequence.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  /// Read exactly n raw bytes.
+  std::optional<Bytes> bytes(std::size_t n);
+  /// Read a u16 length prefix followed by that many bytes.
+  std::optional<Bytes> var_bytes();
+
+  [[nodiscard]] std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+  /// True iff no read has failed so far.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Constant-time byte-span equality (length leak only). Used for MAC checks.
+bool constant_time_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+}  // namespace snd::util

@@ -1,0 +1,49 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace snd::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      flags_.emplace(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      flags_.emplace(arg, argv[++i]);
+    } else {
+      flags_.emplace(arg, "true");
+    }
+  }
+}
+
+bool Cli::has(std::string_view name) const { return flags_.find(name) != flags_.end(); }
+
+std::string Cli::get(std::string_view name, std::string_view fallback) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? it->second : std::string(fallback);
+}
+
+std::int64_t Cli::get_int(std::string_view name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? std::strtoll(it->second.c_str(), nullptr, 10) : fallback;
+}
+
+double Cli::get_double(std::string_view name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+}
+
+bool Cli::get_bool(std::string_view name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace snd::util

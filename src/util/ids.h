@@ -1,0 +1,16 @@
+// Node identifiers, shared across every layer of the library.
+#pragma once
+
+#include <cstdint>
+
+namespace snd {
+
+/// A sensor node identity as it appears on the wire. Identities are what
+/// the adversary replicates: several physical radios may claim the same
+/// NodeId (replicas of a compromised node).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" / broadcast destination.
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+}  // namespace snd

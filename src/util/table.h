@@ -1,0 +1,32 @@
+// Aligned plain-text table printer; every bench binary reports its
+// paper-figure series through this so outputs are uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace snd::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snd::util

@@ -1,0 +1,103 @@
+#include "verify/verifier.h"
+
+#include <cmath>
+#include <limits>
+
+namespace snd::verify {
+
+namespace {
+
+/// Distance from `verifier` to the nearest alive device carrying the
+/// claimed identity's credentials; +inf if none exists.
+double distance_to_nearest_credentialed(const sim::Network& network, sim::DeviceId verifier,
+                                        NodeId claimed) {
+  const util::Vec2 from = network.device(verifier).position;
+  double best = std::numeric_limits<double>::infinity();
+  for (sim::DeviceId holder : network.devices_with_identity(claimed)) {
+    if (holder == verifier) continue;
+    best = std::min(best, util::distance(from, network.device(holder).position));
+  }
+  return best;
+}
+
+}  // namespace
+
+bool NaiveVerifier::verify(sim::Network& network, sim::DeviceId verifier, sim::DeviceId sender,
+                           NodeId claimed) {
+  (void)network;
+  (void)verifier;
+  (void)sender;
+  (void)claimed;
+  // Heard it, believe it: reception itself is the only evidence used.
+  return true;
+}
+
+bool OracleVerifier::verify(sim::Network& network, sim::DeviceId verifier, sim::DeviceId sender,
+                            NodeId claimed) {
+  (void)sender;
+  // "Neighbor" means an actual radio link (shadowing models included), so
+  // the oracle consults the propagation model, not a nominal-range disk.
+  for (sim::DeviceId holder : network.devices_with_identity(claimed)) {
+    if (holder != verifier && network.link(verifier, holder)) return true;
+  }
+  return false;
+}
+
+RttVerifier::RttVerifier(double clock_jitter_ns, double slack)
+    : clock_jitter_ns_(clock_jitter_ns), slack_(slack) {}
+
+bool RttVerifier::verify(sim::Network& network, sim::DeviceId verifier, sim::DeviceId sender,
+                         NodeId claimed) {
+  (void)sender;
+  constexpr double kSpeedOfLight = 299'792'458.0;
+  const double true_distance = distance_to_nearest_credentialed(network, verifier, claimed);
+  if (std::isinf(true_distance)) return false;  // nobody can authenticate the response
+
+  // Round trip with independent timestamping jitter at each end; adversarial
+  // delay can only lengthen the estimate, never shorten it.
+  const double jitter_ns =
+      network.rng().normal(0.0, clock_jitter_ns_) + network.rng().normal(0.0, clock_jitter_ns_);
+  const double rtt_ns = 2.0 * true_distance / kSpeedOfLight * 1e9 + std::abs(jitter_ns);
+  const double estimated = rtt_ns * 1e-9 * kSpeedOfLight / 2.0;
+
+  return estimated <= network.propagation().nominal_range() * slack_;
+}
+
+ImperfectVerifier::ImperfectVerifier(std::shared_ptr<DirectVerifier> inner,
+                                     double false_reject_rate, double false_accept_rate)
+    : inner_(std::move(inner)),
+      false_reject_rate_(false_reject_rate),
+      false_accept_rate_(false_accept_rate) {}
+
+bool ImperfectVerifier::verify(sim::Network& network, sim::DeviceId verifier,
+                               sim::DeviceId sender, NodeId claimed) {
+  const bool genuine = inner_->verify(network, verifier, sender, claimed);
+  if (genuine) return !network.rng().chance(false_reject_rate_);
+  return network.rng().chance(false_accept_rate_);
+}
+
+std::string ImperfectVerifier::name() const {
+  return "imperfect(" + inner_->name() + ")";
+}
+
+LocationVerifier::LocationVerifier(double measurement_tolerance)
+    : measurement_tolerance_(measurement_tolerance) {}
+
+bool LocationVerifier::verify(sim::Network& network, sim::DeviceId verifier,
+                              sim::DeviceId sender, NodeId claimed) {
+  (void)sender;
+  // The credentialed device signs its true position: replicas gain nothing
+  // by lying (they really are nearby), benign devices never lie, and an
+  // identity with no credentialed device cannot produce a signed claim.
+  const double claimed_distance = distance_to_nearest_credentialed(network, verifier, claimed);
+  if (std::isinf(claimed_distance)) return false;
+
+  // Signal-strength consistency check with measurement noise.
+  const double measured =
+      claimed_distance + network.rng().normal(0.0, measurement_tolerance_ / 2.0);
+  if (std::abs(measured - claimed_distance) > measurement_tolerance_) return false;
+
+  return claimed_distance <= network.propagation().nominal_range();
+}
+
+}  // namespace snd::verify

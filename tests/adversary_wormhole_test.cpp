@@ -1,0 +1,116 @@
+// Wormhole attack vs the direct-verification layer: relayed identities must
+// poison discovery when verification is absent and be rejected when the
+// paper's assumed verification is in place.
+#include "adversary/wormhole.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment_driver.h"
+#include "topology/stats.h"
+
+namespace snd::adversary {
+namespace {
+
+using core::DeploymentConfig;
+using core::SndDeployment;
+
+DeploymentConfig corridor_config(std::uint64_t seed = 31) {
+  DeploymentConfig config;
+  // Two pockets 400 m apart; only a wormhole can join them.
+  config.field = {{0.0, 0.0}, {500.0, 100.0}};
+  config.radio_range = 50.0;
+  config.protocol.threshold_t = 2;
+  config.seed = seed;
+  return config;
+}
+
+/// Deploys two clusters of `per_side` nodes around x=50 and x=450.
+std::pair<std::vector<NodeId>, std::vector<NodeId>> deploy_pockets(SndDeployment& deployment,
+                                                                   std::size_t per_side) {
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  for (std::size_t i = 0; i < per_side; ++i) {
+    const double dx = 8.0 * static_cast<double>(i % 4);
+    const double dy = 10.0 * static_cast<double>(i / 4);
+    left.push_back(deployment.deploy_node_at({40.0 + dx, 30.0 + dy}));
+    right.push_back(deployment.deploy_node_at({440.0 + dx, 30.0 + dy}));
+  }
+  return {left, right};
+}
+
+bool any_cross_pocket_edge(const topology::Digraph& graph, const std::vector<NodeId>& left,
+                           const std::vector<NodeId>& right) {
+  for (NodeId u : left) {
+    for (NodeId v : right) {
+      if (graph.has_edge(u, v) || graph.has_edge(v, u)) return true;
+    }
+  }
+  return false;
+}
+
+TEST(WormholeTest, PoisonsTentativeListsWithoutVerification) {
+  SndDeployment deployment(corridor_config());
+  deployment.set_verifier(std::make_shared<verify::NaiveVerifier>());
+  Wormhole wormhole(deployment.network(), {50.0, 50.0}, {450.0, 50.0});
+  wormhole.start();
+  const auto [left, right] = deploy_pockets(deployment, 8);
+  deployment.run();
+
+  EXPECT_GT(wormhole.packets_tunneled(), 0u);
+  EXPECT_TRUE(any_cross_pocket_edge(deployment.tentative_graph(), left, right));
+  // The threshold rule alone cannot save this: relayed records flow too,
+  // and the two pockets share "common neighbors" through the tunnel.
+  EXPECT_TRUE(any_cross_pocket_edge(deployment.functional_graph(), left, right));
+}
+
+TEST(WormholeTest, DefeatedByOracleVerification) {
+  SndDeployment deployment(corridor_config());
+  Wormhole wormhole(deployment.network(), {50.0, 50.0}, {450.0, 50.0});
+  wormhole.start();
+  const auto [left, right] = deploy_pockets(deployment, 8);
+  deployment.run();
+
+  EXPECT_GT(wormhole.packets_tunneled(), 0u);  // traffic was relayed...
+  // ...but no relayed identity survived verification.
+  EXPECT_FALSE(any_cross_pocket_edge(deployment.tentative_graph(), left, right));
+  EXPECT_FALSE(any_cross_pocket_edge(deployment.functional_graph(), left, right));
+}
+
+TEST(WormholeTest, DefeatedByRttDistanceBounding) {
+  SndDeployment deployment(corridor_config(33));
+  deployment.set_verifier(std::make_shared<verify::RttVerifier>());
+  Wormhole wormhole(deployment.network(), {50.0, 50.0}, {450.0, 50.0});
+  wormhole.start();
+  const auto [left, right] = deploy_pockets(deployment, 8);
+  deployment.run();
+  EXPECT_FALSE(any_cross_pocket_edge(deployment.functional_graph(), left, right));
+}
+
+TEST(WormholeTest, LocalTrafficUnaffected) {
+  SndDeployment clean(corridor_config(35));
+  const auto [clean_left, clean_right] = deploy_pockets(clean, 8);
+  clean.run();
+
+  SndDeployment attacked(corridor_config(35));
+  Wormhole wormhole(attacked.network(), {50.0, 50.0}, {450.0, 50.0});
+  wormhole.start();
+  const auto [left, right] = deploy_pockets(attacked, 8);
+  attacked.run();
+
+  // In-pocket functional relations are identical with and without the
+  // tunnel under oracle verification.
+  EXPECT_EQ(clean.functional_graph().edge_count(), attacked.functional_graph().edge_count());
+}
+
+TEST(WormholeTest, TunnelCountsTraffic) {
+  SndDeployment deployment(corridor_config(37));
+  Wormhole wormhole(deployment.network(), {50.0, 50.0}, {450.0, 50.0});
+  wormhole.start();
+  deploy_pockets(deployment, 4);
+  deployment.run();
+  // Both ends hear hellos/acks/records and tunnel them across.
+  EXPECT_GT(wormhole.packets_tunneled(), 8u);
+}
+
+}  // namespace
+}  // namespace snd::adversary

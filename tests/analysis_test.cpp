@@ -1,0 +1,141 @@
+#include "analysis/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/geometry.h"
+
+namespace snd::analysis {
+namespace {
+
+// The paper's evaluation setting: one node per 50 m^2, R = 50 m.
+const FieldModel kPaperModel{0.02, 50.0};
+
+TEST(FieldModelTest, ExpectedNeighborsPaperSetting) {
+  EXPECT_NEAR(kPaperModel.expected_neighbors(), 0.02 * std::numbers::pi * 2500.0 - 1.0, 1e-9);
+}
+
+TEST(FieldModelTest, CommonNeighborsDecreasesWithDistance) {
+  double previous = kPaperModel.expected_common_neighbors(0.0);
+  for (double c = 0.1; c <= 2.0; c += 0.1) {
+    const double current = kPaperModel.expected_common_neighbors(c);
+    EXPECT_LT(current, previous) << "c = " << c;
+    previous = current;
+  }
+}
+
+TEST(FieldModelTest, TauSolvesTheThresholdEquation) {
+  for (std::size_t t : {5u, 20u, 60u, 100u}) {
+    const double tau = kPaperModel.tau_for_threshold(t);
+    ASSERT_GT(tau, 0.0);
+    ASSERT_LT(tau, 2.0);
+    EXPECT_NEAR(kPaperModel.expected_common_neighbors(tau), static_cast<double>(t) + 1.0, 1e-6)
+        << "t = " << t;
+  }
+}
+
+TEST(FieldModelTest, TauZeroWhenUnreachable) {
+  // t far above the coincident-node maximum (~155).
+  EXPECT_EQ(kPaperModel.tau_for_threshold(500), 0.0);
+  EXPECT_EQ(kPaperModel.accuracy(500), 0.0);
+}
+
+TEST(FieldModelTest, TauTwoWhenTrivial) {
+  // Huge density: even nodes 2R apart share plenty of neighbors... at
+  // exactly c=2 the lens is empty, so N(2) = -2 < t+1 always; tau < 2.
+  const FieldModel dense{10.0, 50.0};
+  EXPECT_LT(dense.tau_for_threshold(0), 2.0);
+  EXPECT_GT(dense.tau_for_threshold(0), 1.5);
+}
+
+TEST(FieldModelTest, AccuracyMonotoneNonIncreasingInT) {
+  double previous = 1.1;
+  for (std::size_t t = 0; t <= 150; t += 5) {
+    const double accuracy = kPaperModel.accuracy(t);
+    EXPECT_LE(accuracy, previous + 1e-12) << "t = " << t;
+    previous = accuracy;
+  }
+}
+
+TEST(FieldModelTest, AccuracyFullAtLowThreshold) {
+  // Paper Figure 3: small t keeps essentially all neighbors.
+  EXPECT_GT(kPaperModel.accuracy(10), 0.95);
+}
+
+TEST(FieldModelTest, AccuracyCollapsesAtHighThreshold) {
+  EXPECT_LT(kPaperModel.accuracy(140), 0.1);
+}
+
+TEST(FieldModelTest, ApproximationTracksExactModel) {
+  for (std::size_t t = 0; t <= 150; t += 10) {
+    EXPECT_NEAR(kPaperModel.accuracy(t), kPaperModel.accuracy_approx(t), 0.05) << "t = " << t;
+  }
+}
+
+TEST(FieldModelTest, AccuracyIncreasesWithDensity) {
+  // Paper Figure 4: for fixed t, denser deployments validate more.
+  const std::size_t t = 30;
+  double previous = -1.0;
+  for (double density : {0.02, 0.05, 0.08, 0.12, 0.2}) {
+    const FieldModel model{density, 50.0};
+    const double accuracy = model.accuracy(t);
+    EXPECT_GE(accuracy, previous) << "density = " << density;
+    previous = accuracy;
+  }
+}
+
+TEST(FieldModelTest, MaxThresholdForAccuracyInverts) {
+  const std::size_t t = kPaperModel.max_threshold_for_accuracy(0.5);
+  EXPECT_GE(kPaperModel.accuracy(t), 0.5);
+  EXPECT_LT(kPaperModel.accuracy(t + 1), 0.5);
+}
+
+TEST(FieldModelTest, MaxThresholdZeroWhenTargetUnreachable) {
+  const FieldModel sparse{0.0001, 50.0};
+  EXPECT_EQ(sparse.max_threshold_for_accuracy(0.9), 0u);
+}
+
+TEST(BorderModelTest, CenterMatchesInfinitePlane) {
+  // Center of a 200x200 field with R=50: the whole disk fits; border
+  // correction must equal the infinite-plane expectation.
+  const FieldModel model{0.02, 50.0};
+  const double corrected =
+      expected_neighbors_at(model, {100.0, 100.0, 200.0, 200.0});
+  EXPECT_NEAR(corrected, model.expected_neighbors(), 1e-6);
+}
+
+TEST(BorderModelTest, CornerSeesAQuarter) {
+  const FieldModel model{0.02, 50.0};
+  const double corner = expected_neighbors_at(model, {0.0, 0.0, 200.0, 200.0});
+  // Quarter disk: D*pi*R^2/4 - 1.
+  EXPECT_NEAR(corner, (model.expected_neighbors() + 1.0) / 4.0 - 1.0, 1e-6);
+}
+
+TEST(BorderModelTest, EdgeSeesAHalf) {
+  const FieldModel model{0.02, 50.0};
+  const double edge = expected_neighbors_at(model, {0.0, 100.0, 200.0, 200.0});
+  EXPECT_NEAR(edge, (model.expected_neighbors() + 1.0) / 2.0 - 1.0, 1e-6);
+}
+
+TEST(BorderModelTest, MonotoneTowardTheInterior) {
+  const FieldModel model{0.02, 50.0};
+  double previous = -10.0;
+  for (double x : {0.0, 10.0, 25.0, 40.0, 50.0}) {
+    const double expected = expected_neighbors_at(model, {x, 100.0, 200.0, 200.0});
+    EXPECT_GT(expected, previous);
+    previous = expected;
+  }
+}
+
+TEST(FieldModelTest, ConsistentWithLensGeometry) {
+  // N(c) must equal density * lens_area - 2 for all c.
+  for (double c : {0.3, 0.7, 1.2, 1.8}) {
+    EXPECT_NEAR(kPaperModel.expected_common_neighbors(c),
+                0.02 * util::lens_area(50.0, c * 50.0) - 2.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace snd::analysis

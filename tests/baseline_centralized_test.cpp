@@ -1,0 +1,85 @@
+#include "baseline/centralized.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/stats.h"
+
+namespace snd::baseline {
+namespace {
+
+class CentralizedTest : public ::testing::Test {
+ protected:
+  CentralizedTest() : deployment_(make_config()) {
+    base_station_ = deployment_.network().add_device(0, {100.0, 100.0});
+    deployment_.deploy_round(200);
+    deployment_.run();
+  }
+
+  static core::DeploymentConfig make_config() {
+    core::DeploymentConfig config;
+    config.field = {{0.0, 0.0}, {200.0, 200.0}};
+    config.radio_range = 50.0;
+    config.protocol.threshold_t = 6;
+    config.seed = 9;
+    return config;
+  }
+
+  core::SndDeployment deployment_;
+  sim::DeviceId base_station_{};
+};
+
+TEST_F(CentralizedTest, DecisionsMatchLocalizedProtocol) {
+  const CentralizedResult result =
+      run_centralized_validation(deployment_, base_station_, 6);
+  // Same rule, same records: on a connected field the central functional
+  // topology contains exactly the localized one.
+  const topology::Digraph local = deployment_.functional_graph();
+  EXPECT_DOUBLE_EQ(topology::edge_recall(local, result.functional), 1.0);
+  EXPECT_DOUBLE_EQ(topology::edge_recall(result.functional, local), 1.0);
+}
+
+TEST_F(CentralizedTest, CostsAreAccounted) {
+  const CentralizedResult result =
+      run_centralized_validation(deployment_, base_station_, 6);
+  EXPECT_GT(result.uplink_messages, 200u);  // multi-hop: more messages than nodes
+  EXPECT_GT(result.uplink_bytes, result.uplink_messages);
+  EXPECT_GT(result.downlink_messages, 0u);
+  EXPECT_EQ(result.total_messages(), result.uplink_messages + result.downlink_messages);
+  EXPECT_GT(result.max_relayed_bytes, 0u);
+}
+
+TEST_F(CentralizedTest, HotspotExceedsMeanLoad) {
+  const CentralizedResult result =
+      run_centralized_validation(deployment_, base_station_, 6);
+  const double mean_load =
+      static_cast<double>(result.total_bytes()) / static_cast<double>(200);
+  EXPECT_GT(static_cast<double>(result.max_relayed_bytes), 2.0 * mean_load);
+}
+
+TEST_F(CentralizedTest, StricterThresholdFewerEdges) {
+  const CentralizedResult loose = run_centralized_validation(deployment_, base_station_, 2);
+  const CentralizedResult strict = run_centralized_validation(deployment_, base_station_, 40);
+  EXPECT_GT(loose.functional.edge_count(), strict.functional.edge_count());
+}
+
+TEST(CentralizedIsolatedTest, UnreachableNodesReported) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {400.0, 50.0}};
+  config.radio_range = 30.0;
+  config.protocol.threshold_t = 1;
+  config.seed = 4;
+  core::SndDeployment deployment(config);
+  const sim::DeviceId bs = deployment.network().add_device(0, {10.0, 25.0});
+  // Two pockets with a gap greedy routing cannot cross.
+  for (int i = 0; i < 8; ++i) {
+    deployment.deploy_node_at({20.0 + 8.0 * i, 25.0});
+    deployment.deploy_node_at({330.0 + 8.0 * i, 25.0});
+  }
+  deployment.run();
+  const CentralizedResult result = run_centralized_validation(deployment, bs, 1);
+  EXPECT_GT(result.unreachable_nodes, 0u);
+  EXPECT_LT(result.unreachable_nodes, 16u);
+}
+
+}  // namespace
+}  // namespace snd::baseline

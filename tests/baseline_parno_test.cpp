@@ -1,0 +1,120 @@
+#include "baseline/parno.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::baseline {
+namespace {
+
+std::unique_ptr<sim::Network> grid_network(std::size_t nx, std::size_t ny, double spacing,
+                                           double range) {
+  auto network = std::make_unique<sim::Network>(std::make_unique<sim::UnitDiskModel>(range),
+                                                sim::ChannelConfig{}, 1);
+  NodeId id = 1;
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      network->add_device(id++, {static_cast<double>(x) * spacing,
+                                 static_cast<double>(y) * spacing});
+    }
+  }
+  return network;
+}
+
+class ParnoTest : public ::testing::Test {
+ protected:
+  ParnoTest() : network_(grid_network(12, 12, 10.0, 16.0)), authority_(1) {}
+
+  std::unique_ptr<sim::Network> network_;
+  crypto::SimSignatureAuthority authority_;
+  ParnoConfig config_;
+};
+
+TEST_F(ParnoTest, NoReplicasNothingDetected) {
+  ParnoDetector detector(*network_, authority_, 2);
+  const DetectionResult result = detector.randomized_multicast(config_);
+  EXPECT_EQ(result.replicated_identities, 0u);
+  EXPECT_TRUE(result.detected.empty());
+  EXPECT_DOUBLE_EQ(result.detection_rate(), 1.0);
+}
+
+TEST_F(ParnoTest, RandomizedMulticastDetectsReplicaEventually) {
+  network_->add_replica(1, {110, 110});  // clone of the corner node
+  // Aggregate over several independent rounds: detection is probabilistic.
+  int detections = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ParnoDetector detector(*network_, authority_, seed);
+    ParnoConfig config = config_;
+    config.witnesses_per_neighbor = 8;
+    config.forward_probability = 0.5;
+    if (detector.randomized_multicast(config).detected.contains(1)) ++detections;
+  }
+  EXPECT_GT(detections, 3);
+}
+
+TEST_F(ParnoTest, LineSelectedDetectsReplicaEventually) {
+  network_->add_replica(1, {110, 110});
+  int detections = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ParnoDetector detector(*network_, authority_, seed);
+    ParnoConfig config = config_;
+    config.lines_per_claim = 8;
+    config.forward_probability = 1.0;
+    if (detector.line_selected_multicast(config).detected.contains(1)) ++detections;
+  }
+  EXPECT_GT(detections, 5);  // line intersection detects more reliably
+}
+
+TEST_F(ParnoTest, CostsAreAccounted) {
+  ParnoDetector detector(*network_, authority_, 3);
+  const DetectionResult result = detector.randomized_multicast(config_);
+  // Every device signs once.
+  EXPECT_EQ(result.sign_ops, network_->device_count());
+  EXPECT_GT(result.verify_ops, result.sign_ops);  // neighbors + witnesses verify
+  EXPECT_GT(result.messages, network_->device_count());  // forwarding hops exist
+  EXPECT_GT(result.bytes, result.messages);  // every message is > 1 byte
+}
+
+TEST_F(ParnoTest, LineSelectedStoresMoreClaimsPerNode) {
+  ParnoConfig config = config_;
+  config.forward_probability = 1.0;
+  config.lines_per_claim = 4;
+  config.witnesses_per_neighbor = 1;
+
+  ParnoDetector random_detector(*network_, authority_, 5);
+  const DetectionResult randomized = random_detector.randomized_multicast(config);
+  ParnoDetector line_detector(*network_, authority_, 5);
+  const DetectionResult line = line_detector.line_selected_multicast(config);
+  // Storing along whole paths necessarily stores more than endpoints only,
+  // per unit of routing.
+  EXPECT_GT(line.mean_stored_claims, 0.0);
+  EXPECT_GT(randomized.mean_stored_claims, 0.0);
+}
+
+TEST_F(ParnoTest, DetectionRateDefinition) {
+  DetectionResult result;
+  result.replicated_identities = 4;
+  result.detected_identities = 1;
+  EXPECT_DOUBLE_EQ(result.detection_rate(), 0.25);
+}
+
+TEST_F(ParnoTest, MoreWitnessesImproveDetection) {
+  network_->add_replica(5, {115, 5});
+  auto rate_with = [&](std::size_t witnesses) {
+    int detections = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      ParnoDetector detector(*network_, authority_, seed);
+      ParnoConfig config = config_;
+      config.witnesses_per_neighbor = witnesses;
+      config.forward_probability = 0.5;
+      if (detector.randomized_multicast(config).detected.contains(5)) ++detections;
+    }
+    return detections;
+  };
+  EXPECT_GE(rate_with(10), rate_with(1));
+}
+
+TEST_F(ParnoTest, ClaimBytesMatchEcdsaAssumption) {
+  EXPECT_EQ(kClaimBytes, 4u + 16u + 40u);
+}
+
+}  // namespace
+}  // namespace snd::baseline

@@ -1,0 +1,96 @@
+// Tests of the early-erasure variant (paper §6 future work: "delete the
+// master key K quickly without waiting for the completion of neighbor
+// discovery").
+#include <gtest/gtest.h>
+
+#include "core/deployment_driver.h"
+#include "topology/stats.h"
+
+namespace snd::core {
+namespace {
+
+DeploymentConfig config_with(bool early, double loss = 0.0, std::uint64_t seed = 6) {
+  DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {100.0, 100.0}};
+  config.radio_range = 60.0;
+  config.channel_loss = loss;
+  config.protocol.threshold_t = 4;
+  config.protocol.early_erasure = early;
+  config.seed = seed;
+  return config;
+}
+
+TEST(EarlyErasureTest, ShrinksExposureWindow) {
+  SndDeployment fixed(config_with(false));
+  fixed.deploy_round(60);
+  fixed.run();
+  SndDeployment early(config_with(true));
+  early.deploy_round(60);
+  early.run();
+
+  double fixed_mean = 0.0;
+  double early_mean = 0.0;
+  for (const SndNode* agent : fixed.agents()) fixed_mean += agent->key_exposure().to_seconds();
+  for (const SndNode* agent : early.agents()) early_mean += agent->key_exposure().to_seconds();
+  fixed_mean /= 60.0;
+  early_mean /= 60.0;
+
+  EXPECT_LT(early_mean, fixed_mean * 0.8);
+}
+
+TEST(EarlyErasureTest, SameFunctionalTopology) {
+  SndDeployment fixed(config_with(false));
+  fixed.deploy_round(60);
+  fixed.run();
+  SndDeployment early(config_with(true));
+  early.deploy_round(60);
+  early.run();
+  EXPECT_TRUE(fixed.functional_graph() == early.functional_graph());
+}
+
+TEST(EarlyErasureTest, KeyStillErasedEventually) {
+  SndDeployment deployment(config_with(true));
+  deployment.deploy_round(40);
+  deployment.run();
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_FALSE(agent->master_key_present());
+  }
+}
+
+TEST(EarlyErasureTest, FallsBackToWindowUnderLoss) {
+  // With loss, some record replies vanish; those nodes must still erase K
+  // when the exchange window closes, not hold it forever.
+  SndDeployment deployment(config_with(true, 0.15, 8));
+  deployment.deploy_round(80);
+  deployment.run();
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_FALSE(agent->master_key_present()) << "node " << agent->identity();
+    const double exposure_ms = agent->key_exposure().to_milliseconds();
+    EXPECT_LE(exposure_ms, 520.0);  // discovery + exchange window + slack
+  }
+}
+
+TEST(EarlyErasureTest, ExposureMeasuredFromDeployment) {
+  SndDeployment deployment(config_with(false));
+  const NodeId first = deployment.deploy_node_at({10, 10});
+  deployment.run();
+  // Second round deploys later; its exposure must be measured from its own
+  // deployment time, not simulation zero.
+  const NodeId second = deployment.deploy_node_at({20, 20});
+  deployment.run();
+  const double first_ms = deployment.agent(first)->key_exposure().to_milliseconds();
+  const double second_ms = deployment.agent(second)->key_exposure().to_milliseconds();
+  EXPECT_NEAR(first_ms, second_ms, 50.0);
+}
+
+TEST(EarlyErasureTest, RunningExposureWhileKeyHeld) {
+  SndDeployment deployment(config_with(false));
+  deployment.deploy_round(10);
+  deployment.run_for(sim::Time::milliseconds(100));
+  const SndNode* agent = deployment.agents().front();
+  ASSERT_TRUE(agent->master_key_present());
+  EXPECT_GT(agent->key_exposure().to_milliseconds(), 50.0);
+}
+
+}  // namespace
+}  // namespace snd::core

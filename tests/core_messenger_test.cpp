@@ -1,0 +1,137 @@
+#include "core/messenger.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::core {
+namespace {
+
+class MessengerTest : public ::testing::Test {
+ protected:
+  MessengerTest()
+      : network_(std::make_unique<sim::UnitDiskModel>(100.0), sim::ChannelConfig{}, 1),
+        keys_(crypto::KdcScheme::from_seed(5)) {
+    alice_device_ = network_.add_device(1, {0, 0});
+    bob_device_ = network_.add_device(2, {10, 0});
+    eve_device_ = network_.add_device(3, {5, 5});
+    alice_ = std::make_unique<Messenger>(network_, alice_device_, 1, keys_);
+    bob_ = std::make_unique<Messenger>(network_, bob_device_, 2, keys_);
+    network_.set_receiver(bob_device_, [this](const sim::Packet& p) {
+      last_packet_ = p;
+      ++packets_seen_;
+      if (auto payload = bob_->open(p)) {
+        last_payload_ = *payload;
+        ++accepted_;
+      }
+    });
+  }
+
+  void run() { network_.scheduler().run(); }
+
+  sim::Network network_;
+  std::shared_ptr<crypto::KeyPredistribution> keys_;
+  sim::DeviceId alice_device_{}, bob_device_{}, eve_device_{};
+  std::unique_ptr<Messenger> alice_, bob_;
+  sim::Packet last_packet_;
+  util::Bytes last_payload_;
+  int packets_seen_ = 0;
+  int accepted_ = 0;
+};
+
+TEST_F(MessengerTest, AuthenticatedRoundTrip) {
+  EXPECT_TRUE(alice_->send(2, 9, {1, 2, 3}, "test"));
+  run();
+  EXPECT_EQ(accepted_, 1);
+  EXPECT_EQ(last_payload_, (util::Bytes{1, 2, 3}));
+}
+
+TEST_F(MessengerTest, EmptyPayloadRoundTrip) {
+  EXPECT_TRUE(alice_->send(2, 9, {}, "test"));
+  run();
+  EXPECT_EQ(accepted_, 1);
+  EXPECT_TRUE(last_payload_.empty());
+}
+
+TEST_F(MessengerTest, WrongDestinationIgnored) {
+  alice_->send(99, 9, {1}, "test");  // bob overhears but it is not for him
+  run();
+  EXPECT_EQ(packets_seen_, 1);
+  EXPECT_EQ(accepted_, 0);
+}
+
+TEST_F(MessengerTest, ReplayRejected) {
+  alice_->send(2, 9, {1}, "test");
+  run();
+  ASSERT_EQ(accepted_, 1);
+  // Eve replays the captured packet verbatim from her own radio.
+  sim::Packet replay = last_packet_;
+  network_.transmit(eve_device_, std::move(replay), "attack");
+  run();
+  EXPECT_EQ(packets_seen_, 2);
+  EXPECT_EQ(accepted_, 1);  // replay must not be accepted again
+}
+
+TEST_F(MessengerTest, SpoofedSourceRejected) {
+  // Eve fabricates a packet claiming to be identity 1 without the MAC key.
+  util::Bytes body = {0xde, 0xad};
+  util::put_u64(body, 12345);                         // nonce
+  body.insert(body.end(), crypto::kShortMacSize, 0);  // junk MAC
+  network_.transmit(eve_device_,
+                    sim::Packet{.src = 1, .dst = 2, .type = 9, .payload = std::move(body)},
+                    "attack");
+  run();
+  EXPECT_EQ(packets_seen_, 1);
+  EXPECT_EQ(accepted_, 0);
+}
+
+TEST_F(MessengerTest, TamperedPayloadRejected) {
+  alice_->send(2, 9, {1, 2, 3}, "test");
+  run();
+  sim::Packet tampered = last_packet_;
+  tampered.payload[0] ^= 0xff;
+  network_.transmit(eve_device_, std::move(tampered), "attack");
+  run();
+  EXPECT_EQ(accepted_, 1);
+}
+
+TEST_F(MessengerTest, TypeIsAuthenticated) {
+  alice_->send(2, 9, {1}, "test");
+  run();
+  sim::Packet retyped = last_packet_;
+  retyped.type = 7;  // change the message type, keep payload+MAC
+  network_.transmit(eve_device_, std::move(retyped), "attack");
+  run();
+  EXPECT_EQ(accepted_, 1);
+}
+
+TEST_F(MessengerTest, UnauthBroadcastHasNoMacOverhead) {
+  alice_->broadcast(1, {5, 5}, "hello");
+  run();
+  EXPECT_EQ(last_packet_.payload.size(), 2u);
+  EXPECT_TRUE(last_packet_.is_broadcast());
+}
+
+TEST_F(MessengerTest, SendUnauthAddressesPacket) {
+  alice_->send_unauth(2, 2, {7}, "ack");
+  run();
+  EXPECT_EQ(last_packet_.dst, 2u);
+  EXPECT_EQ(last_packet_.payload, (util::Bytes{7}));
+}
+
+TEST_F(MessengerTest, DistinctSendersDistinctNonces) {
+  // A second device speaking as identity 1 (replica scenario) must not
+  // collide with the original's nonces at the receiver.
+  const sim::DeviceId replica = network_.add_replica(1, {20, 0});
+  Messenger replica_messenger(network_, replica, 1, keys_);
+  alice_->send(2, 9, {1}, "test");
+  replica_messenger.send(2, 9, {2}, "test");
+  run();
+  EXPECT_EQ(accepted_, 2);
+}
+
+TEST_F(MessengerTest, SendFailsWithoutPairwiseKey) {
+  // Identity 1 talking to itself has no pairwise key under any scheme.
+  EXPECT_FALSE(alice_->send(1, 9, {1}, "test"));
+}
+
+}  // namespace
+}  // namespace snd::core

@@ -1,0 +1,255 @@
+// Integration tests of the full protocol running over the simulated radio.
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deployment_driver.h"
+#include "crypto/blundo.h"
+#include "topology/stats.h"
+
+namespace snd::core {
+namespace {
+
+DeploymentConfig dense_config(std::size_t t = 3, std::uint64_t seed = 1) {
+  DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {60.0, 60.0}};
+  config.radio_range = 100.0;  // everyone hears everyone
+  config.protocol.threshold_t = t;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ProtocolTest, DiscoveryFindsAllPhysicalNeighbors) {
+  SndDeployment deployment(dense_config());
+  deployment.deploy_round(12);
+  deployment.run();
+  // Fully connected field: every node's tentative list has everyone else.
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_EQ(agent->tentative_neighbors().size(), 11u) << "node " << agent->identity();
+  }
+}
+
+TEST(ProtocolTest, FunctionalEqualsTentativeWhenThresholdMet) {
+  SndDeployment deployment(dense_config(3));
+  deployment.deploy_round(12);
+  deployment.run();
+  // 10 common neighbors per pair > t+1 = 4: everything validates.
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_EQ(agent->functional_neighbors(), agent->tentative_neighbors());
+  }
+}
+
+TEST(ProtocolTest, NothingValidatesAboveAchievableOverlap) {
+  // 12 nodes: max overlap is 10 common neighbors; t = 15 cannot be met.
+  SndDeployment deployment(dense_config(15));
+  deployment.deploy_round(12);
+  deployment.run();
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_TRUE(agent->functional_neighbors().empty());
+  }
+}
+
+TEST(ProtocolTest, ThresholdBoundaryExact) {
+  // 12 nodes fully connected: |N(u) ∩ N(v)| = 10 for every pair.
+  // t = 9 -> needs 10 -> passes; t = 10 -> needs 11 -> fails.
+  SndDeployment pass(dense_config(9));
+  pass.deploy_round(12);
+  pass.run();
+  EXPECT_FALSE(pass.agent(1)->functional_neighbors().empty());
+
+  SndDeployment fail(dense_config(10));
+  fail.deploy_round(12);
+  fail.run();
+  EXPECT_TRUE(fail.agent(1)->functional_neighbors().empty());
+}
+
+TEST(ProtocolTest, MasterKeyErasedAfterDiscovery) {
+  SndDeployment deployment(dense_config());
+  deployment.deploy_round(5);
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_TRUE(agent->master_key_present());  // before the run
+  }
+  deployment.run();
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_FALSE(agent->master_key_present()) << "node " << agent->identity();
+    EXPECT_TRUE(agent->discovery_complete());
+  }
+}
+
+TEST(ProtocolTest, BindingRecordCommitsToTentativeList) {
+  SndDeployment deployment(dense_config());
+  deployment.deploy_round(6);
+  deployment.run();
+  const SndNode* agent = deployment.agent(1);
+  ASSERT_TRUE(agent->has_record());
+  EXPECT_EQ(agent->record().neighbors, agent->tentative_neighbors());
+  EXPECT_EQ(agent->record().version, 0u);
+  EXPECT_EQ(agent->record().node, 1u);
+  EXPECT_TRUE(agent->record().verify(deployment.master_key()));
+}
+
+TEST(ProtocolTest, FunctionalRelationsAreMutual) {
+  SndDeployment deployment(dense_config(2));
+  deployment.deploy_round(10);
+  deployment.run();
+  const auto functional = deployment.functional_graph();
+  for (const auto& [u, v] : functional.edges()) {
+    EXPECT_TRUE(functional.has_edge(v, u)) << u << " -> " << v << " not reciprocated";
+  }
+}
+
+TEST(ProtocolTest, SecretsRespectErasure) {
+  SndDeployment deployment(dense_config());
+  deployment.deploy_round(5);
+  deployment.run();
+  const SndNode::Secrets secrets = deployment.agent(1)->steal_secrets();
+  EXPECT_FALSE(secrets.master.present());
+  EXPECT_TRUE(secrets.verification_key.present());
+  ASSERT_TRUE(secrets.record.has_value());
+  EXPECT_EQ(secrets.tentative.size(), 4u);
+}
+
+TEST(ProtocolTest, SecretsBeforeErasureIncludeMaster) {
+  SndDeployment deployment(dense_config());
+  deployment.deploy_round(5);
+  // Steal mid-discovery: the key must still be there.
+  deployment.run_for(sim::Time::milliseconds(50));
+  const SndNode::Secrets secrets = deployment.agent(1)->steal_secrets();
+  EXPECT_TRUE(secrets.master.present());
+}
+
+TEST(ProtocolTest, IsolatedNodeHasEmptyLists) {
+  DeploymentConfig config = dense_config();
+  config.radio_range = 5.0;
+  SndDeployment deployment(config);
+  deployment.deploy_node_at({0, 0});
+  deployment.deploy_node_at({50, 50});  // out of range
+  deployment.run();
+  EXPECT_TRUE(deployment.agent(1)->tentative_neighbors().empty());
+  EXPECT_TRUE(deployment.agent(1)->functional_neighbors().empty());
+  EXPECT_TRUE(deployment.agent(1)->has_record());
+}
+
+TEST(ProtocolTest, TwoNodesAloneCannotMeetPositiveThreshold) {
+  // Two neighbors share zero common neighbors: any t >= 0 needs t+1 >= 1.
+  SndDeployment deployment(dense_config(0));
+  deployment.deploy_node_at({0, 0});
+  deployment.deploy_node_at({10, 0});
+  deployment.run();
+  EXPECT_EQ(deployment.agent(1)->tentative_neighbors().size(), 1u);
+  EXPECT_TRUE(deployment.agent(1)->functional_neighbors().empty());
+}
+
+TEST(ProtocolTest, TriangleValidatesAtThresholdZero) {
+  // Three mutual neighbors: each pair shares exactly one common neighbor.
+  SndDeployment deployment(dense_config(0));
+  deployment.deploy_node_at({0, 0});
+  deployment.deploy_node_at({10, 0});
+  deployment.deploy_node_at({5, 8});
+  deployment.run();
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_EQ(deployment.agent(id)->functional_neighbors().size(), 2u) << "node " << id;
+  }
+}
+
+TEST(ProtocolTest, SecondRoundNodesValidateAgainstOldNodes) {
+  SndDeployment deployment(dense_config(2));
+  deployment.deploy_round(10);
+  deployment.run();
+
+  // A new node arrives later; old nodes' records are frozen but the new
+  // node shares the 10 old nodes with any old neighbor.
+  const NodeId fresh = deployment.deploy_node_at({30, 30});
+  deployment.run();
+
+  const SndNode* agent = deployment.agent(fresh);
+  EXPECT_EQ(agent->tentative_neighbors().size(), 10u);
+  // New node validates old ones: overlap = 9 old common neighbors >= 3.
+  EXPECT_EQ(agent->functional_neighbors().size(), 10u);
+  // And each old node accepted the new node's relation commitment.
+  for (NodeId old_id = 1; old_id <= 10; ++old_id) {
+    EXPECT_TRUE(topology::contains(deployment.agent(old_id)->functional_neighbors(), fresh))
+        << "old node " << old_id;
+  }
+}
+
+TEST(ProtocolTest, OldNodesTentativeListsStayFrozen) {
+  SndDeployment deployment(dense_config(2));
+  deployment.deploy_round(8);
+  deployment.run();
+  const auto before = deployment.agent(1)->tentative_neighbors();
+  deployment.deploy_node_at({30, 30});
+  deployment.run();
+  EXPECT_EQ(deployment.agent(1)->tentative_neighbors(), before);
+  EXPECT_EQ(deployment.agent(1)->record().neighbors, before);
+}
+
+TEST(ProtocolTest, DeterministicAcrossRuns) {
+  // A sparse field whose topology depends on node positions, so different
+  // seeds genuinely produce different graphs.
+  auto run_once = [](std::uint64_t seed) {
+    DeploymentConfig config;
+    config.field = {{0.0, 0.0}, {200.0, 200.0}};
+    config.radio_range = 50.0;
+    config.protocol.threshold_t = 2;
+    config.seed = seed;
+    SndDeployment deployment(config);
+    deployment.deploy_round(60);
+    deployment.run();
+    return deployment.functional_graph();
+  };
+  EXPECT_TRUE(run_once(7) == run_once(7));
+  EXPECT_FALSE(run_once(7) == run_once(8));
+}
+
+TEST(ProtocolTest, SurvivesChannelLoss) {
+  DeploymentConfig config = dense_config(2);
+  config.channel_loss = 0.1;
+  config.protocol.hello_repeats = 3;
+  SndDeployment deployment(config);
+  deployment.deploy_round(12);
+  deployment.run();
+  // With 10% loss and repeated hellos, most relations still form.
+  const auto actual = deployment.actual_benign_graph();
+  const auto functional = deployment.functional_graph();
+  EXPECT_GT(topology::edge_recall(actual, functional), 0.6);
+}
+
+TEST(ProtocolTest, TrafficChargedToAllPhases) {
+  SndDeployment deployment(dense_config(2));
+  deployment.deploy_round(8);
+  deployment.run();
+  const auto& metrics = deployment.network().metrics();
+  EXPECT_GT(metrics.category("snd.hello").messages, 0u);
+  EXPECT_GT(metrics.category("snd.ack").messages, 0u);
+  EXPECT_GT(metrics.category("snd.record").messages, 0u);
+  EXPECT_GT(metrics.category("snd.commit").messages, 0u);
+  EXPECT_EQ(metrics.category("snd.evidence").messages, 0u);  // extension off
+}
+
+TEST(ProtocolTest, WorksWithBlundoKeyScheme) {
+  SndDeployment deployment(dense_config(2));
+  deployment.set_key_scheme(std::make_shared<crypto::BlundoScheme>(3, 5));
+  deployment.deploy_round(8);
+  deployment.run();
+  EXPECT_EQ(deployment.agent(1)->functional_neighbors().size(), 7u);
+}
+
+TEST(ProtocolTest, WorksUnderLogNormalShadowing) {
+  DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {100.0, 100.0}};
+  config.radio_range = 50.0;
+  config.log_normal_shadowing = true;
+  config.protocol.threshold_t = 5;
+  config.seed = 11;
+  SndDeployment deployment(config);
+  deployment.deploy_round(100);
+  deployment.run();
+  const auto actual = deployment.actual_benign_graph();
+  const auto functional = deployment.functional_graph();
+  EXPECT_GT(topology::edge_recall(actual, functional), 0.5);
+  EXPECT_DOUBLE_EQ(topology::edge_precision(actual, functional), 1.0);
+}
+
+}  // namespace
+}  // namespace snd::core

@@ -1,0 +1,97 @@
+#include "core/safety.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/attacker.h"
+
+namespace snd::core {
+namespace {
+
+DeploymentConfig small_config() {
+  DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {300.0, 300.0}};
+  config.radio_range = 60.0;
+  config.protocol.threshold_t = 2;
+  config.seed = 3;
+  return config;
+}
+
+TEST(SafetyAuditTest, NoCompromisedNodesEmptyReport) {
+  SndDeployment deployment(small_config());
+  deployment.deploy_round(50);
+  deployment.run();
+  const SafetyReport report = audit_safety(deployment, 120.0);
+  EXPECT_TRUE(report.identities.empty());
+  EXPECT_TRUE(report.holds());
+  EXPECT_EQ(report.max_impact_radius(), 0.0);
+}
+
+TEST(SafetyAuditTest, BenignIdentityImpactIsLocal) {
+  SndDeployment deployment(small_config());
+  deployment.deploy_round(80);
+  deployment.run();
+  // Even for an uncompromised node, the accepting neighbors sit within R,
+  // so the enclosing circle has radius <= R.
+  const IdentitySafetyReport report = audit_identity(deployment, 1, 60.0);
+  EXPECT_FALSE(report.violates);
+  EXPECT_LE(report.impact_radius(), 60.0 + 1e-6);
+}
+
+TEST(SafetyAuditTest, CompromisedNodeAppearsInReport) {
+  SndDeployment deployment(small_config());
+  deployment.deploy_round(60);
+  deployment.run();
+  adversary::Attacker attacker(deployment);
+  ASSERT_TRUE(attacker.compromise(5));
+  const SafetyReport report = audit_safety(deployment, 120.0);
+  ASSERT_EQ(report.identities.size(), 1u);
+  EXPECT_EQ(report.identities[0].identity, 5u);
+}
+
+TEST(SafetyAuditTest, AcceptingNodesAreBenignOnly) {
+  SndDeployment deployment(small_config());
+  deployment.deploy_round(60);
+  deployment.run();
+  adversary::Attacker attacker(deployment);
+  attacker.compromise(5);
+  attacker.compromise(6);
+  const SafetyReport report = audit_safety(deployment, 120.0);
+  for (const auto& identity_report : report.identities) {
+    for (NodeId acceptor : identity_report.accepting_nodes) {
+      EXPECT_NE(acceptor, 5u);
+      EXPECT_NE(acceptor, 6u);
+    }
+  }
+}
+
+TEST(SafetyAuditTest, ViolationFlaggedWhenRadiusExceeded) {
+  SndDeployment deployment(small_config());
+  deployment.deploy_round(60);
+  deployment.run();
+  adversary::Attacker attacker(deployment);
+  attacker.compromise(5);
+  // With an absurdly small d, the genuine neighborhood itself violates.
+  const SafetyReport tight = audit_safety(deployment, 0.5);
+  ASSERT_EQ(tight.identities.size(), 1u);
+  if (!tight.identities[0].accepting_nodes.empty()) {
+    EXPECT_TRUE(tight.identities[0].violates);
+    EXPECT_FALSE(tight.holds());
+    EXPECT_EQ(tight.violation_count(), 1u);
+  }
+}
+
+TEST(SafetyAuditTest, MaxImpactRadiusIsMaxOverIdentities) {
+  SndDeployment deployment(small_config());
+  deployment.deploy_round(60);
+  deployment.run();
+  adversary::Attacker attacker(deployment);
+  attacker.compromise(3);
+  attacker.compromise(9);
+  const SafetyReport report = audit_safety(deployment, 120.0);
+  double expected = 0.0;
+  for (const auto& r : report.identities) expected = std::max(expected, r.impact_radius());
+  EXPECT_DOUBLE_EQ(report.max_impact_radius(), expected);
+}
+
+}  // namespace
+}  // namespace snd::core

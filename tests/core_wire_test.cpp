@@ -1,0 +1,106 @@
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::core {
+namespace {
+
+const crypto::SymmetricKey kMaster = crypto::SymmetricKey::from_seed(1);
+
+TEST(WireTest, RecordReplyRoundTrip) {
+  const RecordReplyPayload payload{BindingRecord::make(kMaster, 7, 1, {1, 2, 3})};
+  const auto parsed = RecordReplyPayload::parse(payload.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->record, payload.record);
+}
+
+TEST(WireTest, RelationCommitRoundTrip) {
+  const RelationCommitPayload payload{crypto::Sha256::hash("commit")};
+  const auto parsed = RelationCommitPayload::parse(payload.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->commitment, payload.commitment);
+}
+
+TEST(WireTest, RelationCommitRejectsWrongSize) {
+  const RelationCommitPayload payload{crypto::Sha256::hash("commit")};
+  util::Bytes data = payload.serialize();
+  data.pop_back();
+  EXPECT_FALSE(RelationCommitPayload::parse(data).has_value());
+  data.push_back(0);
+  data.push_back(0);
+  EXPECT_FALSE(RelationCommitPayload::parse(data).has_value());
+}
+
+TEST(WireTest, EvidenceRoundTrip) {
+  const EvidencePayload payload{3, crypto::Sha256::hash("evidence")};
+  const auto parsed = EvidencePayload::parse(payload.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->record_version, 3u);
+  EXPECT_EQ(parsed->evidence, payload.evidence);
+}
+
+TEST(WireTest, UpdateRequestRoundTrip) {
+  UpdateRequestPayload payload{BindingRecord::make(kMaster, 9, 2, {4, 5}), {}};
+  payload.evidences.emplace_back(11, crypto::Sha256::hash("e1"));
+  payload.evidences.emplace_back(12, crypto::Sha256::hash("e2"));
+  const auto parsed = UpdateRequestPayload::parse(payload.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->record, payload.record);
+  ASSERT_EQ(parsed->evidences.size(), 2u);
+  EXPECT_EQ(parsed->evidences[0].first, 11u);
+  EXPECT_EQ(parsed->evidences[1].second, crypto::Sha256::hash("e2"));
+}
+
+TEST(WireTest, UpdateRequestEmptyEvidenceList) {
+  const UpdateRequestPayload payload{BindingRecord::make(kMaster, 9, 0, {}), {}};
+  const auto parsed = UpdateRequestPayload::parse(payload.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->evidences.empty());
+}
+
+TEST(WireTest, UpdateReplyRoundTrip) {
+  const UpdateReplyPayload payload{BindingRecord::make(kMaster, 9, 3, {4, 5, 6})};
+  const auto parsed = UpdateReplyPayload::parse(payload.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->record, payload.record);
+}
+
+TEST(WireTest, EmptyBufferRejectedEverywhere) {
+  const util::Bytes empty;
+  EXPECT_FALSE(RecordReplyPayload::parse(empty).has_value());
+  EXPECT_FALSE(RelationCommitPayload::parse(empty).has_value());
+  EXPECT_FALSE(EvidencePayload::parse(empty).has_value());
+  EXPECT_FALSE(UpdateRequestPayload::parse(empty).has_value());
+  EXPECT_FALSE(UpdateReplyPayload::parse(empty).has_value());
+}
+
+// Truncation fuzz: every strict prefix of a valid serialization must fail
+// to parse for every payload type (no partial reads, no crashes).
+class WireTruncationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireTruncationTest, AllPrefixesRejected) {
+  UpdateRequestPayload payload{BindingRecord::make(kMaster, 9, 2, {4, 5, 6, 7}), {}};
+  payload.evidences.emplace_back(11, crypto::Sha256::hash("e1"));
+  const util::Bytes full = payload.serialize();
+  const std::size_t cut = full.size() * static_cast<std::size_t>(GetParam()) / 10;
+  if (cut >= full.size()) return;
+  const util::Bytes prefix(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+  EXPECT_FALSE(UpdateRequestPayload::parse(prefix).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, WireTruncationTest, ::testing::Range(0, 10));
+
+TEST(WireTest, MessageTypeValuesAreStable) {
+  // Wire compatibility: these are protocol constants.
+  EXPECT_EQ(static_cast<int>(MessageType::kHello), 1);
+  EXPECT_EQ(static_cast<int>(MessageType::kHelloAck), 2);
+  EXPECT_EQ(static_cast<int>(MessageType::kRecordRequest), 3);
+  EXPECT_EQ(static_cast<int>(MessageType::kRecordReply), 4);
+  EXPECT_EQ(static_cast<int>(MessageType::kRelationCommit), 5);
+  EXPECT_EQ(static_cast<int>(MessageType::kEvidence), 6);
+  EXPECT_EQ(static_cast<int>(MessageType::kUpdateRequest), 7);
+  EXPECT_EQ(static_cast<int>(MessageType::kUpdateReply), 8);
+}
+
+}  // namespace
+}  // namespace snd::core

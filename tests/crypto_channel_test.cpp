@@ -1,0 +1,140 @@
+#include "crypto/secure_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/stream_cipher.h"
+
+namespace snd::crypto {
+namespace {
+
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  SymmetricKey pairwise_ = SymmetricKey::from_seed(99);
+  SecureChannel alice_{1, 2, pairwise_};
+  SecureChannel bob_{2, 1, pairwise_};
+};
+
+TEST_F(SecureChannelTest, RoundTrip) {
+  const util::Bytes message = {1, 2, 3, 4, 5};
+  const util::Bytes sealed = alice_.seal(message);
+  EXPECT_EQ(bob_.open(sealed), message);
+}
+
+TEST_F(SecureChannelTest, EmptyPayloadRoundTrips) {
+  const util::Bytes sealed = alice_.seal(util::Bytes{});
+  const auto opened = bob_.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST_F(SecureChannelTest, CiphertextDiffersFromPlaintext) {
+  const util::Bytes message(64, 0x00);
+  const util::Bytes sealed = alice_.seal(message);
+  // The ciphertext portion (after the 8-byte seq) must not be all zeros.
+  bool any_nonzero = false;
+  for (std::size_t i = 8; i < 8 + message.size(); ++i) any_nonzero |= sealed[i] != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST_F(SecureChannelTest, BidirectionalTrafficIndependent) {
+  const util::Bytes a_to_b = {'a'};
+  const util::Bytes b_to_a = {'b'};
+  EXPECT_EQ(bob_.open(alice_.seal(a_to_b)), a_to_b);
+  EXPECT_EQ(alice_.open(bob_.seal(b_to_a)), b_to_a);
+}
+
+TEST_F(SecureChannelTest, ReplayRejected) {
+  const util::Bytes sealed = alice_.seal(util::Bytes{1, 2, 3});
+  EXPECT_TRUE(bob_.open(sealed).has_value());
+  EXPECT_FALSE(bob_.open(sealed).has_value());
+}
+
+TEST_F(SecureChannelTest, OldSequenceRejectedAfterNewer) {
+  const util::Bytes first = alice_.seal(util::Bytes{1});
+  const util::Bytes second = alice_.seal(util::Bytes{2});
+  EXPECT_TRUE(bob_.open(second).has_value());
+  EXPECT_FALSE(bob_.open(first).has_value());  // arrived late: below window
+}
+
+TEST_F(SecureChannelTest, TamperedCiphertextRejected) {
+  util::Bytes sealed = alice_.seal(util::Bytes{1, 2, 3});
+  sealed[9] ^= 0x01;
+  EXPECT_FALSE(bob_.open(sealed).has_value());
+}
+
+TEST_F(SecureChannelTest, TamperedMacRejected) {
+  util::Bytes sealed = alice_.seal(util::Bytes{1, 2, 3});
+  sealed.back() ^= 0x01;
+  EXPECT_FALSE(bob_.open(sealed).has_value());
+}
+
+TEST_F(SecureChannelTest, TamperedSequenceRejected) {
+  util::Bytes sealed = alice_.seal(util::Bytes{1, 2, 3});
+  sealed[7] ^= 0x01;
+  EXPECT_FALSE(bob_.open(sealed).has_value());
+}
+
+TEST_F(SecureChannelTest, TruncatedMessageRejected) {
+  const util::Bytes sealed = alice_.seal(util::Bytes{1, 2, 3});
+  const util::Bytes truncated(sealed.begin(), sealed.begin() + 4);
+  EXPECT_FALSE(bob_.open(truncated).has_value());
+}
+
+TEST_F(SecureChannelTest, WrongPairwiseKeyRejected) {
+  SecureChannel eve{2, 1, SymmetricKey::from_seed(1234)};
+  EXPECT_FALSE(eve.open(alice_.seal(util::Bytes{1, 2, 3})).has_value());
+}
+
+TEST_F(SecureChannelTest, SelfOpenRejected) {
+  // Alice cannot open her own message (directional keys differ).
+  SecureChannel alice_again{1, 2, pairwise_};
+  EXPECT_FALSE(alice_again.open(alice_.seal(util::Bytes{5})).has_value());
+}
+
+TEST_F(SecureChannelTest, CountersAdvance) {
+  EXPECT_EQ(alice_.messages_sent(), 0u);
+  (void)alice_.seal(util::Bytes{});
+  (void)alice_.seal(util::Bytes{});
+  EXPECT_EQ(alice_.messages_sent(), 2u);
+  EXPECT_EQ(bob_.last_accepted_seq(), 0u);
+}
+
+TEST(StreamCipherTest, TwiceIsIdentity) {
+  const SymmetricKey key = SymmetricKey::from_seed(7);
+  const util::Bytes plain = {0, 1, 2, 3, 255, 128};
+  const util::Bytes once = ctr_crypt(key, 9, plain);
+  EXPECT_NE(once, plain);
+  EXPECT_EQ(ctr_crypt(key, 9, once), plain);
+}
+
+TEST(StreamCipherTest, DifferentNoncesDifferentKeystream) {
+  const SymmetricKey key = SymmetricKey::from_seed(8);
+  const util::Bytes plain(32, 0);
+  EXPECT_NE(ctr_crypt(key, 1, plain), ctr_crypt(key, 2, plain));
+}
+
+TEST(StreamCipherTest, LongMessageSpansBlocks) {
+  const SymmetricKey key = SymmetricKey::from_seed(9);
+  const util::Bytes plain(1000, 0xaa);
+  const util::Bytes cipher = ctr_crypt(key, 3, plain);
+  EXPECT_EQ(cipher.size(), plain.size());
+  EXPECT_EQ(ctr_crypt(key, 3, cipher), plain);
+}
+
+// Round-trip across payload sizes spanning keystream block boundaries.
+class ChannelSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelSizeTest, RoundTripsAtSize) {
+  const SymmetricKey pairwise = SymmetricKey::from_seed(77);
+  SecureChannel sender{10, 20, pairwise};
+  SecureChannel receiver{20, 10, pairwise};
+  util::Bytes message(GetParam());
+  for (std::size_t i = 0; i < message.size(); ++i) message[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(receiver.open(sender.seal(message)), message);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChannelSizeTest,
+                         ::testing::Values(0, 1, 31, 32, 33, 63, 64, 65, 500));
+
+}  // namespace
+}  // namespace snd::crypto

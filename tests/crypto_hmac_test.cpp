@@ -1,0 +1,98 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::crypto {
+namespace {
+
+SymmetricKey key_from_hex(const std::string& hex) {
+  const auto bytes = util::from_hex(hex);
+  return SymmetricKey::from_bytes(*bytes);
+}
+
+// RFC 4231 test case 1: key = 0x0b * 20, data = "Hi There".
+TEST(HmacTest, Rfc4231Case1) {
+  const SymmetricKey key = key_from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  EXPECT_EQ(hmac_sha256(key, "Hi There").hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: key = "Jefe".
+TEST(HmacTest, Rfc4231Case2) {
+  const SymmetricKey key = SymmetricKey::from_bytes(
+      util::Bytes{'J', 'e', 'f', 'e'});
+  EXPECT_EQ(hmac_sha256(key, "what do ya want for nothing?").hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: key = 0xaa * 20, data = 0xdd * 50.
+TEST(HmacTest, Rfc4231Case3) {
+  const SymmetricKey key = key_from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  const util::Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_sha256(key, data).hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, DifferentKeysDifferentTags) {
+  const SymmetricKey k1 = SymmetricKey::from_seed(1);
+  const SymmetricKey k2 = SymmetricKey::from_seed(2);
+  EXPECT_NE(hmac_sha256(k1, "message"), hmac_sha256(k2, "message"));
+}
+
+TEST(HmacTest, DifferentMessagesDifferentTags) {
+  const SymmetricKey key = SymmetricKey::from_seed(3);
+  EXPECT_NE(hmac_sha256(key, "message-a"), hmac_sha256(key, "message-b"));
+}
+
+TEST(HmacTest, Deterministic) {
+  const SymmetricKey key = SymmetricKey::from_seed(4);
+  EXPECT_EQ(hmac_sha256(key, "stable"), hmac_sha256(key, "stable"));
+}
+
+TEST(ShortMacTest, IsPrefixOfFullTag) {
+  const SymmetricKey key = SymmetricKey::from_seed(5);
+  const util::Bytes message = {1, 2, 3};
+  const Digest full = hmac_sha256(key, message);
+  const ShortMac mac = short_mac(key, message);
+  EXPECT_TRUE(std::equal(mac.begin(), mac.end(), full.bytes.begin()));
+}
+
+TEST(ShortMacTest, VerifyAcceptsValid) {
+  const SymmetricKey key = SymmetricKey::from_seed(6);
+  const util::Bytes message = {9, 8, 7};
+  const ShortMac mac = short_mac(key, message);
+  EXPECT_TRUE(verify_short_mac(key, message, mac));
+}
+
+TEST(ShortMacTest, VerifyRejectsTamperedMessage) {
+  const SymmetricKey key = SymmetricKey::from_seed(7);
+  util::Bytes message = {9, 8, 7};
+  const ShortMac mac = short_mac(key, message);
+  message[0] ^= 1;
+  EXPECT_FALSE(verify_short_mac(key, message, mac));
+}
+
+TEST(ShortMacTest, VerifyRejectsTamperedTag) {
+  const SymmetricKey key = SymmetricKey::from_seed(8);
+  const util::Bytes message = {9, 8, 7};
+  ShortMac mac = short_mac(key, message);
+  mac[0] ^= 1;
+  EXPECT_FALSE(verify_short_mac(key, message, mac));
+}
+
+TEST(ShortMacTest, VerifyRejectsWrongKey) {
+  const SymmetricKey key = SymmetricKey::from_seed(9);
+  const SymmetricKey other = SymmetricKey::from_seed(10);
+  const util::Bytes message = {9, 8, 7};
+  EXPECT_FALSE(verify_short_mac(other, message, short_mac(key, message)));
+}
+
+TEST(ShortMacTest, VerifyRejectsWrongLength) {
+  const SymmetricKey key = SymmetricKey::from_seed(11);
+  const util::Bytes message = {1};
+  const ShortMac mac = short_mac(key, message);
+  EXPECT_FALSE(verify_short_mac(key, message, std::span(mac).first(4)));
+}
+
+}  // namespace
+}  // namespace snd::crypto

@@ -1,0 +1,92 @@
+#include "crypto/key.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::crypto {
+namespace {
+
+TEST(SymmetricKeyTest, DefaultIsAbsent) {
+  const SymmetricKey key;
+  EXPECT_FALSE(key.present());
+  EXPECT_EQ(key.hex(), "<erased>");
+}
+
+TEST(SymmetricKeyTest, FromSeedIsDeterministic) {
+  EXPECT_EQ(SymmetricKey::from_seed(42), SymmetricKey::from_seed(42));
+  EXPECT_FALSE(SymmetricKey::from_seed(42) == SymmetricKey::from_seed(43));
+}
+
+TEST(SymmetricKeyTest, FromBytesShortInputZeroPads) {
+  const SymmetricKey key = SymmetricKey::from_bytes(util::Bytes{0xab});
+  ASSERT_TRUE(key.present());
+  EXPECT_EQ(key.material()[0], 0xab);
+  EXPECT_EQ(key.material()[1], 0x00);
+  EXPECT_EQ(key.material().size(), kKeySize);
+}
+
+TEST(SymmetricKeyTest, FromBytesLongInputIsHashed) {
+  const util::Bytes long_material(100, 0x11);
+  const SymmetricKey key = SymmetricKey::from_bytes(long_material);
+  EXPECT_EQ(key.material().size(), kKeySize);
+  EXPECT_EQ(SymmetricKey::from_bytes(long_material), key);
+}
+
+TEST(SymmetricKeyTest, EraseZeroizesAndMarksAbsent) {
+  SymmetricKey key = SymmetricKey::from_seed(1);
+  key.erase();
+  EXPECT_FALSE(key.present());
+}
+
+// This is the security property Theorems 3/4 rest on: once erased, the key
+// is unrecoverable from the object.
+TEST(SymmetricKeyTest, ErasedKeyLeavesNoMaterial) {
+  SymmetricKey key = SymmetricKey::from_seed(2);
+  const SymmetricKey reference = SymmetricKey::from_seed(2);
+  key.erase();
+  // A fresh absent key equals the erased one: nothing distinguishes them.
+  EXPECT_TRUE(key == SymmetricKey());
+  EXPECT_FALSE(key == reference);
+}
+
+TEST(SymmetricKeyTest, CopyPreservesMaterial) {
+  const SymmetricKey original = SymmetricKey::from_seed(3);
+  const SymmetricKey copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy == original);
+  EXPECT_TRUE(original.present());
+}
+
+TEST(SymmetricKeyTest, MoveErasesSource) {
+  SymmetricKey source = SymmetricKey::from_seed(4);
+  const SymmetricKey reference = SymmetricKey::from_seed(4);
+  const SymmetricKey target = std::move(source);
+  EXPECT_TRUE(target == reference);
+  EXPECT_FALSE(source.present());  // NOLINT(bugprone-use-after-move): contract under test
+}
+
+TEST(SymmetricKeyTest, MoveAssignErasesSource) {
+  SymmetricKey source = SymmetricKey::from_seed(5);
+  SymmetricKey target;
+  target = std::move(source);
+  EXPECT_TRUE(target.present());
+  EXPECT_FALSE(source.present());  // NOLINT(bugprone-use-after-move): contract under test
+}
+
+TEST(SymmetricKeyTest, SelfMoveAssignIsSafe) {
+  SymmetricKey key = SymmetricKey::from_seed(6);
+  SymmetricKey& alias = key;
+  key = std::move(alias);
+  EXPECT_TRUE(key.present());
+}
+
+TEST(SymmetricKeyTest, TwoAbsentKeysCompareEqual) {
+  EXPECT_TRUE(SymmetricKey() == SymmetricKey());
+}
+
+TEST(SymmetricKeyTest, FromDigestRoundTrip) {
+  const Digest digest = Sha256::hash("key material");
+  const SymmetricKey key = SymmetricKey::from_digest(digest);
+  EXPECT_TRUE(std::equal(digest.bytes.begin(), digest.bytes.end(), key.material().begin()));
+}
+
+}  // namespace
+}  // namespace snd::crypto

@@ -1,0 +1,119 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace snd::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::hash("").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::hash("abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, FourBlockMessage) {
+  EXPECT_EQ(Sha256::hash("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+                         "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+                .hex(),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(ctx.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string message = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= message.size(); split += 7) {
+    Sha256 ctx;
+    ctx.update(message.substr(0, split));
+    ctx.update(message.substr(split));
+    EXPECT_EQ(ctx.finalize(), Sha256::hash(message)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, BlockBoundarySizes) {
+  // Exercise the padding logic around the 55/56/64-byte boundaries.
+  for (std::size_t size : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string message(size, 'x');
+    Sha256 incremental;
+    for (char c : message) incremental.update(std::string(1, c));
+    EXPECT_EQ(incremental.finalize(), Sha256::hash(message)) << "size " << size;
+  }
+}
+
+TEST(Sha256Test, FramedFieldsAreInjective) {
+  // H(frame("ab") | frame("c")) != H(frame("a") | frame("bc")).
+  const Digest split_one = Sha256().update_framed("ab").update_framed("c").finalize();
+  const Digest split_two = Sha256().update_framed("a").update_framed("bc").finalize();
+  EXPECT_NE(split_one, split_two);
+  // Whereas unframed concatenation would collide:
+  const Digest concat_one = Sha256().update("ab").update("c").finalize();
+  const Digest concat_two = Sha256().update("a").update("bc").finalize();
+  EXPECT_EQ(concat_one, concat_two);
+}
+
+TEST(Sha256Test, UpdateU64BigEndian) {
+  const Digest via_u64 = Sha256().update_u64(0x0102030405060708ULL).finalize();
+  const util::Bytes raw = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(via_u64, Sha256::hash(raw));
+}
+
+TEST(Sha256Test, DigestEqualityAndPrefix) {
+  const Digest a = Sha256::hash("abc");
+  const Digest b = Sha256::hash("abc");
+  const Digest c = Sha256::hash("abd");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.prefix64(), 0xba7816bf8f01cfeaULL);
+}
+
+TEST(Sha256Test, OpCounterAdvances) {
+  reset_hash_op_count();
+  (void)Sha256::hash("abc");  // one block
+  EXPECT_EQ(hash_op_count(), 1u);
+  (void)Sha256::hash(std::string(100, 'a'));  // 100 bytes + padding = 2 blocks
+  EXPECT_EQ(hash_op_count(), 3u);
+  reset_hash_op_count();
+  EXPECT_EQ(hash_op_count(), 0u);
+}
+
+// Avalanche property: flipping one input bit flips ~half the output bits.
+class Sha256AvalancheTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sha256AvalancheTest, SingleBitFlipChangesManyBits) {
+  util::Bytes message(32, 0x42);
+  const Digest base = Sha256::hash(message);
+  const int bit = GetParam();
+  message[static_cast<std::size_t>(bit / 8)] ^= static_cast<std::uint8_t>(1 << (bit % 8));
+  const Digest flipped = Sha256::hash(message);
+
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < kDigestSize; ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(base.bytes[i] ^ flipped.bytes[i]));
+  }
+  EXPECT_GT(differing_bits, 80);
+  EXPECT_LT(differing_bits, 176);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitPositions, Sha256AvalancheTest,
+                         ::testing::Values(0, 1, 7, 8, 63, 100, 255));
+
+}  // namespace
+}  // namespace snd::crypto

@@ -1,0 +1,70 @@
+#include "crypto/sim_signature.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::crypto {
+namespace {
+
+class SimSignatureTest : public ::testing::Test {
+ protected:
+  SimSignatureAuthority authority_{5};
+  const util::Bytes message_ = {1, 2, 3, 4};
+};
+
+TEST_F(SimSignatureTest, SignVerifyRoundTrip) {
+  authority_.enroll(7);
+  const Signature sig = authority_.sign(7, message_);
+  EXPECT_TRUE(authority_.verify(7, message_, sig));
+}
+
+TEST_F(SimSignatureTest, VerifyRejectsWrongSigner) {
+  authority_.enroll(7);
+  authority_.enroll(8);
+  const Signature sig = authority_.sign(7, message_);
+  EXPECT_FALSE(authority_.verify(8, message_, sig));
+}
+
+TEST_F(SimSignatureTest, VerifyRejectsTamperedMessage) {
+  authority_.enroll(7);
+  const Signature sig = authority_.sign(7, message_);
+  util::Bytes tampered = message_;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(authority_.verify(7, tampered, sig));
+}
+
+TEST_F(SimSignatureTest, VerifyRejectsTamperedSignature) {
+  authority_.enroll(7);
+  Signature sig = authority_.sign(7, message_);
+  sig[0] ^= 1;
+  EXPECT_FALSE(authority_.verify(7, message_, sig));
+}
+
+TEST_F(SimSignatureTest, UnenrolledIdentityNeverVerifies) {
+  const Signature sig = authority_.sign(99, message_);
+  EXPECT_FALSE(authority_.verify(99, message_, sig));
+}
+
+TEST_F(SimSignatureTest, SignatureSizeMatchesEcdsa160) {
+  EXPECT_EQ(sizeof(Signature), 40u);
+}
+
+TEST_F(SimSignatureTest, OperationCounters) {
+  authority_.enroll(1);
+  authority_.reset_counters();
+  const Signature sig = authority_.sign(1, message_);
+  (void)authority_.verify(1, message_, sig);
+  (void)authority_.verify(1, message_, sig);
+  EXPECT_EQ(authority_.sign_ops(), 1u);
+  EXPECT_EQ(authority_.verify_ops(), 2u);
+}
+
+TEST_F(SimSignatureTest, DistinctAuthoritiesAreIndependent) {
+  SimSignatureAuthority other(6);
+  authority_.enroll(1);
+  other.enroll(1);
+  const Signature sig = authority_.sign(1, message_);
+  EXPECT_FALSE(other.verify(1, message_, sig));
+}
+
+}  // namespace
+}  // namespace snd::crypto

@@ -1,0 +1,118 @@
+// Property-style sweeps of the protocol's structural invariants over random
+// deployments: invariants that must hold for EVERY configuration, not just
+// the hand-picked ones in the unit suites.
+#include <gtest/gtest.h>
+
+#include "core/deployment_driver.h"
+#include "topology/partition.h"
+#include "topology/stats.h"
+
+namespace snd::core {
+namespace {
+
+struct SweepCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t threshold;
+  double field_side;
+  bool shadowing;
+  bool early_erasure;
+};
+
+class InvariantSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static SndDeployment make_deployment(const SweepCase& c) {
+    DeploymentConfig config;
+    config.field = {{0.0, 0.0}, {c.field_side, c.field_side}};
+    config.radio_range = 50.0;
+    config.protocol.threshold_t = c.threshold;
+    config.protocol.early_erasure = c.early_erasure;
+    config.log_normal_shadowing = c.shadowing;
+    config.seed = c.seed;
+    SndDeployment deployment(config);
+    deployment.deploy_round(c.nodes);
+    deployment.run();
+    return deployment;
+  }
+};
+
+TEST_P(InvariantSweepTest, FunctionalSubsetOfTentative) {
+  const SndDeployment deployment = make_deployment(GetParam());
+  for (const SndNode* agent : deployment.agents()) {
+    for (NodeId v : agent->functional_neighbors()) {
+      EXPECT_TRUE(topology::contains(agent->tentative_neighbors(), v))
+          << "node " << agent->identity() << " validated a non-tentative neighbor " << v;
+    }
+  }
+}
+
+TEST_P(InvariantSweepTest, PerfectPrecisionWithoutAttackers) {
+  // Every validated relation is a genuine physical relation.
+  const SndDeployment deployment = make_deployment(GetParam());
+  EXPECT_DOUBLE_EQ(
+      topology::edge_precision(deployment.actual_benign_graph(), deployment.functional_graph()),
+      1.0);
+}
+
+TEST_P(InvariantSweepTest, FunctionalRelationsAreMutual) {
+  const SndDeployment deployment = make_deployment(GetParam());
+  const topology::Digraph functional = deployment.functional_graph();
+  for (const auto& [u, v] : functional.edges()) {
+    EXPECT_TRUE(functional.has_edge(v, u)) << u << "->" << v;
+  }
+}
+
+TEST_P(InvariantSweepTest, RecordsFrozenToTentativeLists) {
+  const SndDeployment deployment = make_deployment(GetParam());
+  for (const SndNode* agent : deployment.agents()) {
+    ASSERT_TRUE(agent->has_record());
+    EXPECT_EQ(agent->record().neighbors, agent->tentative_neighbors());
+    EXPECT_EQ(agent->record().version, 0u);
+    EXPECT_TRUE(agent->record().verify(deployment.master_key()));
+  }
+}
+
+TEST_P(InvariantSweepTest, AllKeysErasedAtQuiescence) {
+  const SndDeployment deployment = make_deployment(GetParam());
+  for (const SndNode* agent : deployment.agents()) {
+    EXPECT_FALSE(agent->master_key_present());
+    EXPECT_TRUE(agent->discovery_complete());
+  }
+}
+
+TEST_P(InvariantSweepTest, ValidatedPairsShareEnoughWitnesses) {
+  // The definitional property: u validated v => their tentative lists
+  // overlap in at least t+1 identities.
+  const SweepCase c = GetParam();
+  const SndDeployment deployment = make_deployment(c);
+  for (const SndNode* agent : deployment.agents()) {
+    for (NodeId v : agent->functional_neighbors()) {
+      const SndNode* peer = deployment.agent(v);
+      ASSERT_NE(peer, nullptr);
+      EXPECT_GE(topology::intersection_size(agent->tentative_neighbors(),
+                                            peer->tentative_neighbors()),
+                c.threshold + 1)
+          << agent->identity() << " <-> " << v;
+    }
+  }
+}
+
+TEST_P(InvariantSweepTest, TentativeMatchesPhysicalLinks) {
+  // With the oracle verifier and a loss-free channel, tentative discovery
+  // finds exactly the physical neighbors.
+  const SndDeployment deployment = make_deployment(GetParam());
+  EXPECT_TRUE(deployment.tentative_graph() == deployment.actual_benign_graph());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantSweepTest,
+    ::testing::Values(SweepCase{1, 40, 0, 100.0, false, false},
+                      SweepCase{2, 80, 3, 150.0, false, false},
+                      SweepCase{3, 120, 8, 150.0, false, true},
+                      SweepCase{4, 150, 5, 200.0, true, false},
+                      SweepCase{5, 60, 1, 120.0, true, true},
+                      SweepCase{6, 200, 12, 200.0, false, false},
+                      SweepCase{7, 30, 25, 80.0, false, false}));
+
+}  // namespace
+}  // namespace snd::core

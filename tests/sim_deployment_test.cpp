@@ -1,0 +1,84 @@
+#include "sim/deployment.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::sim {
+namespace {
+
+const util::Rect kField{{0.0, 0.0}, {100.0, 200.0}};
+
+TEST(DeployUniformTest, CountAndBounds) {
+  util::Rng rng(1);
+  const auto positions = deploy_uniform(500, kField, rng);
+  EXPECT_EQ(positions.size(), 500u);
+  for (const auto& p : positions) EXPECT_TRUE(kField.contains(p));
+}
+
+TEST(DeployUniformTest, Deterministic) {
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const auto a = deploy_uniform(50, kField, rng1);
+  const auto b = deploy_uniform(50, kField, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(DeployUniformTest, CoversAllQuadrants) {
+  util::Rng rng(2);
+  const auto positions = deploy_uniform(400, kField, rng);
+  int quadrants[4] = {0, 0, 0, 0};
+  for (const auto& p : positions) {
+    const int q = (p.x > 50.0 ? 1 : 0) + (p.y > 100.0 ? 2 : 0);
+    ++quadrants[q];
+  }
+  for (int count : quadrants) EXPECT_GT(count, 50);
+}
+
+TEST(DeployGridTest, ExactCellCenters) {
+  util::Rng rng(3);
+  const auto positions = deploy_grid(2, 2, {{0, 0}, {10, 10}}, 0.0, rng);
+  ASSERT_EQ(positions.size(), 4u);
+  EXPECT_EQ(positions[0], (util::Vec2{2.5, 2.5}));
+  EXPECT_EQ(positions[3], (util::Vec2{7.5, 7.5}));
+}
+
+TEST(DeployGridTest, JitterStaysInsideCell) {
+  util::Rng rng(4);
+  const auto positions = deploy_grid(10, 10, {{0, 0}, {100, 100}}, 0.9, rng);
+  EXPECT_EQ(positions.size(), 100u);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double cx = (static_cast<double>(i % 10) + 0.5) * 10.0;
+    const double cy = (static_cast<double>(i / 10) + 0.5) * 10.0;
+    EXPECT_LE(std::abs(positions[i].x - cx), 4.5 + 1e-9);
+    EXPECT_LE(std::abs(positions[i].y - cy), 4.5 + 1e-9);
+  }
+}
+
+TEST(DeployClusteredTest, ClampedToField) {
+  util::Rng rng(5);
+  const auto positions = deploy_clustered(300, 3, 40.0, kField, rng);
+  EXPECT_EQ(positions.size(), 300u);
+  for (const auto& p : positions) EXPECT_TRUE(kField.contains(p));
+}
+
+TEST(DeployClusteredTest, TighterSpreadThanUniform) {
+  util::Rng rng(6);
+  const auto clustered = deploy_clustered(300, 2, 5.0, kField, rng);
+  // Mean nearest-neighbor distance should be far below uniform expectation.
+  auto mean_nearest = [](const std::vector<util::Vec2>& pts) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      double best = 1e18;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (i != j) best = std::min(best, util::distance(pts[i], pts[j]));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(pts.size());
+  };
+  util::Rng rng2(6);
+  const auto uniform = deploy_uniform(300, kField, rng2);
+  EXPECT_LT(mean_nearest(clustered), mean_nearest(uniform));
+}
+
+}  // namespace
+}  // namespace snd::sim

@@ -1,0 +1,192 @@
+// Tests of the energy accounting and half-duplex MAC options.
+#include <gtest/gtest.h>
+
+#include "core/deployment_driver.h"
+#include "sim/network.h"
+#include "topology/stats.h"
+
+namespace snd::sim {
+namespace {
+
+std::unique_ptr<Network> make_network(ChannelConfig channel, EnergyConfig energy,
+                                      double range = 50.0) {
+  return std::make_unique<Network>(std::make_unique<UnitDiskModel>(range), channel, 1, energy);
+}
+
+Packet ping(NodeId src, std::size_t payload = 0) {
+  return Packet{.src = src, .dst = kNoNode, .type = 1, .payload = util::Bytes(payload, 0)};
+}
+
+TEST(EnergyTest, DisabledAccountingNeverKills) {
+  auto net = make_network({}, {});
+  const DeviceId a = net->add_device(1, {0, 0});
+  for (int i = 0; i < 1000; ++i) net->transmit(a, ping(1, 100), "t");
+  net->scheduler().run();
+  EXPECT_TRUE(net->device(a).alive);
+  EXPECT_DOUBLE_EQ(net->energy_j(a), EnergyConfig{}.initial_j);
+}
+
+TEST(EnergyTest, TransmissionDrainsSender) {
+  EnergyConfig energy;
+  energy.enabled = true;
+  energy.initial_j = 1.0;
+  auto net = make_network({}, energy);
+  const DeviceId a = net->add_device(1, {0, 0});
+  net->transmit(a, ping(1, 89), "t");  // 100 wire bytes
+  net->scheduler().run();
+  EXPECT_NEAR(net->energy_j(a), 1.0 - 100 * energy.tx_j_per_byte, 1e-12);
+}
+
+TEST(EnergyTest, ReceptionDrainsReceiver) {
+  EnergyConfig energy;
+  energy.enabled = true;
+  energy.initial_j = 1.0;
+  auto net = make_network({}, energy);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  net->set_receiver(b, [](const Packet&) {});
+  net->transmit(a, ping(1, 89), "t");
+  net->scheduler().run();
+  EXPECT_NEAR(net->energy_j(b), 1.0 - 100 * energy.rx_j_per_byte, 1e-12);
+}
+
+TEST(EnergyTest, ExhaustedDeviceDies) {
+  EnergyConfig energy;
+  energy.enabled = true;
+  energy.initial_j = 100 * energy.tx_j_per_byte * 2.5;  // budget for ~2.5 sends
+  auto net = make_network({}, energy);
+  const DeviceId a = net->add_device(1, {0, 0});
+  for (int i = 0; i < 5; ++i) net->transmit(a, ping(1, 89), "t");
+  net->scheduler().run();
+  EXPECT_FALSE(net->device(a).alive);
+  EXPECT_DOUBLE_EQ(net->energy_j(a), 0.0);
+  // Only the sends while alive were charged to the air.
+  EXPECT_EQ(net->metrics().category("t").messages, 3u);
+}
+
+TEST(EnergyTest, DeadReceiverStopsHearing) {
+  EnergyConfig energy;
+  energy.enabled = true;
+  energy.initial_j = 1.0;  // ample for the sender
+  auto net = make_network({}, energy);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  net->set_energy_j(b, 100 * energy.rx_j_per_byte * 1.5);  // ~1.5 receptions
+  int heard = 0;
+  net->set_receiver(b, [&](const Packet&) { ++heard; });
+  for (int i = 0; i < 4; ++i) net->transmit(a, ping(1, 89), "t");
+  net->scheduler().run();
+  EXPECT_EQ(heard, 1);  // second reception kills it mid-drain
+  EXPECT_FALSE(net->device(b).alive);
+}
+
+TEST(EnergyTest, ProtocolRunsUnderEnergyBudget) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {100.0, 100.0}};
+  config.radio_range = 50.0;
+  config.protocol.threshold_t = 3;
+  config.energy.enabled = true;
+  // Reception dominates in a dense field (~50 neighbors x ~5 kB each), so
+  // a healthy battery is ~10 J for one discovery round.
+  config.energy.initial_j = 20.0;
+  config.seed = 3;
+  core::SndDeployment deployment(config);
+  deployment.deploy_round(60);
+  deployment.run();
+  for (const core::SndNode* agent : deployment.agents()) {
+    EXPECT_TRUE(deployment.network().device(agent->device()).alive);
+    EXPECT_LT(deployment.network().energy_j(agent->device()), 20.0);  // something was spent
+  }
+  EXPECT_GT(topology::edge_recall(deployment.actual_benign_graph(),
+                                  deployment.functional_graph()),
+            0.9);
+}
+
+TEST(HalfDuplexTest, BackToBackSendsSerialize) {
+  ChannelConfig channel;
+  channel.half_duplex = true;
+  channel.processing_delay = Time::zero();
+  auto net = make_network(channel, {});
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  std::vector<Time> arrivals;
+  net->set_receiver(b, [&](const Packet&) { arrivals.push_back(net->now()); });
+
+  // Two 100-wire-byte packets queued at t=0: 3.2 ms airtime each.
+  net->transmit(a, ping(1, 89), "t");
+  net->transmit(a, ping(1, 89), "t");
+  net->scheduler().run();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  const double gap_ms = (arrivals[1] - arrivals[0]).to_milliseconds();
+  EXPECT_NEAR(gap_ms, 3.2, 0.1);  // second waited for the first to clear
+}
+
+TEST(HalfDuplexTest, FullDuplexDeliversSimultaneously) {
+  ChannelConfig channel;
+  channel.processing_delay = Time::zero();
+  auto net = make_network(channel, {});
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  std::vector<Time> arrivals;
+  net->set_receiver(b, [&](const Packet&) { arrivals.push_back(net->now()); });
+  net->transmit(a, ping(1, 89), "t");
+  net->transmit(a, ping(1, 89), "t");
+  net->scheduler().run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], arrivals[1]);
+}
+
+TEST(HalfDuplexTest, TransmittingReceiverMissesPacket) {
+  ChannelConfig channel;
+  channel.half_duplex = true;
+  channel.processing_delay = Time::zero();
+  auto net = make_network(channel, {});
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  int a_heard = 0;
+  int b_heard = 0;
+  net->set_receiver(a, [&](const Packet&) { ++a_heard; });
+  net->set_receiver(b, [&](const Packet&) { ++b_heard; });
+
+  // Both start talking at t=0; each is on the air while the other's packet
+  // lands, so both miss.
+  net->transmit(a, ping(1, 200), "t");
+  net->transmit(b, ping(2, 200), "t");
+  net->scheduler().run();
+  EXPECT_EQ(a_heard, 0);
+  EXPECT_EQ(b_heard, 0);
+}
+
+TEST(HalfDuplexTest, IdleReceiverStillHears) {
+  ChannelConfig channel;
+  channel.half_duplex = true;
+  auto net = make_network(channel, {});
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  int heard = 0;
+  net->set_receiver(b, [&](const Packet&) { ++heard; });
+  net->transmit(a, ping(1), "t");
+  net->scheduler().run();
+  EXPECT_EQ(heard, 1);
+}
+
+TEST(HalfDuplexTest, ProtocolSurvivesContention) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {100.0, 100.0}};
+  config.radio_range = 50.0;
+  config.half_duplex = true;
+  config.protocol.threshold_t = 3;
+  config.protocol.hello_repeats = 3;
+  config.seed = 7;
+  core::SndDeployment deployment(config);
+  deployment.deploy_round(80);
+  deployment.run();
+  // Contention costs some exchanges but discovery must remain usable.
+  EXPECT_GT(topology::edge_recall(deployment.actual_benign_graph(),
+                                  deployment.functional_graph()),
+            0.5);
+}
+
+}  // namespace
+}  // namespace snd::sim

@@ -1,0 +1,204 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::sim {
+namespace {
+
+std::unique_ptr<Network> make_network(double range = 50.0, ChannelConfig config = {},
+                                      std::uint64_t seed = 1) {
+  return std::make_unique<Network>(std::make_unique<UnitDiskModel>(range), config, seed);
+}
+
+TEST(NetworkTest, AddDeviceAssignsSequentialIds) {
+  auto net = make_network();
+  EXPECT_EQ(net->add_device(100, {0, 0}), 0u);
+  EXPECT_EQ(net->add_device(101, {1, 1}), 1u);
+  EXPECT_EQ(net->device_count(), 2u);
+  EXPECT_EQ(net->device(0).identity, 100u);
+}
+
+TEST(NetworkTest, DeliversWithinRange) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {5, 0});
+  int received = 0;
+  net->set_receiver(b, [&](const Packet& p) {
+    ++received;
+    EXPECT_EQ(p.src, 1u);
+    EXPECT_EQ(p.sender_device, a);
+  });
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, NoDeliveryBeyondRange) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {50, 0});
+  int received = 0;
+  net->set_receiver(b, [&](const Packet&) { ++received; });
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(NetworkTest, BroadcastReachesAllNeighbors) {
+  auto net = make_network(20.0);
+  const DeviceId center = net->add_device(1, {0, 0});
+  int received = 0;
+  for (int i = 0; i < 5; ++i) {
+    const DeviceId d = net->add_device(static_cast<NodeId>(2 + i), {5.0 + i, 0});
+    net->set_receiver(d, [&](const Packet&) { ++received; });
+  }
+  net->transmit(center, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 5);
+}
+
+TEST(NetworkTest, SenderDoesNotHearItself) {
+  auto net = make_network();
+  const DeviceId a = net->add_device(1, {0, 0});
+  int received = 0;
+  net->set_receiver(a, [&](const Packet&) { ++received; });
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(NetworkTest, DeadDeviceNeitherSendsNorReceives) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {5, 0});
+  int received = 0;
+  net->set_receiver(b, [&](const Packet&) { ++received; });
+
+  net->device(b).alive = false;
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 0);
+
+  net->device(b).alive = true;
+  net->device(a).alive = false;
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(NetworkTest, DeliveryDelayedByTransmissionTime) {
+  ChannelConfig config;
+  config.processing_delay = Time::zero();
+  auto net = make_network(10.0, config);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {5, 0});
+  Time delivered_at = Time::zero();
+  net->set_receiver(b, [&](const Packet&) { delivered_at = net->now(); });
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = util::Bytes(100, 0)},
+                "test");
+  net->scheduler().run();
+  // 111 bytes at 250 kbps = 3.552 ms, plus ~17 ns propagation.
+  EXPECT_GT(delivered_at, Time::milliseconds(3));
+  EXPECT_LT(delivered_at, Time::milliseconds(4));
+}
+
+TEST(NetworkTest, JammingBlocksBothDirections) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {5, 0});
+  int received = 0;
+  net->set_receiver(b, [&](const Packet&) { ++received; });
+
+  const std::size_t jammer = net->add_jammer({{5, 0}, 2.0});  // covers b only
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 0);
+
+  net->remove_jammer(jammer);
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, ChannelLossDropsFraction) {
+  ChannelConfig config;
+  config.loss_probability = 0.4;
+  auto net = make_network(10.0, config, 9);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {5, 0});
+  int received = 0;
+  net->set_receiver(b, [&](const Packet&) { ++received; });
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) {
+    net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  }
+  net->scheduler().run();
+  EXPECT_NEAR(static_cast<double>(received) / sent, 0.6, 0.04);
+}
+
+TEST(NetworkTest, MetricsChargeCategoriesOncePerTransmit) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  for (int i = 0; i < 3; ++i) {
+    const DeviceId d = net->add_device(static_cast<NodeId>(2 + i), {1.0 + i, 0});
+    net->set_receiver(d, [](const Packet&) {});
+  }
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = util::Bytes(10, 0)},
+                "phase-a");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "phase-b");
+  net->scheduler().run();
+
+  EXPECT_EQ(net->metrics().category("phase-a").messages, 1u);
+  EXPECT_EQ(net->metrics().category("phase-a").bytes, 10u + Packet::kHeaderBytes);
+  EXPECT_EQ(net->metrics().category("phase-b").messages, 1u);
+  EXPECT_EQ(net->metrics().total().messages, 2u);
+  EXPECT_EQ(net->metrics().deliveries(), 6u);  // 3 receivers x 2 packets
+}
+
+TEST(NetworkTest, DevicesWithIdentityFindsReplicas) {
+  auto net = make_network();
+  net->add_device(1, {0, 0});
+  net->add_replica(1, {30, 30});
+  net->add_device(2, {10, 10});
+  const auto holders = net->devices_with_identity(1);
+  EXPECT_EQ(holders.size(), 2u);
+  EXPECT_TRUE(net->device(holders[1]).replica);
+  EXPECT_TRUE(net->device(holders[1]).compromised);
+  EXPECT_FALSE(net->device(holders[0]).replica);
+}
+
+TEST(NetworkTest, LinkIsSymmetricAndExcludesSelf) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {9, 0});
+  EXPECT_TRUE(net->link(a, b));
+  EXPECT_TRUE(net->link(b, a));
+  EXPECT_FALSE(net->link(a, a));
+}
+
+TEST(NetworkTest, DevicesInRange) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  net->add_device(2, {5, 0});
+  net->add_device(3, {9, 0});
+  net->add_device(4, {20, 0});
+  EXPECT_EQ(net->devices_in_range(a).size(), 2u);
+}
+
+TEST(MetricsTest, ResetClears) {
+  Metrics metrics;
+  metrics.count_tx("x", 10);
+  metrics.count_delivery();
+  metrics.reset();
+  EXPECT_EQ(metrics.total().messages, 0u);
+  EXPECT_EQ(metrics.deliveries(), 0u);
+}
+
+TEST(MetricsTest, UnknownCategoryIsZero) {
+  Metrics metrics;
+  EXPECT_EQ(metrics.category("nope").messages, 0u);
+  EXPECT_EQ(metrics.category("nope").bytes, 0u);
+}
+
+}  // namespace
+}  // namespace snd::sim

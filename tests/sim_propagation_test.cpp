@@ -1,0 +1,92 @@
+#include "sim/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::sim {
+namespace {
+
+TEST(UnitDiskTest, BoundaryInclusive) {
+  UnitDiskModel model(10.0);
+  EXPECT_TRUE(model.link_exists({0, 0}, {10, 0}));
+  EXPECT_FALSE(model.link_exists({0, 0}, {10.001, 0}));
+  EXPECT_TRUE(model.link_exists({0, 0}, {0, 0}));
+  EXPECT_DOUBLE_EQ(model.nominal_range(), 10.0);
+}
+
+TEST(UnitDiskTest, Symmetric) {
+  UnitDiskModel model(10.0);
+  const util::Vec2 a{1, 2};
+  const util::Vec2 b{8, 5};
+  EXPECT_EQ(model.link_exists(a, b), model.link_exists(b, a));
+}
+
+TEST(PropagationDelayTest, SpeedOfLight) {
+  // 300 m at c is almost exactly 1 microsecond.
+  const Time delay = PropagationModel::propagation_delay(300.0);
+  EXPECT_NEAR(static_cast<double>(delay.ns()), 1000.0, 2.0);
+}
+
+TEST(LogNormalTest, ZeroSigmaReducesToUnitDisk) {
+  LogNormalModel model(50.0, 3.0, 0.0, 1);
+  EXPECT_TRUE(model.link_exists({0, 0}, {49.9, 0}));
+  EXPECT_FALSE(model.link_exists({0, 0}, {50.1, 0}));
+}
+
+TEST(LogNormalTest, DeterministicPerLink) {
+  LogNormalModel model(50.0, 3.0, 6.0, 7);
+  const util::Vec2 a{0, 0};
+  const util::Vec2 b{48, 0};
+  const bool first = model.link_exists(a, b);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.link_exists(a, b), first);
+}
+
+TEST(LogNormalTest, SymmetricLinks) {
+  LogNormalModel model(50.0, 3.0, 6.0, 7);
+  for (double x : {10.0, 30.0, 45.0, 55.0, 70.0}) {
+    const util::Vec2 a{0, 0};
+    const util::Vec2 b{x, 3.0};
+    EXPECT_EQ(model.link_exists(a, b), model.link_exists(b, a)) << x;
+  }
+}
+
+TEST(LogNormalTest, SeedChangesFadePattern) {
+  LogNormalModel m1(50.0, 3.0, 8.0, 1);
+  LogNormalModel m2(50.0, 3.0, 8.0, 2);
+  int differences = 0;
+  for (int i = 0; i < 200; ++i) {
+    const util::Vec2 a{0, 0};
+    const util::Vec2 b{45.0 + 0.1 * i, static_cast<double>(i)};
+    if (m1.link_exists(a, b) != m2.link_exists(a, b)) ++differences;
+  }
+  EXPECT_GT(differences, 10);
+}
+
+TEST(LogNormalTest, ConnectivityDecreasesWithDistance) {
+  LogNormalModel model(50.0, 3.0, 6.0, 11);
+  // Estimate link probability at two distances by sampling many links.
+  auto link_fraction = [&](double distance) {
+    int connected = 0;
+    const int samples = 500;
+    for (int i = 0; i < samples; ++i) {
+      const util::Vec2 a{static_cast<double>(i) * 13.0, 0.0};
+      const util::Vec2 b{a.x + distance, 1.0};
+      if (model.link_exists(a, b)) ++connected;
+    }
+    return static_cast<double>(connected) / samples;
+  };
+  const double near = link_fraction(30.0);
+  const double mid = link_fraction(50.0);
+  const double far = link_fraction(80.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  EXPECT_GT(near, 0.85);
+  EXPECT_LT(far, 0.25);
+}
+
+TEST(LogNormalTest, CoincidentPointsAlwaysLinked) {
+  LogNormalModel model(50.0, 3.0, 10.0, 3);
+  EXPECT_TRUE(model.link_exists({5, 5}, {5, 5}));
+}
+
+}  // namespace
+}  // namespace snd::sim

@@ -1,0 +1,149 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace snd::sim {
+namespace {
+
+TEST(TimeTest, Construction) {
+  EXPECT_EQ(Time::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Time::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Time::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Time::zero().ns(), 0);
+}
+
+TEST(TimeTest, ArithmeticAndComparison) {
+  const Time a = Time::milliseconds(5);
+  const Time b = Time::milliseconds(3);
+  EXPECT_EQ((a + b).ns(), Time::milliseconds(8).ns());
+  EXPECT_EQ((a - b).ns(), Time::milliseconds(2).ns());
+  EXPECT_LT(b, a);
+  EXPECT_GT(Time::infinity(), a);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Time::seconds(2.5).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(Time::milliseconds(1500).to_milliseconds(), 1500.0);
+}
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  scheduler.schedule_at(Time::milliseconds(30), [&] { order.push_back(3); });
+  scheduler.schedule_at(Time::milliseconds(10), [&] { order.push_back(1); });
+  scheduler.schedule_at(Time::milliseconds(20), [&] { order.push_back(2); });
+  scheduler.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, SameTimeFifoBySchedulingOrder) {
+  Scheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.schedule_at(Time::milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  scheduler.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, ClockAdvancesToEventTime) {
+  Scheduler scheduler;
+  Time observed;
+  scheduler.schedule_at(Time::milliseconds(42), [&] { observed = scheduler.now(); });
+  scheduler.run();
+  EXPECT_EQ(observed, Time::milliseconds(42));
+  EXPECT_EQ(scheduler.now(), Time::milliseconds(42));
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  Scheduler scheduler;
+  scheduler.schedule_at(Time::milliseconds(10), [&] {
+    // From inside an event at t=10, scheduling for t=5 must not rewind.
+    scheduler.schedule_at(Time::milliseconds(5), [&] {
+      EXPECT_GE(scheduler.now(), Time::milliseconds(10));
+    });
+  });
+  scheduler.run();
+  EXPECT_EQ(scheduler.executed(), 2u);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler scheduler;
+  bool ran = false;
+  const EventId id = scheduler.schedule_at(Time::milliseconds(1), [&] { ran = true; });
+  scheduler.cancel(id);
+  scheduler.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(scheduler.executed(), 0u);
+}
+
+TEST(SchedulerTest, CancelAfterExecutionIsNoop) {
+  Scheduler scheduler;
+  const EventId id = scheduler.schedule_at(Time::zero(), [] {});
+  scheduler.run();
+  scheduler.cancel(id);  // must not crash or corrupt
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler scheduler;
+  int count = 0;
+  scheduler.schedule_at(Time::milliseconds(10), [&] { ++count; });
+  scheduler.schedule_at(Time::milliseconds(20), [&] { ++count; });
+  scheduler.schedule_at(Time::milliseconds(30), [&] { ++count; });
+  scheduler.run_until(Time::milliseconds(20));
+  EXPECT_EQ(count, 2);  // the t=20 event runs; t=30 does not
+  EXPECT_EQ(scheduler.pending(), 1u);
+  scheduler.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  Scheduler scheduler;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      scheduler.schedule_at(scheduler.now() + Time::milliseconds(1), recurse);
+    }
+  };
+  scheduler.schedule_at(Time::zero(), recurse);
+  scheduler.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(scheduler.now(), Time::milliseconds(4));
+}
+
+TEST(SchedulerTest, StepReturnsFalseWhenEmpty) {
+  Scheduler scheduler;
+  EXPECT_FALSE(scheduler.step());
+  scheduler.schedule_at(Time::zero(), [] {});
+  EXPECT_TRUE(scheduler.step());
+  EXPECT_FALSE(scheduler.step());
+}
+
+TEST(SchedulerTest, PendingCountsUnexecuted) {
+  Scheduler scheduler;
+  EXPECT_TRUE(scheduler.empty());
+  const EventId a = scheduler.schedule_at(Time::milliseconds(1), [] {});
+  scheduler.schedule_at(Time::milliseconds(2), [] {});
+  EXPECT_EQ(scheduler.pending(), 2u);
+  scheduler.cancel(a);
+  EXPECT_EQ(scheduler.pending(), 1u);
+}
+
+TEST(SchedulerTest, ManyEventsStressOrdering) {
+  Scheduler scheduler;
+  std::vector<std::int64_t> fired;
+  // Deliberately scramble insertion order with a fixed stride pattern.
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t at = (i * 7919) % 1000;
+    scheduler.schedule_at(Time::milliseconds(at), [&fired, at] { fired.push_back(at); });
+  }
+  scheduler.run();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace snd::sim

@@ -1,0 +1,84 @@
+#include "topology/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::topology {
+namespace {
+
+Digraph two_islands() {
+  // Island A: 1-2-3 chain; island B: 10-11; isolated: 20.
+  Digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(10, 11);
+  g.add_edge(11, 10);
+  g.add_node(20);
+  return g;
+}
+
+TEST(WeakComponentsTest, FindsAllComponents) {
+  const auto components = weakly_connected_components(two_islands());
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(components[1], (std::vector<NodeId>{10, 11}));
+  EXPECT_EQ(components[2], (std::vector<NodeId>{20}));
+}
+
+TEST(WeakComponentsTest, DirectionIgnored) {
+  Digraph g;
+  g.add_edge(1, 2);  // one-way only
+  const auto components = weakly_connected_components(g);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].size(), 2u);
+}
+
+TEST(WeakComponentsTest, EmptyGraph) {
+  EXPECT_TRUE(weakly_connected_components(Digraph{}).empty());
+}
+
+TEST(WeakComponentsTest, OrderedBySizeDescending) {
+  Digraph g;
+  g.add_edge(1, 2);
+  for (NodeId i = 10; i < 15; ++i) g.add_edge(i, i + 1);
+  const auto components = weakly_connected_components(g);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_GT(components[0].size(), components[1].size());
+}
+
+TEST(MutualComponentsTest, OneWayEdgesDoNotJoin) {
+  Digraph g;
+  g.add_edge(1, 2);  // not mutual
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);  // mutual
+  const auto components = mutual_components(g);
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<NodeId>{3, 4}));
+}
+
+TEST(AnalyzePartitionsTest, DefaultKeepsOnlyLargest) {
+  const auto report = analyze_partitions(two_islands());
+  ASSERT_EQ(report.partitions.size(), 1u);
+  EXPECT_EQ(report.partitions[0], (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(report.isolated, (std::vector<NodeId>{10, 11, 20}));
+}
+
+TEST(AnalyzePartitionsTest, CustomUsefulPredicate) {
+  // The paper: "others may consider all large-enough partitions".
+  const auto report = analyze_partitions(
+      two_islands(), [](const std::vector<NodeId>& c) { return c.size() >= 2; });
+  EXPECT_EQ(report.partitions.size(), 2u);
+  EXPECT_EQ(report.isolated, (std::vector<NodeId>{20}));
+}
+
+TEST(AnalyzePartitionsTest, FullyConnectedHasNoIsolated) {
+  Digraph g;
+  for (NodeId i = 1; i < 10; ++i) g.add_edge(i, i + 1);
+  const auto report = analyze_partitions(g);
+  EXPECT_TRUE(report.isolated.empty());
+  EXPECT_EQ(report.partitions[0].size(), 10u);
+}
+
+}  // namespace
+}  // namespace snd::topology

@@ -1,0 +1,62 @@
+#include "topology/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::topology {
+namespace {
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const auto stats = degree_stats(Digraph{});
+  EXPECT_EQ(stats.mean_out_degree, 0.0);
+}
+
+TEST(DegreeStatsTest, Star) {
+  Digraph g;
+  for (NodeId i = 2; i <= 5; ++i) g.add_edge(1, i);
+  const auto stats = degree_stats(g);
+  EXPECT_EQ(stats.max_out_degree, 4u);
+  EXPECT_EQ(stats.min_out_degree, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_out_degree, 4.0 / 5.0);
+}
+
+TEST(EdgeRecallTest, IdenticalGraphs) {
+  Digraph g;
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  EXPECT_DOUBLE_EQ(edge_recall(g, g), 1.0);
+  EXPECT_DOUBLE_EQ(edge_precision(g, g), 1.0);
+}
+
+TEST(EdgeRecallTest, HalfKept) {
+  Digraph actual;
+  actual.add_edge(1, 2);
+  actual.add_edge(2, 3);
+  Digraph functional;
+  functional.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(edge_recall(actual, functional), 0.5);
+}
+
+TEST(EdgeRecallTest, EmptyActualIsPerfect) {
+  Digraph functional;
+  functional.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(edge_recall(Digraph{}, functional), 1.0);
+}
+
+TEST(EdgePrecisionTest, FabricatedEdgesLowerPrecision) {
+  Digraph actual;
+  actual.add_edge(1, 2);
+  Digraph functional;
+  functional.add_edge(1, 2);
+  functional.add_edge(1, 99);  // fabricated
+  EXPECT_DOUBLE_EQ(edge_precision(actual, functional), 0.5);
+  EXPECT_DOUBLE_EQ(edge_recall(actual, functional), 1.0);
+}
+
+TEST(EdgePrecisionTest, EmptyFunctionalIsVacuouslyPrecise) {
+  Digraph actual;
+  actual.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(edge_precision(actual, Digraph{}), 1.0);
+}
+
+}  // namespace
+}  // namespace snd::topology

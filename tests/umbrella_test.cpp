@@ -1,0 +1,44 @@
+// Compile-and-link check of the umbrella header: snd.h must expose the
+// documented top-level API without requiring any other include.
+#include "snd.h"
+
+#include <gtest/gtest.h>
+
+namespace snd {
+namespace {
+
+TEST(UmbrellaTest, TopLevelApiUsable) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {80.0, 80.0}};
+  config.radio_range = 60.0;
+  config.protocol.threshold_t = 2;
+  config.seed = 12;
+
+  core::SndDeployment deployment(config);
+  deployment.deploy_round(12);
+  deployment.run();
+
+  const core::SafetyReport safety = core::audit_safety(deployment, 120.0);
+  EXPECT_TRUE(safety.holds());
+
+  adversary::Attacker attacker(deployment);
+  EXPECT_TRUE(attacker.compromise(1));
+
+  const analysis::FieldModel model{0.02, 50.0};
+  EXPECT_GT(model.accuracy(10), 0.9);
+
+  const core::CommonNeighborValidator validator(3);
+  EXPECT_EQ(validator.minimum_deployment_size(), 6u);
+}
+
+TEST(UmbrellaTest, SchemesConstructible) {
+  crypto::BlundoScheme blundo(1, 4);
+  crypto::EschenauerGligorScheme eg(2, 100, 30, 2);
+  verify::RttVerifier rtt;
+  EXPECT_EQ(eg.q(), 2u);
+  EXPECT_EQ(rtt.name(), "rtt");
+  blundo.provision(1);
+}
+
+}  // namespace
+}  // namespace snd

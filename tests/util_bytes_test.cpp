@@ -1,0 +1,154 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::util {
+namespace {
+
+TEST(HexTest, EncodesKnownBytes) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+}
+
+TEST(HexTest, EncodesEmpty) { EXPECT_EQ(to_hex(Bytes{}), ""); }
+
+TEST(HexTest, DecodesLowercase) {
+  const auto decoded = from_hex("deadbeef");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, DecodesUppercase) {
+  const auto decoded = from_hex("DEADBEEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(HexTest, RejectsNonHexDigits) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(HexTest, RoundTripsRandomData) {
+  Bytes data;
+  for (int i = 0; i < 257; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  const auto decoded = from_hex(to_hex(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(PutTest, BigEndianU16) {
+  Bytes out;
+  put_u16(out, 0x1234);
+  EXPECT_EQ(out, (Bytes{0x12, 0x34}));
+}
+
+TEST(PutTest, BigEndianU32) {
+  Bytes out;
+  put_u32(out, 0x01020304);
+  EXPECT_EQ(out, (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(PutTest, BigEndianU64) {
+  Bytes out;
+  put_u64(out, 0x0102030405060708ULL);
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(PutTest, VarBytesAddsLengthPrefix) {
+  Bytes out;
+  const Bytes payload = {0xaa, 0xbb};
+  put_var_bytes(out, payload);
+  EXPECT_EQ(out, (Bytes{0x00, 0x02, 0xaa, 0xbb}));
+}
+
+TEST(ByteReaderTest, ReadsSequentialFields) {
+  Bytes data;
+  put_u8(data, 7);
+  put_u16(data, 300);
+  put_u32(data, 70000);
+  put_u64(data, 1ULL << 40);
+  ByteReader reader(data);
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.u16(), 300);
+  EXPECT_EQ(reader.u32(), 70000u);
+  EXPECT_EQ(reader.u64(), 1ULL << 40);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(ByteReaderTest, FailsOnUnderflow) {
+  const Bytes data = {0x01};
+  ByteReader reader(data);
+  EXPECT_FALSE(reader.u16().has_value());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteReaderTest, PoisonedAfterFailure) {
+  const Bytes data = {0x01, 0x02};
+  ByteReader reader(data);
+  EXPECT_FALSE(reader.u32().has_value());
+  // Two bytes remain physically, but the reader must stay failed.
+  EXPECT_FALSE(reader.u8().has_value());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, VarBytesRoundTrip) {
+  Bytes data;
+  put_var_bytes(data, Bytes{1, 2, 3});
+  ByteReader reader(data);
+  EXPECT_EQ(reader.var_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteReaderTest, VarBytesTruncatedBodyFails) {
+  Bytes data;
+  put_u16(data, 10);  // claims 10 bytes follow
+  put_u8(data, 1);    // only one does
+  ByteReader reader(data);
+  EXPECT_FALSE(reader.var_bytes().has_value());
+}
+
+TEST(ByteReaderTest, ReadsExactByteCount) {
+  const Bytes data = {1, 2, 3, 4};
+  ByteReader reader(data);
+  EXPECT_EQ(reader.bytes(3), (Bytes{1, 2, 3}));
+  EXPECT_EQ(reader.remaining(), 1u);
+}
+
+TEST(ConstantTimeEqualTest, EqualBuffers) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_TRUE(constant_time_equal(a, a));
+}
+
+TEST(ConstantTimeEqualTest, DifferentContent) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 4};
+  EXPECT_FALSE(constant_time_equal(a, b));
+}
+
+TEST(ConstantTimeEqualTest, DifferentLength) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2};
+  EXPECT_FALSE(constant_time_equal(a, b));
+}
+
+TEST(ConstantTimeEqualTest, EmptyBuffersEqual) {
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+// Round-trip property over every u16 length prefix boundary.
+class VarBytesSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VarBytesSizeTest, RoundTripsAtSize) {
+  Bytes payload(GetParam(), 0x5a);
+  Bytes data;
+  put_var_bytes(data, payload);
+  ByteReader reader(data);
+  EXPECT_EQ(reader.var_bytes(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VarBytesSizeTest,
+                         ::testing::Values(0, 1, 2, 255, 256, 1000, 65535));
+
+}  // namespace
+}  // namespace snd::util

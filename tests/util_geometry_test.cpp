@@ -1,0 +1,232 @@
+#include "util/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace snd::util {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2Test, NormOfPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+}
+
+TEST(GeometryTest, DistanceSymmetric) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{5.0, 12.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 13.0);
+  EXPECT_DOUBLE_EQ(distance(b, a), 13.0);
+}
+
+TEST(GeometryTest, CrossSign) {
+  EXPECT_GT(cross({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_LT(cross({0.0, 1.0}, {1.0, 0.0}), 0.0);
+}
+
+TEST(CircleTest, ContainsWithTolerance) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_TRUE(c.contains({1.0, 0.0}));
+  EXPECT_TRUE(c.contains({0.5, 0.5}));
+  EXPECT_FALSE(c.contains({1.1, 0.0}));
+}
+
+TEST(RectTest, ContainsAndArea) {
+  const Rect r{{0.0, 0.0}, {10.0, 20.0}};
+  EXPECT_TRUE(r.contains({5.0, 5.0}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({10.0, 20.0}));
+  EXPECT_FALSE(r.contains({-0.1, 5.0}));
+  EXPECT_DOUBLE_EQ(r.area(), 200.0);
+  EXPECT_EQ(r.center(), (Vec2{5.0, 10.0}));
+}
+
+TEST(LensAreaTest, FullOverlapAtZeroDistance) {
+  EXPECT_DOUBLE_EQ(lens_area(2.0, 0.0), std::numbers::pi * 4.0);
+}
+
+TEST(LensAreaTest, ZeroBeyondTwoRadii) {
+  EXPECT_DOUBLE_EQ(lens_area(1.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(lens_area(1.0, 3.0), 0.0);
+}
+
+TEST(LensAreaTest, KnownValueAtRadiusDistance) {
+  // d = r: standard result 2r^2 (pi/3) - (r^2 sqrt(3)/2)... computed:
+  // area = 2 r^2 acos(1/2) - (r/2) sqrt(3 r^2) = r^2 (2pi/3 - sqrt(3)/2).
+  const double r = 1.0;
+  const double expected = 2.0 * std::numbers::pi / 3.0 - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(lens_area(r, r), expected, 1e-12);
+}
+
+TEST(LensAreaTest, MonotoneDecreasingInDistance) {
+  double previous = lens_area(1.0, 0.0);
+  for (double d = 0.1; d <= 2.0; d += 0.1) {
+    const double current = lens_area(1.0, d);
+    EXPECT_LT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(ExpectedCommonNeighborsTest, MatchesLensAreaTimesDensity) {
+  const double density = 0.02;
+  const double r = 50.0;
+  for (double c : {0.1, 0.5, 1.0, 1.5, 1.9}) {
+    const double via_lens = density * lens_area(r, c * r) - 2.0;
+    EXPECT_NEAR(expected_common_neighbors(density, r, c), via_lens, 1e-9);
+  }
+}
+
+TEST(ExpectedCommonNeighborsTest, PaperSettingAtContact) {
+  // D = 0.02, R = 50: coincident nodes share D*pi*R^2 - 2 ~ 155 neighbors.
+  EXPECT_NEAR(expected_common_neighbors(0.02, 50.0, 0.0),
+              0.02 * std::numbers::pi * 2500.0 - 2.0, 1e-9);
+}
+
+TEST(MinimumEnclosingCircleTest, EmptyInput) {
+  const Circle c = minimum_enclosing_circle({});
+  EXPECT_EQ(c.radius, 0.0);
+}
+
+TEST(MinimumEnclosingCircleTest, SinglePoint) {
+  const std::vector<Vec2> pts = {{3.0, 4.0}};
+  const Circle c = minimum_enclosing_circle(pts);
+  EXPECT_EQ(c.center, (Vec2{3.0, 4.0}));
+  EXPECT_EQ(c.radius, 0.0);
+}
+
+TEST(MinimumEnclosingCircleTest, TwoPointsDiameter) {
+  const std::vector<Vec2> pts = {{0.0, 0.0}, {4.0, 0.0}};
+  const Circle c = minimum_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 2.0, 1e-9);
+  EXPECT_NEAR(c.center.x, 2.0, 1e-9);
+}
+
+TEST(MinimumEnclosingCircleTest, EquilateralTriangleCircumcircle) {
+  const double s = 2.0;
+  const std::vector<Vec2> pts = {{0.0, 0.0}, {s, 0.0}, {s / 2.0, s * std::sqrt(3.0) / 2.0}};
+  const Circle c = minimum_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, s / std::sqrt(3.0), 1e-9);
+}
+
+TEST(MinimumEnclosingCircleTest, ObtuseTriangleUsesLongestSide) {
+  // Very flat triangle: the MEC is the circle on the longest side, not the
+  // circumcircle.
+  const std::vector<Vec2> pts = {{0.0, 0.0}, {10.0, 0.0}, {5.0, 0.1}};
+  const Circle c = minimum_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 5.0, 1e-6);
+}
+
+TEST(MinimumEnclosingCircleTest, CollinearPoints) {
+  const std::vector<Vec2> pts = {{0.0, 0.0}, {2.0, 0.0}, {7.0, 0.0}, {4.0, 0.0}};
+  const Circle c = minimum_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 3.5, 1e-9);
+  EXPECT_NEAR(c.center.x, 3.5, 1e-9);
+}
+
+TEST(MinimumEnclosingCircleTest, DuplicatePoints) {
+  const std::vector<Vec2> pts = {{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const Circle c = minimum_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 0.0, 1e-12);
+}
+
+TEST(CircleRectTest, CircleFullyInsideRect) {
+  const Circle c{{50, 50}, 10};
+  const Rect r{{0, 0}, {100, 100}};
+  EXPECT_NEAR(circle_rect_intersection_area(c, r), std::numbers::pi * 100.0, 1e-9);
+}
+
+TEST(CircleRectTest, RectFullyInsideCircle) {
+  const Circle c{{50, 50}, 1000};
+  const Rect r{{0, 0}, {100, 100}};
+  EXPECT_NEAR(circle_rect_intersection_area(c, r), 10000.0, 1e-6);
+}
+
+TEST(CircleRectTest, HalfDiskAtEdge) {
+  // Circle centered exactly on the field edge: half the disk is inside.
+  const Circle c{{0, 50}, 10};
+  const Rect r{{0, 0}, {100, 100}};
+  EXPECT_NEAR(circle_rect_intersection_area(c, r), std::numbers::pi * 50.0, 1e-9);
+}
+
+TEST(CircleRectTest, QuarterDiskAtCorner) {
+  const Circle c{{0, 0}, 10};
+  const Rect r{{0, 0}, {100, 100}};
+  EXPECT_NEAR(circle_rect_intersection_area(c, r), std::numbers::pi * 25.0, 1e-9);
+}
+
+TEST(CircleRectTest, DisjointIsZero) {
+  const Circle c{{-50, -50}, 10};
+  const Rect r{{0, 0}, {100, 100}};
+  EXPECT_NEAR(circle_rect_intersection_area(c, r), 0.0, 1e-9);
+}
+
+TEST(CircleRectTest, ZeroRadiusIsZero) {
+  EXPECT_EQ(circle_rect_intersection_area({{5, 5}, 0}, {{0, 0}, {10, 10}}), 0.0);
+}
+
+TEST(CircleRectTest, MatchesMonteCarlo) {
+  // Awkward partial overlaps validated against Monte Carlo integration.
+  Rng rng(99);
+  const Rect r{{0, 0}, {100, 60}};
+  for (const Circle c : {Circle{{10, 10}, 25}, Circle{{95, 55}, 30}, Circle{{50, 0}, 40},
+                         Circle{{-10, 30}, 35}}) {
+    const double exact = circle_rect_intersection_area(c, r);
+    int hits = 0;
+    const int samples = 200000;
+    for (int i = 0; i < samples; ++i) {
+      // Sample uniformly in the circle's bounding box.
+      const Vec2 p{rng.uniform(c.center.x - c.radius, c.center.x + c.radius),
+                   rng.uniform(c.center.y - c.radius, c.center.y + c.radius)};
+      if (distance(p, c.center) <= c.radius && r.contains(p)) ++hits;
+    }
+    const double box = 4.0 * c.radius * c.radius;
+    const double estimate = box * static_cast<double>(hits) / samples;
+    EXPECT_NEAR(exact, estimate, 0.02 * box + 1.0) << "circle at " << c.center.x;
+  }
+}
+
+// Property: the MEC contains every input point, and is no larger than the
+// trivial bounding circle, across many random point clouds.
+class MecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MecPropertyTest, ContainsAllPointsAndIsTight) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + rng.uniform_int(40);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i) pts.push_back({rng.uniform(-100, 100), rng.uniform(-100, 100)});
+
+  const Circle c = minimum_enclosing_circle(pts);
+  Vec2 centroid{0.0, 0.0};
+  for (const Vec2& p : pts) {
+    EXPECT_TRUE(c.contains(p, 1e-6)) << "point outside MEC";
+    centroid = centroid + p;
+  }
+  centroid = centroid * (1.0 / static_cast<double>(n));
+
+  // The centroid-based bounding circle is an upper bound on the MEC radius.
+  double bound = 0.0;
+  for (const Vec2& p : pts) bound = std::max(bound, distance(centroid, p));
+  EXPECT_LE(c.radius, bound + 1e-6);
+
+  // Lower bound: half the diameter of the point set.
+  double diameter = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) diameter = std::max(diameter, distance(pts[i], pts[j]));
+  }
+  EXPECT_GE(c.radius + 1e-6, diameter / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClouds, MecPropertyTest, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace snd::util

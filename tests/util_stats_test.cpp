@@ -1,0 +1,110 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snd::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stdev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 5.0);
+  EXPECT_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MinMaxTracking) {
+  RunningStats stats;
+  for (double v : {3.0, -1.0, 10.0, 2.0}) stats.add(v);
+  EXPECT_EQ(stats.min(), -1.0);
+  EXPECT_EQ(stats.max(), 10.0);
+}
+
+TEST(RunningStatsTest, SumMatches) {
+  RunningStats stats;
+  for (int i = 1; i <= 100; ++i) stats.add(static_cast<double>(i));
+  EXPECT_NEAR(stats.sum(), 5050.0, 1e-9);
+}
+
+TEST(RunningStatsTest, SemShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 4; ++i) small.add(i % 2 == 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 400; ++i) large.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(small.sem(), large.sem());
+}
+
+TEST(RunningStatsTest, SummaryFormat) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  EXPECT_EQ(stats.summary(1), "2.0 ± 1.4");
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats stats;
+  // Welford handles a large common offset without catastrophic cancellation.
+  for (double v : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(stats.variance(), 30.0, 1e-6);
+}
+
+TEST(SeriesTest, MeanAndStdev) {
+  Series series;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) series.add(v);
+  EXPECT_DOUBLE_EQ(series.mean(), 2.5);
+  EXPECT_NEAR(series.stdev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SeriesTest, MedianOddCount) {
+  Series series;
+  for (double v : {9.0, 1.0, 5.0}) series.add(v);
+  EXPECT_DOUBLE_EQ(series.median(), 5.0);
+}
+
+TEST(SeriesTest, MedianEvenCountInterpolates) {
+  Series series;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) series.add(v);
+  EXPECT_DOUBLE_EQ(series.median(), 2.5);
+}
+
+TEST(SeriesTest, PercentileExtremes) {
+  Series series;
+  for (double v : {10.0, 20.0, 30.0}) series.add(v);
+  EXPECT_DOUBLE_EQ(series.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.percentile(100.0), 30.0);
+}
+
+TEST(SeriesTest, PercentileInterpolation) {
+  Series series;
+  for (double v : {0.0, 10.0}) series.add(v);
+  EXPECT_DOUBLE_EQ(series.percentile(25.0), 2.5);
+}
+
+TEST(SeriesTest, SingleElementAllPercentiles) {
+  Series series;
+  series.add(42.0);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) EXPECT_DOUBLE_EQ(series.percentile(p), 42.0);
+}
+
+}  // namespace
+}  // namespace snd::util

@@ -1,0 +1,107 @@
+#include "verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::verify {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest()
+      : network_(std::make_unique<sim::UnitDiskModel>(50.0), sim::ChannelConfig{}, 1) {
+    near_a_ = network_.add_device(1, {0, 0});
+    near_b_ = network_.add_device(2, {30, 0});
+    far_ = network_.add_device(3, {200, 0});
+    replica_near_a_ = network_.add_replica(2, {10, 0});  // clone of identity 2
+  }
+
+  sim::Network network_;
+  sim::DeviceId near_a_, near_b_, far_, replica_near_a_;
+};
+
+TEST_F(VerifierTest, OracleAcceptsPhysicalNeighbors) {
+  OracleVerifier oracle;
+  EXPECT_TRUE(oracle.verify(network_, near_a_, near_b_, 2));
+  EXPECT_TRUE(oracle.verify(network_, near_b_, near_a_, 1));
+}
+
+TEST_F(VerifierTest, OracleRejectsRemoteDevices) {
+  OracleVerifier oracle;
+  EXPECT_FALSE(oracle.verify(network_, near_a_, far_, 3));
+}
+
+TEST_F(VerifierTest, OracleAcceptsNearbyReplica) {
+  // The paper's premise: direct verification cannot tell a physically
+  // present replica from the genuine node.
+  OracleVerifier oracle;
+  EXPECT_TRUE(oracle.verify(network_, near_a_, replica_near_a_, 2));
+}
+
+TEST_F(VerifierTest, OracleCostsNoMessages) {
+  EXPECT_EQ(OracleVerifier{}.messages_per_verification(), 0u);
+}
+
+TEST_F(VerifierTest, RttAcceptsNeighborsRejectsFar) {
+  RttVerifier rtt;
+  EXPECT_TRUE(rtt.verify(network_, near_a_, near_b_, 2));
+  EXPECT_FALSE(rtt.verify(network_, near_a_, far_, 3));
+  EXPECT_TRUE(rtt.verify(network_, near_a_, replica_near_a_, 2));
+}
+
+TEST_F(VerifierTest, RttToleratesJitterForClearlyCloseNodes) {
+  RttVerifier rtt(/*clock_jitter_ns=*/20.0, /*slack=*/1.1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(rtt.verify(network_, near_a_, near_b_, 2));
+}
+
+TEST_F(VerifierTest, LocationAcceptsNeighborsRejectsFar) {
+  LocationVerifier location;
+  EXPECT_TRUE(location.verify(network_, near_a_, near_b_, 2));
+  EXPECT_FALSE(location.verify(network_, near_a_, far_, 3));
+  EXPECT_TRUE(location.verify(network_, near_a_, replica_near_a_, 2));
+}
+
+TEST_F(VerifierTest, MessageCostsDeclared) {
+  EXPECT_EQ(RttVerifier{}.messages_per_verification(), 2u);
+  EXPECT_EQ(LocationVerifier{}.messages_per_verification(), 1u);
+}
+
+TEST_F(VerifierTest, Names) {
+  EXPECT_EQ(OracleVerifier{}.name(), "oracle");
+  EXPECT_EQ(RttVerifier{}.name(), "rtt");
+  EXPECT_EQ(LocationVerifier{}.name(), "location");
+}
+
+TEST_F(VerifierTest, ImperfectZeroRatesMatchesInner) {
+  ImperfectVerifier verifier(std::make_shared<OracleVerifier>(), 0.0, 0.0);
+  EXPECT_TRUE(verifier.verify(network_, near_a_, near_b_, 2));
+  EXPECT_FALSE(verifier.verify(network_, near_a_, far_, 3));
+  EXPECT_EQ(verifier.name(), "imperfect(oracle)");
+}
+
+TEST_F(VerifierTest, ImperfectFalseRejectRateObserved) {
+  ImperfectVerifier verifier(std::make_shared<OracleVerifier>(), 0.3, 0.0);
+  int accepted = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (verifier.verify(network_, near_a_, near_b_, 2)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / trials, 0.7, 0.03);
+}
+
+TEST_F(VerifierTest, ImperfectFalseAcceptRateObserved) {
+  ImperfectVerifier verifier(std::make_shared<OracleVerifier>(), 0.0, 0.2);
+  int accepted = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (verifier.verify(network_, near_a_, far_, 3)) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / trials, 0.2, 0.03);
+}
+
+TEST_F(VerifierTest, ImperfectInheritsMessageCost) {
+  ImperfectVerifier verifier(std::make_shared<RttVerifier>(), 0.1, 0.1);
+  EXPECT_EQ(verifier.messages_per_verification(), 2u);
+}
+
+}  // namespace
+}  // namespace snd::verify

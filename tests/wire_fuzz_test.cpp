@@ -1,0 +1,92 @@
+// Adversarial parser robustness: every wire parser must reject arbitrary
+// byte garbage cleanly (no crash, no partial acceptance of junk), and
+// survive random mutations of valid messages. The adversary controls the
+// radio, so these paths are attack surface.
+#include <gtest/gtest.h>
+
+#include "core/binding_record.h"
+#include "core/wire.h"
+#include "util/rng.h"
+
+namespace snd::core {
+namespace {
+
+const crypto::SymmetricKey kMaster = crypto::SymmetricKey::from_seed(1);
+
+util::Bytes random_bytes(util::Rng& rng, std::size_t max_size) {
+  util::Bytes out(rng.uniform_int(max_size + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+class RandomGarbageTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGarbageTest, AllParsersRejectOrSurvive) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const util::Bytes garbage = random_bytes(rng, 300);
+    // Parsers must never crash; acceptance of random bytes is astronomically
+    // unlikely for structured payloads but not a hard failure -- what
+    // matters is clean behaviour. The record parser is checked strictly:
+    // even if the structure parses, the commitment cannot verify.
+    if (auto record = BindingRecord::parse(garbage)) {
+      EXPECT_FALSE(record->verify(kMaster));
+    }
+    (void)RecordReplyPayload::parse(garbage);
+    (void)RelationCommitPayload::parse(garbage);
+    (void)EvidencePayload::parse(garbage);
+    (void)UpdateRequestPayload::parse(garbage);
+    (void)UpdateReplyPayload::parse(garbage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGarbageTest, ::testing::Range<std::uint64_t>(1, 9));
+
+class MutationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationTest, MutatedRecordsNeverVerify) {
+  util::Rng rng(GetParam() * 977);
+  const BindingRecord record = BindingRecord::make(kMaster, 42, 1, {2, 3, 5, 8, 13});
+  const util::Bytes valid = record.serialize();
+
+  for (int i = 0; i < 300; ++i) {
+    util::Bytes mutated = valid;
+    const std::size_t flips = 1 + rng.uniform_int(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const auto pos = rng.uniform_int(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+    }
+    if (mutated == valid) continue;
+    const auto parsed = BindingRecord::parse(mutated);
+    if (parsed) {
+      // Structurally intact but tampered: the commitment must catch it.
+      EXPECT_FALSE(parsed->verify(kMaster)) << "mutation accepted at iteration " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationTest, ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(MutationTest, TruncatedUpdateRequestsRejected) {
+  util::Rng rng(55);
+  UpdateRequestPayload payload{BindingRecord::make(kMaster, 9, 2, {4, 5, 6}), {}};
+  payload.evidences.emplace_back(11, crypto::Sha256::hash("e1"));
+  payload.evidences.emplace_back(12, crypto::Sha256::hash("e2"));
+  const util::Bytes valid = payload.serialize();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const util::Bytes prefix(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(UpdateRequestPayload::parse(prefix).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(MutationTest, ExtendedPayloadsRejected) {
+  const BindingRecord record = BindingRecord::make(kMaster, 1, 0, {7});
+  for (std::size_t extra : {1u, 7u, 100u}) {
+    util::Bytes extended = record.serialize();
+    extended.insert(extended.end(), extra, 0xcc);
+    EXPECT_FALSE(BindingRecord::parse(extended).has_value()) << "extra " << extra;
+  }
+}
+
+}  // namespace
+}  // namespace snd::core
