@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/border_effects.dir/border_effects.cpp.o"
+  "CMakeFiles/border_effects.dir/border_effects.cpp.o.d"
+  "border_effects"
+  "border_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/border_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/centralized_vs_localized.dir/centralized_vs_localized.cpp.o"
+  "CMakeFiles/centralized_vs_localized.dir/centralized_vs_localized.cpp.o.d"
+  "centralized_vs_localized"
+  "centralized_vs_localized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/centralized_vs_localized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

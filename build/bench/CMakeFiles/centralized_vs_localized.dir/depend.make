@@ -1,0 +1,2 @@
+# Empty dependencies file for centralized_vs_localized.
+# This may be replaced when dependencies are built.

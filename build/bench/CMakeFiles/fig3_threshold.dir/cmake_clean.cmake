@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_threshold.dir/fig3_threshold.cpp.o"
+  "CMakeFiles/fig3_threshold.dir/fig3_threshold.cpp.o.d"
+  "fig3_threshold"
+  "fig3_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostile_accuracy.dir/hostile_accuracy.cpp.o"
+  "CMakeFiles/hostile_accuracy.dir/hostile_accuracy.cpp.o.d"
+  "hostile_accuracy"
+  "hostile_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostile_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

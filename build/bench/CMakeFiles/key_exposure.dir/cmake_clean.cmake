@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_exposure.dir/key_exposure.cpp.o"
+  "CMakeFiles/key_exposure.dir/key_exposure.cpp.o.d"
+  "key_exposure"
+  "key_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_scheme_ablation.dir/key_scheme_ablation.cpp.o"
+  "CMakeFiles/key_scheme_ablation.dir/key_scheme_ablation.cpp.o.d"
+  "key_scheme_ablation"
+  "key_scheme_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_scheme_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

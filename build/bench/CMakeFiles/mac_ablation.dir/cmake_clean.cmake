@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_ablation.dir/mac_ablation.cpp.o"
+  "CMakeFiles/mac_ablation.dir/mac_ablation.cpp.o.d"
+  "mac_ablation"
+  "mac_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

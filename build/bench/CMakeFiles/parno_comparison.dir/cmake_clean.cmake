@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parno_comparison.dir/parno_comparison.cpp.o"
+  "CMakeFiles/parno_comparison.dir/parno_comparison.cpp.o.d"
+  "parno_comparison"
+  "parno_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parno_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm12_impossibility.dir/thm12_impossibility.cpp.o"
+  "CMakeFiles/thm12_impossibility.dir/thm12_impossibility.cpp.o.d"
+  "thm12_impossibility"
+  "thm12_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm12_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

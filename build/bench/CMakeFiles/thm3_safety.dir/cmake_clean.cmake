@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm3_safety.dir/thm3_safety.cpp.o"
+  "CMakeFiles/thm3_safety.dir/thm3_safety.cpp.o.d"
+  "thm3_safety"
+  "thm3_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm3_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm3_safety.
+# This may be replaced when dependencies are built.

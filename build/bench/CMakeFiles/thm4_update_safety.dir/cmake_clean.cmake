@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm4_update_safety.dir/thm4_update_safety.cpp.o"
+  "CMakeFiles/thm4_update_safety.dir/thm4_update_safety.cpp.o.d"
+  "thm4_update_safety"
+  "thm4_update_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm4_update_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

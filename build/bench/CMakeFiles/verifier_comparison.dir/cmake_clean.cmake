@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_comparison.dir/verifier_comparison.cpp.o"
+  "CMakeFiles/verifier_comparison.dir/verifier_comparison.cpp.o.d"
+  "verifier_comparison"
+  "verifier_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

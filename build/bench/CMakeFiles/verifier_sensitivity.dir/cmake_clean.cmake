@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_sensitivity.dir/verifier_sensitivity.cpp.o"
+  "CMakeFiles/verifier_sensitivity.dir/verifier_sensitivity.cpp.o.d"
+  "verifier_sensitivity"
+  "verifier_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

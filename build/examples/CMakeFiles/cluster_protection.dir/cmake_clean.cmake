@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_protection.dir/cluster_protection.cpp.o"
+  "CMakeFiles/cluster_protection.dir/cluster_protection.cpp.o.d"
+  "cluster_protection"
+  "cluster_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

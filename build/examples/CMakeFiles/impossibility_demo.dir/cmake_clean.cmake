@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impossibility_demo.dir/impossibility_demo.cpp.o"
+  "CMakeFiles/impossibility_demo.dir/impossibility_demo.cpp.o.d"
+  "impossibility_demo"
+  "impossibility_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impossibility_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_attack.dir/replica_attack.cpp.o"
+  "CMakeFiles/replica_attack.dir/replica_attack.cpp.o.d"
+  "replica_attack"
+  "replica_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

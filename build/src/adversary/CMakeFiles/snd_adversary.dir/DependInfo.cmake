@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/attacker.cpp" "src/adversary/CMakeFiles/snd_adversary.dir/attacker.cpp.o" "gcc" "src/adversary/CMakeFiles/snd_adversary.dir/attacker.cpp.o.d"
+  "/root/repo/src/adversary/chaff.cpp" "src/adversary/CMakeFiles/snd_adversary.dir/chaff.cpp.o" "gcc" "src/adversary/CMakeFiles/snd_adversary.dir/chaff.cpp.o.d"
+  "/root/repo/src/adversary/malicious_agent.cpp" "src/adversary/CMakeFiles/snd_adversary.dir/malicious_agent.cpp.o" "gcc" "src/adversary/CMakeFiles/snd_adversary.dir/malicious_agent.cpp.o.d"
+  "/root/repo/src/adversary/theorem_attack.cpp" "src/adversary/CMakeFiles/snd_adversary.dir/theorem_attack.cpp.o" "gcc" "src/adversary/CMakeFiles/snd_adversary.dir/theorem_attack.cpp.o.d"
+  "/root/repo/src/adversary/wormhole.cpp" "src/adversary/CMakeFiles/snd_adversary.dir/wormhole.cpp.o" "gcc" "src/adversary/CMakeFiles/snd_adversary.dir/wormhole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/snd_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_adversary.dir/attacker.cpp.o"
+  "CMakeFiles/snd_adversary.dir/attacker.cpp.o.d"
+  "CMakeFiles/snd_adversary.dir/chaff.cpp.o"
+  "CMakeFiles/snd_adversary.dir/chaff.cpp.o.d"
+  "CMakeFiles/snd_adversary.dir/malicious_agent.cpp.o"
+  "CMakeFiles/snd_adversary.dir/malicious_agent.cpp.o.d"
+  "CMakeFiles/snd_adversary.dir/theorem_attack.cpp.o"
+  "CMakeFiles/snd_adversary.dir/theorem_attack.cpp.o.d"
+  "CMakeFiles/snd_adversary.dir/wormhole.cpp.o"
+  "CMakeFiles/snd_adversary.dir/wormhole.cpp.o.d"
+  "libsnd_adversary.a"
+  "libsnd_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

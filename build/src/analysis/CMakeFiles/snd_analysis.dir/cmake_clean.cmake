@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_analysis.dir/model.cpp.o"
+  "CMakeFiles/snd_analysis.dir/model.cpp.o.d"
+  "libsnd_analysis.a"
+  "libsnd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

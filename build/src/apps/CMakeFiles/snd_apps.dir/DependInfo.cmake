@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/aggregation.cpp" "src/apps/CMakeFiles/snd_apps.dir/aggregation.cpp.o" "gcc" "src/apps/CMakeFiles/snd_apps.dir/aggregation.cpp.o.d"
+  "/root/repo/src/apps/clustering.cpp" "src/apps/CMakeFiles/snd_apps.dir/clustering.cpp.o" "gcc" "src/apps/CMakeFiles/snd_apps.dir/clustering.cpp.o.d"
+  "/root/repo/src/apps/flooding.cpp" "src/apps/CMakeFiles/snd_apps.dir/flooding.cpp.o" "gcc" "src/apps/CMakeFiles/snd_apps.dir/flooding.cpp.o.d"
+  "/root/repo/src/apps/georouting.cpp" "src/apps/CMakeFiles/snd_apps.dir/georouting.cpp.o" "gcc" "src/apps/CMakeFiles/snd_apps.dir/georouting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/snd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_apps.dir/aggregation.cpp.o"
+  "CMakeFiles/snd_apps.dir/aggregation.cpp.o.d"
+  "CMakeFiles/snd_apps.dir/clustering.cpp.o"
+  "CMakeFiles/snd_apps.dir/clustering.cpp.o.d"
+  "CMakeFiles/snd_apps.dir/flooding.cpp.o"
+  "CMakeFiles/snd_apps.dir/flooding.cpp.o.d"
+  "CMakeFiles/snd_apps.dir/georouting.cpp.o"
+  "CMakeFiles/snd_apps.dir/georouting.cpp.o.d"
+  "libsnd_apps.a"
+  "libsnd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_baseline.dir/centralized.cpp.o"
+  "CMakeFiles/snd_baseline.dir/centralized.cpp.o.d"
+  "CMakeFiles/snd_baseline.dir/parno.cpp.o"
+  "CMakeFiles/snd_baseline.dir/parno.cpp.o.d"
+  "libsnd_baseline.a"
+  "libsnd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binding_record.cpp" "src/core/CMakeFiles/snd_core.dir/binding_record.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/binding_record.cpp.o.d"
+  "/root/repo/src/core/commitment.cpp" "src/core/CMakeFiles/snd_core.dir/commitment.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/commitment.cpp.o.d"
+  "/root/repo/src/core/deployment_driver.cpp" "src/core/CMakeFiles/snd_core.dir/deployment_driver.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/deployment_driver.cpp.o.d"
+  "/root/repo/src/core/messenger.cpp" "src/core/CMakeFiles/snd_core.dir/messenger.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/messenger.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/snd_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/safety.cpp" "src/core/CMakeFiles/snd_core.dir/safety.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/safety.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/snd_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/validation.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/snd_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/snd_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/snd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/snd_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

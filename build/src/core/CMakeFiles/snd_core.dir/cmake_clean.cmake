@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_core.dir/binding_record.cpp.o"
+  "CMakeFiles/snd_core.dir/binding_record.cpp.o.d"
+  "CMakeFiles/snd_core.dir/commitment.cpp.o"
+  "CMakeFiles/snd_core.dir/commitment.cpp.o.d"
+  "CMakeFiles/snd_core.dir/deployment_driver.cpp.o"
+  "CMakeFiles/snd_core.dir/deployment_driver.cpp.o.d"
+  "CMakeFiles/snd_core.dir/messenger.cpp.o"
+  "CMakeFiles/snd_core.dir/messenger.cpp.o.d"
+  "CMakeFiles/snd_core.dir/protocol.cpp.o"
+  "CMakeFiles/snd_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/snd_core.dir/safety.cpp.o"
+  "CMakeFiles/snd_core.dir/safety.cpp.o.d"
+  "CMakeFiles/snd_core.dir/validation.cpp.o"
+  "CMakeFiles/snd_core.dir/validation.cpp.o.d"
+  "CMakeFiles/snd_core.dir/wire.cpp.o"
+  "CMakeFiles/snd_core.dir/wire.cpp.o.d"
+  "libsnd_core.a"
+  "libsnd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

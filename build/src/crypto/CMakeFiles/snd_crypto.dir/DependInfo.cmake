@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/blundo.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/blundo.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/blundo.cpp.o.d"
+  "/root/repo/src/crypto/eg_pool.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/eg_pool.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/eg_pool.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/kdf.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/kdf.cpp.o.d"
+  "/root/repo/src/crypto/key.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/key.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/key.cpp.o.d"
+  "/root/repo/src/crypto/keypredist.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/keypredist.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/keypredist.cpp.o.d"
+  "/root/repo/src/crypto/secure_channel.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/secure_channel.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/secure_channel.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sim_signature.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/sim_signature.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/sim_signature.cpp.o.d"
+  "/root/repo/src/crypto/stream_cipher.cpp" "src/crypto/CMakeFiles/snd_crypto.dir/stream_cipher.cpp.o" "gcc" "src/crypto/CMakeFiles/snd_crypto.dir/stream_cipher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_crypto.dir/blundo.cpp.o"
+  "CMakeFiles/snd_crypto.dir/blundo.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/eg_pool.cpp.o"
+  "CMakeFiles/snd_crypto.dir/eg_pool.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/snd_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/snd_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/key.cpp.o"
+  "CMakeFiles/snd_crypto.dir/key.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/keypredist.cpp.o"
+  "CMakeFiles/snd_crypto.dir/keypredist.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/secure_channel.cpp.o"
+  "CMakeFiles/snd_crypto.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/snd_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/sim_signature.cpp.o"
+  "CMakeFiles/snd_crypto.dir/sim_signature.cpp.o.d"
+  "CMakeFiles/snd_crypto.dir/stream_cipher.cpp.o"
+  "CMakeFiles/snd_crypto.dir/stream_cipher.cpp.o.d"
+  "libsnd_crypto.a"
+  "libsnd_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

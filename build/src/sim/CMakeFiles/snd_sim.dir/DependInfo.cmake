@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/deployment.cpp" "src/sim/CMakeFiles/snd_sim.dir/deployment.cpp.o" "gcc" "src/sim/CMakeFiles/snd_sim.dir/deployment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/snd_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/snd_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/snd_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/snd_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/propagation.cpp" "src/sim/CMakeFiles/snd_sim.dir/propagation.cpp.o" "gcc" "src/sim/CMakeFiles/snd_sim.dir/propagation.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/snd_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/snd_sim.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

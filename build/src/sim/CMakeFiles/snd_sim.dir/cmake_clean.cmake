@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_sim.dir/deployment.cpp.o"
+  "CMakeFiles/snd_sim.dir/deployment.cpp.o.d"
+  "CMakeFiles/snd_sim.dir/metrics.cpp.o"
+  "CMakeFiles/snd_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/snd_sim.dir/network.cpp.o"
+  "CMakeFiles/snd_sim.dir/network.cpp.o.d"
+  "CMakeFiles/snd_sim.dir/propagation.cpp.o"
+  "CMakeFiles/snd_sim.dir/propagation.cpp.o.d"
+  "CMakeFiles/snd_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/snd_sim.dir/scheduler.cpp.o.d"
+  "libsnd_sim.a"
+  "libsnd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_topology.dir/graph.cpp.o"
+  "CMakeFiles/snd_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/snd_topology.dir/partition.cpp.o"
+  "CMakeFiles/snd_topology.dir/partition.cpp.o.d"
+  "CMakeFiles/snd_topology.dir/stats.cpp.o"
+  "CMakeFiles/snd_topology.dir/stats.cpp.o.d"
+  "libsnd_topology.a"
+  "libsnd_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

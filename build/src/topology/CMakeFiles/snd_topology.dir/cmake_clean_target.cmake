@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsnd_topology.a"
+)

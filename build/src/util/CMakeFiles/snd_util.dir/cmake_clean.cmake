@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_util.dir/bytes.cpp.o"
+  "CMakeFiles/snd_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/snd_util.dir/cli.cpp.o"
+  "CMakeFiles/snd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/snd_util.dir/geometry.cpp.o"
+  "CMakeFiles/snd_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/snd_util.dir/log.cpp.o"
+  "CMakeFiles/snd_util.dir/log.cpp.o.d"
+  "CMakeFiles/snd_util.dir/rng.cpp.o"
+  "CMakeFiles/snd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/snd_util.dir/stats.cpp.o"
+  "CMakeFiles/snd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/snd_util.dir/table.cpp.o"
+  "CMakeFiles/snd_util.dir/table.cpp.o.d"
+  "libsnd_util.a"
+  "libsnd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

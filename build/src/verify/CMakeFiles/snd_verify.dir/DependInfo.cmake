@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/rtt_probe.cpp" "src/verify/CMakeFiles/snd_verify.dir/rtt_probe.cpp.o" "gcc" "src/verify/CMakeFiles/snd_verify.dir/rtt_probe.cpp.o.d"
+  "/root/repo/src/verify/verifier.cpp" "src/verify/CMakeFiles/snd_verify.dir/verifier.cpp.o" "gcc" "src/verify/CMakeFiles/snd_verify.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/snd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

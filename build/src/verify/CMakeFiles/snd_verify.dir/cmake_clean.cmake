@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snd_verify.dir/rtt_probe.cpp.o"
+  "CMakeFiles/snd_verify.dir/rtt_probe.cpp.o.d"
+  "CMakeFiles/snd_verify.dir/verifier.cpp.o"
+  "CMakeFiles/snd_verify.dir/verifier.cpp.o.d"
+  "libsnd_verify.a"
+  "libsnd_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snd_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

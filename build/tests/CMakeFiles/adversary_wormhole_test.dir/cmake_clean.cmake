@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_wormhole_test.dir/adversary_wormhole_test.cpp.o"
+  "CMakeFiles/adversary_wormhole_test.dir/adversary_wormhole_test.cpp.o.d"
+  "adversary_wormhole_test"
+  "adversary_wormhole_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_wormhole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

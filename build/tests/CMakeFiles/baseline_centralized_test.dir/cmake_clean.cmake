@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_centralized_test.dir/baseline_centralized_test.cpp.o"
+  "CMakeFiles/baseline_centralized_test.dir/baseline_centralized_test.cpp.o.d"
+  "baseline_centralized_test"
+  "baseline_centralized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_centralized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

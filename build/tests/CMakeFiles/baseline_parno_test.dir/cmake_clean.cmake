@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_parno_test.dir/baseline_parno_test.cpp.o"
+  "CMakeFiles/baseline_parno_test.dir/baseline_parno_test.cpp.o.d"
+  "baseline_parno_test"
+  "baseline_parno_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_parno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_early_erasure_test.dir/core_early_erasure_test.cpp.o"
+  "CMakeFiles/core_early_erasure_test.dir/core_early_erasure_test.cpp.o.d"
+  "core_early_erasure_test"
+  "core_early_erasure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_early_erasure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_messenger_test.dir/core_messenger_test.cpp.o"
+  "CMakeFiles/core_messenger_test.dir/core_messenger_test.cpp.o.d"
+  "core_messenger_test"
+  "core_messenger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_messenger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_record_exchange_test.dir/core_record_exchange_test.cpp.o"
+  "CMakeFiles/core_record_exchange_test.dir/core_record_exchange_test.cpp.o.d"
+  "core_record_exchange_test"
+  "core_record_exchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_record_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

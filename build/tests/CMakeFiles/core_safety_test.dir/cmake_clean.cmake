@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_safety_test.dir/core_safety_test.cpp.o"
+  "CMakeFiles/core_safety_test.dir/core_safety_test.cpp.o.d"
+  "core_safety_test"
+  "core_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_channel_test.dir/crypto_channel_test.cpp.o"
+  "CMakeFiles/crypto_channel_test.dir/crypto_channel_test.cpp.o.d"
+  "crypto_channel_test"
+  "crypto_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

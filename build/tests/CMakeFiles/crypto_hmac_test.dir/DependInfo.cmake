@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_hmac_test.cpp" "tests/CMakeFiles/crypto_hmac_test.dir/crypto_hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_hmac_test.dir/crypto_hmac_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/snd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/snd_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/snd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/snd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/snd_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/snd_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/snd_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/snd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/snd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_key_test.dir/crypto_key_test.cpp.o"
+  "CMakeFiles/crypto_key_test.dir/crypto_key_test.cpp.o.d"
+  "crypto_key_test"
+  "crypto_key_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_keypredist_test.dir/crypto_keypredist_test.cpp.o"
+  "CMakeFiles/crypto_keypredist_test.dir/crypto_keypredist_test.cpp.o.d"
+  "crypto_keypredist_test"
+  "crypto_keypredist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_keypredist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

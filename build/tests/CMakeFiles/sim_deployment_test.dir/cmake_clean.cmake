@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_deployment_test.dir/sim_deployment_test.cpp.o"
+  "CMakeFiles/sim_deployment_test.dir/sim_deployment_test.cpp.o.d"
+  "sim_deployment_test"
+  "sim_deployment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

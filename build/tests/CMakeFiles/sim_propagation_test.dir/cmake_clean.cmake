@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_propagation_test.dir/sim_propagation_test.cpp.o"
+  "CMakeFiles/sim_propagation_test.dir/sim_propagation_test.cpp.o.d"
+  "sim_propagation_test"
+  "sim_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_stats_test.dir/topology_stats_test.cpp.o"
+  "CMakeFiles/topology_stats_test.dir/topology_stats_test.cpp.o.d"
+  "topology_stats_test"
+  "topology_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_geometry_test.dir/util_geometry_test.cpp.o"
+  "CMakeFiles/util_geometry_test.dir/util_geometry_test.cpp.o.d"
+  "util_geometry_test"
+  "util_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_rtt_probe_test.dir/verify_rtt_probe_test.cpp.o"
+  "CMakeFiles/verify_rtt_probe_test.dir/verify_rtt_probe_test.cpp.o.d"
+  "verify_rtt_probe_test"
+  "verify_rtt_probe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_rtt_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
