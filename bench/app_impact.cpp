@@ -37,6 +37,7 @@ std::map<NodeId, util::Vec2> original_positions(const core::SndDeployment& deplo
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 6));
+  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 6]")) return 2;
 
   std::cout << "== Application impact of secure neighbor discovery ==\n"
             << "400 nodes, 300x300 m, R = 50 m, t = 5; 3 identities replicated at the\n"

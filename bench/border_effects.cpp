@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 6));
   const auto t = static_cast<std::size_t>(cli.get_int("threshold", 60));
+  if (!cli.validate(std::cerr, {"seeds", "threshold"}, "[--seeds 6] [--threshold 60]")) return 2;
 
   const analysis::FieldModel model{0.02, 50.0};
 

@@ -22,6 +22,7 @@ using namespace snd;
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  if (!cli.validate(std::cerr, {"seed"}, "[--seed 5]")) return 2;
 
   std::cout << "== Centralized (base station) vs localized validation ==\n"
             << "fixed density 1 node / 100 m^2, R = 50 m, t = 8; the field grows with n\n\n";

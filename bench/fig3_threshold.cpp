@@ -7,11 +7,17 @@
 // center. We deploy one node exactly at the center plus 199 random ones and
 // average the center node's accuracy over independent seeds.
 //
-//   ./fig3_threshold [--seeds 20] [--tmax 150] [--tstep 10]
+// The (t, seed) grid is flattened into one trial space and sharded across
+// workers by runner::TrialRunner; aggregate statistics are bit-identical
+// for any --jobs value.
+//
+//   ./fig3_threshold [--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]
 #include <iostream>
+#include <vector>
 
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
+#include "runner/trial_runner.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -49,24 +55,48 @@ double center_node_accuracy(std::size_t threshold, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 20));
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 20));
   const auto t_max = static_cast<std::size_t>(cli.get_int("tmax", 150));
   const auto t_step = static_cast<std::size_t>(cli.get_int("tstep", 10));
+  runner::TrialRunner pool(util::resolve_jobs(cli));
+  if (!cli.validate(std::cerr, {"seeds", "tmax", "tstep", "jobs"},
+                    "[--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]")) {
+    return 2;
+  }
+  if (seeds == 0 || t_step == 0) {
+    std::cerr << cli.program() << ": --seeds and --tstep must be >= 1\n";
+    return 2;
+  }
 
   const analysis::FieldModel model{200.0 / (100.0 * 100.0), 50.0};
 
   std::cout << "== Figure 3: fraction of validated neighbors vs threshold t ==\n"
-            << "200 nodes, 100x100 m, R = 50 m, center node, " << seeds << " seeds\n\n";
+            << "200 nodes, 100x100 m, R = 50 m, center node, " << seeds << " seeds, "
+            << pool.jobs() << " jobs\n\n";
+
+  std::vector<std::size_t> thresholds;
+  for (std::size_t t = 0; t <= t_max; t += t_step) thresholds.push_back(t);
+
+  // One flat (t, seed) trial space: trial i covers threshold i / seeds with
+  // the i-th derived seed.
+  runner::SweepReport report;
+  report.name = "fig3_threshold";
+  const auto accuracy = pool.run(
+      thresholds.size() * seeds, /*base_seed=*/101,
+      [&](std::size_t i, std::uint64_t seed) {
+        return center_node_accuracy(thresholds[i / seeds], seed);
+      },
+      &report);
 
   util::Table table({"t", "theory f_b", "theory tau^2", "simulation", "stdev"});
-  for (std::size_t t = 0; t <= t_max; t += t_step) {
+  for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
     util::RunningStats sim_accuracy;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      sim_accuracy.add(center_node_accuracy(t, seed * 101 + t));
+    for (std::size_t s = 0; s < seeds; ++s) {
+      if (const auto& value = accuracy[ti * seeds + s]) sim_accuracy.add(*value);
     }
-    table.add_row({util::Table::integer(static_cast<long long>(t)),
-                   util::Table::num(model.accuracy(t), 3),
-                   util::Table::num(model.accuracy_approx(t), 3),
+    table.add_row({util::Table::integer(static_cast<long long>(thresholds[ti])),
+                   util::Table::num(model.accuracy(thresholds[ti]), 3),
+                   util::Table::num(model.accuracy_approx(thresholds[ti]), 3),
                    util::Table::num(sim_accuracy.mean(), 3),
                    util::Table::num(sim_accuracy.stdev(), 3)});
   }
@@ -74,5 +104,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\nExpected shape (paper Fig. 3): simulation tracks the theoretical curve;\n"
             << "accuracy ~1 for small t, decaying to ~0 by t ~ 150.\n";
-  return 0;
+
+  const std::string path = report.write_json();
+  std::cout << "\n[" << report.trials << " trials, " << report.failed << " failed, "
+            << util::Table::num(report.trials_per_second(), 1) << " trials/s"
+            << (path.empty() ? "" : ", perf -> " + path) << "]\n";
+  return report.failed == 0 ? 0 : 1;
 }

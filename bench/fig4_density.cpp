@@ -6,12 +6,17 @@
 // field stays 100x100 m and the node count scales with density; accuracy is
 // measured at a node pinned to the field center.
 //
-//   ./fig4_density [--seeds 10]
+// The (density, t, seed) grid is flattened into one trial space and sharded
+// across workers by runner::TrialRunner; aggregate statistics are
+// bit-identical for any --jobs value.
+//
+//   ./fig4_density [--seeds 10] [--jobs N]
 #include <iostream>
 #include <vector>
 
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
+#include "runner/trial_runner.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -49,27 +54,49 @@ double center_node_accuracy(double density_per_m2, std::size_t threshold, std::u
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 10));
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 10));
+  runner::TrialRunner pool(util::resolve_jobs(cli));
+  if (!cli.validate(std::cerr, {"seeds", "jobs"}, "[--seeds 10] [--jobs N]")) return 2;
+  if (seeds == 0) {
+    std::cerr << cli.program() << ": --seeds must be >= 1\n";
+    return 2;
+  }
 
   const std::vector<double> densities_per_1000m2 = {5, 10, 15, 20, 25, 30, 40};
   const std::vector<std::size_t> thresholds = {10, 30, 50};
 
   std::cout << "== Figure 4: fraction of validated neighbors vs deployment density ==\n"
-            << "R = 50 m, 100x100 m field, center node, " << seeds << " seeds\n\n";
+            << "R = 50 m, 100x100 m field, center node, " << seeds << " seeds, "
+            << pool.jobs() << " jobs\n\n";
+
+  // One flat (density, t, seed) trial space: trial i covers density
+  // i / (thresholds * seeds), threshold (i / seeds) % thresholds, seed i % seeds.
+  runner::SweepReport report;
+  report.name = "fig4_density";
+  const std::size_t cells = densities_per_1000m2.size() * thresholds.size();
+  const auto accuracy = pool.run(
+      cells * seeds, /*base_seed=*/997,
+      [&](std::size_t i, std::uint64_t seed) {
+        const std::size_t cell = i / seeds;
+        const double density = densities_per_1000m2[cell / thresholds.size()] / 1000.0;
+        return center_node_accuracy(density, thresholds[cell % thresholds.size()], seed);
+      },
+      &report);
 
   util::Table table({"density (/1000 m^2)", "t=10 sim", "t=10 theory", "t=30 sim",
                      "t=30 theory", "t=50 sim", "t=50 theory"});
-  for (double density_k : densities_per_1000m2) {
-    const double density = density_k / 1000.0;
+  for (std::size_t di = 0; di < densities_per_1000m2.size(); ++di) {
+    const double density_k = densities_per_1000m2[di];
     std::vector<std::string> row = {util::Table::num(density_k, 0)};
-    for (std::size_t t : thresholds) {
+    for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
       util::RunningStats sim_accuracy;
-      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-        sim_accuracy.add(center_node_accuracy(density, t, seed * 997 + t));
+      const std::size_t cell = di * thresholds.size() + ti;
+      for (std::size_t s = 0; s < seeds; ++s) {
+        if (const auto& value = accuracy[cell * seeds + s]) sim_accuracy.add(*value);
       }
-      const analysis::FieldModel model{density, 50.0};
+      const analysis::FieldModel model{density_k / 1000.0, 50.0};
       row.push_back(util::Table::num(sim_accuracy.mean(), 3));
-      row.push_back(util::Table::num(model.accuracy(t), 3));
+      row.push_back(util::Table::num(model.accuracy(thresholds[ti]), 3));
     }
     table.add_row(std::move(row));
   }
@@ -77,5 +104,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\nExpected shape (paper Fig. 4): accuracy rises with density; smaller t\n"
             << "saturates first (t=10 ~1 by ~15 nodes/1000 m^2, t=50 needs ~2x more).\n";
-  return 0;
+
+  const std::string path = report.write_json();
+  std::cout << "\n[" << report.trials << " trials, " << report.failed << " failed, "
+            << util::Table::num(report.trials_per_second(), 1) << " trials/s"
+            << (path.empty() ? "" : ", perf -> " + path) << "]\n";
+  return report.failed == 0 ? 0 : 1;
 }

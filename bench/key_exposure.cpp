@@ -58,6 +58,7 @@ Outcome run(bool early, double channel_loss, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 5]")) return 2;
 
   std::cout << "== Master-key exposure window: fixed window vs early erasure ==\n"
             << "400 nodes, 200x200 m, R = 50 m, t = 8, " << seeds << " seeds\n\n";

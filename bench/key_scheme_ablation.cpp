@@ -79,6 +79,7 @@ Accuracy run_accuracy(const std::shared_ptr<crypto::KeyPredistribution>& scheme,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 4));
+  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 4]")) return 2;
 
   std::cout << "== Key predistribution ablation ==\n"
             << "200 nodes, 150x150 m, R = 50 m, t = 5, " << seeds << " seeds\n\n";

@@ -61,6 +61,7 @@ Outcome run(bool half_duplex, bool jitter, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 5]")) return 2;
 
   std::cout << "== MAC / jitter ablation ==\n"
             << "200 nodes, 150x150 m, R = 50 m, t = 5, energy accounting on, " << seeds

@@ -97,6 +97,10 @@ int main(int argc, char** argv) {
   const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 200));
   const auto threshold = static_cast<std::size_t>(cli.get_int("threshold", 10));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (!cli.validate(std::cerr, {"nodes", "threshold", "seed"},
+                    "[--nodes 200] [--threshold 10] [--seed 1]")) {
+    return 2;
+  }
 
   std::cout << "== Protocol overhead (paper section 4.3) ==\n"
             << "100x100 m field, R = 50 m\n";

@@ -129,6 +129,7 @@ baseline::DetectionResult run_parno(std::uint64_t seed, bool line_selected) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 6));
+  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 6]")) return 2;
 
   std::cout << "== Comparison vs Parno et al. replica handling (paper section 4.5.3) ==\n"
             << "350 nodes + 3 compromised identities replicated at 3 remote sites,\n"

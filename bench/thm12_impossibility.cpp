@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
             << "renames a hypothetical new local node's relations to v.\n\n";
 
   const auto trials = static_cast<std::uint64_t>(cli.get_int("trials", 10));
+  if (!cli.validate(std::cerr, {"trials"}, "[--trials 10]")) return 2;
   util::Table t2({"trial", "nodes", "t", "|N(u)|", "victim distance (m)", "accepted before",
                   "accepted after attack"});
   std::size_t successes = 0;

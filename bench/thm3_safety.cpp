@@ -17,6 +17,7 @@
 
 #include "adversary/attacker.h"
 #include "core/safety.h"
+#include "runner/trial_runner.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -90,24 +91,44 @@ Outcome run_attack(std::size_t t, std::size_t compromised, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto t = static_cast<std::size_t>(cli.get_int("threshold", 4));
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 5));
+  runner::TrialRunner pool(util::resolve_jobs(cli));
+  if (!cli.validate(std::cerr, {"threshold", "seeds", "jobs"},
+                    "[--threshold 4] [--seeds 5] [--jobs N]")) {
+    return 2;
+  }
+  if (seeds == 0) {
+    std::cerr << cli.program() << ": --seeds must be >= 1\n";
+    return 2;
+  }
 
   std::cout << "== Theorem 3: 2R-safety vs number of colluding compromised nodes ==\n"
             << "t = " << t << ", R = 50 m (2R = 100 m), colluding clique replicated at a\n"
             << "remote site, fresh nodes deployed next to the replicas, " << seeds
-            << " seeds\n\n";
+            << " seeds, " << pool.jobs() << " jobs\n\n";
+
+  // One flat (c, seed) trial space: trial i attacks with c = 1 + i / seeds.
+  runner::SweepReport report;
+  report.name = "thm3_safety";
+  const std::size_t c_count = t + 3;
+  const auto outcomes = pool.run(
+      c_count * seeds, /*base_seed=*/7919,
+      [&](std::size_t i, std::uint64_t seed) { return run_attack(t, 1 + i / seeds, seed); },
+      &report);
 
   util::Table table({"compromised c", "prediction", "2R violations", "max impact radius (m)",
                      "fresh nodes fooled"});
-  for (std::size_t c = 1; c <= t + 3; ++c) {
+  for (std::size_t ci = 0; ci < c_count; ++ci) {
+    const std::size_t c = ci + 1;
     util::RunningStats violations;
     util::RunningStats radius;
     util::RunningStats fooled;
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      const Outcome outcome = run_attack(t, c, seed * 7919);
-      violations.add(static_cast<double>(outcome.violations));
-      radius.add(outcome.max_radius);
-      fooled.add(static_cast<double>(outcome.fooled_fresh_nodes));
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const auto& outcome = outcomes[ci * seeds + s];
+      if (!outcome.has_value()) continue;
+      violations.add(static_cast<double>(outcome->violations));
+      radius.add(outcome->max_radius);
+      fooled.add(static_cast<double>(outcome->fooled_fresh_nodes));
     }
     table.add_row({util::Table::integer(static_cast<long long>(c)),
                    c <= t ? "safe (Thm 3)" : c == t + 1 ? "safe (margin)" : "breakable",
@@ -119,5 +140,10 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: zero violations for c <= t (the Theorem 3 guarantee; the\n"
             << "strongest clique attack in fact needs c >= t+2), violations with impact\n"
             << "radius ~ field diagonal once c crosses t+2.\n";
-  return 0;
+
+  const std::string path = report.write_json();
+  std::cout << "\n[" << report.trials << " trials, " << report.failed << " failed, "
+            << util::Table::num(report.trials_per_second(), 1) << " trials/s"
+            << (path.empty() ? "" : ", perf -> " + path) << "]\n";
+  return report.failed == 0 ? 0 : 1;
 }

@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 4));
   const auto m_max = static_cast<std::uint32_t>(cli.get_int("mmax", 4));
+  if (!cli.validate(std::cerr, {"seeds", "mmax"}, "[--seeds 4] [--mmax 4]")) return 2;
 
   std::cout << "== Theorem 4: (m+1)R-safety under the update extension ==\n"
             << "creeping replica attack down a corridor, R = 50 m, t = 3, " << seeds

@@ -82,6 +82,7 @@ Outcome run(const VerifierCase& verifier_case, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 3));
+  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 3]")) return 2;
 
   std::cout << "== Direct-verification mechanisms under wormhole + chaff ==\n"
             << "250 nodes in a 400x100 m corridor, tunnel across it, chaff mid-field,\n"

@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
   const auto t = static_cast<std::size_t>(cli.get_int("threshold", 8));
+  if (!cli.validate(std::cerr, {"seeds", "threshold"}, "[--seeds 5] [--threshold 8]")) return 2;
 
   std::cout << "== Sensitivity to imperfect direct verification (paper section 6) ==\n"
             << "400 nodes, 200x200 m, R = 50 m, t = " << t << ", " << seeds << " seeds\n\n";

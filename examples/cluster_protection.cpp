@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   config.radio_range = 50.0;
   config.protocol.threshold_t = 5;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  if (!cli.validate(std::cerr, {"seed"}, "[--seed 3]")) return 2;
 
   // Identity 1 -- the smallest ID in the network, i.e. a guaranteed cluster
   // head wherever it is believed to be a neighbor -- is the attacker's

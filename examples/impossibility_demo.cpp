@@ -29,6 +29,7 @@ void print_graph(const char* name, const topology::Digraph& g) {
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto t = static_cast<std::size_t>(cli.get_int("threshold", 2));
+  if (!cli.validate(std::cerr, {"threshold"}, "[--threshold 2]")) return 2;
 
   core::CommonNeighborValidator validator(t);
   std::cout << "Validation function F: " << validator.name()

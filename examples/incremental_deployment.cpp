@@ -7,12 +7,19 @@
 // deployed nodes re-issue old records (verifying hash evidences with K), so
 // old and new nodes keep forming functional relations.
 //
-//   ./incremental_deployment [--rounds 4] [--deaths 12] [--updates 3]
+//   ./incremental_deployment [--rounds 4] [--deaths 12] [--updates 3] [--seeds 1] [--jobs N]
+//
+// The with/without-updates arms (x --seeds deployments) are independent
+// trials sharded across workers by runner::TrialRunner; both arms of a seed
+// share the same deployment so the comparison stays paired.
 #include <iostream>
 
 #include "core/deployment_driver.h"
+#include "runner/trial_runner.h"
 #include "topology/stats.h"
 #include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace {
@@ -85,21 +92,48 @@ int main(int argc, char** argv) {
   const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 4));
   const auto deaths = static_cast<std::size_t>(cli.get_int("deaths", 12));
   const auto updates = static_cast<std::uint32_t>(cli.get_int("updates", 3));
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 1));
+  runner::TrialRunner pool(util::resolve_jobs(cli));
+  if (!cli.validate(std::cerr, {"rounds", "deaths", "updates", "seeds", "jobs"},
+                    "[--rounds 4] [--deaths 12] [--updates 3] [--seeds 1] [--jobs N]")) {
+    return 2;
+  }
+  if (rounds == 0 || seeds == 0) {
+    std::cerr << cli.program() << ": --rounds and --seeds must be >= 1\n";
+    return 2;
+  }
 
   std::cout << "== Incremental deployment with battery deaths ==\n"
-            << "180 initial nodes, " << deaths << " deaths + 20 arrivals per round, t = 12\n\n";
+            << "180 initial nodes, " << deaths << " deaths + 20 arrivals per round, t = 12, "
+            << seeds << " seed(s), " << pool.jobs() << " jobs\n\n";
 
-  const auto without = simulate(0, rounds, deaths, 42);
-  const auto with = simulate(updates, rounds, deaths, 42);
+  // One flat (arm, seed) trial space: arm 0 disables updates, arm 1 caps
+  // them at --updates. Both arms of seed s reuse the same deployment seed so
+  // the table stays a paired comparison.
+  const auto results = pool.run(
+      2 * seeds, /*base_seed=*/42, [&](std::size_t i, std::uint64_t) {
+        const std::uint32_t m = i / seeds == 0 ? 0 : updates;
+        return simulate(m, rounds, deaths, util::derive_seed(42, i % seeds));
+      });
+
+  auto mean_over_seeds = [&](std::size_t arm, std::size_t round, auto field) {
+    util::RunningStats stats;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      if (const auto& per_round = results[arm * seeds + s]) stats.add(field((*per_round)[round]));
+    }
+    return stats.mean();
+  };
 
   util::Table table({"round", "new-to-old links (no updates)",
                      "new-to-old links (m=" + std::to_string(updates) + ")",
                      "mean record version (m=" + std::to_string(updates) + ")"});
   for (std::size_t r = 0; r < rounds; ++r) {
+    const auto links = [](const RoundStats& s) { return s.new_to_old_links; };
+    const auto version = [](const RoundStats& s) { return s.mean_record_version; };
     table.add_row({util::Table::integer(static_cast<long long>(r + 1)),
-                   util::Table::num(without[r].new_to_old_links, 1),
-                   util::Table::num(with[r].new_to_old_links, 1),
-                   util::Table::num(with[r].mean_record_version, 2)});
+                   util::Table::num(mean_over_seeds(0, r, links), 1),
+                   util::Table::num(mean_over_seeds(1, r, links), 1),
+                   util::Table::num(mean_over_seeds(1, r, version), 2)});
   }
   table.print(std::cout);
 

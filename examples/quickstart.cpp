@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   config.protocol.threshold_t = static_cast<std::size_t>(cli.get_int("threshold", 10));
   const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 200));
+  if (!cli.validate(std::cerr, {"seed", "threshold", "nodes"},
+                    "[--nodes 200] [--threshold 10] [--seed 1]")) {
+    return 2;
+  }
 
   std::cout << "== SND quickstart ==\n"
             << "field:     " << config.field.width() << " x " << config.field.height()

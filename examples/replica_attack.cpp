@@ -29,6 +29,10 @@ int main(int argc, char** argv) {
   config.radio_range = 50.0;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
   config.protocol.threshold_t = static_cast<std::size_t>(cli.get_int("threshold", 8));
+  if (!cli.validate(std::cerr, {"leak-master", "seed", "threshold"},
+                    "[--seed 7] [--threshold 8] [--leak-master]")) {
+    return 2;
+  }
 
   core::SndDeployment deployment(config);
   deployment.deploy_round(600);  // ~ one node per 267 m^2

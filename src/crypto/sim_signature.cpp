@@ -30,9 +30,12 @@ bool SimSignatureAuthority::verify(NodeId node, std::span<const std::uint8_t> me
   const auto it = enrolled_.find(node);
   if (it == enrolled_.end()) return false;
   // Recompute through sign() semantics without double-counting sign ops.
+  // The 32-byte tag fills the signature's prefix; the tail stays zero, so
+  // compare against the padded form rather than reading past the digest.
   const Digest tag = hmac_sha256(node_key(node), message);
-  return util::constant_time_equal(std::span(signature).first(kSignatureSize),
-                                   std::span(tag.bytes).first(kSignatureSize));
+  Signature expected{};
+  std::memcpy(expected.data(), tag.bytes.data(), std::min(expected.size(), tag.bytes.size()));
+  return util::constant_time_equal(signature, expected);
 }
 
 void SimSignatureAuthority::reset_counters() {

@@ -1,0 +1,276 @@
+#include "runner/trial_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace snd::runner {
+
+namespace {
+
+/// One worker's shard of the trial index space: a (begin, end) pair packed
+/// into a single atomic word so the owning pop and a thief's split race
+/// through one CAS. begin only grows and end only shrinks, so no state ever
+/// repeats and CAS cannot suffer ABA.
+class StealableRange {
+ public:
+  void init(std::uint32_t begin, std::uint32_t end) {
+    word_.store(pack(begin, end), std::memory_order_relaxed);
+  }
+
+  /// Owner path: takes the front index. False when the shard is drained.
+  bool pop(std::uint32_t& index) {
+    std::uint64_t word = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t begin = unpack_begin(word);
+      const std::uint32_t end = unpack_end(word);
+      if (begin >= end) return false;
+      if (word_.compare_exchange_weak(word, pack(begin + 1, end),
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        index = begin;
+        return true;
+      }
+    }
+  }
+
+  /// Thief path: splits off the back half as a privately owned chunk.
+  bool steal(std::uint32_t& begin, std::uint32_t& end) {
+    std::uint64_t word = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint32_t b = unpack_begin(word);
+      const std::uint32_t e = unpack_end(word);
+      if (b >= e) return false;
+      const std::uint32_t take = (e - b + 1) / 2;
+      if (word_.compare_exchange_weak(word, pack(b, e - take),
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        begin = e - take;
+        end = e;
+        return true;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t remaining() const {
+    const std::uint64_t word = word_.load(std::memory_order_relaxed);
+    const std::uint32_t begin = unpack_begin(word);
+    const std::uint32_t end = unpack_end(word);
+    return begin < end ? end - begin : 0;
+  }
+
+ private:
+  static std::uint64_t pack(std::uint32_t begin, std::uint32_t end) {
+    return (static_cast<std::uint64_t>(end) << 32) | begin;
+  }
+  static std::uint32_t unpack_begin(std::uint64_t word) {
+    return static_cast<std::uint32_t>(word);
+  }
+  static std::uint32_t unpack_end(std::uint64_t word) {
+    return static_cast<std::uint32_t>(word >> 32);
+  }
+
+  std::atomic<std::uint64_t> word_{0};
+};
+
+double micros_between(std::chrono::steady_clock::time_point t0,
+                      std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+constexpr std::size_t kMaxReportedErrors = 8;
+
+}  // namespace
+
+TrialRunner::TrialRunner(std::size_t jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw > 0 ? hw : 1;
+  }
+}
+
+void TrialRunner::run_raw(std::size_t trials, std::uint64_t base_seed,
+                          const std::function<void(std::size_t, std::uint64_t)>& body,
+                          SweepReport* report) const {
+  // Shard indices are packed 32-bit (see StealableRange).
+  if (trials > 0xffffffffULL) {
+    throw std::invalid_argument("TrialRunner: more than 2^32 trials per sweep");
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  // Per-trial slots: each index is written by exactly one worker, and the
+  // joins below publish every write before the trial-order merge reads them.
+  std::vector<double> micros(trials, 0.0);
+  std::vector<std::string> messages(trials);
+  std::vector<unsigned char> failed(trials, 0);
+
+  auto execute = [&](std::uint32_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      body(i, util::derive_seed(base_seed, i));
+    } catch (const std::exception& e) {
+      failed[i] = 1;
+      messages[i] = e.what();
+    } catch (...) {
+      failed[i] = 1;
+      messages[i] = "non-standard exception";
+    }
+    micros[i] = micros_between(t0, std::chrono::steady_clock::now());
+  };
+
+  const std::size_t jobs = trials == 0 ? 1 : std::min(jobs_, trials);
+  if (jobs <= 1) {
+    for (std::uint32_t i = 0; i < trials; ++i) execute(i);
+  } else {
+    std::vector<StealableRange> shards(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      // Even contiguous shards; the first `trials % jobs` get one extra.
+      const std::size_t lo = w * trials / jobs;
+      const std::size_t hi = (w + 1) * trials / jobs;
+      shards[w].init(static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi));
+    }
+
+    auto worker = [&](std::size_t self) {
+      std::uint32_t chunk_lo = 0;
+      std::uint32_t chunk_hi = 0;  // privately owned stolen chunk
+      for (;;) {
+        if (chunk_lo < chunk_hi) {
+          execute(chunk_lo++);
+          continue;
+        }
+        std::uint32_t index = 0;
+        if (shards[self].pop(index)) {
+          execute(index);
+          continue;
+        }
+        // Own shard drained: steal the back half of the fullest shard.
+        std::size_t victim = jobs;
+        std::uint32_t best = 0;
+        for (std::size_t w = 0; w < jobs; ++w) {
+          if (w == self) continue;
+          const std::uint32_t left = shards[w].remaining();
+          if (left > best) {
+            best = left;
+            victim = w;
+          }
+        }
+        if (victim == jobs || !shards[victim].steal(chunk_lo, chunk_hi)) {
+          if (best == 0) break;  // every shard drained; running trials finish alone
+          continue;              // lost the race to another thief; rescan
+        }
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) threads.emplace_back(worker, w);
+    for (std::thread& t : threads) t.join();
+  }
+
+  if (report == nullptr) return;
+  report->trials += trials;
+  report->jobs = jobs_;
+  report->wall_seconds += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - sweep_start)
+                              .count();
+  for (std::size_t i = 0; i < trials; ++i) {
+    report->trial_micros.add(micros[i]);
+    if (failed[i] != 0) {
+      ++report->failed;
+      if (report->errors.size() < kMaxReportedErrors) {
+        report->errors.push_back("trial " + std::to_string(i) + ": " + messages[i]);
+      }
+    }
+  }
+}
+
+double SweepReport::trials_per_second() const {
+  return wall_seconds > 0.0 ? static_cast<double>(trials) / wall_seconds : 0.0;
+}
+
+void SweepReport::merge(const SweepReport& other) {
+  trials += other.trials;
+  failed += other.failed;
+  jobs = other.jobs;
+  wall_seconds += other.wall_seconds;
+  for (double v : other.trial_micros.values()) trial_micros.add(v);
+  for (const std::string& e : other.errors) {
+    if (errors.size() >= kMaxReportedErrors) break;
+    errors.push_back(e);
+  }
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SweepReport::to_json() const {
+  std::string out = "{\n  \"name\": ";
+  append_json_string(out, name);
+  out += ",\n  \"trials\": " + std::to_string(trials);
+  out += ",\n  \"failed\": " + std::to_string(failed);
+  out += ",\n  \"jobs\": " + std::to_string(jobs);
+  out += ",\n  \"wall_seconds\": " + json_num(wall_seconds);
+  out += ",\n  \"trials_per_second\": " + json_num(trials_per_second());
+  out += ",\n  \"trial_us\": {";
+  if (trial_micros.count() > 0) {
+    out += "\"mean\": " + json_num(trial_micros.mean());
+    out += ", \"p50\": " + json_num(trial_micros.percentile(50.0));
+    out += ", \"p95\": " + json_num(trial_micros.percentile(95.0));
+    out += ", \"max\": " + json_num(trial_micros.percentile(100.0));
+  }
+  out += "},\n  \"errors\": [";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, errors[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string SweepReport::write_json() const {
+  const char* dir = std::getenv("SND_BENCH_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+  path += "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return {};
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok ? path : std::string{};
+}
+
+}  // namespace snd::runner

@@ -1,0 +1,95 @@
+// Work-stealing thread pool for embarrassingly parallel Monte-Carlo trials.
+//
+// Determinism contract: trial i always runs with seed
+// util::derive_seed(base_seed, i), writes its result into a preallocated
+// slot owned by that index alone, and all aggregation happens in trial
+// order after the workers join. Aggregate statistics are therefore
+// bit-identical for any worker count and any scheduling interleaving; the
+// timing fields of SweepReport are the only nondeterministic outputs.
+//
+// Scheduling: each worker starts with an even contiguous shard of the trial
+// index space, pops indices from its front, and when drained steals the back
+// half of the fullest remaining shard. Shards are packed (begin, end) pairs
+// in a single atomic word mutated only by CAS; begin only ever grows and end
+// only ever shrinks, so the word never repeats and the ABA problem cannot
+// arise. A trial that throws is recorded (message + failed count) and the
+// sweep continues.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace snd::runner {
+
+/// Timing and failure telemetry for one sweep; serialisable as a
+/// BENCH_<name>.json perf artifact (see docs/RUNNER.md).
+struct SweepReport {
+  std::string name;
+  std::size_t trials = 0;
+  std::size_t failed = 0;
+  std::size_t jobs = 1;
+  double wall_seconds = 0.0;
+  util::Series trial_micros;        ///< Per-trial wall time, in trial order.
+  std::vector<std::string> errors;  ///< First few failure messages, trial order.
+
+  [[nodiscard]] double trials_per_second() const;
+  /// Folds another sweep into this one (drivers running several grids keep
+  /// one cumulative report). Timing series are concatenated, wall time sums.
+  void merge(const SweepReport& other);
+  [[nodiscard]] std::string to_json() const;
+  /// Writes BENCH_<name>.json into $SND_BENCH_DIR (default: the working
+  /// directory); returns the path, or an empty string on I/O failure.
+  std::string write_json() const;
+};
+
+class TrialRunner {
+ public:
+  /// jobs == 0 resolves to std::thread::hardware_concurrency().
+  explicit TrialRunner(std::size_t jobs = 0);
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Runs fn(trial_index, seed) for every trial_index in [0, trials) and
+  /// returns the results in trial order. A trial that throws yields nullopt
+  /// and is counted in report->failed; the rest of the sweep continues.
+  template <typename Fn>
+  auto run(std::size_t trials, std::uint64_t base_seed, Fn&& fn,
+           SweepReport* report = nullptr)
+      -> std::vector<std::optional<std::invoke_result_t<Fn&, std::size_t, std::uint64_t>>> {
+    using T = std::invoke_result_t<Fn&, std::size_t, std::uint64_t>;
+    std::vector<std::optional<T>> results(trials);
+    run_raw(
+        trials, base_seed,
+        [&](std::size_t i, std::uint64_t seed) { results[i].emplace(fn(i, seed)); },
+        report);
+    return results;
+  }
+
+  /// Convenience for double-valued trials: mean/stdev aggregated in trial
+  /// order, so the statistics are bit-identical across job counts.
+  template <typename Fn>
+  util::RunningStats run_stats(std::size_t trials, std::uint64_t base_seed, Fn&& fn,
+                               SweepReport* report = nullptr) {
+    util::RunningStats stats;
+    for (const auto& value : run(trials, base_seed, fn, report)) {
+      if (value.has_value()) stats.add(*value);
+    }
+    return stats;
+  }
+
+ private:
+  /// Non-template core: sharding, stealing, timing, and failure capture.
+  void run_raw(std::size_t trials, std::uint64_t base_seed,
+               const std::function<void(std::size_t, std::uint64_t)>& body,
+               SweepReport* report) const;
+
+  std::size_t jobs_;
+};
+
+}  // namespace snd::runner

@@ -1,6 +1,9 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <ostream>
+#include <thread>
 
 namespace snd::util {
 
@@ -32,18 +35,61 @@ std::string Cli::get(std::string_view name, std::string_view fallback) const {
 
 std::int64_t Cli::get_int(std::string_view name, std::int64_t fallback) const {
   const auto it = flags_.find(name);
-  return it != flags_.end() ? std::strtoll(it->second.c_str(), nullptr, 10) : fallback;
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + it->first + "=" + it->second + " (expected an integer)");
+    return fallback;
+  }
+  return value;
 }
 
 double Cli::get_double(std::string_view name, double fallback) const {
   const auto it = flags_.find(name);
-  return it != flags_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + it->first + "=" + it->second + " (expected a number)");
+    return fallback;
+  }
+  return value;
 }
 
 bool Cli::get_bool(std::string_view name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Cli::validate(std::ostream& err, std::initializer_list<std::string_view> allowed,
+                   std::string_view usage) const {
+  bool ok = true;
+  for (const auto& [name, value] : flags_) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      err << program_ << ": unknown flag --" << name << "\n";
+      ok = false;
+    }
+  }
+  for (const std::string& error : errors_) {
+    err << program_ << ": invalid value " << error << "\n";
+    ok = false;
+  }
+  if (!ok && !usage.empty()) err << "usage: " << program_ << " " << usage << "\n";
+  return ok;
+}
+
+std::size_t resolve_jobs(const Cli& cli) {
+  std::int64_t jobs = 0;
+  if (cli.has("jobs")) {
+    jobs = cli.get_int("jobs", 0);
+  } else if (const char* env = std::getenv("SND_JOBS"); env != nullptr && *env != '\0') {
+    jobs = std::strtoll(env, nullptr, 10);
+  } else {
+    jobs = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  }
+  return jobs < 1 ? 1 : static_cast<std::size_t>(jobs);
 }
 
 }  // namespace snd::util

@@ -2,7 +2,10 @@
 // Supports --name=value, --name value, and boolean --flag forms.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
@@ -13,7 +16,7 @@ namespace snd::util {
 
 class Cli {
  public:
-  /// Parses argv; unknown flags are retained and reported by unknown_flags().
+  /// Parses argv; unknown flags are retained and reported by validate().
   Cli(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(std::string_view name) const;
@@ -26,10 +29,27 @@ class Cli {
   [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
   [[nodiscard]] const std::string& program() const { return program_; }
 
+  /// Malformed numeric values recorded by get_int/get_double lookups.
+  [[nodiscard]] const std::vector<std::string>& errors() const { return errors_; }
+
+  /// True when every flag given on the command line is in `allowed` and every
+  /// numeric lookup so far parsed cleanly; otherwise prints the offending
+  /// flags plus `usage` to `err`. Call after reading all flags, and exit
+  /// non-zero on false so CI smoke runs can assert on bad invocations.
+  [[nodiscard]] bool validate(std::ostream& err,
+                              std::initializer_list<std::string_view> allowed,
+                              std::string_view usage = {}) const;
+
  private:
   std::string program_;
   std::map<std::string, std::string, std::less<>> flags_;
   std::vector<std::string> positional_;
+  mutable std::vector<std::string> errors_;
 };
+
+/// Worker count for Monte-Carlo sweeps: the --jobs flag if present, else the
+/// SND_JOBS environment variable, else std::thread::hardware_concurrency()
+/// (at least 1). Values < 1 are clamped to 1.
+[[nodiscard]] std::size_t resolve_jobs(const Cli& cli);
 
 }  // namespace snd::util

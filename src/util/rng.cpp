@@ -17,6 +17,16 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
+  // Two dependent SplitMix64 outputs: the first whitens the base seed, the
+  // second folds in the trial index on a distinct odd-multiplier stream, so
+  // (base, i) and (base, j) collide only if i == j.
+  std::uint64_t x = base_seed;
+  std::uint64_t h = splitmix64(x);
+  x ^= trial_index * 0xd1342543de82ef95ULL;
+  return h ^ splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);

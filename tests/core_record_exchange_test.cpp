@@ -71,7 +71,8 @@ TEST(RecordExchangeTest, StaleRecordSubstitutionDefeated) {
         attacker,
         sim::Packet{.src = stale.node,
                     .dst = kNoNode,
-                    .type = static_cast<std::uint8_t>(MessageType::kRelationCommit)},
+                    .type = static_cast<std::uint8_t>(MessageType::kRelationCommit),
+                    .payload = {}},
         "attack");
     // The actual stale record reply:
     deployment.network().transmit(

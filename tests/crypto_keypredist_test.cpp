@@ -172,7 +172,7 @@ TEST(EgPoolTest, RingSizeRespected) {
   EschenauerGligorScheme scheme(11, 1000, 50);
   scheme.provision(9);
   EXPECT_EQ(scheme.ring(9).size(), 50u);
-  EXPECT_THROW(scheme.ring(10), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(scheme.ring(10)), std::out_of_range);
 }
 
 TEST(EgPoolTest, AnalyticalProbabilityBounds) {
