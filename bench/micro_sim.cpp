@@ -1,11 +1,23 @@
 // Microbenchmarks of the simulation substrate: event scheduling throughput,
-// broadcast fan-out, and the end-to-end cost of a full protocol run at
+// broadcast fan-out, broadcast receiver *resolution* (spatial grid vs the
+// historical linear scan), and the end-to-end cost of a full protocol run at
 // several network sizes (the scaling the paper-scale experiments rely on).
+//
+// Besides the google-benchmark suite, main() always measures the grid/linear
+// broadcast-resolution comparison on a 2000-node field and writes it as
+// BENCH_micro_sim.json into $SND_BENCH_DIR (default: the working directory),
+// the per-PR perf artifact CI uploads.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/deployment_driver.h"
+#include "sim/deployment.h"
 #include "sim/scheduler.h"
 
 namespace {
@@ -45,6 +57,57 @@ void BM_BroadcastFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_BroadcastFanout)->Arg(10)->Arg(100)->Arg(500);
 
+/// A paper-scale field at fixed density (one node / 100 m^2, range 25 m:
+/// ~20 neighbors each) where every device broadcasts once. Resolution cost
+/// is what differs between the two modes: the linear scan walks all n
+/// devices per transmission, the grid only the 3x3 cell block around the
+/// sender.
+sim::Network make_resolution_field(std::size_t nodes, bool use_index) {
+  auto network = sim::Network(std::make_unique<sim::UnitDiskModel>(25.0),
+                              sim::ChannelConfig{}, 1);
+  network.set_spatial_index_enabled(use_index);
+  const double side = std::sqrt(static_cast<double>(nodes) * 100.0);
+  util::Rng rng(7);
+  NodeId identity = 1;
+  for (const util::Vec2 p : sim::deploy_uniform(nodes, {{0.0, 0.0}, {side, side}}, rng)) {
+    const sim::DeviceId d = network.add_device(identity++, p);
+    network.set_receiver(d, [](const sim::Packet&) {});
+  }
+  return network;
+}
+
+/// Puts one broadcast per device on the air: this is the receiver
+/// *resolution* phase -- the linear scan vs the 3x3 grid query -- plus
+/// delivery-event scheduling. The queue is left full; callers drain it.
+void broadcast_all(sim::Network& network) {
+  for (sim::DeviceId d = 0; d < network.device_count(); ++d) {
+    network.transmit(d, sim::Packet{.src = network.device(d).identity,
+                                    .dst = kNoNode,
+                                    .type = 1,
+                                    .payload = {}},
+                     "bench");
+  }
+}
+
+void BM_BroadcastResolution(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const bool use_index = state.range(1) != 0;
+  sim::Network network = make_resolution_field(nodes, use_index);
+  for (auto _ : state) {
+    broadcast_all(network);
+    state.PauseTiming();  // delivery processing is identical in both modes
+    network.scheduler().run();
+    benchmark::DoNotOptimize(network.metrics().deliveries());
+    state.ResumeTiming();
+  }
+  state.SetLabel(use_index ? "grid" : "linear");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_BroadcastResolution)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({2000, 0})
+    ->Args({2000, 1});
+
 void BM_FullProtocolRun(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   std::uint64_t seed = 1;
@@ -65,6 +128,77 @@ void BM_FullProtocolRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullProtocolRun)->Unit(benchmark::kMillisecond)->Arg(100)->Arg(400)->Arg(1000);
 
+struct RoundTimings {
+  double resolution_s = 0.0;  // transmit loops only (receiver resolution)
+  double total_s = 0.0;       // including delivery processing
+};
+
+/// Wall-clock of `rounds` broadcast rounds on a fresh field, with the
+/// resolution phase (transmit loop) timed separately from the delivery
+/// drain, which costs the same in both modes.
+RoundTimings measure(std::size_t nodes, bool use_index, int rounds) {
+  sim::Network network = make_resolution_field(nodes, use_index);
+  broadcast_all(network);  // warm-up: faults pages, fills the grid map
+  network.scheduler().run();
+  RoundTimings timings;
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    const auto round_begin = std::chrono::steady_clock::now();
+    broadcast_all(network);
+    const auto resolved = std::chrono::steady_clock::now();
+    network.scheduler().run();
+    timings.resolution_s += std::chrono::duration<double>(resolved - round_begin).count();
+  }
+  timings.total_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  return timings;
+}
+
+/// The before/after artifact: broadcast receiver resolution on a 2000-node
+/// field, linear scan vs grid index, written as BENCH_micro_sim.json.
+int write_resolution_artifact() {
+  constexpr std::size_t kNodes = 2000;
+  constexpr int kRounds = 10;
+  const RoundTimings linear = measure(kNodes, /*use_index=*/false, kRounds);
+  const RoundTimings grid = measure(kNodes, /*use_index=*/true, kRounds);
+  const double resolution_speedup =
+      grid.resolution_s > 0.0 ? linear.resolution_s / grid.resolution_s : 0.0;
+  const double round_speedup = grid.total_s > 0.0 ? linear.total_s / grid.total_s : 0.0;
+  const double per_tx = static_cast<double>(kRounds) * static_cast<double>(kNodes);
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"name\": \"micro_sim_broadcast_resolution\",\n"
+                "  \"nodes\": %zu,\n"
+                "  \"broadcasts\": %.0f,\n"
+                "  \"linear_us_per_tx\": %.3f,\n"
+                "  \"grid_us_per_tx\": %.3f,\n"
+                "  \"resolution_speedup\": %.2f,\n"
+                "  \"round_speedup\": %.2f\n"
+                "}\n",
+                kNodes, per_tx, linear.resolution_s / per_tx * 1e6,
+                grid.resolution_s / per_tx * 1e6, resolution_speedup, round_speedup);
+
+  const char* dir = std::getenv("SND_BENCH_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+  path += "BENCH_micro_sim.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(json, 1, std::strlen(json), f);
+    std::fclose(f);
+  }
+  std::printf("broadcast resolution, %zu nodes: linear %.2f us/tx, grid %.2f us/tx, "
+              "resolution speedup %.2fx (full round incl. deliveries: %.2fx) -> %s\n",
+              kNodes, linear.resolution_s / per_tx * 1e6, grid.resolution_s / per_tx * 1e6,
+              resolution_speedup, round_speedup, path.c_str());
+  return resolution_speedup >= 1.0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_resolution_artifact();
+}

@@ -101,13 +101,15 @@ void SndDeployment::kill_device(sim::DeviceId device) {
 
 topology::Digraph SndDeployment::actual_benign_graph() const {
   topology::Digraph graph;
-  const auto& devices = network_->devices();
-  for (const sim::Device& a : devices) {
+  for (const sim::Device& a : network_->devices()) {
     if (!a.benign() || !a.alive) continue;
     graph.add_node(a.identity);
-    for (const sim::Device& b : devices) {
-      if (a.id == b.id || !b.benign() || !b.alive) continue;
-      if (network_->link(a.id, b.id)) graph.add_edge(a.identity, b.identity);
+    // Grid-indexed neighbor query (id-ordered, alive-filtered) instead of a
+    // second pass over every device -- this audit runs per trial on fields
+    // where the O(n^2) scan rivaled the simulation itself.
+    for (const sim::DeviceId b : network_->devices_in_range(a.id)) {
+      const sim::Device& device = network_->device(b);
+      if (device.benign()) graph.add_edge(a.identity, device.identity);
     }
   }
   return graph;

@@ -2,13 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace snd::sim {
+
+namespace {
+
+/// Packs a cell coordinate pair into one hash-map key. Coordinates are
+/// floor(position / max_range), so any realistic field fits 32 bits per
+/// axis; if a coordinate ever overflows, distinct cells may share a bucket,
+/// which only enlarges the candidate superset (queries re-filter with
+/// link_exists), never loses a device.
+std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+std::int64_t cell_coord(double v, double cell_size) {
+  return static_cast<std::int64_t>(std::floor(v / cell_size));
+}
+
+}  // namespace
 
 Network::Network(std::unique_ptr<PropagationModel> propagation, ChannelConfig config,
                  std::uint64_t seed, EnergyConfig energy)
     : propagation_(std::move(propagation)), config_(config), energy_(energy), rng_(seed) {
   assert(propagation_ != nullptr);
+  cell_size_ = propagation_->max_range();
+  indexable_ = std::isfinite(cell_size_) && cell_size_ > 0.0;
+  use_spatial_index_ = indexable_;
 }
 
 DeviceId Network::add_device(NodeId identity, util::Vec2 position) {
@@ -21,7 +43,52 @@ DeviceId Network::add_device(NodeId identity, util::Vec2 position) {
   tx_bytes_.push_back(0);
   energy_j_.push_back(energy_.initial_j);
   tx_busy_until_.push_back(Time::zero());
+  tx_run_start_.push_back(Time::zero());
+  grid_insert(id, position);
   return id;
+}
+
+void Network::grid_insert(DeviceId id, util::Vec2 position) {
+  if (!indexable_) return;
+  // Ids are assigned sequentially and never re-bucketed, so every cell's
+  // vector stays sorted ascending -- the property candidate enumeration
+  // relies on for deterministic device-id order.
+  grid_[cell_key(cell_coord(position.x, cell_size_), cell_coord(position.y, cell_size_))]
+      .push_back(id);
+  ++grid_version_;
+}
+
+const std::vector<DeviceId>& Network::candidates_near(util::Vec2 center) const {
+  const std::int64_t cx = cell_coord(center.x, cell_size_);
+  const std::int64_t cy = cell_coord(center.y, cell_size_);
+  BlockCache& cache = block_cache_[cell_key(cx, cy)];
+  if (cache.version != grid_version_) {
+    cache.version = grid_version_;
+    cache.candidates.clear();
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = grid_.find(cell_key(cx + dx, cy + dy));
+        if (it != grid_.end()) {
+          cache.candidates.insert(cache.candidates.end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+    // Each cell is sorted; merging the 3x3 block by sorting keeps
+    // enumeration in ascending device-id order, so per-receiver RNG draws
+    // are consumed in exactly the linear scan's order (bit-identical runs
+    // either way).
+    std::sort(cache.candidates.begin(), cache.candidates.end());
+  }
+  return cache.candidates;
+}
+
+template <typename Fn>
+void Network::for_each_candidate(util::Vec2 center, Fn&& fn) const {
+  if (use_spatial_index_) {
+    for (const DeviceId id : candidates_near(center)) fn(devices_[id]);
+  } else {
+    for (const Device& d : devices_) fn(d);
+  }
 }
 
 void Network::drain(DeviceId id, double joules) {
@@ -68,12 +135,19 @@ void Network::transmit(DeviceId from, Packet packet, std::string_view category) 
   if (!devices_[from].alive) return;  // battery died putting this on the air
 
   const Time tx_time = transmission_time(packet.wire_bytes());
-  // Half-duplex: a device's transmissions queue behind each other.
+  // Half-duplex: a device's transmissions queue behind each other. A send
+  // that starts at or after the previous one cleared begins a new
+  // contiguous run; otherwise it extends the current run.
   Time start = scheduler_.now();
   if (config_.half_duplex) {
-    start = std::max(start, tx_busy_until_[from]);
+    if (tx_busy_until_[from] > start) {
+      start = tx_busy_until_[from];
+    } else {
+      tx_run_start_[from] = start;
+    }
     tx_busy_until_[from] = start + tx_time;
   }
+  const Time airtime_end = start + tx_time;
   const bool sender_jammed = jammed(sender.position);
 
   // Resolve the receiver set now (link state, jamming, and loss are
@@ -87,24 +161,32 @@ void Network::transmit(DeviceId from, Packet packet, std::string_view category) 
   double max_distance = 0.0;
   const auto shared = std::make_shared<const Packet>(std::move(packet));
 
-  auto deliver = [this, start, shared](DeviceId to) {
+  auto deliver = [this, start, airtime_end, shared](DeviceId to) {
     const Device& d = devices_[to];
     if (!d.alive || !receivers_[to]) return;
-    // Half-duplex: a receiver that was transmitting during our airtime
-    // missed the packet.
-    if (config_.half_duplex && tx_busy_until_[to] > start) return;
+    // Half-duplex: the receiver missed the packet iff its own transmit run
+    // overlapped our airtime [start, airtime_end). Comparing intervals --
+    // not just tx_busy_until_ > start -- means a transmission the receiver
+    // queues *after* our airtime ended (but before this delivery event
+    // fires) no longer retroactively destroys the packet. Only the latest
+    // contiguous run is tracked: an overlapping run that ended and was
+    // replaced by a non-overlapping one inside the ~0.5 ms delivery lag
+    // would be forgiven, a vanishingly rare and optimistic approximation.
+    if (config_.half_duplex && tx_run_start_[to] < airtime_end && tx_busy_until_[to] > start) {
+      return;
+    }
     drain(to, energy_.rx_j_per_byte * static_cast<double>(shared->wire_bytes()));
     if (!devices_[to].alive) return;
     metrics_.count_delivery();
     receivers_[to](*shared);
   };
 
-  for (const Device& receiver : devices_) {
-    if (receiver.id == from || !receiver.alive) continue;
-    if (!receivers_[receiver.id]) continue;
-    if (!propagation_->link_exists(sender.position, receiver.position)) continue;
-    if (sender_jammed || jammed(receiver.position)) continue;
-    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) continue;
+  for_each_candidate(sender.position, [&](const Device& receiver) {
+    if (receiver.id == from || !receiver.alive) return;
+    if (!receivers_[receiver.id]) return;
+    if (!propagation_->link_exists(sender.position, receiver.position)) return;
+    if (sender_jammed || jammed(receiver.position)) return;
+    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) return;
 
     const double distance = util::distance(sender.position, receiver.position);
     if (!shared->is_broadcast() && receiver.identity == shared->dst) {
@@ -116,7 +198,7 @@ void Network::transmit(DeviceId from, Packet packet, std::string_view category) 
       overhearers.push_back(receiver.id);
       max_distance = std::max(max_distance, distance);
     }
-  }
+  });
   if (overhearers.empty()) return;
 
   const Time deliver_at = start + tx_time + PropagationModel::propagation_delay(max_distance) +
@@ -137,9 +219,9 @@ bool Network::link(DeviceId a, DeviceId b) const {
 
 std::vector<DeviceId> Network::devices_in_range(DeviceId id) const {
   std::vector<DeviceId> out;
-  for (const Device& d : devices_) {
+  for_each_candidate(devices_.at(id).position, [&](const Device& d) {
     if (d.id != id && d.alive && link(id, d.id)) out.push_back(d.id);
-  }
+  });
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/metrics.h"
@@ -95,6 +96,14 @@ class Network {
   [[nodiscard]] bool link(DeviceId a, DeviceId b) const;
   [[nodiscard]] std::vector<DeviceId> devices_in_range(DeviceId id) const;
 
+  /// Enables/disables the uniform-grid receiver index (on by default).
+  /// Results are identical either way -- candidates enumerate in device-id
+  /// order, so even the per-receiver loss-RNG draws match the linear scan
+  /// bit for bit. The linear fallback exists for the bit-identity tests and
+  /// the before/after micro_sim benchmark.
+  void set_spatial_index_enabled(bool enabled) { use_spatial_index_ = enabled && indexable_; }
+  [[nodiscard]] bool spatial_index_enabled() const { return use_spatial_index_; }
+
   // -- Jamming ---------------------------------------------------------
   /// Returns a handle for remove_jammer. While active, any transmission
   /// whose sender or receiver sits inside the circle is destroyed.
@@ -128,6 +137,27 @@ class Network {
   /// Drains `joules` from a device; kills it at exhaustion.
   void drain(DeviceId id, double joules);
 
+  // -- Spatial index -----------------------------------------------------
+  // Sparse uniform grid over device positions with cell side
+  // propagation()->max_range(): every device within radio reach of a point
+  // lies in the 3x3 cell block around it. Positions are immutable after
+  // add_device, so cells never need rebalancing; dead devices stay indexed
+  // and are filtered at query time, because `alive` is ground-truth state
+  // that tooling toggles in both directions (kill/revive). The merged,
+  // id-sorted candidate list of each 3x3 block is cached per cell
+  // (deployment is rare, transmission constant), so steady-state receiver
+  // resolution is one hash lookup.
+  void grid_insert(DeviceId id, util::Vec2 position);
+  /// Device ids in cells reachable from `center`, ascending id order -- a
+  /// superset of the linked set; callers re-filter with link_exists. The
+  /// returned reference is valid until the next add_device.
+  [[nodiscard]] const std::vector<DeviceId>& candidates_near(util::Vec2 center) const;
+  /// Applies `fn` to every Device that could possibly hear a transmission
+  /// from `center`, in ascending device-id order (including dead devices
+  /// and the device at `center` itself -- callers filter).
+  template <typename Fn>
+  void for_each_candidate(util::Vec2 center, Fn&& fn) const;
+
   std::unique_ptr<PropagationModel> propagation_;
   ChannelConfig config_;
   EnergyConfig energy_;
@@ -138,9 +168,29 @@ class Network {
   std::vector<std::function<void(const Packet&)>> receivers_;
   std::vector<std::uint64_t> tx_bytes_;
   std::vector<double> energy_j_;
-  /// Half-duplex: when each device's current transmission clears the air.
+  /// Half-duplex: each device's latest contiguous transmit run,
+  /// [tx_run_start_, tx_busy_until_). A receiver misses a packet iff this
+  /// run overlaps the packet's airtime (see transmit()).
   std::vector<Time> tx_busy_until_;
+  std::vector<Time> tx_run_start_;
   std::vector<std::optional<util::Circle>> jammers_;
+
+  /// Cell side of the spatial index (propagation max_range); devices are
+  /// bucketed by floor(position / cell_size_).
+  double cell_size_ = 0.0;
+  /// False when the propagation model's reach is unbounded or degenerate.
+  bool indexable_ = false;
+  bool use_spatial_index_ = false;
+  std::unordered_map<std::uint64_t, std::vector<DeviceId>> grid_;
+  /// Memoized 3x3-block candidate lists, stamped with the deployment
+  /// version that built them; rebuilt lazily after any add_device.
+  struct BlockCache {
+    std::uint64_t version = 0;
+    std::vector<DeviceId> candidates;
+  };
+  mutable std::unordered_map<std::uint64_t, BlockCache> block_cache_;
+  /// Bumped on every add_device; invalidates all cached blocks at once.
+  std::uint64_t grid_version_ = 0;
 };
 
 }  // namespace snd::sim

@@ -29,7 +29,10 @@ std::uint64_t hash_position(util::Vec2 p) {
 
 Time PropagationModel::propagation_delay(double distance) {
   constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
-  return Time::nanoseconds(static_cast<std::int64_t>(distance / kSpeedOfLight * 1e9));
+  // llround, not a truncating cast: truncation biased every delay low by up
+  // to 1 ns, which the RTT distance-bounding verifier folds into a ~0.15 m
+  // per-leg underestimate.
+  return Time::nanoseconds(std::llround(distance / kSpeedOfLight * 1e9));
 }
 
 bool UnitDiskModel::link_exists(util::Vec2 a, util::Vec2 b) const {
@@ -38,7 +41,11 @@ bool UnitDiskModel::link_exists(util::Vec2 a, util::Vec2 b) const {
 
 LogNormalModel::LogNormalModel(double range, double path_loss_exponent, double sigma_db,
                                std::uint64_t seed)
-    : range_(range), exponent_(path_loss_exponent), sigma_db_(sigma_db), seed_(seed) {}
+    : range_(range),
+      exponent_(path_loss_exponent),
+      sigma_db_(sigma_db),
+      max_range_(range * std::pow(10.0, kFadeCapSigmas * sigma_db / (10.0 * path_loss_exponent))),
+      seed_(seed) {}
 
 double LogNormalModel::link_fade_db(util::Vec2 a, util::Vec2 b) const {
   // Symmetric link hash: XOR makes the fade independent of endpoint order.
@@ -54,6 +61,7 @@ double LogNormalModel::link_fade_db(util::Vec2 a, util::Vec2 b) const {
 bool LogNormalModel::link_exists(util::Vec2 a, util::Vec2 b) const {
   const double d = util::distance(a, b);
   if (d <= 0.0) return true;
+  if (d > max_range_) return false;  // truncated fade: see the class comment
   const double margin_db = 10.0 * exponent_ * std::log10(range_ / d) + link_fade_db(a, b);
   return margin_db >= 0.0;
 }

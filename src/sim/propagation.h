@@ -24,7 +24,14 @@ class PropagationModel {
   /// distance at zero fade).
   [[nodiscard]] virtual double nominal_range() const = 0;
 
-  /// Signal propagation delay over `distance` meters (speed of light).
+  /// Hard reach bound: link_exists is guaranteed false for any pair of
+  /// positions further apart than this. Spatial indexing relies on the
+  /// bound being finite, so every model must truncate whatever randomness
+  /// it carries (see LogNormalModel for the truncated-fade semantics).
+  [[nodiscard]] virtual double max_range() const = 0;
+
+  /// Signal propagation delay over `distance` meters (speed of light,
+  /// rounded -- not truncated -- to the nanosecond tick).
   [[nodiscard]] static Time propagation_delay(double distance);
 };
 
@@ -34,6 +41,7 @@ class UnitDiskModel final : public PropagationModel {
   explicit UnitDiskModel(double range) : range_(range) {}
   [[nodiscard]] bool link_exists(util::Vec2 a, util::Vec2 b) const override;
   [[nodiscard]] double nominal_range() const override { return range_; }
+  [[nodiscard]] double max_range() const override { return range_; }
 
  private:
   double range_;
@@ -45,12 +53,24 @@ class UnitDiskModel final : public PropagationModel {
 /// endpoint positions and a seed, so the radio graph is stable but
 /// irregular (non-disk), which exercises the protocol beyond the paper's
 /// unit-disk evaluation.
+///
+/// Truncated-fade semantics: an untruncated normal fade gives the model
+/// unbounded reach (any distance is linkable under a lucky enough draw),
+/// which no spatial index can serve. Fades beyond +kFadeCapSigmas standard
+/// deviations are therefore defined not to occur: link_exists is false past
+/// max_range() = R * 10^(kFadeCapSigmas * sigma / (10 * n)), the distance at
+/// which even a capped fade cannot lift the margin to zero. This discards
+/// links of probability < 4e-5 each, all beyond several nominal ranges.
 class LogNormalModel final : public PropagationModel {
  public:
+  /// Largest fade considered physical, in standard deviations.
+  static constexpr double kFadeCapSigmas = 4.0;
+
   LogNormalModel(double range, double path_loss_exponent, double sigma_db,
                  std::uint64_t seed);
   [[nodiscard]] bool link_exists(util::Vec2 a, util::Vec2 b) const override;
   [[nodiscard]] double nominal_range() const override { return range_; }
+  [[nodiscard]] double max_range() const override { return max_range_; }
 
  private:
   [[nodiscard]] double link_fade_db(util::Vec2 a, util::Vec2 b) const;
@@ -58,6 +78,7 @@ class LogNormalModel final : public PropagationModel {
   double range_;
   double exponent_;
   double sigma_db_;
+  double max_range_;
   std::uint64_t seed_;
 };
 

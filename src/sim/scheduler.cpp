@@ -14,7 +14,21 @@ EventId Scheduler::schedule_at(Time at, std::function<void()> action) {
 
 void Scheduler::cancel(EventId id) {
   // Only remember cancellations that can still matter.
-  if (id < next_id_) cancelled_.insert(id);
+  if (id >= next_id_) return;
+  cancelled_.insert(id);
+  // Ids of already-fired events are indistinguishable from pending ones
+  // here, but once the set clearly outnumbers the heap the excess must be
+  // stale -- sweep it so cancel-after-fire can't grow the set unboundedly.
+  if (cancelled_.size() > heap_.size() + kCancelSweepSlack) sweep_cancelled();
+}
+
+void Scheduler::sweep_cancelled() const {
+  std::unordered_set<EventId> live;
+  live.reserve(cancelled_.size());
+  for (const Entry& entry : heap_) {
+    if (cancelled_.contains(entry.id)) live.insert(entry.id);
+  }
+  cancelled_ = std::move(live);
 }
 
 void Scheduler::sift_up(std::size_t index) {

@@ -26,16 +26,26 @@ class Scheduler {
   EventId schedule_at(Time at, std::function<void()> action);
 
   /// Cancels a pending event; no-op if it already fired or was cancelled.
+  /// Stale ids (cancel-after-fire) are swept out whenever they could
+  /// otherwise accumulate, so the side set stays O(pending events) even in
+  /// long-running simulations that cancel freely.
   void cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return pending() == 0; }
   [[nodiscard]] Time now() const { return now_; }
   /// Live (non-cancelled) events still waiting to fire. cancelled_ may
-  /// contain ids of events that already fired (cancel-after-fire is a
-  /// no-op), so the subtraction saturates.
+  /// briefly contain ids of events that already fired (cancel-after-fire is
+  /// a no-op, swept lazily), so the subtraction saturates; when the set
+  /// provably holds stale ids (it outnumbers the heap) it is swept first,
+  /// keeping this count exact in the face of heavy cancel-after-fire.
   [[nodiscard]] std::size_t pending() const {
+    if (cancelled_.size() > heap_.size()) sweep_cancelled();
     return heap_.size() > cancelled_.size() ? heap_.size() - cancelled_.size() : 0;
   }
+  /// Size of the lazy-cancellation side set; bounded by
+  /// pending() + kCancelSweepSlack however many cancel-after-fire calls a
+  /// long-running simulation makes (exposed so tests can pin the bound).
+  [[nodiscard]] std::size_t cancelled_backlog() const { return cancelled_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
   /// Executes the next event, advancing the clock. Returns false when the
@@ -61,8 +71,16 @@ class Scheduler {
     return a.id < b.id;
   }
 
+  /// Stale-cancellation tolerance: a sweep triggers once cancelled_ exceeds
+  /// the heap size by this much (amortizes the O(heap) sweep cost).
+  static constexpr std::size_t kCancelSweepSlack = 64;
+
   void sift_up(std::size_t index);
   void sift_down(std::size_t index);
+  /// Drops cancelled ids whose events are no longer in the heap (i.e.
+  /// already fired); afterwards cancelled_.size() <= heap_.size(). Const
+  /// because it only compacts bookkeeping -- observable state is unchanged.
+  void sweep_cancelled() const;
   /// Removes cancelled entries sitting at the heap root.
   void drop_cancelled_head();
   /// Pops the top entry, skipping cancelled ones. Returns false if empty.
@@ -74,7 +92,7 @@ class Scheduler {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  mutable std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace snd::sim

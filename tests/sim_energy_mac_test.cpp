@@ -158,6 +158,50 @@ TEST(HalfDuplexTest, TransmittingReceiverMissesPacket) {
   EXPECT_EQ(b_heard, 0);
 }
 
+TEST(HalfDuplexTest, LateTransmitterStillHearsEarlierPacket) {
+  // Regression: the busy check used to read tx_busy_until_ at *delivery*
+  // time, so a transmission the receiver queued after the packet's airtime
+  // had already ended (but before the ~500 us delivery lag elapsed)
+  // retroactively destroyed the packet.
+  ChannelConfig channel;
+  channel.half_duplex = true;
+  auto net = make_network(channel, {});
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  int a_heard = 0;
+  int b_heard = 0;
+  net->set_receiver(a, [&](const Packet&) { ++a_heard; });
+  net->set_receiver(b, [&](const Packet&) { ++b_heard; });
+
+  // a's 211-wire-byte packet occupies the air for 6.752 ms; delivery fires
+  // at ~7.252 ms after the processing delay. b starts its own transmission
+  // in between: no airtime overlap, so b must still hear a.
+  net->transmit(a, ping(1, 200), "t");
+  net->scheduler().schedule_at(Time::microseconds(6900),
+                               [&] { net->transmit(b, ping(2, 200), "t"); });
+  net->scheduler().run();
+  EXPECT_EQ(b_heard, 1);
+  EXPECT_EQ(a_heard, 1);  // a is idle during b's airtime and hears it too
+}
+
+TEST(HalfDuplexTest, OverlappingLateTransmitterStillMisses) {
+  // The genuine-collision half stays intact: a receiver that starts
+  // transmitting *during* the packet's airtime misses it.
+  ChannelConfig channel;
+  channel.half_duplex = true;
+  auto net = make_network(channel, {});
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {10, 0});
+  int b_heard = 0;
+  net->set_receiver(b, [&](const Packet&) { ++b_heard; });
+
+  net->transmit(a, ping(1, 200), "t");  // on the air over [0, 6.752 ms]
+  net->scheduler().schedule_at(Time::milliseconds(3),
+                               [&] { net->transmit(b, ping(2, 200), "t"); });
+  net->scheduler().run();
+  EXPECT_EQ(b_heard, 0);
+}
+
 TEST(HalfDuplexTest, IdleReceiverStillHears) {
   ChannelConfig channel;
   channel.half_duplex = true;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
+#include "util/rng.h"
+
 namespace snd::sim {
 namespace {
 
@@ -183,6 +188,126 @@ TEST(NetworkTest, DevicesInRange) {
   net->add_device(3, {9, 0});
   net->add_device(4, {20, 0});
   EXPECT_EQ(net->devices_in_range(a).size(), 2u);
+}
+
+// One delivered packet as observed by a receiver: (time, receiver device,
+// physical sender). Byte-identical traces across runs require identical
+// loss-RNG draw order, delivery scheduling order, and event tie-breaking.
+using DeliveryTrace = std::vector<std::tuple<std::int64_t, DeviceId, DeviceId>>;
+
+struct TrafficResult {
+  DeliveryTrace trace;
+  std::uint64_t deliveries = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const TrafficResult&, const TrafficResult&) = default;
+};
+
+/// Builds a log-normal-shadowed field with loss and a jammer, including
+/// devices exactly on grid-cell boundaries and far outside the populated
+/// bounding box, runs broadcast + unicast traffic, and records everything
+/// observable. The field and traffic depend only on the seeds, never on
+/// `use_index`.
+TrafficResult run_traffic(bool use_index) {
+  ChannelConfig config;
+  config.loss_probability = 0.25;
+  Network net(std::make_unique<LogNormalModel>(60.0, 3.0, 6.0, 42), config, 7);
+  net.set_spatial_index_enabled(use_index);
+  EXPECT_EQ(net.spatial_index_enabled(), use_index);
+
+  util::Rng place(99);
+  const std::size_t n = 150;
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_device(static_cast<NodeId>(i + 1),
+                   {place.uniform(0.0, 900.0), place.uniform(0.0, 900.0)});
+  }
+  // Cell boundaries: the cell side is the model's max_range; park devices
+  // exactly on multiples of it (and at the origin corner).
+  const double cell = net.propagation().max_range();
+  net.add_device(200, {0.0, 0.0});
+  net.add_device(201, {cell, cell});
+  net.add_device(202, {2.0 * cell, 0.0});
+  net.add_device(203, {cell, 0.0});
+  // Outliers far outside the populated region (sparse grid, no bounding
+  // box): they must neither crash queries nor ever hear anything.
+  net.add_device(204, {-5000.0, -5000.0});
+  net.add_device(205, {50000.0, 50000.0});
+  net.add_replica(1, {450.0, 450.0});
+
+  TrafficResult result;
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    net.set_receiver(d, [&result, &net, d](const Packet& p) {
+      result.trace.emplace_back(net.now().ns(), d, p.sender_device);
+    });
+  }
+  net.add_jammer({{300.0, 300.0}, 80.0});
+
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    const NodeId self = net.device(d).identity;
+    net.transmit(d, Packet{.src = self, .dst = kNoNode, .type = 1, .payload = {}}, "bcast");
+    net.transmit(d,
+                 Packet{.src = self,
+                        .dst = static_cast<NodeId>(((d + 1) % n) + 1),
+                        .type = 2,
+                        .payload = util::Bytes(16, 0xab)},
+                 "unicast");
+  }
+  net.scheduler().run();
+
+  result.deliveries = net.metrics().deliveries();
+  result.messages = net.metrics().total().messages;
+  result.bytes = net.metrics().total().bytes;
+  return result;
+}
+
+TEST(SpatialIndexTest, GridTrafficBitIdenticalToLinearScan) {
+  const TrafficResult grid = run_traffic(true);
+  const TrafficResult linear = run_traffic(false);
+  EXPECT_GT(grid.deliveries, 100u);  // the field is actually busy
+  EXPECT_EQ(grid.trace, linear.trace);
+  EXPECT_TRUE(grid == linear);
+}
+
+TEST(SpatialIndexTest, DevicesInRangeMatchesLinearScan) {
+  Network net(std::make_unique<UnitDiskModel>(50.0), ChannelConfig{}, 3);
+  util::Rng place(17);
+  for (std::size_t i = 0; i < 200; ++i) {
+    net.add_device(static_cast<NodeId>(i + 1),
+                   {place.uniform(-200.0, 400.0), place.uniform(-200.0, 400.0)});
+  }
+  // Exact cell-boundary placements, including a pair at exactly the radio
+  // range (boundary-inclusive link).
+  net.add_device(500, {50.0, 0.0});
+  net.add_device(501, {100.0, 0.0});
+  net.add_device(502, {0.0, -50.0});
+  net.device(5).alive = false;  // dead devices stay indexed but invisible
+
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    net.set_spatial_index_enabled(true);
+    const auto indexed = net.devices_in_range(d);
+    net.set_spatial_index_enabled(false);
+    const auto linear = net.devices_in_range(d);
+    EXPECT_EQ(indexed, linear) << "device " << d;
+  }
+}
+
+TEST(SpatialIndexTest, IndexedBroadcastReachesBoundaryNeighbors) {
+  // Receivers at exactly the radio range sit in neighboring grid cells;
+  // the 3x3 block query must still find them.
+  auto net = make_network(10.0);
+  const DeviceId center = net->add_device(1, {0, 0});
+  int received = 0;
+  NodeId next_identity = 2;
+  for (const util::Vec2 p :
+       {util::Vec2{10, 0}, util::Vec2{-10, 0}, util::Vec2{0, 10}, util::Vec2{0, -10}}) {
+    const DeviceId d = net->add_device(next_identity++, p);
+    net->set_receiver(d, [&](const Packet&) { ++received; });
+  }
+  ASSERT_TRUE(net->spatial_index_enabled());
+  net->transmit(center, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->scheduler().run();
+  EXPECT_EQ(received, 4);
 }
 
 TEST(MetricsTest, ResetClears) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace snd::sim {
 namespace {
 
@@ -86,6 +88,32 @@ TEST(LogNormalTest, ConnectivityDecreasesWithDistance) {
 TEST(LogNormalTest, CoincidentPointsAlwaysLinked) {
   LogNormalModel model(50.0, 3.0, 10.0, 3);
   EXPECT_TRUE(model.link_exists({5, 5}, {5, 5}));
+}
+
+TEST(MaxRangeTest, UnitDiskMaxRangeIsItsRange) {
+  EXPECT_DOUBLE_EQ(UnitDiskModel(10.0).max_range(), 10.0);
+}
+
+TEST(MaxRangeTest, LogNormalCapIsTheTruncatedFadeDistance) {
+  LogNormalModel model(50.0, 3.0, 6.0, 7);
+  // d_max = R * 10^(4 sigma / (10 n)) = 50 * 10^0.8.
+  EXPECT_DOUBLE_EQ(model.max_range(), 50.0 * std::pow(10.0, 0.8));
+  EXPECT_GE(model.max_range(), model.nominal_range());
+  // Zero sigma leaves nothing to truncate: the cap is the nominal range.
+  EXPECT_DOUBLE_EQ(LogNormalModel(50.0, 3.0, 0.0, 1).max_range(), 50.0);
+}
+
+TEST(MaxRangeTest, NoLinkEverBeyondMaxRange) {
+  // The spatial index relies on this bound absolutely: sample many link
+  // queries just past max_range and require every one to be false, however
+  // lucky the hashed fade.
+  LogNormalModel model(50.0, 3.0, 8.0, 13);
+  const double beyond = model.max_range() * 1.0001;
+  for (int i = 0; i < 5000; ++i) {
+    const util::Vec2 a{i * 3.7, i * 1.3};
+    const util::Vec2 b{a.x + beyond, a.y + 0.1 * i};
+    EXPECT_FALSE(model.link_exists(a, b)) << i;
+  }
 }
 
 }  // namespace

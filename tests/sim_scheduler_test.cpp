@@ -132,6 +132,30 @@ TEST(SchedulerTest, PendingCountsUnexecuted) {
   EXPECT_EQ(scheduler.pending(), 1u);
 }
 
+TEST(SchedulerTest, CancelAfterFireStaysBounded) {
+  Scheduler scheduler;
+  std::vector<EventId> fired;
+  for (int i = 0; i < 512; ++i) fired.push_back(scheduler.schedule_at(Time::zero(), [] {}));
+  scheduler.run();
+
+  const EventId live = scheduler.schedule_at(Time::milliseconds(1), [] {});
+  scheduler.schedule_at(Time::milliseconds(2), [] {});
+  scheduler.schedule_at(Time::milliseconds(3), [] {});
+
+  // Cancelling ids that already fired must not accumulate: before the
+  // sweep existed, 512 stale ids sat in the side set forever and pending()
+  // saturated to zero despite three live events.
+  for (const EventId id : fired) scheduler.cancel(id);
+  EXPECT_LE(scheduler.cancelled_backlog(), 3u + 65u);
+  EXPECT_EQ(scheduler.pending(), 3u);
+
+  // Live cancellation still works with the sweep interleaved.
+  scheduler.cancel(live);
+  EXPECT_EQ(scheduler.pending(), 2u);
+  scheduler.run();
+  EXPECT_EQ(scheduler.executed(), 514u);
+}
+
 TEST(SchedulerTest, ManyEventsStressOrdering) {
   Scheduler scheduler;
   std::vector<std::int64_t> fired;
