@@ -12,11 +12,13 @@
 // for any --jobs value.
 //
 //   ./fig3_threshold [--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]
+//                    [--log warn] [--trace counters] [--trace-json PATH]
 #include <iostream>
 #include <vector>
 
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
+#include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -26,8 +28,13 @@ namespace {
 
 using namespace snd;
 
+struct TrialResult {
+  double accuracy = 0.0;
+  obs::TraceSummary trace;
+};
+
 /// Fraction of the center node's actual neighbors that it validated.
-double center_node_accuracy(std::size_t threshold, std::uint64_t seed) {
+TrialResult center_node_accuracy(std::size_t threshold, std::uint64_t seed) {
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {100.0, 100.0}};
   config.radio_range = 50.0;
@@ -48,7 +55,11 @@ double center_node_accuracy(std::size_t threshold, std::uint64_t seed) {
     ++actual;
     if (topology::contains(agent->functional_neighbors(), d.identity)) ++validated;
   }
-  return actual == 0 ? 0.0 : static_cast<double>(validated) / static_cast<double>(actual);
+  TrialResult result;
+  result.accuracy =
+      actual == 0 ? 0.0 : static_cast<double>(validated) / static_cast<double>(actual);
+  result.trace = deployment.network().trace_summary();
+  return result;
 }
 
 }  // namespace
@@ -59,10 +70,13 @@ int main(int argc, char** argv) {
   const auto t_max = static_cast<std::size_t>(cli.get_int("tmax", 150));
   const auto t_step = static_cast<std::size_t>(cli.get_int("tstep", 10));
   runner::TrialRunner pool(util::resolve_jobs(cli));
-  if (!cli.validate(std::cerr, {"seeds", "tmax", "tstep", "jobs"},
-                    "[--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]")) {
+  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+  if (!cli.validate(std::cerr, {"seeds", "tmax", "tstep", "jobs", "log", "trace", "trace-json"},
+                    "[--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]\n"
+                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
     return 2;
   }
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
   if (seeds == 0 || t_step == 0) {
     std::cerr << cli.program() << ": --seeds and --tstep must be >= 1\n";
     return 2;
@@ -81,12 +95,16 @@ int main(int argc, char** argv) {
   // the i-th derived seed.
   runner::SweepReport report;
   report.name = "fig3_threshold";
+  obs::Registry registry(thresholds.size() * seeds);
   const auto accuracy = pool.run(
       thresholds.size() * seeds, /*base_seed=*/101,
       [&](std::size_t i, std::uint64_t seed) {
-        return center_node_accuracy(thresholds[i / seeds], seed);
+        TrialResult result = center_node_accuracy(thresholds[i / seeds], seed);
+        registry.record(i, result.trace);
+        return result.accuracy;
       },
       &report);
+  report.attach_trace(registry.fold());
 
   util::Table table({"t", "theory f_b", "theory tau^2", "simulation", "stdev"});
   for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {

@@ -11,11 +11,13 @@
 // bit-identical for any --jobs value.
 //
 //   ./fig4_density [--seeds 10] [--jobs N]
+//                  [--log warn] [--trace counters] [--trace-json PATH]
 #include <iostream>
 #include <vector>
 
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
+#include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -25,7 +27,13 @@ namespace {
 
 using namespace snd;
 
-double center_node_accuracy(double density_per_m2, std::size_t threshold, std::uint64_t seed) {
+struct TrialResult {
+  double accuracy = 0.0;
+  obs::TraceSummary trace;
+};
+
+TrialResult center_node_accuracy(double density_per_m2, std::size_t threshold,
+                                 std::uint64_t seed) {
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {100.0, 100.0}};
   config.radio_range = 50.0;
@@ -47,7 +55,11 @@ double center_node_accuracy(double density_per_m2, std::size_t threshold, std::u
     ++actual;
     if (topology::contains(agent->functional_neighbors(), d.identity)) ++validated;
   }
-  return actual == 0 ? 0.0 : static_cast<double>(validated) / static_cast<double>(actual);
+  TrialResult result;
+  result.accuracy =
+      actual == 0 ? 0.0 : static_cast<double>(validated) / static_cast<double>(actual);
+  result.trace = deployment.network().trace_summary();
+  return result;
 }
 
 }  // namespace
@@ -56,7 +68,13 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 10));
   runner::TrialRunner pool(util::resolve_jobs(cli));
-  if (!cli.validate(std::cerr, {"seeds", "jobs"}, "[--seeds 10] [--jobs N]")) return 2;
+  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+  if (!cli.validate(std::cerr, {"seeds", "jobs", "log", "trace", "trace-json"},
+                    "[--seeds 10] [--jobs N]\n"
+                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
+    return 2;
+  }
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
   if (seeds == 0) {
     std::cerr << cli.program() << ": --seeds must be >= 1\n";
     return 2;
@@ -74,14 +92,19 @@ int main(int argc, char** argv) {
   runner::SweepReport report;
   report.name = "fig4_density";
   const std::size_t cells = densities_per_1000m2.size() * thresholds.size();
+  obs::Registry registry(cells * seeds);
   const auto accuracy = pool.run(
       cells * seeds, /*base_seed=*/997,
       [&](std::size_t i, std::uint64_t seed) {
         const std::size_t cell = i / seeds;
         const double density = densities_per_1000m2[cell / thresholds.size()] / 1000.0;
-        return center_node_accuracy(density, thresholds[cell % thresholds.size()], seed);
+        TrialResult result =
+            center_node_accuracy(density, thresholds[cell % thresholds.size()], seed);
+        registry.record(i, result.trace);
+        return result.accuracy;
       },
       &report);
+  report.attach_trace(registry.fold());
 
   util::Table table({"density (/1000 m^2)", "t=10 sim", "t=10 theory", "t=30 sim",
                      "t=30 theory", "t=50 sim", "t=50 theory"});

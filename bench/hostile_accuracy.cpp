@@ -17,6 +17,7 @@
 #include "adversary/chaff.h"
 #include "adversary/wormhole.h"
 #include "core/deployment_driver.h"
+#include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "topology/stats.h"
 #include "util/cli.h"
@@ -125,7 +126,13 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 8));
   runner::TrialRunner pool(util::resolve_jobs(cli));
-  if (!cli.validate(std::cerr, {"seeds", "jobs"}, "[--seeds 8] [--jobs N]")) return 2;
+  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+  if (!cli.validate(std::cerr, {"seeds", "jobs", "log", "trace", "trace-json"},
+                    "[--seeds 8] [--jobs N]\n"
+                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
+    return 2;
+  }
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
   if (seeds == 0) {
     std::cerr << cli.program() << ": --seeds must be >= 1\n";
     return 2;

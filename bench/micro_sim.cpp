@@ -17,6 +17,8 @@
 #include <string>
 
 #include "core/deployment_driver.h"
+#include "obs/sink.h"
+#include "obs/tracer.h"
 #include "sim/deployment.h"
 #include "sim/scheduler.h"
 
@@ -50,7 +52,7 @@ void BM_BroadcastFanout(benchmark::State& state) {
   }
   for (auto _ : state) {
     network.transmit(sender, sim::Packet{.src = 0, .dst = kNoNode, .type = 1, .payload = {}},
-                     "bench");
+                     obs::Phase::kOther);
     network.scheduler().run();
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -62,10 +64,13 @@ BENCHMARK(BM_BroadcastFanout)->Arg(10)->Arg(100)->Arg(500);
 /// is what differs between the two modes: the linear scan walks all n
 /// devices per transmission, the grid only the 3x3 cell block around the
 /// sender.
-sim::Network make_resolution_field(std::size_t nodes, bool use_index) {
+sim::Network make_resolution_field(std::size_t nodes, bool use_index,
+                                   obs::TraceLevel level = obs::TraceLevel::kOff,
+                                   std::shared_ptr<obs::Sink> sink = nullptr) {
   auto network = sim::Network(std::make_unique<sim::UnitDiskModel>(25.0),
                               sim::ChannelConfig{}, 1);
   network.set_spatial_index_enabled(use_index);
+  network.tracer() = obs::Tracer(level, std::move(sink));
   const double side = std::sqrt(static_cast<double>(nodes) * 100.0);
   util::Rng rng(7);
   NodeId identity = 1;
@@ -85,14 +90,24 @@ void broadcast_all(sim::Network& network) {
                                     .dst = kNoNode,
                                     .type = 1,
                                     .payload = {}},
-                     "bench");
+                     obs::Phase::kOther);
   }
 }
 
+/// Third arg is the trace mode: 0 = kOff (runtime-disabled fast path),
+/// 1 = kCounters, 2 = kEvents into a NullSink (everything emitted, nothing
+/// written). Modes 1-2 quantify the enabled-tracing tax; the grid/linear
+/// comparison runs at 0 so it stays comparable across PRs.
 void BM_BroadcastResolution(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const bool use_index = state.range(1) != 0;
-  sim::Network network = make_resolution_field(nodes, use_index);
+  const auto trace_mode = state.range(2);
+  const obs::TraceLevel level = trace_mode == 0   ? obs::TraceLevel::kOff
+                                : trace_mode == 1 ? obs::TraceLevel::kCounters
+                                                  : obs::TraceLevel::kEvents;
+  std::shared_ptr<obs::Sink> sink =
+      trace_mode == 2 ? std::make_shared<obs::NullSink>() : nullptr;
+  sim::Network network = make_resolution_field(nodes, use_index, level, std::move(sink));
   for (auto _ : state) {
     broadcast_all(network);
     state.PauseTiming();  // delivery processing is identical in both modes
@@ -100,13 +115,16 @@ void BM_BroadcastResolution(benchmark::State& state) {
     benchmark::DoNotOptimize(network.metrics().deliveries());
     state.ResumeTiming();
   }
-  state.SetLabel(use_index ? "grid" : "linear");
+  const std::string mode = trace_mode == 0 ? "off" : trace_mode == 1 ? "counters" : "events+null";
+  state.SetLabel((use_index ? "grid/trace=" : "linear/trace=") + mode);
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(nodes));
 }
 BENCHMARK(BM_BroadcastResolution)
     ->Unit(benchmark::kMillisecond)
-    ->Args({2000, 0})
-    ->Args({2000, 1});
+    ->Args({2000, 0, 0})
+    ->Args({2000, 1, 0})
+    ->Args({2000, 1, 1})
+    ->Args({2000, 1, 2});
 
 void BM_FullProtocolRun(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
@@ -136,8 +154,10 @@ struct RoundTimings {
 /// Wall-clock of `rounds` broadcast rounds on a fresh field, with the
 /// resolution phase (transmit loop) timed separately from the delivery
 /// drain, which costs the same in both modes.
-RoundTimings measure(std::size_t nodes, bool use_index, int rounds) {
-  sim::Network network = make_resolution_field(nodes, use_index);
+RoundTimings measure(std::size_t nodes, bool use_index, int rounds,
+                     obs::TraceLevel level = obs::TraceLevel::kOff,
+                     std::shared_ptr<obs::Sink> sink = nullptr) {
+  sim::Network network = make_resolution_field(nodes, use_index, level, std::move(sink));
   broadcast_all(network);  // warm-up: faults pages, fills the grid map
   network.scheduler().run();
   RoundTimings timings;
@@ -160,12 +180,27 @@ int write_resolution_artifact() {
   constexpr int kRounds = 10;
   const RoundTimings linear = measure(kNodes, /*use_index=*/false, kRounds);
   const RoundTimings grid = measure(kNodes, /*use_index=*/true, kRounds);
+  // Trace-overhead sweep on the grid configuration: the runtime-disabled
+  // fast path (kOff) is the baseline; kCounters adds the typed-array bumps,
+  // kEvents+NullSink adds ring writes and the sink virtual call with no
+  // I/O. Whole rounds are timed (deliveries included -- that is where
+  // events dominate).
+  const RoundTimings trace_off = measure(kNodes, /*use_index=*/true, kRounds);
+  const RoundTimings trace_counters =
+      measure(kNodes, /*use_index=*/true, kRounds, obs::TraceLevel::kCounters);
+  const RoundTimings trace_events = measure(kNodes, /*use_index=*/true, kRounds,
+                                            obs::TraceLevel::kEvents,
+                                            std::make_shared<obs::NullSink>());
   const double resolution_speedup =
       grid.resolution_s > 0.0 ? linear.resolution_s / grid.resolution_s : 0.0;
   const double round_speedup = grid.total_s > 0.0 ? linear.total_s / grid.total_s : 0.0;
   const double per_tx = static_cast<double>(kRounds) * static_cast<double>(kNodes);
+  const double counters_overhead =
+      trace_off.total_s > 0.0 ? trace_counters.total_s / trace_off.total_s : 0.0;
+  const double events_null_overhead =
+      trace_off.total_s > 0.0 ? trace_events.total_s / trace_off.total_s : 0.0;
 
-  char json[512];
+  char json[1024];
   std::snprintf(json, sizeof(json),
                 "{\n"
                 "  \"name\": \"micro_sim_broadcast_resolution\",\n"
@@ -174,10 +209,19 @@ int write_resolution_artifact() {
                 "  \"linear_us_per_tx\": %.3f,\n"
                 "  \"grid_us_per_tx\": %.3f,\n"
                 "  \"resolution_speedup\": %.2f,\n"
-                "  \"round_speedup\": %.2f\n"
+                "  \"round_speedup\": %.2f,\n"
+                "  \"trace\": {\n"
+                "    \"off_round_us_per_tx\": %.3f,\n"
+                "    \"counters_round_us_per_tx\": %.3f,\n"
+                "    \"events_null_round_us_per_tx\": %.3f,\n"
+                "    \"counters_overhead\": %.3f,\n"
+                "    \"events_null_overhead\": %.3f\n"
+                "  }\n"
                 "}\n",
                 kNodes, per_tx, linear.resolution_s / per_tx * 1e6,
-                grid.resolution_s / per_tx * 1e6, resolution_speedup, round_speedup);
+                grid.resolution_s / per_tx * 1e6, resolution_speedup, round_speedup,
+                trace_off.total_s / per_tx * 1e6, trace_counters.total_s / per_tx * 1e6,
+                trace_events.total_s / per_tx * 1e6, counters_overhead, events_null_overhead);
 
   const char* dir = std::getenv("SND_BENCH_DIR");
   std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
@@ -190,6 +234,9 @@ int write_resolution_artifact() {
               "resolution speedup %.2fx (full round incl. deliveries: %.2fx) -> %s\n",
               kNodes, linear.resolution_s / per_tx * 1e6, grid.resolution_s / per_tx * 1e6,
               resolution_speedup, round_speedup, path.c_str());
+  std::printf("trace overhead per round (grid): off %.2f us/tx, counters %.2fx, "
+              "events+nullsink %.2fx\n",
+              trace_off.total_s / per_tx * 1e6, counters_overhead, events_null_overhead);
   return resolution_speedup >= 1.0 ? 0 : 1;
 }
 

@@ -17,6 +17,7 @@
 
 #include "adversary/attacker.h"
 #include "core/safety.h"
+#include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -93,10 +94,13 @@ int main(int argc, char** argv) {
   const auto t = static_cast<std::size_t>(cli.get_int("threshold", 4));
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 5));
   runner::TrialRunner pool(util::resolve_jobs(cli));
-  if (!cli.validate(std::cerr, {"threshold", "seeds", "jobs"},
-                    "[--threshold 4] [--seeds 5] [--jobs N]")) {
+  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+  if (!cli.validate(std::cerr, {"threshold", "seeds", "jobs", "log", "trace", "trace-json"},
+                    "[--threshold 4] [--seeds 5] [--jobs N]\n"
+                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
     return 2;
   }
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
   if (seeds == 0) {
     std::cerr << cli.program() << ": --seeds must be >= 1\n";
     return 2;

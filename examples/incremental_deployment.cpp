@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "core/deployment_driver.h"
+#include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "topology/stats.h"
 #include "util/cli.h"
@@ -94,10 +95,15 @@ int main(int argc, char** argv) {
   const auto updates = static_cast<std::uint32_t>(cli.get_int("updates", 3));
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 1));
   runner::TrialRunner pool(util::resolve_jobs(cli));
-  if (!cli.validate(std::cerr, {"rounds", "deaths", "updates", "seeds", "jobs"},
-                    "[--rounds 4] [--deaths 12] [--updates 3] [--seeds 1] [--jobs N]")) {
+  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+  if (!cli.validate(std::cerr,
+                    {"rounds", "deaths", "updates", "seeds", "jobs", "log", "trace",
+                     "trace-json"},
+                    "[--rounds 4] [--deaths 12] [--updates 3] [--seeds 1] [--jobs N]\n"
+                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
     return 2;
   }
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
   if (rounds == 0 || seeds == 0) {
     std::cerr << cli.program() << ": --rounds and --seeds must be >= 1\n";
     return 2;

@@ -22,7 +22,7 @@ void ChaffAttacker::on_packet(const sim::Packet& packet) {
                      .dst = packet.src,
                      .type = static_cast<std::uint8_t>(core::MessageType::kHelloAck),
                      .payload = {}};
-    network_.transmit(device_, std::move(fake), "attack.chaff");
+    network_.transmit(device_, std::move(fake), obs::Phase::kAttackChaff);
     ++fakes_sent_;
   }
 }

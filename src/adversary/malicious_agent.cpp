@@ -5,7 +5,7 @@
 namespace snd::adversary {
 
 namespace {
-constexpr std::string_view kCatAttack = "attack";
+constexpr obs::Phase kCatAttack = obs::Phase::kAttack;
 using core::MessageType;
 }  // namespace
 

@@ -42,7 +42,7 @@ void Wormhole::relay(sim::DeviceId from_end, sim::DeviceId to_end, const sim::Pa
   sim::Packet copy = packet;  // same claimed src, payload, type
   network_.scheduler().schedule_at(network_.now() + tunnel_latency_,
                                    [this, to_end, copy = std::move(copy)]() {
-                                     network_.transmit(to_end, copy, "attack.wormhole");
+                                     network_.transmit(to_end, copy, obs::Phase::kAttackWormhole);
                                    });
 }
 

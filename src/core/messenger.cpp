@@ -31,7 +31,7 @@ util::Bytes mac_input(NodeId src, NodeId dst, std::uint8_t type,
 }  // namespace
 
 bool Messenger::send(NodeId to, std::uint8_t type, const util::Bytes& payload,
-                     std::string_view category) {
+                     obs::Phase phase) {
   const crypto::SymmetricKey key = pair_key(to);
   if (!key.present()) return false;
 
@@ -43,20 +43,19 @@ bool Messenger::send(NodeId to, std::uint8_t type, const util::Bytes& payload,
   util::put_bytes(body, mac);
 
   sim::Packet packet{.src = identity_, .dst = to, .type = type, .payload = std::move(body)};
-  network_.transmit(device_, std::move(packet), category);
+  network_.transmit(device_, std::move(packet), phase);
   return true;
 }
 
-void Messenger::broadcast(std::uint8_t type, const util::Bytes& payload,
-                          std::string_view category) {
+void Messenger::broadcast(std::uint8_t type, const util::Bytes& payload, obs::Phase phase) {
   sim::Packet packet{.src = identity_, .dst = kNoNode, .type = type, .payload = payload};
-  network_.transmit(device_, std::move(packet), category);
+  network_.transmit(device_, std::move(packet), phase);
 }
 
 void Messenger::send_unauth(NodeId to, std::uint8_t type, const util::Bytes& payload,
-                            std::string_view category) {
+                            obs::Phase phase) {
   sim::Packet packet{.src = identity_, .dst = to, .type = type, .payload = payload};
-  network_.transmit(device_, std::move(packet), category);
+  network_.transmit(device_, std::move(packet), phase);
 }
 
 std::optional<util::Bytes> Messenger::open(const sim::Packet& packet) {

@@ -22,6 +22,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/keypredist.h"
+#include "obs/event.h"
 #include "sim/network.h"
 #include "util/ids.h"
 
@@ -35,18 +36,16 @@ class Messenger {
             std::shared_ptr<crypto::KeyPredistribution> keys);
 
   /// Sends an authenticated unicast. Returns false if no pairwise key with
-  /// `to` could be established. Cost is charged to `category`.
-  bool send(NodeId to, std::uint8_t type, const util::Bytes& payload,
-            std::string_view category);
+  /// `to` could be established. Cost is charged to `phase`.
+  bool send(NodeId to, std::uint8_t type, const util::Bytes& payload, obs::Phase phase);
 
   /// Broadcasts without per-pair authentication (Hello/HelloAck carry no
   /// secrets; authenticity of what matters is established end-to-end).
-  void broadcast(std::uint8_t type, const util::Bytes& payload, std::string_view category);
+  void broadcast(std::uint8_t type, const util::Bytes& payload, obs::Phase phase);
 
   /// Addressed but unauthenticated send (HelloAck: the pairwise key may not
   /// be checkable yet and the content is covered by direct verification).
-  void send_unauth(NodeId to, std::uint8_t type, const util::Bytes& payload,
-                   std::string_view category);
+  void send_unauth(NodeId to, std::uint8_t type, const util::Bytes& payload, obs::Phase phase);
 
   /// Verifies an incoming unicast addressed to this identity: MAC check
   /// with the pairwise key for the claimed src, replay check on the nonce.

@@ -7,12 +7,22 @@
 namespace snd::core {
 
 namespace {
-constexpr std::string_view kCatHello = "snd.hello";
-constexpr std::string_view kCatAck = "snd.ack";
-constexpr std::string_view kCatRecord = "snd.record";
-constexpr std::string_view kCatCommit = "snd.commit";
-constexpr std::string_view kCatEvidence = "snd.evidence";
-constexpr std::string_view kCatUpdate = "snd.update";
+
+/// Emits one protocol event through the network's tracer. `code` is any of
+/// the kind-discriminated enums; `bytes` carries small counts (list sizes).
+template <typename Code>
+void trace_event(sim::Network& network, NodeId node, obs::EventKind kind, Code code,
+                 NodeId peer = kNoNode, std::uint32_t bytes = 0) {
+  obs::Tracer& tracer = network.tracer();
+  if (!tracer.active()) return;
+  tracer.emit(obs::Event{.kind = kind,
+                         .code = static_cast<std::uint8_t>(code),
+                         .node = node,
+                         .peer = peer,
+                         .bytes = bytes,
+                         .t_ns = network.now().ns()});
+}
+
 }  // namespace
 
 SndNode::SndNode(sim::Network& network, sim::DeviceId device, NodeId identity,
@@ -47,6 +57,7 @@ void SndNode::start() {
   if (started_) return;
   started_ = true;
   deployed_at_ = network_.now();
+  trace_event(network_, identity_, obs::EventKind::kPhase, obs::NodePhase::kDeployed);
 
   network_.set_receiver(device_, [this](const sim::Packet& packet) { on_packet(packet); });
 
@@ -66,7 +77,7 @@ void SndNode::stop() {
 
 void SndNode::send_hellos(std::size_t remaining) {
   if (remaining == 0 || discovery_complete_) return;
-  messenger_.broadcast(static_cast<std::uint8_t>(MessageType::kHello), {}, kCatHello);
+  messenger_.broadcast(static_cast<std::uint8_t>(MessageType::kHello), {}, obs::Phase::kHello);
   schedule(network_.now() + config_.hello_spacing,
            [this, remaining]() { send_hellos(remaining - 1); });
 }
@@ -93,9 +104,17 @@ void SndNode::on_packet(const sim::Packet& packet) {
     return;
   }
 
-  // Everything else is authenticated unicast.
+  // Everything else is authenticated unicast. A failed open() on a packet
+  // actually addressed to us is an authentication/replay reject; overheard
+  // unicasts for other identities return nullopt too and are not rejects.
   const auto payload = messenger_.open(packet);
-  if (!payload) return;
+  if (!payload) {
+    if (packet.dst == identity_) {
+      trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kAuthFailed,
+                  packet.src);
+    }
+    return;
+  }
 
   switch (static_cast<MessageType>(packet.type)) {
     case MessageType::kRecordRequest:
@@ -123,7 +142,7 @@ void SndNode::on_hello(const sim::Packet& packet) {
   // repeated Hellos from the same node need no duplicate ACKs).
   if (acked_identities_.insert(packet.src).second) {
     messenger_.send_unauth(packet.src, static_cast<std::uint8_t>(MessageType::kHelloAck), {},
-                           kCatAck);
+                           obs::Phase::kAck);
   }
   // If we are still discovering, a Hello also reveals a candidate neighbor.
   consider_tentative(packet);
@@ -158,6 +177,8 @@ void SndNode::finish_discovery() {
   discovery_complete_ = true;
 
   record_ = BindingRecord::make(master_, identity_, 0, tentative_);
+  trace_event(network_, identity_, obs::EventKind::kPhase, obs::NodePhase::kDiscoveryDone,
+              kNoNode, static_cast<std::uint32_t>(tentative_.size()));
 
   // Serve record requests that raced ahead of our record creation.
   if (pending_record_request_) broadcast_record();
@@ -169,7 +190,7 @@ void SndNode::finish_discovery() {
   for (NodeId v : tentative_) {
     schedule(jittered_now(), [this, v]() {
       messenger_.send(v, static_cast<std::uint8_t>(MessageType::kRecordRequest), {},
-                      kCatRecord);
+                      obs::Phase::kRecord);
     });
   }
 }
@@ -192,25 +213,45 @@ void SndNode::broadcast_record() {
   record_broadcast_scheduled_ = false;
   if (!record_) return;
   messenger_.broadcast(static_cast<std::uint8_t>(MessageType::kRecordReply),
-                       record_->serialize(), kCatRecord);
+                       record_->serialize(), obs::Phase::kRecord);
 }
 
 void SndNode::on_record_reply(const sim::Packet& packet, const util::Bytes& payload) {
   if (validated_ || !master_.present()) return;
   // Only records of tentative neighbors matter (bounds memory under chaff).
-  if (!topology::contains(tentative_, packet.src)) return;
+  if (!topology::contains(tentative_, packet.src)) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kNotTentative,
+                packet.src);
+    return;
+  }
   const auto reply = RecordReplyPayload::parse(payload);
-  if (!reply) return;
+  if (!reply) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kParseError,
+                packet.src);
+    return;
+  }
   const BindingRecord& record = reply->record;
-  if (record.node != packet.src) return;
-  if (!record.verify(master_)) return;  // forged or corrupted commitment
+  if (record.node != packet.src) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kWrongSubject,
+                packet.src);
+    return;
+  }
+  if (!record.verify(master_)) {  // forged or corrupted commitment
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kBadCommitment,
+                packet.src);
+    return;
+  }
 
   // Keep the highest version. The broadcast channel lets anyone replay an
   // OLD (still commitment-valid) record of a node that has since updated;
   // preferring the higher version neutralizes that substitution, and the
   // adversary cannot mint higher versions without K.
   const auto existing = neighbor_records_.find(record.node);
-  if (existing != neighbor_records_.end() && existing->second.version >= record.version) return;
+  if (existing != neighbor_records_.end() && existing->second.version >= record.version) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kStaleVersion,
+                packet.src);
+    return;
+  }
   neighbor_records_.insert_or_assign(record.node, record);
 
   // Early-erasure variant (§6): every tentative neighbor has answered, so
@@ -228,19 +269,26 @@ void SndNode::run_validation() {
 
   for (NodeId v : tentative_) {
     const auto it = neighbor_records_.find(v);
-    if (it == neighbor_records_.end()) continue;
+    if (it == neighbor_records_.end()) {
+      trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kNoRecord, v);
+      continue;
+    }
     const BindingRecord& record = it->second;
 
     if (meets_threshold(tentative_, record.neighbors, config_.threshold_t)) {
       topology::insert_sorted(functional_, v);
+      trace_event(network_, identity_, obs::EventKind::kAccept, obs::AcceptVia::kThreshold, v);
       // Commitments are computed now, while K is in hand, but put on the
       // air jittered so a whole round's worth does not collide.
       const crypto::Digest commit =
           relation_commitment(verification_key(master_, v), identity_);
       schedule(jittered_now(), [this, v, commit]() {
         messenger_.send(v, static_cast<std::uint8_t>(MessageType::kRelationCommit),
-                        RelationCommitPayload{commit}.serialize(), kCatCommit);
+                        RelationCommitPayload{commit}.serialize(), obs::Phase::kCommit);
       });
+    } else {
+      trace_event(network_, identity_, obs::EventKind::kReject,
+                  obs::RejectReason::kThresholdNotMet, v);
     }
 
     // Extension: leave evidence with every tentative neighbor so a future
@@ -250,10 +298,13 @@ void SndNode::run_validation() {
           record.version, relation_evidence(master_, identity_, v, record.version)};
       schedule(jittered_now(), [this, v, evidence]() {
         messenger_.send(v, static_cast<std::uint8_t>(MessageType::kEvidence),
-                        evidence.serialize(), kCatEvidence);
+                        evidence.serialize(), obs::Phase::kEvidence);
       });
     }
   }
+
+  trace_event(network_, identity_, obs::EventKind::kPhase, obs::NodePhase::kValidated, kNoNode,
+              static_cast<std::uint32_t>(functional_.size()));
 
   // Binding records of neighbors are no longer needed (paper §4.3).
   neighbor_records_.clear();
@@ -270,6 +321,7 @@ void SndNode::erase_master_key() {
   if (master_.present()) {
     master_.erase();
     erased_at_ = network_.now();
+    trace_event(network_, identity_, obs::EventKind::kPhase, obs::NodePhase::kKeyErased);
   }
 }
 
@@ -279,20 +331,38 @@ sim::Time SndNode::key_exposure() const {
 
 void SndNode::on_relation_commit(const sim::Packet& packet, const util::Bytes& payload) {
   const auto commit = RelationCommitPayload::parse(payload);
-  if (!commit) return;
+  if (!commit) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kParseError,
+                packet.src);
+    return;
+  }
   // Only a node that held K (i.e. one that was newly deployed) can compute
   // C(x, us) = H(K_us | x); our own K_us verifies it.
-  if (commit->commitment != relation_commitment(verification_key_, packet.src)) return;
+  if (commit->commitment != relation_commitment(verification_key_, packet.src)) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kCommitMismatch,
+                packet.src);
+    return;
+  }
   topology::insert_sorted(functional_, packet.src);
+  trace_event(network_, identity_, obs::EventKind::kAccept, obs::AcceptVia::kCommitment,
+              packet.src);
 }
 
 void SndNode::on_evidence(const sim::Packet& packet, const util::Bytes& payload) {
   if (config_.max_updates == 0 || !record_) return;
   const auto evidence = EvidencePayload::parse(payload);
-  if (!evidence) return;
+  if (!evidence) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kParseError,
+                packet.src);
+    return;
+  }
   // Evidence must bind our *current* record version; we cannot check the
   // digest itself (K is gone) -- the update server will.
-  if (evidence->record_version != record_->version) return;
+  if (evidence->record_version != record_->version) {
+    trace_event(network_, identity_, obs::EventKind::kReject,
+                obs::RejectReason::kVersionMismatch, packet.src);
+    return;
+  }
   evidence_buffer_.insert_or_assign(packet.src, evidence->evidence);
 }
 
@@ -310,18 +380,25 @@ bool SndNode::request_update(NodeId server) {
 
   ++updates_requested_;
   return messenger_.send(server, static_cast<std::uint8_t>(MessageType::kUpdateRequest),
-                         request.serialize(), kCatUpdate);
+                         request.serialize(), obs::Phase::kUpdate);
 }
 
 void SndNode::on_update_request(const sim::Packet& packet, const util::Bytes& payload) {
   // Only a newly deployed node still holding K can serve updates.
   if (!master_.present() || config_.max_updates == 0) return;
   const auto request = UpdateRequestPayload::parse(payload);
-  if (!request) return;
+  if (!request) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kParseError,
+                packet.src);
+    return;
+  }
   const BindingRecord& old_record = request->record;
-  if (old_record.node != packet.src) return;
-  if (!old_record.verify(master_)) return;
-  if (old_record.version >= config_.max_updates) return;  // cap reached (§4.4)
+  if (old_record.node != packet.src || !old_record.verify(master_) ||
+      old_record.version >= config_.max_updates) {  // cap reached (§4.4)
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kUpdateRefused,
+                packet.src);
+    return;
+  }
 
   topology::NeighborList updated = old_record.neighbors;
   bool any_verified = false;
@@ -333,22 +410,37 @@ void SndNode::on_update_request(const sim::Packet& packet, const util::Bytes& pa
     topology::insert_sorted(updated, issuer);
     any_verified = true;
   }
-  if (!any_verified) return;
+  if (!any_verified) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kUpdateRefused,
+                packet.src);
+    return;
+  }
 
   const BindingRecord updated_record =
       BindingRecord::make(master_, old_record.node, old_record.version + 1, std::move(updated));
   messenger_.send(packet.src, static_cast<std::uint8_t>(MessageType::kUpdateReply),
-                  updated_record.serialize(), kCatUpdate);
+                  updated_record.serialize(), obs::Phase::kUpdate);
 }
 
 void SndNode::on_update_reply(const sim::Packet& packet, const util::Bytes& payload) {
-  (void)packet;
   if (config_.max_updates == 0 || !record_) return;
   const auto reply = UpdateReplyPayload::parse(payload);
-  if (!reply) return;
+  if (!reply) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kParseError,
+                packet.src);
+    return;
+  }
   const BindingRecord& updated = reply->record;
-  if (updated.node != identity_) return;
-  if (updated.version != record_->version + 1) return;
+  if (updated.node != identity_) {
+    trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kWrongSubject,
+                packet.src);
+    return;
+  }
+  if (updated.version != record_->version + 1) {
+    trace_event(network_, identity_, obs::EventKind::kReject,
+                obs::RejectReason::kVersionMismatch, packet.src);
+    return;
+  }
   // We cannot re-verify the commitment (K is erased); authenticity rests on
   // the pairwise-authenticated channel to the newly deployed server.
   record_ = updated;

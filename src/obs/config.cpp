@@ -1,0 +1,131 @@
+#include "obs/config.h"
+
+#include <cstdlib>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "obs/sink.h"
+
+namespace snd::obs {
+
+namespace {
+
+/// Keeps classic stderr logging when no JSON-lines sink is configured: events
+/// are dropped (the Tracer ring still records them), log lines use the base
+/// Sink formatting.
+struct StderrSink final : Sink {
+  void on_event(const Event&) override {}
+};
+
+std::optional<std::string> env_value(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+/// Flag value if given, else environment value, else nullopt. `origin` is set
+/// to a human-readable source name for error messages.
+std::optional<std::string> flag_or_env(const util::Cli& cli, std::string_view flag,
+                                       const char* env, std::string& origin) {
+  if (cli.has(flag)) {
+    origin = "--" + std::string(flag);
+    return cli.get(flag, "");
+  }
+  if (auto value = env_value(env)) {
+    origin = env;
+    return value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff:
+      return "off";
+    case TraceLevel::kCounters:
+      return "counters";
+    case TraceLevel::kEvents:
+      return "events";
+  }
+  return "?";
+}
+
+std::optional<TraceLevel> trace_level_from_name(std::string_view name) {
+  for (TraceLevel level : {TraceLevel::kOff, TraceLevel::kCounters, TraceLevel::kEvents}) {
+    if (name == trace_level_name(level)) return level;
+  }
+  if (name.size() == 1 && name[0] >= '0' && name[0] <= '2') {
+    return static_cast<TraceLevel>(name[0] - '0');
+  }
+  return std::nullopt;
+}
+
+ObsConfig resolve_obs(const util::Cli& cli) {
+  ObsConfig config;
+  std::string origin;
+
+  if (auto value = flag_or_env(cli, "log", "SND_LOG_LEVEL", origin)) {
+    if (auto level = util::log_level_from_name(*value)) {
+      config.log_level = *level;
+    } else {
+      cli.record_error(origin + ": unknown log level '" + *value +
+                       "' (expected debug|info|warn|error|off)");
+    }
+  }
+
+  bool trace_explicit = false;
+  if (auto value = flag_or_env(cli, "trace", "SND_TRACE_LEVEL", origin)) {
+    if (auto level = trace_level_from_name(*value)) {
+      config.trace_level = *level;
+      trace_explicit = true;
+    } else {
+      cli.record_error(origin + ": unknown trace level '" + *value +
+                       "' (expected off|counters|events)");
+    }
+  }
+
+  if (auto value = flag_or_env(cli, "trace-json", "SND_TRACE_JSON", origin)) {
+    config.trace_json_path = *value;
+    if (config.trace_level == TraceLevel::kOff && trace_explicit) {
+      cli.record_error(origin + ": conflicts with --trace off (JSON-lines output needs events)");
+    } else {
+      // Writing the event stream only makes sense at full verbosity.
+      config.trace_level = TraceLevel::kEvents;
+    }
+  }
+
+  return config;
+}
+
+bool apply_obs(const ObsConfig& config, std::ostream& err) {
+  util::set_log_level(config.log_level);
+
+  std::shared_ptr<Sink> sink;
+  if (!config.trace_json_path.empty()) {
+    auto json = std::make_shared<JsonLinesSink>(config.trace_json_path);
+    if (!json->ok()) {
+      err << "error: cannot open trace output '" << config.trace_json_path << "'\n";
+      return false;
+    }
+    sink = std::move(json);
+  } else {
+    sink = std::make_shared<StderrSink>();
+  }
+
+  TraceDefaults defaults;
+  defaults.level = config.trace_level;
+  defaults.sink = sink;
+  set_default_trace(defaults);
+
+  // Route already-filtered log lines through the same sink so log output and
+  // trace output share one destination (and one JSON schema when applicable).
+  util::set_log_sink([sink](util::LogLevel level, const std::string& message) {
+    sink->on_log(level, message);
+  });
+  return true;
+}
+
+}  // namespace snd::obs

@@ -1,0 +1,44 @@
+// One configuration surface for harness logging, event tracing, and JSON
+// output, shared by every bench and example binary:
+//
+//   --log   <debug|info|warn|error|off>     (env: SND_LOG_LEVEL)
+//   --trace <off|counters|events>           (env: SND_TRACE_LEVEL)
+//   --trace-json <path|->                   (env: SND_TRACE_JSON)
+//
+// Flags beat environment variables. Bad values are recorded on the Cli, so
+// the driver's existing cli.validate() call rejects them (exit non-zero).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/tracer.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+namespace snd::obs {
+
+struct ObsConfig {
+  util::LogLevel log_level = util::LogLevel::kWarn;
+  TraceLevel trace_level = TraceLevel::kCounters;
+  /// JSON-lines destination for events + routed log lines; empty = none,
+  /// "-" = stdout. A non-empty path raises trace_level to kEvents.
+  std::string trace_json_path;
+};
+
+/// "off" / "counters" / "events" (numeric "0".."2" accepted too).
+[[nodiscard]] std::string_view trace_level_name(TraceLevel level);
+[[nodiscard]] std::optional<TraceLevel> trace_level_from_name(std::string_view name);
+
+/// Reads the flags/environment above. Unknown values are recorded with
+/// cli.record_error() -- call this before cli.validate() and list "log",
+/// "trace", "trace-json" among the allowed flags.
+[[nodiscard]] ObsConfig resolve_obs(const util::Cli& cli);
+
+/// Installs `config` process-wide: sets the util log level, re-routes
+/// util::log_line through the active Sink, and makes every subsequently
+/// constructed Tracer (one per sim::Network) start with this level/sink.
+/// Returns false (message on `err`) if the JSON-lines file cannot be opened.
+[[nodiscard]] bool apply_obs(const ObsConfig& config, std::ostream& err);
+
+}  // namespace snd::obs

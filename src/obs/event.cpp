@@ -1,0 +1,91 @@
+#include "obs/event.h"
+
+#include <array>
+
+namespace snd::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kPhaseCount> kPhaseNames = {
+    "snd.hello", "snd.ack",      "snd.record",      "snd.commit", "snd.evidence", "snd.update",
+    "verify.rtt", "attack", "attack.chaff", "attack.wormhole", "other",
+};
+
+constexpr std::array<std::string_view, kDropCauseCount> kDropCauseNames = {
+    "out_of_range", "collision", "loss", "half_duplex", "sender_dead", "receiver_dead",
+};
+
+constexpr std::array<std::string_view, kNodePhaseCount> kNodePhaseNames = {
+    "deployed", "discovery_done", "validated", "key_erased",
+};
+
+constexpr std::array<std::string_view, kRejectReasonCount> kRejectReasonNames = {
+    "auth_failed",   "parse_error",       "not_tentative",   "wrong_subject",
+    "bad_commitment", "stale_version",    "no_record",       "threshold_not_met",
+    "commit_mismatch", "version_mismatch", "update_refused",
+};
+
+constexpr std::array<std::string_view, kAcceptViaCount> kAcceptViaNames = {
+    "threshold", "commitment",
+};
+
+constexpr std::array<std::string_view, kEventKindCount> kEventKindNames = {
+    "tx", "delivery", "drop", "phase", "reject", "accept",
+};
+
+template <std::size_t N>
+std::string_view name_or_unknown(const std::array<std::string_view, N>& names, std::size_t i) {
+  return i < N ? names[i] : std::string_view("?");
+}
+
+}  // namespace
+
+std::string_view phase_name(Phase phase) {
+  return name_or_unknown(kPhaseNames, static_cast<std::size_t>(phase));
+}
+
+std::string_view drop_cause_name(DropCause cause) {
+  return name_or_unknown(kDropCauseNames, static_cast<std::size_t>(cause));
+}
+
+std::string_view node_phase_name(NodePhase phase) {
+  return name_or_unknown(kNodePhaseNames, static_cast<std::size_t>(phase));
+}
+
+std::string_view reject_reason_name(RejectReason reason) {
+  return name_or_unknown(kRejectReasonNames, static_cast<std::size_t>(reason));
+}
+
+std::string_view accept_via_name(AcceptVia via) {
+  return name_or_unknown(kAcceptViaNames, static_cast<std::size_t>(via));
+}
+
+std::string_view event_kind_name(EventKind kind) {
+  return name_or_unknown(kEventKindNames, static_cast<std::size_t>(kind));
+}
+
+std::optional<Phase> phase_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (kPhaseNames[i] == name) return static_cast<Phase>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view event_code_name(EventKind kind, std::uint8_t code) {
+  switch (kind) {
+    case EventKind::kTx:
+    case EventKind::kDelivery:
+      return name_or_unknown(kPhaseNames, code);
+    case EventKind::kDrop:
+      return name_or_unknown(kDropCauseNames, code);
+    case EventKind::kPhase:
+      return name_or_unknown(kNodePhaseNames, code);
+    case EventKind::kReject:
+      return name_or_unknown(kRejectReasonNames, code);
+    case EventKind::kAccept:
+      return name_or_unknown(kAcceptViaNames, code);
+  }
+  return "?";
+}
+
+}  // namespace snd::obs

@@ -1,0 +1,133 @@
+// The typed event vocabulary of the observability pipeline.
+//
+// Every interesting occurrence in a run -- a transmission, a delivery, a
+// drop with its cause, a protocol phase transition, an accept/reject
+// decision -- is one fixed-size POD Event. Enum + small-integer payloads
+// keep emission allocation-free on the hot path; names exist only at
+// export time (JSON lines, BENCH artifacts, the Metrics category shim).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/ids.h"
+
+namespace snd::obs {
+
+/// Traffic category a transmission is charged to. The typed replacement for
+/// the historical string categories of sim::Metrics: the hot path indexes a
+/// fixed array, and the canonical names below only appear when exporting.
+enum class Phase : std::uint8_t {
+  kHello = 0,        // "snd.hello"    -- Hello broadcasts
+  kAck,              // "snd.ack"      -- HelloAck replies
+  kRecord,           // "snd.record"   -- record requests + replies
+  kCommit,           // "snd.commit"   -- relation commitments
+  kEvidence,         // "snd.evidence" -- evidences (update extension)
+  kUpdate,           // "snd.update"   -- record update requests/replies
+  kRtt,              // "verify.rtt"   -- direct-verification RTT probes
+  kAttack,           // "attack"          -- generic adversary traffic
+  kAttackChaff,      // "attack.chaff"    -- chaff floods
+  kAttackWormhole,   // "attack.wormhole" -- wormhole-replayed copies
+  kOther,            // "other" -- anything without a dedicated phase
+};
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kOther) + 1;
+
+/// Why a packet that was put on the air failed to reach a receiver.
+///
+/// kOutOfRange counts candidates the receiver-resolution strategy
+/// enumerated that turned out to have no radio link; with the spatial grid
+/// (the default) that is the 3x3 cell block around the sender, with the
+/// linear fallback it is every device. The other causes are strategy-
+/// independent and bit-identical across index modes and --jobs counts.
+enum class DropCause : std::uint8_t {
+  kOutOfRange = 0,  // "out_of_range" -- enumerated candidate, no radio link
+  kCollision,       // "collision"    -- sender or receiver inside a jammed area
+  kLoss,            // "loss"         -- independent per-delivery channel loss
+  kHalfDuplex,      // "half_duplex"  -- receiver transmitting during the airtime
+  kSenderDead,      // "sender_dead"  -- sender battery died mid-transmission
+  kReceiverDead,    // "receiver_dead" -- receiver dead (or died) at delivery
+};
+inline constexpr std::size_t kDropCauseCount =
+    static_cast<std::size_t>(DropCause::kReceiverDead) + 1;
+
+/// Lifecycle milestones of an SndNode (paper section 4.1 timeline).
+enum class NodePhase : std::uint8_t {
+  kDeployed = 0,   // "deployed"       -- start(): Hello sequence begins
+  kDiscoveryDone,  // "discovery_done" -- N(u) frozen, binding record created
+  kValidated,      // "validated"      -- threshold checks run, commitments sent
+  kKeyErased,      // "key_erased"     -- master key K destroyed
+};
+inline constexpr std::size_t kNodePhaseCount =
+    static_cast<std::size_t>(NodePhase::kKeyErased) + 1;
+
+/// Why the protocol refused an input. These are the explanations figure
+/// drivers need for "why was this edge/packet rejected".
+enum class RejectReason : std::uint8_t {
+  kAuthFailed = 0,   // "auth_failed"       -- MAC/replay check failed
+  kParseError,       // "parse_error"       -- payload failed to parse
+  kNotTentative,     // "not_tentative"     -- record reply from outside N(u)
+  kWrongSubject,     // "wrong_subject"     -- record/reply about the wrong node
+  kBadCommitment,    // "bad_commitment"    -- commitment invalid under K
+  kStaleVersion,     // "stale_version"     -- record version not newer
+  kNoRecord,         // "no_record"         -- neighbor never delivered a record
+  kThresholdNotMet,  // "threshold_not_met" -- |N(u) n N(v)| < t + 1
+  kCommitMismatch,   // "commit_mismatch"   -- relation commitment != H(K_u|x)
+  kVersionMismatch,  // "version_mismatch"  -- evidence/update cites other version
+  kUpdateRefused,    // "update_refused"    -- update server declined
+};
+inline constexpr std::size_t kRejectReasonCount =
+    static_cast<std::size_t>(RejectReason::kUpdateRefused) + 1;
+
+/// How a functional-neighbor edge was accepted.
+enum class AcceptVia : std::uint8_t {
+  kThreshold = 0,  // "threshold"  -- own threshold check passed
+  kCommitment,     // "commitment" -- peer's relation commitment verified
+};
+inline constexpr std::size_t kAcceptViaCount =
+    static_cast<std::size_t>(AcceptVia::kCommitment) + 1;
+
+enum class EventKind : std::uint8_t {
+  kTx = 0,    // code = Phase;        node = sender,   peer = dst, bytes on air
+  kDelivery,  // code = Phase;        node = receiver, peer = claimed src
+  kDrop,      // code = DropCause;    node = would-be receiver, peer = sender
+  kPhase,     // code = NodePhase;    node = the node; bytes = list size
+  kReject,    // code = RejectReason; node = rejecter, peer = offender
+  kAccept,    // code = AcceptVia;    node = accepter, peer = new neighbor
+};
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kAccept) + 1;
+
+/// One trace record. Fixed-size POD: emission never allocates.
+struct Event {
+  EventKind kind = EventKind::kTx;
+  /// Kind-discriminated payload code (Phase, DropCause, NodePhase,
+  /// RejectReason, or AcceptVia cast to its underlying integer).
+  std::uint8_t code = 0;
+  /// Acting identity (sender, receiver, or deciding node; see EventKind).
+  NodeId node = kNoNode;
+  /// The other party, when there is one.
+  NodeId peer = kNoNode;
+  /// Wire bytes for radio events; small kind-specific count otherwise.
+  std::uint32_t bytes = 0;
+  /// Simulation time, integer nanoseconds.
+  std::int64_t t_ns = 0;
+};
+
+// -- Export-time names ------------------------------------------------------
+[[nodiscard]] std::string_view phase_name(Phase phase);
+[[nodiscard]] std::string_view drop_cause_name(DropCause cause);
+[[nodiscard]] std::string_view node_phase_name(NodePhase phase);
+[[nodiscard]] std::string_view reject_reason_name(RejectReason reason);
+[[nodiscard]] std::string_view accept_via_name(AcceptVia via);
+[[nodiscard]] std::string_view event_kind_name(EventKind kind);
+
+/// Maps a historical sim::Metrics category string ("snd.hello", ...) to its
+/// typed Phase; nullopt for names that never had a dedicated phase.
+[[nodiscard]] std::optional<Phase> phase_from_name(std::string_view name);
+
+/// The code's export name given the event kind ("snd.hello", "loss",
+/// "validated", ...); "?" for out-of-range codes.
+[[nodiscard]] std::string_view event_code_name(EventKind kind, std::uint8_t code);
+
+}  // namespace snd::obs

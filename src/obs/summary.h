@@ -1,0 +1,88 @@
+// Per-trial trace summaries and the Registry that folds them into a
+// per-sweep summary.
+//
+// Determinism contract (mirrors runner::TrialRunner): each trial writes its
+// summary into the slot owned by its trial index, and fold() merges slots in
+// index order after the workers join -- the folded summary, including its
+// JSON serialization, is byte-identical for any --jobs count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace snd::obs {
+
+/// Messages/bytes pair for one traffic phase.
+struct TxCounter {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Typed counters distilled from one trial's trace: radio traffic per
+/// Phase, drops per DropCause, protocol decisions per reason. Plain
+/// uint64 adds, so merging is associative and order-insensitive -- the
+/// trial-order fold makes determinism obvious rather than argued.
+struct TraceSummary {
+  std::array<TxCounter, kPhaseCount> tx{};
+  std::array<std::uint64_t, kDropCauseCount> drops{};
+  std::uint64_t deliveries = 0;
+
+  std::array<std::uint64_t, kNodePhaseCount> node_phases{};
+  std::array<std::uint64_t, kRejectReasonCount> rejects{};
+  std::array<std::uint64_t, kAcceptViaCount> accepts{};
+
+  /// Events emitted (all kinds), and ring-buffer overwrites. Overflow is
+  /// counted, never silent: ring_overflow > 0 tells you the in-memory ring
+  /// was too small for the run (sinks still saw every event).
+  std::uint64_t events = 0;
+  std::uint64_t ring_overflow = 0;
+
+  /// Trial summaries folded into this one (1 for a fresh capture).
+  std::uint64_t trials = 0;
+
+  void merge(const TraceSummary& other);
+
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+  /// One-line JSON object: {"trials":..,"deliveries":..,"tx":{...},
+  /// "drops":{...},"node_phases":{...},"rejects":{...},"accepts":{...}}.
+  /// tx lists only phases with traffic; the small fixed maps (drops,
+  /// node_phases, rejects, accepts) always list every key, so downstream
+  /// figure drivers can index without existence checks.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Aggregates per-trial traces into a per-sweep summary. record() writes a
+/// preallocated slot owned by one trial alone (safe from worker threads,
+/// same ownership discipline as TrialRunner's result slots); fold() merges
+/// in trial order after the workers join.
+class Registry {
+ public:
+  explicit Registry(std::size_t trials) : slots_(trials) {}
+
+  /// Stores trial `index`'s summary. One writer per slot; out-of-range
+  /// indices are ignored (defensive -- the runner never produces them).
+  void record(std::size_t index, const TraceSummary& summary);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] bool recorded(std::size_t index) const {
+    return index < slots_.size() && slots_[index].present;
+  }
+
+  /// Merges every recorded slot in ascending trial order.
+  [[nodiscard]] TraceSummary fold() const;
+
+ private:
+  struct Slot {
+    bool present = false;
+    TraceSummary summary;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace snd::obs

@@ -205,6 +205,7 @@ void SweepReport::merge(const SweepReport& other) {
     if (errors.size() >= kMaxReportedErrors) break;
     errors.push_back(e);
   }
+  if (other.has_trace) attach_trace(other.trace);
 }
 
 namespace {
@@ -258,7 +259,9 @@ std::string SweepReport::to_json() const {
     if (i > 0) out += ", ";
     append_json_string(out, errors[i]);
   }
-  out += "]\n}\n";
+  out += "]";
+  if (has_trace) out += ",\n  \"trace\": " + trace.to_json();
+  out += "\n}\n";
   return out;
 }
 

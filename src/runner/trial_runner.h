@@ -23,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/summary.h"
 #include "util/stats.h"
 
 namespace snd::runner {
@@ -37,6 +38,17 @@ struct SweepReport {
   double wall_seconds = 0.0;
   util::Series trial_micros;        ///< Per-trial wall time, in trial order.
   std::vector<std::string> errors;  ///< First few failure messages, trial order.
+
+  /// Folded per-trial trace summaries (typed per-phase traffic, drop-cause
+  /// breakdown, protocol counters). Deterministic: drivers record each
+  /// trial's Network::trace_summary() into an obs::Registry slot keyed by
+  /// trial index and attach registry.fold() -- identical for any --jobs.
+  bool has_trace = false;
+  obs::TraceSummary trace;
+  void attach_trace(const obs::TraceSummary& folded) {
+    has_trace = true;
+    trace.merge(folded);
+  }
 
   [[nodiscard]] double trials_per_second() const;
   /// Folds another sweep into this one (drivers running several grids keep

@@ -1,36 +1,67 @@
 // Per-network counters for the overhead experiments (§4.3, §4.5.3): every
-// transmission is charged to a named category so benches can report
-// messages/bytes per protocol phase.
+// transmission is charged to a protocol phase so benches can report
+// messages/bytes per phase, and every undelivered packet is charged to a
+// typed obs::DropCause. The hot path is a fixed array indexed by obs::Phase;
+// strings appear only at export time (by_category()).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 
+#include "obs/event.h"
+#include "obs/summary.h"
+
 namespace snd::sim {
 
 class Metrics {
  public:
-  struct Counter {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-  };
+  using Counter = obs::TxCounter;
 
+  void count_tx(obs::Phase phase, std::size_t bytes) {
+    auto& counter = phases_[static_cast<std::size_t>(phase)];
+    ++counter.messages;
+    counter.bytes += bytes;
+  }
+
+  /// DEPRECATED string-keyed shim, kept for one release (docs/OBSERVABILITY.md
+  /// has the migration table). Known category names hit the typed array;
+  /// unknown names fall back to a cold side map and are folded into
+  /// obs::Phase::kOther by trace summaries.
   void count_tx(std::string_view category, std::size_t bytes);
+
   void count_delivery() { ++deliveries_; }
+  void count_drop(obs::DropCause cause) { ++drops_[static_cast<std::size_t>(cause)]; }
 
   [[nodiscard]] Counter total() const;
-  [[nodiscard]] Counter category(std::string_view name) const;
-  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& by_category() const {
-    return categories_;
+  [[nodiscard]] Counter phase(obs::Phase phase) const {
+    return phases_[static_cast<std::size_t>(phase)];
   }
+  /// DEPRECATED alongside the string count_tx shim; prefer phase().
+  [[nodiscard]] Counter category(std::string_view name) const;
+  /// Export-time view: phase names (plus any legacy string categories) with
+  /// non-zero traffic. Built on demand -- not for hot paths.
+  [[nodiscard]] std::map<std::string, Counter, std::less<>> by_category() const;
+
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t drops(obs::DropCause cause) const {
+    return drops_[static_cast<std::size_t>(cause)];
+  }
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+  /// Adds this network's radio accounting (tx per phase, deliveries, drops
+  /// per cause) to `summary`; legacy string categories land in kOther so
+  /// message/byte totals are conserved.
+  void accumulate_into(obs::TraceSummary& summary) const;
 
   void reset();
 
  private:
-  std::map<std::string, Counter, std::less<>> categories_;
+  std::array<Counter, obs::kPhaseCount> phases_{};
+  std::array<std::uint64_t, obs::kDropCauseCount> drops_{};
+  std::map<std::string, Counter, std::less<>> extra_;
   std::uint64_t deliveries_ = 0;
 };
 

@@ -124,15 +124,56 @@ Time Network::transmission_time(std::size_t wire_bytes) const {
   return Time::seconds(seconds);
 }
 
+void Network::note_drop(obs::DropCause cause, NodeId node, NodeId peer, std::uint32_t bytes) {
+  metrics_.count_drop(cause);
+  if (tracer_.active()) {
+    tracer_.emit(obs::Event{.kind = obs::EventKind::kDrop,
+                            .code = static_cast<std::uint8_t>(cause),
+                            .node = node,
+                            .peer = peer,
+                            .bytes = bytes,
+                            .t_ns = scheduler_.now().ns()});
+  }
+}
+
+void Network::transmit(DeviceId from, Packet packet, obs::Phase phase) {
+  transmit_impl(from, std::move(packet), phase, {});
+}
+
 void Network::transmit(DeviceId from, Packet packet, std::string_view category) {
+  if (const auto phase = obs::phase_from_name(category)) {
+    transmit_impl(from, std::move(packet), *phase, {});
+  } else {
+    transmit_impl(from, std::move(packet), obs::Phase::kOther, category);
+  }
+}
+
+void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase,
+                            std::string_view legacy_category) {
   const Device& sender = devices_.at(from);
   if (!sender.alive) return;
   packet.sender_device = from;
 
-  metrics_.count_tx(category, packet.wire_bytes());
+  const auto wire_bytes = static_cast<std::uint32_t>(packet.wire_bytes());
+  if (legacy_category.empty()) {
+    metrics_.count_tx(phase, wire_bytes);
+  } else {
+    metrics_.count_tx(legacy_category, wire_bytes);
+  }
+  if (tracer_.active()) {
+    tracer_.emit(obs::Event{.kind = obs::EventKind::kTx,
+                            .code = static_cast<std::uint8_t>(phase),
+                            .node = sender.identity,
+                            .peer = packet.dst,
+                            .bytes = wire_bytes,
+                            .t_ns = scheduler_.now().ns()});
+  }
   tx_bytes_[from] += packet.wire_bytes();
   drain(from, energy_.tx_j_per_byte * static_cast<double>(packet.wire_bytes()));
-  if (!devices_[from].alive) return;  // battery died putting this on the air
+  if (!devices_[from].alive) {  // battery died putting this on the air
+    note_drop(obs::DropCause::kSenderDead, sender.identity, kNoNode, wire_bytes);
+    return;
+  }
 
   const Time tx_time = transmission_time(packet.wire_bytes());
   // Half-duplex: a device's transmissions queue behind each other. A send
@@ -161,9 +202,14 @@ void Network::transmit(DeviceId from, Packet packet, std::string_view category) 
   double max_distance = 0.0;
   const auto shared = std::make_shared<const Packet>(std::move(packet));
 
-  auto deliver = [this, start, airtime_end, shared](DeviceId to) {
+  const NodeId sender_identity = sender.identity;
+  auto deliver = [this, start, airtime_end, shared, sender_identity, phase](DeviceId to) {
     const Device& d = devices_[to];
-    if (!d.alive || !receivers_[to]) return;
+    const auto rx_bytes = static_cast<std::uint32_t>(shared->wire_bytes());
+    if (!d.alive || !receivers_[to]) {
+      note_drop(obs::DropCause::kReceiverDead, d.identity, sender_identity, rx_bytes);
+      return;
+    }
     // Half-duplex: the receiver missed the packet iff its own transmit run
     // overlapped our airtime [start, airtime_end). Comparing intervals --
     // not just tx_busy_until_ > start -- means a transmission the receiver
@@ -173,20 +219,45 @@ void Network::transmit(DeviceId from, Packet packet, std::string_view category) 
     // replaced by a non-overlapping one inside the ~0.5 ms delivery lag
     // would be forgiven, a vanishingly rare and optimistic approximation.
     if (config_.half_duplex && tx_run_start_[to] < airtime_end && tx_busy_until_[to] > start) {
+      note_drop(obs::DropCause::kHalfDuplex, d.identity, sender_identity, rx_bytes);
       return;
     }
     drain(to, energy_.rx_j_per_byte * static_cast<double>(shared->wire_bytes()));
-    if (!devices_[to].alive) return;
+    if (!devices_[to].alive) {
+      note_drop(obs::DropCause::kReceiverDead, d.identity, sender_identity, rx_bytes);
+      return;
+    }
     metrics_.count_delivery();
+    if (tracer_.active()) {
+      tracer_.emit(obs::Event{.kind = obs::EventKind::kDelivery,
+                              .code = static_cast<std::uint8_t>(phase),
+                              .node = d.identity,
+                              .peer = sender_identity,
+                              .bytes = rx_bytes,
+                              .t_ns = scheduler_.now().ns()});
+    }
     receivers_[to](*shared);
   };
 
+  // Check order (and therefore the loss-RNG draw sequence) is unchanged from
+  // the untraced code path: grid and linear receiver resolution stay
+  // bit-identical for deliveries. Only the kOutOfRange count depends on the
+  // candidate superset (3x3 block vs whole field).
   for_each_candidate(sender.position, [&](const Device& receiver) {
     if (receiver.id == from || !receiver.alive) return;
     if (!receivers_[receiver.id]) return;
-    if (!propagation_->link_exists(sender.position, receiver.position)) return;
-    if (sender_jammed || jammed(receiver.position)) return;
-    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) return;
+    if (!propagation_->link_exists(sender.position, receiver.position)) {
+      note_drop(obs::DropCause::kOutOfRange, receiver.identity, sender_identity, wire_bytes);
+      return;
+    }
+    if (sender_jammed || jammed(receiver.position)) {
+      note_drop(obs::DropCause::kCollision, receiver.identity, sender_identity, wire_bytes);
+      return;
+    }
+    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
+      note_drop(obs::DropCause::kLoss, receiver.identity, sender_identity, wire_bytes);
+      return;
+    }
 
     const double distance = util::distance(sender.position, receiver.position);
     if (!shared->is_broadcast() && receiver.identity == shared->dst) {
@@ -207,6 +278,14 @@ void Network::transmit(DeviceId from, Packet packet, std::string_view category) 
                          [deliver, overhearers = std::move(overhearers)]() {
                            for (DeviceId to : overhearers) deliver(to);
                          });
+}
+
+obs::TraceSummary Network::trace_summary() const {
+  obs::TraceSummary summary;
+  summary.trials = 1;
+  metrics_.accumulate_into(summary);
+  tracer_.accumulate_into(summary);
+  return summary;
 }
 
 bool Network::link(DeviceId a, DeviceId b) const {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/tracer.h"
 #include "sim/metrics.h"
 #include "sim/packet.h"
 #include "sim/propagation.h"
@@ -89,7 +90,15 @@ class Network {
 
   /// Transmits over the air from `from`. Every alive device with a radio
   /// link to the sender receives a copy (promiscuous delivery; agents filter
-  /// on dst). Charged once to `category` in the metrics.
+  /// on dst). Charged once to `phase` in the metrics; undelivered copies are
+  /// charged to a typed obs::DropCause (kOutOfRange is the one cause whose
+  /// count depends on the receiver-resolution strategy -- the grid enumerates
+  /// a 3x3-block candidate superset, the linear fallback the whole field).
+  void transmit(DeviceId from, Packet packet, obs::Phase phase);
+
+  /// DEPRECATED string-keyed shim, kept for one release. Known category
+  /// names resolve to the typed overload; unknown names are charged to a
+  /// legacy side map in Metrics and traced as obs::Phase::kOther.
   void transmit(DeviceId from, Packet packet, std::string_view category);
 
   // -- Ground truth (tooling/auditing only) -----------------------------
@@ -116,6 +125,14 @@ class Network {
   [[nodiscard]] Time now() const { return scheduler_.now(); }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  /// Per-network event tracer (level/sink from obs::default_trace() at
+  /// construction). Protocol layers emit phase/reject/accept events here.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+  /// One-trial summary combining the always-on radio accounting (Metrics)
+  /// with the tracer's protocol counters; trials is set to 1 so Registry
+  /// folds count trials correctly.
+  [[nodiscard]] obs::TraceSummary trace_summary() const;
   [[nodiscard]] const PropagationModel& propagation() const { return *propagation_; }
   [[nodiscard]] util::Rng& rng() { return rng_; }
 
@@ -136,6 +153,15 @@ class Network {
  private:
   /// Drains `joules` from a device; kills it at exhaustion.
   void drain(DeviceId id, double joules);
+
+  /// Shared body of both transmit overloads. `legacy_category` is empty for
+  /// typed calls; when set, metrics are charged to the legacy string map
+  /// while trace events carry `phase` (kOther).
+  void transmit_impl(DeviceId from, Packet packet, obs::Phase phase,
+                     std::string_view legacy_category);
+
+  /// Counts an undelivered copy in both the typed metrics and the tracer.
+  void note_drop(obs::DropCause cause, NodeId node, NodeId peer, std::uint32_t bytes);
 
   // -- Spatial index -----------------------------------------------------
   // Sparse uniform grid over device positions with cell side
@@ -164,6 +190,7 @@ class Network {
   util::Rng rng_;
   Scheduler scheduler_;
   Metrics metrics_;
+  obs::Tracer tracer_;
   std::vector<Device> devices_;
   std::vector<std::function<void(const Packet&)>> receivers_;
   std::vector<std::uint64_t> tx_bytes_;

@@ -32,6 +32,12 @@ class Cli {
   /// Malformed numeric values recorded by get_int/get_double lookups.
   [[nodiscard]] const std::vector<std::string>& errors() const { return errors_; }
 
+  /// Records a validation error from outside the numeric getters (e.g. an
+  /// enum-valued flag with an unknown value); validate() will report it and
+  /// return false. Const for the same reason errors_ is mutable: lookups on
+  /// a parsed (logically immutable) Cli may fail.
+  void record_error(std::string message) const { errors_.push_back(std::move(message)); }
+
   /// True when every flag given on the command line is in `allowed` and every
   /// numeric lookup so far parsed cleanly; otherwise prints the offending
   /// flags plus `usage` to `err`. Call after reading all flags, and exit

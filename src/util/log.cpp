@@ -2,26 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace snd::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO";
-    case LogLevel::kWarn:
-      return "WARN";
-    case LogLevel::kError:
-      return "ERROR";
-    case LogLevel::kOff:
-      return "OFF";
-  }
-  return "?";
+/// The installed sink, guarded for install-vs-log races. Logging is not a
+/// hot path; one mutex keeps the handoff simple and safe.
+std::mutex g_sink_mutex;
+LogSink& sink_storage() {
+  static LogSink sink;
+  return sink;
 }
 }  // namespace
 
@@ -29,9 +22,48 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> log_level_from_name(std::string_view name) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn, LogLevel::kError,
+                         LogLevel::kOff}) {
+    if (name == log_level_name(level)) return level;
+  }
+  if (name.size() == 1 && name[0] >= '0' && name[0] <= '4') {
+    return static_cast<LogLevel>(name[0] - '0');
+  }
+  return std::nullopt;
+}
+
+void set_log_sink(LogSink sink) {
+  const std::scoped_lock lock(g_sink_mutex);
+  sink_storage() = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  {
+    const std::scoped_lock lock(g_sink_mutex);
+    if (const LogSink& sink = sink_storage()) {
+      sink(level, message);
+      return;
+    }
+  }
+  std::fprintf(stderr, "[%s] %s\n", std::string(log_level_name(level)).c_str(), message.c_str());
 }
 
 }  // namespace snd::util

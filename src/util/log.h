@@ -1,9 +1,14 @@
-// Leveled logging with a process-global threshold. Simulation traces go
-// through sim::TraceSink instead; this is for harness/diagnostic output.
+// Leveled logging with a process-global threshold. By default lines go to
+// stderr; obs::apply_obs re-routes them through the active obs::Sink so log
+// output, trace output, and JSON serialization share one configuration
+// surface (docs/OBSERVABILITY.md).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace snd::util {
 
@@ -12,7 +17,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr if `level` passes the global threshold.
+/// "debug" / "info" / "warn" / "error" / "off".
+[[nodiscard]] std::string_view log_level_name(LogLevel level);
+/// Inverse of log_level_name; accepts the numeric forms "0".."4" too.
+[[nodiscard]] std::optional<LogLevel> log_level_from_name(std::string_view name);
+
+/// Where lines that pass the threshold go. Installing a sink replaces the
+/// default stderr output (pass nullptr to restore it). The sink observes
+/// only already-filtered lines.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Emits one line if `level` passes the global threshold.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

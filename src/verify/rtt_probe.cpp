@@ -3,7 +3,7 @@
 namespace snd::verify {
 
 namespace {
-constexpr std::string_view kCategory = "verify.rtt";
+constexpr obs::Phase kCategory = obs::Phase::kRtt;
 constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
 constexpr std::size_t kChallengeBytes = 8;
 constexpr std::size_t kResponseBytes = 8 + crypto::kShortMacSize;

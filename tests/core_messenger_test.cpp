@@ -38,28 +38,28 @@ class MessengerTest : public ::testing::Test {
 };
 
 TEST_F(MessengerTest, AuthenticatedRoundTrip) {
-  EXPECT_TRUE(alice_->send(2, 9, {1, 2, 3}, "test"));
+  EXPECT_TRUE(alice_->send(2, 9, {1, 2, 3}, snd::obs::Phase::kOther));
   run();
   EXPECT_EQ(accepted_, 1);
   EXPECT_EQ(last_payload_, (util::Bytes{1, 2, 3}));
 }
 
 TEST_F(MessengerTest, EmptyPayloadRoundTrip) {
-  EXPECT_TRUE(alice_->send(2, 9, {}, "test"));
+  EXPECT_TRUE(alice_->send(2, 9, {}, snd::obs::Phase::kOther));
   run();
   EXPECT_EQ(accepted_, 1);
   EXPECT_TRUE(last_payload_.empty());
 }
 
 TEST_F(MessengerTest, WrongDestinationIgnored) {
-  alice_->send(99, 9, {1}, "test");  // bob overhears but it is not for him
+  alice_->send(99, 9, {1}, snd::obs::Phase::kOther);  // bob overhears but it is not for him
   run();
   EXPECT_EQ(packets_seen_, 1);
   EXPECT_EQ(accepted_, 0);
 }
 
 TEST_F(MessengerTest, ReplayRejected) {
-  alice_->send(2, 9, {1}, "test");
+  alice_->send(2, 9, {1}, snd::obs::Phase::kOther);
   run();
   ASSERT_EQ(accepted_, 1);
   // Eve replays the captured packet verbatim from her own radio.
@@ -84,7 +84,7 @@ TEST_F(MessengerTest, SpoofedSourceRejected) {
 }
 
 TEST_F(MessengerTest, TamperedPayloadRejected) {
-  alice_->send(2, 9, {1, 2, 3}, "test");
+  alice_->send(2, 9, {1, 2, 3}, snd::obs::Phase::kOther);
   run();
   sim::Packet tampered = last_packet_;
   tampered.payload[0] ^= 0xff;
@@ -94,7 +94,7 @@ TEST_F(MessengerTest, TamperedPayloadRejected) {
 }
 
 TEST_F(MessengerTest, TypeIsAuthenticated) {
-  alice_->send(2, 9, {1}, "test");
+  alice_->send(2, 9, {1}, snd::obs::Phase::kOther);
   run();
   sim::Packet retyped = last_packet_;
   retyped.type = 7;  // change the message type, keep payload+MAC
@@ -104,14 +104,14 @@ TEST_F(MessengerTest, TypeIsAuthenticated) {
 }
 
 TEST_F(MessengerTest, UnauthBroadcastHasNoMacOverhead) {
-  alice_->broadcast(1, {5, 5}, "hello");
+  alice_->broadcast(1, {5, 5}, snd::obs::Phase::kHello);
   run();
   EXPECT_EQ(last_packet_.payload.size(), 2u);
   EXPECT_TRUE(last_packet_.is_broadcast());
 }
 
 TEST_F(MessengerTest, SendUnauthAddressesPacket) {
-  alice_->send_unauth(2, 2, {7}, "ack");
+  alice_->send_unauth(2, 2, {7}, snd::obs::Phase::kAck);
   run();
   EXPECT_EQ(last_packet_.dst, 2u);
   EXPECT_EQ(last_packet_.payload, (util::Bytes{7}));
@@ -122,15 +122,15 @@ TEST_F(MessengerTest, DistinctSendersDistinctNonces) {
   // collide with the original's nonces at the receiver.
   const sim::DeviceId replica = network_.add_replica(1, {20, 0});
   Messenger replica_messenger(network_, replica, 1, keys_);
-  alice_->send(2, 9, {1}, "test");
-  replica_messenger.send(2, 9, {2}, "test");
+  alice_->send(2, 9, {1}, snd::obs::Phase::kOther);
+  replica_messenger.send(2, 9, {2}, snd::obs::Phase::kOther);
   run();
   EXPECT_EQ(accepted_, 2);
 }
 
 TEST_F(MessengerTest, SendFailsWithoutPairwiseKey) {
   // Identity 1 talking to itself has no pairwise key under any scheme.
-  EXPECT_FALSE(alice_->send(1, 9, {1}, "test"));
+  EXPECT_FALSE(alice_->send(1, 9, {1}, snd::obs::Phase::kOther));
 }
 
 }  // namespace

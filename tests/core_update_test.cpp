@@ -136,7 +136,7 @@ TEST(UpdateExtensionTest, ServerFiltersForgedEvidence) {
 
   Messenger as_old(deployment.network(), old_node->device(), 1, deployment.key_scheme());
   as_old.send(server, static_cast<std::uint8_t>(MessageType::kUpdateRequest),
-              request.serialize(), "test");
+              request.serialize(), snd::obs::Phase::kOther);
   deployment.run();
 
   EXPECT_EQ(old_node->record_version(), 1u);
