@@ -2,15 +2,31 @@
 // paper's efficiency argument is that the whole protocol costs "a few
 // efficient one-way hash operations"; these benches put numbers on each
 // primitive as implemented here.
+//
+// Besides the google-benchmark suite, main() always measures the
+// authenticated Messenger send+open round trip with the crypto fast path
+// (cached pairwise keys + HMAC midstates + zero-alloc wire handling) on and
+// off, and writes the comparison as BENCH_micro_crypto.json into
+// $SND_BENCH_DIR (default: the working directory), the per-PR perf artifact
+// CI uploads.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/binding_record.h"
 #include "core/commitment.h"
+#include "core/messenger.h"
 #include "crypto/blundo.h"
 #include "crypto/eg_pool.h"
 #include "crypto/hmac.h"
 #include "crypto/secure_channel.h"
+#include "crypto/session_cache.h"
 #include "crypto/sha256.h"
+#include "sim/network.h"
 
 namespace {
 
@@ -116,6 +132,194 @@ void BM_EgPairwise(benchmark::State& state) {
 }
 BENCHMARK(BM_EgPairwise);
 
+void BM_ShortMacFromScratch(benchmark::State& state) {
+  const crypto::SymmetricKey key = crypto::SymmetricKey::from_seed(11);
+  const util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::short_mac(key, data));
+  }
+}
+BENCHMARK(BM_ShortMacFromScratch)->Arg(32)->Arg(256);
+
+void BM_ShortMacFromMidstate(benchmark::State& state) {
+  const crypto::SymmetricKey key = crypto::SymmetricKey::from_seed(11);
+  const crypto::HmacKey cached(key);
+  const util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cached.short_mac(data));
+  }
+}
+BENCHMARK(BM_ShortMacFromMidstate)->Arg(32)->Arg(256);
+
+void BM_PairKeyCacheHit(benchmark::State& state) {
+  std::shared_ptr<const crypto::KeyPredistribution> scheme = crypto::KdcScheme::from_seed(5);
+  crypto::PairKeyCache cache(scheme, 1);
+  (void)cache.get(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&cache.get(2));
+  }
+}
+BENCHMARK(BM_PairKeyCacheHit);
+
+/// Authenticated unicast round trip through the simulated radio: send() on
+/// one Messenger, delivery via the scheduler, open() on the peer. Arg 0
+/// selects the key scheme (0 = KDC, 1 = Blundo lambda=20), arg 1 the fast
+/// path (0 = seed slow path, 1 = cached keys + midstates + zero-alloc).
+void BM_AuthRoundTrip(benchmark::State& state) {
+  std::shared_ptr<crypto::KeyPredistribution> keys;
+  if (state.range(0) == 0) {
+    keys = crypto::KdcScheme::from_seed(5);
+  } else {
+    auto blundo = std::make_shared<crypto::BlundoScheme>(7, 20);
+    blundo->provision(1);
+    blundo->provision(2);
+    keys = std::move(blundo);
+  }
+  const bool saved = crypto::fast_path_enabled();
+  crypto::set_fast_path_enabled(state.range(1) != 0);
+
+  sim::Network network(std::make_unique<sim::UnitDiskModel>(100.0), sim::ChannelConfig{}, 1);
+  const sim::DeviceId a = network.add_device(1, {0, 0});
+  const sim::DeviceId b = network.add_device(2, {10, 0});
+  core::Messenger alice(network, a, 1, keys);
+  core::Messenger bob(network, b, 2, keys);
+  std::size_t accepted = 0;
+  network.set_receiver(b, [&bob, &accepted](const sim::Packet& p) {
+    if (bob.open(p)) ++accepted;
+  });
+  network.set_receiver(a, [](const sim::Packet&) {});
+  const util::Bytes payload(24, 0x42);
+  for (auto _ : state) {
+    alice.send(2, 9, payload, obs::Phase::kOther);
+    network.scheduler().run();
+  }
+  benchmark::DoNotOptimize(accepted);
+  state.SetLabel(std::string(state.range(0) == 0 ? "kdc" : "blundo20") +
+                 (state.range(1) != 0 ? "/fast" : "/slow"));
+  crypto::set_fast_path_enabled(saved);
+}
+BENCHMARK(BM_AuthRoundTrip)->Args({0, 0})->Args({0, 1})->Args({1, 0})->Args({1, 1});
+
+struct RoundTripCost {
+  double us_per_msg = 0.0;
+  double hash_ops_per_msg = 0.0;
+};
+
+/// Wall-clock of `messages` authenticated send+open round trips (delivery
+/// included: open() runs inside the scheduled delivery event, exactly as the
+/// protocol drives it).
+RoundTripCost measure_roundtrip(const std::shared_ptr<crypto::KeyPredistribution>& keys,
+                                bool fast, int messages) {
+  crypto::set_fast_path_enabled(fast);
+  sim::Network network(std::make_unique<sim::UnitDiskModel>(100.0), sim::ChannelConfig{}, 1);
+  const sim::DeviceId a = network.add_device(1, {0, 0});
+  const sim::DeviceId b = network.add_device(2, {10, 0});
+  core::Messenger alice(network, a, 1, keys);
+  core::Messenger bob(network, b, 2, keys);
+  std::size_t accepted = 0;
+  network.set_receiver(b, [&bob, &accepted](const sim::Packet& p) {
+    if (bob.open(p)) ++accepted;
+  });
+  network.set_receiver(a, [](const sim::Packet&) {});
+  const util::Bytes payload(24, 0x42);
+
+  alice.send(2, 9, payload, obs::Phase::kOther);  // warm-up: primes the cache
+  network.scheduler().run();
+
+  crypto::reset_hash_op_count();
+  const auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < messages; ++i) {
+    alice.send(2, 9, payload, obs::Phase::kOther);
+    // Drain periodically so deliveries stay inside the replay window and the
+    // event queue stays small; the drain is part of the timed round trip.
+    if ((i & 31) == 31) network.scheduler().run();
+  }
+  network.scheduler().run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  if (accepted != static_cast<std::size_t>(messages) + 1) {
+    std::fprintf(stderr, "round trip dropped messages: %zu of %d accepted\n", accepted,
+                 messages + 1);
+    std::exit(1);
+  }
+  return {seconds / messages * 1e6,
+          static_cast<double>(crypto::hash_op_count()) / messages};
+}
+
+/// The before/after artifact: authenticated send+open round trip, seed slow
+/// path vs the cached fast path, written as BENCH_micro_crypto.json.
+int write_crypto_artifact() {
+  constexpr int kMessages = 20000;
+  const bool saved = crypto::fast_path_enabled();
+
+  std::shared_ptr<crypto::KeyPredistribution> kdc = crypto::KdcScheme::from_seed(5);
+  auto blundo = std::make_shared<crypto::BlundoScheme>(7, 20);
+  blundo->provision(1);
+  blundo->provision(2);
+
+  const RoundTripCost kdc_slow = measure_roundtrip(kdc, /*fast=*/false, kMessages);
+  const RoundTripCost kdc_fast = measure_roundtrip(kdc, /*fast=*/true, kMessages);
+  const RoundTripCost blundo_slow = measure_roundtrip(blundo, /*fast=*/false, kMessages);
+  const RoundTripCost blundo_fast = measure_roundtrip(blundo, /*fast=*/true, kMessages);
+  crypto::set_fast_path_enabled(saved);
+
+  const double kdc_speedup =
+      kdc_fast.us_per_msg > 0.0 ? kdc_slow.us_per_msg / kdc_fast.us_per_msg : 0.0;
+  const double blundo_speedup =
+      blundo_fast.us_per_msg > 0.0 ? blundo_slow.us_per_msg / blundo_fast.us_per_msg : 0.0;
+
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"name\": \"micro_crypto_auth_roundtrip\",\n"
+                "  \"messages\": %d,\n"
+                "  \"payload_bytes\": 24,\n"
+                "  \"kdc\": {\n"
+                "    \"slow_us_per_msg\": %.3f,\n"
+                "    \"fast_us_per_msg\": %.3f,\n"
+                "    \"speedup\": %.2f,\n"
+                "    \"slow_hash_ops_per_msg\": %.2f,\n"
+                "    \"fast_hash_ops_per_msg\": %.2f\n"
+                "  },\n"
+                "  \"blundo_lambda20\": {\n"
+                "    \"slow_us_per_msg\": %.3f,\n"
+                "    \"fast_us_per_msg\": %.3f,\n"
+                "    \"speedup\": %.2f,\n"
+                "    \"slow_hash_ops_per_msg\": %.2f,\n"
+                "    \"fast_hash_ops_per_msg\": %.2f\n"
+                "  }\n"
+                "}\n",
+                kMessages, kdc_slow.us_per_msg, kdc_fast.us_per_msg, kdc_speedup,
+                kdc_slow.hash_ops_per_msg, kdc_fast.hash_ops_per_msg, blundo_slow.us_per_msg,
+                blundo_fast.us_per_msg, blundo_speedup, blundo_slow.hash_ops_per_msg,
+                blundo_fast.hash_ops_per_msg);
+
+  const char* dir = std::getenv("SND_BENCH_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+  path += "BENCH_micro_crypto.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(json, 1, std::strlen(json), f);
+    std::fclose(f);
+  }
+  std::printf("auth round trip, %d msgs: kdc %.2f -> %.2f us/msg (%.2fx), "
+              "blundo20 %.2f -> %.2f us/msg (%.2fx) -> %s\n",
+              kMessages, kdc_slow.us_per_msg, kdc_fast.us_per_msg, kdc_speedup,
+              blundo_slow.us_per_msg, blundo_fast.us_per_msg, blundo_speedup, path.c_str());
+  std::printf("hash ops/msg: kdc %.1f -> %.1f, blundo20 %.1f -> %.1f\n",
+              kdc_slow.hash_ops_per_msg, kdc_fast.hash_ops_per_msg,
+              blundo_slow.hash_ops_per_msg, blundo_fast.hash_ops_per_msg);
+  // Gate: the expensive-derivation scheme must hold the headline >= 2x win
+  // (measured 4.8x locally); KDC gets slack for noisy CI runners since its
+  // slow path is already cheap (measured 2.6x locally).
+  return (kdc_speedup >= 1.2 && blundo_speedup >= 2.0) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_crypto_artifact();
+}

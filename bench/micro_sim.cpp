@@ -9,8 +9,10 @@
 // the per-PR perf artifact CI uploads.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +42,30 @@ void BM_SchedulerPushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SchedulerPushPop)->Arg(1000)->Arg(100000);
+
+/// Same push/pop loop but with a delivery-sized capture (~72 bytes): the
+/// shape that used to heap-allocate on every event under std::function and
+/// now stays in EventAction's 88-byte inline buffer.
+void BM_SchedulerPushPopDeliverySizedCapture(benchmark::State& state) {
+  struct DeliveryCapture {  // stand-in for the Network delivery closure
+    std::array<std::uint8_t, 56> packet_fields;
+    void* network;
+    std::uint64_t device;
+  };
+  const DeliveryCapture capture{{}, nullptr, 0};
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < n; ++i) {
+      scheduler.schedule_at(sim::Time::microseconds(static_cast<std::int64_t>((i * 7) % n)),
+                            [capture] { benchmark::DoNotOptimize(&capture); });
+    }
+    scheduler.run();
+    benchmark::DoNotOptimize(scheduler.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerPushPopDeliverySizedCapture)->Arg(100000);
 
 void BM_BroadcastFanout(benchmark::State& state) {
   sim::Network network(std::make_unique<sim::UnitDiskModel>(1000.0), sim::ChannelConfig{}, 1);

@@ -29,7 +29,7 @@ util::Bytes BindingRecord::serialize() const {
   return out;
 }
 
-std::optional<BindingRecord> BindingRecord::parse(const util::Bytes& data) {
+std::optional<BindingRecord> BindingRecord::parse(std::span<const std::uint8_t> data) {
   util::ByteReader reader(data);
   BindingRecord record;
   const auto node = reader.u32();
@@ -44,7 +44,7 @@ std::optional<BindingRecord> BindingRecord::parse(const util::Bytes& data) {
     if (!n) return std::nullopt;
     record.neighbors.push_back(*n);
   }
-  const auto digest = reader.bytes(crypto::kDigestSize);
+  const auto digest = reader.bytes_view(crypto::kDigestSize);
   if (!digest || !reader.exhausted()) return std::nullopt;
   std::copy(digest->begin(), digest->end(), record.commitment.bytes.begin());
   return record;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "core/commitment.h"
 #include "crypto/key.h"
@@ -31,7 +32,7 @@ struct BindingRecord {
   [[nodiscard]] bool verify(const crypto::SymmetricKey& master) const;
 
   [[nodiscard]] util::Bytes serialize() const;
-  static std::optional<BindingRecord> parse(const util::Bytes& data);
+  static std::optional<BindingRecord> parse(std::span<const std::uint8_t> data);
 
   friend bool operator==(const BindingRecord&, const BindingRecord&) = default;
 };

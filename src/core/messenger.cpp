@@ -1,5 +1,7 @@
 #include "core/messenger.h"
 
+#include <array>
+
 namespace snd::core {
 
 Messenger::Messenger(sim::Network& network, sim::DeviceId device, NodeId identity,
@@ -8,6 +10,7 @@ Messenger::Messenger(sim::Network& network, sim::DeviceId device, NodeId identit
       device_(device),
       identity_(identity),
       keys_(std::move(keys)),
+      key_cache_(keys_, identity),
       // Device-distinct starting nonce so replicas of one identity never
       // collide in the receiver's replay cache.
       nonce_counter_(static_cast<std::uint64_t>(device) << 32) {}
@@ -18,8 +21,9 @@ crypto::SymmetricKey Messenger::pair_key(NodeId peer) const {
 }
 
 namespace {
+
 util::Bytes mac_input(NodeId src, NodeId dst, std::uint8_t type,
-                      const util::Bytes& payload, std::uint64_t nonce) {
+                      std::span<const std::uint8_t> payload, std::uint64_t nonce) {
   util::Bytes input;
   util::put_u32(input, src);
   util::put_u32(input, dst);
@@ -28,17 +32,52 @@ util::Bytes mac_input(NodeId src, NodeId dst, std::uint8_t type,
   util::put_u64(input, nonce);
   return input;
 }
+
+// Streams the same byte sequence as mac_input() directly into the hash
+// context: u32 src | u32 dst | u8 type | u16 len | payload | u64 nonce.
+// Keeping the two in lockstep is what makes fast and slow MACs bit-equal.
+void mac_absorb(crypto::Sha256& h, NodeId src, NodeId dst, std::uint8_t type,
+                std::span<const std::uint8_t> payload, std::uint64_t nonce) {
+  std::array<std::uint8_t, 11> head;
+  head[0] = static_cast<std::uint8_t>(src >> 24);
+  head[1] = static_cast<std::uint8_t>(src >> 16);
+  head[2] = static_cast<std::uint8_t>(src >> 8);
+  head[3] = static_cast<std::uint8_t>(src);
+  head[4] = static_cast<std::uint8_t>(dst >> 24);
+  head[5] = static_cast<std::uint8_t>(dst >> 16);
+  head[6] = static_cast<std::uint8_t>(dst >> 8);
+  head[7] = static_cast<std::uint8_t>(dst);
+  head[8] = type;
+  head[9] = static_cast<std::uint8_t>(payload.size() >> 8);
+  head[10] = static_cast<std::uint8_t>(payload.size());
+  h.update(head);
+  h.update(payload);
+  h.update_u64(nonce);
+}
+
 }  // namespace
 
 bool Messenger::send(NodeId to, std::uint8_t type, const util::Bytes& payload,
                      obs::Phase phase) {
-  const crypto::SymmetricKey key = pair_key(to);
-  if (!key.present()) return false;
+  crypto::ShortMac mac;
+  std::uint64_t nonce = 0;
+  if (crypto::fast_path_enabled()) {
+    const crypto::PairKeyCache::Entry& entry = key_cache_.get(to);
+    if (!entry.key.present()) return false;
+    nonce = ++nonce_counter_;
+    crypto::Sha256 inner = entry.mac.inner_context();
+    mac_absorb(inner, identity_, to, type, payload, nonce);
+    mac = entry.mac.finish_short(std::move(inner));
+  } else {
+    const crypto::SymmetricKey key = pair_key(to);
+    if (!key.present()) return false;
+    nonce = ++nonce_counter_;
+    mac = crypto::short_mac(key, mac_input(identity_, to, type, payload, nonce));
+  }
 
-  const std::uint64_t nonce = ++nonce_counter_;
-  const crypto::ShortMac mac = crypto::short_mac(key, mac_input(identity_, to, type, payload, nonce));
-
-  util::Bytes body = payload;
+  util::Bytes body;
+  body.reserve(payload.size() + kAuthOverhead);
+  util::put_bytes(body, payload);
   util::put_u64(body, nonce);
   util::put_bytes(body, mac);
 
@@ -58,28 +97,68 @@ void Messenger::send_unauth(NodeId to, std::uint8_t type, const util::Bytes& pay
   network_.transmit(device_, std::move(packet), phase);
 }
 
-std::optional<util::Bytes> Messenger::open(const sim::Packet& packet) {
+std::optional<std::span<const std::uint8_t>> Messenger::open(const sim::Packet& packet) {
   if (packet.dst != identity_) return std::nullopt;
   if (packet.payload.size() < kAuthOverhead) return std::nullopt;
 
   const std::size_t payload_size = packet.payload.size() - kAuthOverhead;
-  util::Bytes payload(packet.payload.begin(),
-                      packet.payload.begin() + static_cast<std::ptrdiff_t>(payload_size));
+  const std::span<const std::uint8_t> payload = std::span(packet.payload).first(payload_size);
   util::ByteReader tail(std::span(packet.payload).subspan(payload_size));
   const auto nonce = tail.u64();
-  const auto mac = tail.bytes(crypto::kShortMacSize);
+  const auto mac = tail.bytes_view(crypto::kShortMacSize);
   if (!nonce || !mac) return std::nullopt;
 
-  const crypto::SymmetricKey key = pair_key(packet.src);
-  if (!key.present()) return std::nullopt;
-  if (!crypto::verify_short_mac(
-          key, mac_input(packet.src, identity_, packet.type, payload, *nonce), *mac)) {
-    return std::nullopt;
+  if (crypto::fast_path_enabled()) {
+    const crypto::PairKeyCache::Entry& entry = key_cache_.get(packet.src);
+    if (!entry.key.present()) return std::nullopt;
+    crypto::Sha256 inner = entry.mac.inner_context();
+    mac_absorb(inner, packet.src, identity_, packet.type, payload, *nonce);
+    const crypto::ShortMac expected = entry.mac.finish_short(std::move(inner));
+    if (!util::constant_time_equal(expected, *mac)) return std::nullopt;
+  } else {
+    const crypto::SymmetricKey key = pair_key(packet.src);
+    if (!key.present()) return std::nullopt;
+    if (!crypto::verify_short_mac(
+            key, mac_input(packet.src, identity_, packet.type, payload, *nonce), *mac)) {
+      return std::nullopt;
+    }
   }
 
-  auto& seen = seen_nonces_[packet.src];
-  if (!seen.insert(*nonce).second) return std::nullopt;  // replay
+  if (!replay_accept(packet.src, *nonce)) return std::nullopt;
   return payload;
+}
+
+bool Messenger::ReplayWindow::accept(std::uint64_t counter) {
+  if (!any) {
+    any = true;
+    highest = counter;
+    mask = 1;
+    return true;
+  }
+  if (counter > highest) {
+    const std::uint64_t advance = counter - highest;
+    mask = advance >= kReplayWindow ? 0 : mask << advance;
+    mask |= 1;
+    highest = counter;
+    return true;
+  }
+  const std::uint64_t age = highest - counter;
+  if (age >= kReplayWindow) return false;  // too old to distinguish from replay
+  const std::uint64_t bit = std::uint64_t{1} << age;
+  if ((mask & bit) != 0) return false;  // replay
+  mask |= bit;
+  return true;
+}
+
+bool Messenger::replay_accept(NodeId src, std::uint64_t nonce) {
+  ReplayWindow& window = replay_windows_[src][static_cast<std::uint32_t>(nonce >> 32)];
+  return window.accept(nonce & 0xffffffffULL);
+}
+
+std::size_t Messenger::replay_window_count() const {
+  std::size_t count = 0;
+  for (const auto& [src, windows] : replay_windows_) count += windows.size();
+  return count;
 }
 
 }  // namespace snd::core

@@ -4,9 +4,17 @@
 // any two nodes is encrypted and authenticated by their shared key, and a
 // sequence number is used to remove replayed messages" (§2/§4), in a form
 // that tolerates replicas: authentication is per-message (pairwise-key MAC
-// over src|dst|type|payload|nonce) with a seen-nonce replay cache rather
-// than per-session counters, because a replica legitimately re-keys the
-// same identity from a different radio.
+// over src|dst|type|payload|nonce) with a sliding-window replay cache
+// rather than per-session counters, because a replica legitimately re-keys
+// the same identity from a different radio.
+//
+// Hot path: pairwise keys and their HMAC midstates are memoized per peer
+// (crypto::PairKeyCache) and the MAC input is streamed straight into the
+// hash context, so a steady-state send()/open() does no key derivation and
+// no heap allocation. The original derive-per-call implementation is kept
+// as the slow path, selected by crypto::set_fast_path_enabled(false) /
+// SND_CRYPTO_FAST=0; both paths produce bit-identical packets and accept
+// decisions.
 //
 // Note the protocol's *security* does not rest on this layer -- binding
 // records, relation commitments, and evidences are self-authenticating
@@ -14,14 +22,14 @@
 // shields the honest protocol from trivial spoofing.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <memory>
-#include <set>
-#include <string>
+#include <optional>
+#include <span>
 
 #include "crypto/hmac.h"
 #include "crypto/keypredist.h"
+#include "crypto/session_cache.h"
 #include "obs/event.h"
 #include "sim/network.h"
 #include "util/ids.h"
@@ -49,24 +57,53 @@ class Messenger {
 
   /// Verifies an incoming unicast addressed to this identity: MAC check
   /// with the pairwise key for the claimed src, replay check on the nonce.
-  /// Returns the bare payload, or nullopt if the packet is not for us /
-  /// fails authentication / is a replay.
-  std::optional<util::Bytes> open(const sim::Packet& packet);
+  /// Returns a view of the bare payload (aliasing `packet.payload`, valid
+  /// while the packet is), or nullopt if the packet is not for us / fails
+  /// authentication / is a replay.
+  std::optional<std::span<const std::uint8_t>> open(const sim::Packet& packet);
 
   [[nodiscard]] NodeId identity() const { return identity_; }
 
   /// Per-message wire overhead added by send(): nonce + MAC.
   static constexpr std::size_t kAuthOverhead = 8 + crypto::kShortMacSize;
 
+  /// Width of a replay window: out-of-order delivery within this many
+  /// counter steps of the newest seen nonce is tolerated; older packets are
+  /// rejected. Honest senders use strictly increasing counters, so only
+  /// pathologically-delayed or replayed traffic lands outside the window.
+  static constexpr std::uint64_t kReplayWindow = 64;
+
+  /// Number of (peer, sender-device) replay windows held. Each is O(1)
+  /// memory, so this -- not the message count -- bounds replay state.
+  [[nodiscard]] std::size_t replay_window_count() const;
+
  private:
+  /// Slow-path key derivation (the seed implementation), kept verbatim for
+  /// fast/slow A-B verification.
   crypto::SymmetricKey pair_key(NodeId peer) const;
+
+  /// IPsec-style sliding window over one sender-device's nonce counters:
+  /// a 64-bit mask of recently seen counters below the highest seen.
+  struct ReplayWindow {
+    std::uint64_t highest = 0;
+    std::uint64_t mask = 0;
+    bool any = false;
+
+    bool accept(std::uint64_t counter);
+  };
+
+  bool replay_accept(NodeId src, std::uint64_t nonce);
 
   sim::Network& network_;
   sim::DeviceId device_;
   NodeId identity_;
   std::shared_ptr<crypto::KeyPredistribution> keys_;
+  crypto::PairKeyCache key_cache_;
   std::uint64_t nonce_counter_;
-  std::map<NodeId, std::set<std::uint64_t>> seen_nonces_;
+  /// Nonces are (device << 32) + counter, so windows are keyed per
+  /// (claimed src identity, sending device): replicas of one identity get
+  /// independent windows and never collide.
+  std::map<NodeId, std::map<std::uint32_t, ReplayWindow>> replay_windows_;
 };
 
 }  // namespace snd::core

@@ -43,7 +43,7 @@ SndNode::SndNode(sim::Network& network, sim::DeviceId device, NodeId identity,
 
 SndNode::~SndNode() { stop(); }
 
-void SndNode::schedule(sim::Time at, std::function<void()> action) {
+void SndNode::schedule(sim::Time at, sim::EventAction action) {
   pending_events_.push_back(network_.scheduler().schedule_at(at, std::move(action)));
 }
 
@@ -216,7 +216,7 @@ void SndNode::broadcast_record() {
                        record_->serialize(), obs::Phase::kRecord);
 }
 
-void SndNode::on_record_reply(const sim::Packet& packet, const util::Bytes& payload) {
+void SndNode::on_record_reply(const sim::Packet& packet, std::span<const std::uint8_t> payload) {
   if (validated_ || !master_.present()) return;
   // Only records of tentative neighbors matter (bounds memory under chaff).
   if (!topology::contains(tentative_, packet.src)) {
@@ -329,7 +329,8 @@ sim::Time SndNode::key_exposure() const {
   return (erased_at_ ? *erased_at_ : network_.now()) - deployed_at_;
 }
 
-void SndNode::on_relation_commit(const sim::Packet& packet, const util::Bytes& payload) {
+void SndNode::on_relation_commit(const sim::Packet& packet,
+                                 std::span<const std::uint8_t> payload) {
   const auto commit = RelationCommitPayload::parse(payload);
   if (!commit) {
     trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kParseError,
@@ -348,7 +349,7 @@ void SndNode::on_relation_commit(const sim::Packet& packet, const util::Bytes& p
               packet.src);
 }
 
-void SndNode::on_evidence(const sim::Packet& packet, const util::Bytes& payload) {
+void SndNode::on_evidence(const sim::Packet& packet, std::span<const std::uint8_t> payload) {
   if (config_.max_updates == 0 || !record_) return;
   const auto evidence = EvidencePayload::parse(payload);
   if (!evidence) {
@@ -383,7 +384,8 @@ bool SndNode::request_update(NodeId server) {
                          request.serialize(), obs::Phase::kUpdate);
 }
 
-void SndNode::on_update_request(const sim::Packet& packet, const util::Bytes& payload) {
+void SndNode::on_update_request(const sim::Packet& packet,
+                                std::span<const std::uint8_t> payload) {
   // Only a newly deployed node still holding K can serve updates.
   if (!master_.present() || config_.max_updates == 0) return;
   const auto request = UpdateRequestPayload::parse(payload);
@@ -422,7 +424,7 @@ void SndNode::on_update_request(const sim::Packet& packet, const util::Bytes& pa
                   updated_record.serialize(), obs::Phase::kUpdate);
 }
 
-void SndNode::on_update_reply(const sim::Packet& packet, const util::Bytes& payload) {
+void SndNode::on_update_reply(const sim::Packet& packet, std::span<const std::uint8_t> payload) {
   if (config_.max_updates == 0 || !record_) return;
   const auto reply = UpdateReplyPayload::parse(payload);
   if (!reply) {

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/binding_record.h"
@@ -106,7 +107,7 @@ class SndNode {
 
  private:
   /// Schedules `action` and remembers the event so stop() can cancel it.
-  void schedule(sim::Time at, std::function<void()> action);
+  void schedule(sim::Time at, sim::EventAction action);
   /// Now plus a uniform draw from [0, tx_jitter] (per-message backoff).
   sim::Time jittered_now();
   void send_hellos(std::size_t remaining);
@@ -117,12 +118,14 @@ class SndNode {
   void finish_discovery();
   void on_record_request(const sim::Packet& packet);
   void broadcast_record();
-  void on_record_reply(const sim::Packet& packet, const util::Bytes& payload);
+  // Payload spans alias the packet (or the Messenger's view of it) and are
+  // only valid for the duration of the handler.
+  void on_record_reply(const sim::Packet& packet, std::span<const std::uint8_t> payload);
   void run_validation();
-  void on_relation_commit(const sim::Packet& packet, const util::Bytes& payload);
-  void on_evidence(const sim::Packet& packet, const util::Bytes& payload);
-  void on_update_request(const sim::Packet& packet, const util::Bytes& payload);
-  void on_update_reply(const sim::Packet& packet, const util::Bytes& payload);
+  void on_relation_commit(const sim::Packet& packet, std::span<const std::uint8_t> payload);
+  void on_evidence(const sim::Packet& packet, std::span<const std::uint8_t> payload);
+  void on_update_request(const sim::Packet& packet, std::span<const std::uint8_t> payload);
+  void on_update_reply(const sim::Packet& packet, std::span<const std::uint8_t> payload);
   void erase_master_key();
 
   sim::Network& network_;

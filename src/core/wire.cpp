@@ -11,7 +11,7 @@ void put_digest(util::Bytes& out, const crypto::Digest& digest) {
 }
 
 std::optional<crypto::Digest> read_digest(util::ByteReader& reader) {
-  const auto raw = reader.bytes(crypto::kDigestSize);
+  const auto raw = reader.bytes_view(crypto::kDigestSize);
   if (!raw) return std::nullopt;
   crypto::Digest digest;
   std::copy(raw->begin(), raw->end(), digest.bytes.begin());
@@ -20,7 +20,7 @@ std::optional<crypto::Digest> read_digest(util::ByteReader& reader) {
 
 }  // namespace
 
-std::optional<RecordReplyPayload> RecordReplyPayload::parse(const util::Bytes& data) {
+std::optional<RecordReplyPayload> RecordReplyPayload::parse(std::span<const std::uint8_t> data) {
   auto record = BindingRecord::parse(data);
   if (!record) return std::nullopt;
   return RecordReplyPayload{std::move(*record)};
@@ -32,7 +32,8 @@ util::Bytes RelationCommitPayload::serialize() const {
   return out;
 }
 
-std::optional<RelationCommitPayload> RelationCommitPayload::parse(const util::Bytes& data) {
+std::optional<RelationCommitPayload> RelationCommitPayload::parse(
+    std::span<const std::uint8_t> data) {
   util::ByteReader reader(data);
   const auto digest = read_digest(reader);
   if (!digest || !reader.exhausted()) return std::nullopt;
@@ -46,7 +47,7 @@ util::Bytes EvidencePayload::serialize() const {
   return out;
 }
 
-std::optional<EvidencePayload> EvidencePayload::parse(const util::Bytes& data) {
+std::optional<EvidencePayload> EvidencePayload::parse(std::span<const std::uint8_t> data) {
   util::ByteReader reader(data);
   const auto version = reader.u32();
   const auto digest = read_digest(reader);
@@ -65,9 +66,10 @@ util::Bytes UpdateRequestPayload::serialize() const {
   return out;
 }
 
-std::optional<UpdateRequestPayload> UpdateRequestPayload::parse(const util::Bytes& data) {
+std::optional<UpdateRequestPayload> UpdateRequestPayload::parse(
+    std::span<const std::uint8_t> data) {
   util::ByteReader reader(data);
-  const auto record_bytes = reader.var_bytes();
+  const auto record_bytes = reader.var_bytes_view();
   if (!record_bytes) return std::nullopt;
   auto record = BindingRecord::parse(*record_bytes);
   if (!record) return std::nullopt;
@@ -86,7 +88,7 @@ std::optional<UpdateRequestPayload> UpdateRequestPayload::parse(const util::Byte
   return payload;
 }
 
-std::optional<UpdateReplyPayload> UpdateReplyPayload::parse(const util::Bytes& data) {
+std::optional<UpdateReplyPayload> UpdateReplyPayload::parse(std::span<const std::uint8_t> data) {
   auto record = BindingRecord::parse(data);
   if (!record) return std::nullopt;
   return UpdateReplyPayload{std::move(*record)};

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/binding_record.h"
@@ -29,14 +30,14 @@ struct RecordReplyPayload {
   BindingRecord record;
 
   [[nodiscard]] util::Bytes serialize() const { return record.serialize(); }
-  static std::optional<RecordReplyPayload> parse(const util::Bytes& data);
+  static std::optional<RecordReplyPayload> parse(std::span<const std::uint8_t> data);
 };
 
 struct RelationCommitPayload {
   crypto::Digest commitment;  // C(u, v); u = packet src, v = packet dst
 
   [[nodiscard]] util::Bytes serialize() const;
-  static std::optional<RelationCommitPayload> parse(const util::Bytes& data);
+  static std::optional<RelationCommitPayload> parse(std::span<const std::uint8_t> data);
 };
 
 struct EvidencePayload {
@@ -44,7 +45,7 @@ struct EvidencePayload {
   crypto::Digest evidence;           // E(u, v)
 
   [[nodiscard]] util::Bytes serialize() const;
-  static std::optional<EvidencePayload> parse(const util::Bytes& data);
+  static std::optional<EvidencePayload> parse(std::span<const std::uint8_t> data);
 };
 
 struct UpdateRequestPayload {
@@ -52,14 +53,14 @@ struct UpdateRequestPayload {
   std::vector<std::pair<NodeId, crypto::Digest>> evidences;  // (issuer x, E(x, v))
 
   [[nodiscard]] util::Bytes serialize() const;
-  static std::optional<UpdateRequestPayload> parse(const util::Bytes& data);
+  static std::optional<UpdateRequestPayload> parse(std::span<const std::uint8_t> data);
 };
 
 struct UpdateReplyPayload {
   BindingRecord record;
 
   [[nodiscard]] util::Bytes serialize() const { return record.serialize(); }
-  static std::optional<UpdateReplyPayload> parse(const util::Bytes& data);
+  static std::optional<UpdateReplyPayload> parse(std::span<const std::uint8_t> data);
 };
 
 }  // namespace snd::core

@@ -24,4 +24,35 @@ ShortMac short_mac(const SymmetricKey& key, std::span<const std::uint8_t> messag
 bool verify_short_mac(const SymmetricKey& key, std::span<const std::uint8_t> message,
                       std::span<const std::uint8_t> mac);
 
+/// Precomputed HMAC key: the ipad/opad blocks are hashed once into two
+/// saved Sha256 midstates at construction, so each MAC afterwards resumes
+/// from a midstate instead of re-deriving and re-compressing the pads. For
+/// the protocol's short messages that halves the compression calls per tag.
+/// Tags are bit-identical to hmac_sha256() by construction: both paths feed
+/// the same byte sequence through the same contexts.
+class HmacKey {
+ public:
+  /// Absent key; mac() must not be called until assigned from a real key.
+  HmacKey() = default;
+  explicit HmacKey(const SymmetricKey& key);
+
+  [[nodiscard]] bool present() const { return present_; }
+
+  [[nodiscard]] Digest mac(std::span<const std::uint8_t> message) const;
+  [[nodiscard]] ShortMac short_mac(std::span<const std::uint8_t> message) const;
+  [[nodiscard]] bool verify_short_mac(std::span<const std::uint8_t> message,
+                                      std::span<const std::uint8_t> mac) const;
+
+  /// Streaming interface: copy the inner midstate, update() it with the
+  /// message fields directly (no intermediate buffer), then finish().
+  [[nodiscard]] Sha256 inner_context() const { return inner_; }
+  [[nodiscard]] Digest finish(Sha256&& inner) const;
+  [[nodiscard]] ShortMac finish_short(Sha256&& inner) const;
+
+ private:
+  Sha256 inner_;  // state after absorbing key ^ ipad
+  Sha256 outer_;  // state after absorbing key ^ opad
+  bool present_ = false;
+};
+
 }  // namespace snd::crypto

@@ -1,0 +1,43 @@
+#include "crypto/session_cache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace snd::crypto {
+
+namespace {
+
+bool fast_path_from_env() {
+  const char* raw = std::getenv("SND_CRYPTO_FAST");
+  if (raw == nullptr) return true;
+  const std::string_view value(raw);
+  return !(value == "0" || value == "off" || value == "false");
+}
+
+std::atomic<bool>& fast_path_flag() {
+  static std::atomic<bool> enabled{fast_path_from_env()};
+  return enabled;
+}
+
+}  // namespace
+
+bool fast_path_enabled() { return fast_path_flag().load(std::memory_order_relaxed); }
+
+void set_fast_path_enabled(bool enabled) {
+  fast_path_flag().store(enabled, std::memory_order_relaxed);
+}
+
+const PairKeyCache::Entry& PairKeyCache::get(NodeId peer) {
+  if (const auto it = entries_.find(peer); it != entries_.end()) return it->second;
+
+  auto derived = scheme_->pairwise(self_, peer);
+  if (!derived || !derived->present()) return absent_;
+
+  Entry entry;
+  entry.key = std::move(*derived);
+  entry.mac = HmacKey(entry.key);
+  return entries_.emplace(peer, std::move(entry)).first->second;
+}
+
+}  // namespace snd::crypto

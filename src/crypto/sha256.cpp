@@ -1,6 +1,5 @@
 #include "crypto/sha256.h"
 
-#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstring>
@@ -26,7 +25,10 @@ constexpr std::array<std::uint32_t, 8> kInitialState = {
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
     0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
-std::atomic<std::uint64_t> g_hash_ops{0};
+// Per-thread so parallel trial workers (--jobs > 1) never cross-contaminate
+// each other's overhead accounting; each worker resets/reads around its own
+// trial and folds the count into the trial result.
+thread_local std::uint64_t t_hash_ops = 0;
 
 std::uint32_t load_be32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
@@ -51,7 +53,7 @@ std::uint64_t Digest::prefix64() const {
 Sha256::Sha256() : state_(kInitialState) {}
 
 void Sha256::process_block(const std::uint8_t* block) {
-  g_hash_ops.fetch_add(1, std::memory_order_relaxed);
+  ++t_hash_ops;
 
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) w[static_cast<std::size_t>(i)] = load_be32(block + 4 * i);
@@ -93,6 +95,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) {
   assert(!finalized_);
+  if (data.empty()) return *this;  // empty spans may carry a null data()
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {
@@ -164,8 +167,8 @@ Digest Sha256::hash(std::span<const std::uint8_t> data) { return Sha256().update
 
 Digest Sha256::hash(std::string_view text) { return Sha256().update(text).finalize(); }
 
-std::uint64_t hash_op_count() { return g_hash_ops.load(std::memory_order_relaxed); }
+std::uint64_t hash_op_count() { return t_hash_ops; }
 
-void reset_hash_op_count() { g_hash_ops.store(0, std::memory_order_relaxed); }
+void reset_hash_op_count() { t_hash_ops = 0; }
 
 }  // namespace snd::crypto

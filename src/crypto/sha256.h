@@ -1,7 +1,7 @@
 // SHA-256 (FIPS 180-4), implemented from scratch so the library has no
 // external crypto dependency. This is the one-way hash H(.) the paper's
 // protocol is built on; all commitments, verification keys, and MACs reduce
-// to it. A process-global operation counter feeds the §4.3 overhead bench.
+// to it. A per-thread operation counter feeds the §4.3 overhead bench.
 #pragma once
 
 #include <array>
@@ -58,9 +58,10 @@ class Sha256 {
   bool finalized_ = false;
 };
 
-/// Number of SHA-256 compression-function invocations since process start
-/// or the last reset. Cheap (relaxed atomic); used for computation-overhead
-/// accounting in the benches.
+/// Number of SHA-256 compression-function invocations on the *calling
+/// thread* since thread start or the last reset. Per-thread (plain
+/// thread_local increment) so parallel trial workers account independently;
+/// fold per trial where a cross-thread total is wanted.
 std::uint64_t hash_op_count();
 void reset_hash_op_count();
 

@@ -2,34 +2,13 @@
 
 namespace snd::sim {
 
-void Metrics::count_tx(std::string_view category, std::size_t bytes) {
-  if (const auto phase = obs::phase_from_name(category)) {
-    count_tx(*phase, bytes);
-    return;
-  }
-  auto it = extra_.find(category);
-  if (it == extra_.end()) it = extra_.emplace(std::string(category), Counter{}).first;
-  ++it->second.messages;
-  it->second.bytes += bytes;
-}
-
 Metrics::Counter Metrics::total() const {
   Counter sum;
   for (const Counter& counter : phases_) {
     sum.messages += counter.messages;
     sum.bytes += counter.bytes;
   }
-  for (const auto& [name, counter] : extra_) {
-    sum.messages += counter.messages;
-    sum.bytes += counter.bytes;
-  }
   return sum;
-}
-
-Metrics::Counter Metrics::category(std::string_view name) const {
-  if (const auto phase = obs::phase_from_name(name)) return this->phase(*phase);
-  const auto it = extra_.find(name);
-  return it != extra_.end() ? it->second : Counter{};
 }
 
 std::map<std::string, Metrics::Counter, std::less<>> Metrics::by_category() const {
@@ -38,14 +17,6 @@ std::map<std::string, Metrics::Counter, std::less<>> Metrics::by_category() cons
     const Counter& counter = phases_[i];
     if (counter.messages == 0 && counter.bytes == 0) continue;
     out.emplace(std::string(obs::phase_name(static_cast<obs::Phase>(i))), counter);
-  }
-  for (const auto& [name, counter] : extra_) {
-    if (counter.messages == 0 && counter.bytes == 0) continue;
-    auto [it, inserted] = out.emplace(name, counter);
-    if (!inserted) {
-      it->second.messages += counter.messages;
-      it->second.bytes += counter.bytes;
-    }
   }
   return out;
 }
@@ -61,11 +32,6 @@ void Metrics::accumulate_into(obs::TraceSummary& summary) const {
     summary.tx[i].messages += phases_[i].messages;
     summary.tx[i].bytes += phases_[i].bytes;
   }
-  auto& other = summary.tx[static_cast<std::size_t>(obs::Phase::kOther)];
-  for (const auto& [name, counter] : extra_) {
-    other.messages += counter.messages;
-    other.bytes += counter.bytes;
-  }
   for (std::size_t i = 0; i < obs::kDropCauseCount; ++i) summary.drops[i] += drops_[i];
   summary.deliveries += deliveries_;
 }
@@ -73,7 +39,6 @@ void Metrics::accumulate_into(obs::TraceSummary& summary) const {
 void Metrics::reset() {
   phases_ = {};
   drops_ = {};
-  extra_.clear();
   deliveries_ = 0;
 }
 

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <string_view>
 
 #include "obs/event.h"
 #include "obs/summary.h"
@@ -26,12 +25,6 @@ class Metrics {
     counter.bytes += bytes;
   }
 
-  /// DEPRECATED string-keyed shim, kept for one release (docs/OBSERVABILITY.md
-  /// has the migration table). Known category names hit the typed array;
-  /// unknown names fall back to a cold side map and are folded into
-  /// obs::Phase::kOther by trace summaries.
-  void count_tx(std::string_view category, std::size_t bytes);
-
   void count_delivery() { ++deliveries_; }
   void count_drop(obs::DropCause cause) { ++drops_[static_cast<std::size_t>(cause)]; }
 
@@ -39,10 +32,8 @@ class Metrics {
   [[nodiscard]] Counter phase(obs::Phase phase) const {
     return phases_[static_cast<std::size_t>(phase)];
   }
-  /// DEPRECATED alongside the string count_tx shim; prefer phase().
-  [[nodiscard]] Counter category(std::string_view name) const;
-  /// Export-time view: phase names (plus any legacy string categories) with
-  /// non-zero traffic. Built on demand -- not for hot paths.
+  /// Export-time view: phase names with non-zero traffic. Built on demand
+  /// -- not for hot paths.
   [[nodiscard]] std::map<std::string, Counter, std::less<>> by_category() const;
 
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
@@ -52,8 +43,7 @@ class Metrics {
   [[nodiscard]] std::uint64_t total_drops() const;
 
   /// Adds this network's radio accounting (tx per phase, deliveries, drops
-  /// per cause) to `summary`; legacy string categories land in kOther so
-  /// message/byte totals are conserved.
+  /// per cause) to `summary`.
   void accumulate_into(obs::TraceSummary& summary) const;
 
   void reset();
@@ -61,7 +51,6 @@ class Metrics {
  private:
   std::array<Counter, obs::kPhaseCount> phases_{};
   std::array<std::uint64_t, obs::kDropCauseCount> drops_{};
-  std::map<std::string, Counter, std::less<>> extra_;
   std::uint64_t deliveries_ = 0;
 };
 

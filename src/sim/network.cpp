@@ -137,29 +137,16 @@ void Network::note_drop(obs::DropCause cause, NodeId node, NodeId peer, std::uin
 }
 
 void Network::transmit(DeviceId from, Packet packet, obs::Phase phase) {
-  transmit_impl(from, std::move(packet), phase, {});
+  transmit_impl(from, std::move(packet), phase);
 }
 
-void Network::transmit(DeviceId from, Packet packet, std::string_view category) {
-  if (const auto phase = obs::phase_from_name(category)) {
-    transmit_impl(from, std::move(packet), *phase, {});
-  } else {
-    transmit_impl(from, std::move(packet), obs::Phase::kOther, category);
-  }
-}
-
-void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase,
-                            std::string_view legacy_category) {
+void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
   const Device& sender = devices_.at(from);
   if (!sender.alive) return;
   packet.sender_device = from;
 
   const auto wire_bytes = static_cast<std::uint32_t>(packet.wire_bytes());
-  if (legacy_category.empty()) {
-    metrics_.count_tx(phase, wire_bytes);
-  } else {
-    metrics_.count_tx(legacy_category, wire_bytes);
-  }
+  metrics_.count_tx(phase, wire_bytes);
   if (tracer_.active()) {
     tracer_.emit(obs::Event{.kind = obs::EventKind::kTx,
                             .code = static_cast<std::uint8_t>(phase),

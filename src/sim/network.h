@@ -11,7 +11,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -96,11 +95,6 @@ class Network {
   /// a 3x3-block candidate superset, the linear fallback the whole field).
   void transmit(DeviceId from, Packet packet, obs::Phase phase);
 
-  /// DEPRECATED string-keyed shim, kept for one release. Known category
-  /// names resolve to the typed overload; unknown names are charged to a
-  /// legacy side map in Metrics and traced as obs::Phase::kOther.
-  void transmit(DeviceId from, Packet packet, std::string_view category);
-
   // -- Ground truth (tooling/auditing only) -----------------------------
   [[nodiscard]] bool link(DeviceId a, DeviceId b) const;
   [[nodiscard]] std::vector<DeviceId> devices_in_range(DeviceId id) const;
@@ -154,11 +148,7 @@ class Network {
   /// Drains `joules` from a device; kills it at exhaustion.
   void drain(DeviceId id, double joules);
 
-  /// Shared body of both transmit overloads. `legacy_category` is empty for
-  /// typed calls; when set, metrics are charged to the legacy string map
-  /// while trace events carry `phase` (kOther).
-  void transmit_impl(DeviceId from, Packet packet, obs::Phase phase,
-                     std::string_view legacy_category);
+  void transmit_impl(DeviceId from, Packet packet, obs::Phase phase);
 
   /// Counts an undelivered copy in both the typed metrics and the tracer.
   void note_drop(obs::DropCause cause, NodeId node, NodeId peer, std::uint32_t bytes);

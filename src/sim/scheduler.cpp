@@ -5,7 +5,7 @@
 
 namespace snd::sim {
 
-EventId Scheduler::schedule_at(Time at, std::function<void()> action) {
+EventId Scheduler::schedule_at(Time at, EventAction action) {
   const EventId id = next_id_++;
   heap_.push_back(Entry{at < now_ ? now_ : at, id, std::move(action)});
   sift_up(heap_.size() - 1);

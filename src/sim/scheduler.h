@@ -4,26 +4,33 @@
 //
 // Implemented as an explicit binary heap with actions stored inline:
 // simulations push tens of millions of delivery events, so the hot path
-// avoids any per-event node allocation or hash-map traffic. Cancellation is
+// avoids any per-event node allocation or hash-map traffic. Actions are
+// small-buffer-optimized (util::InplaceFunction) for the same reason --
+// std::function would heap-allocate every delivery closure. Cancellation is
 // the rare case and uses a side set consulted lazily on pop.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/inplace_function.h"
 
 namespace snd::sim {
 
 using EventId = std::uint64_t;
 
+/// Scheduled-event callable. The inline capacity covers the largest closure
+/// the simulator queues on its hot path (Network's overheard-delivery
+/// lambda); anything bigger transparently falls back to one heap allocation.
+using EventAction = util::InplaceFunction<void(), 88>;
+
 class Scheduler {
  public:
   /// Schedules `action` at absolute time `at`. Events in the past of the
   /// current clock are clamped to "now" (fire next).
-  EventId schedule_at(Time at, std::function<void()> action);
+  EventId schedule_at(Time at, EventAction action);
 
   /// Cancels a pending event; no-op if it already fired or was cancelled.
   /// Stale ids (cancel-after-fire) are swept out whenever they could
@@ -63,7 +70,7 @@ class Scheduler {
   struct Entry {
     Time at;
     EventId id;
-    std::function<void()> action;
+    EventAction action;
   };
 
   static bool earlier(const Entry& a, const Entry& b) {

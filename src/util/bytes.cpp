@@ -116,6 +116,19 @@ std::optional<Bytes> ByteReader::var_bytes() {
   return bytes(*len);
 }
 
+std::optional<std::span<const std::uint8_t>> ByteReader::bytes_view(std::size_t n) {
+  if (!take(n)) return std::nullopt;
+  const auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::optional<std::span<const std::uint8_t>> ByteReader::var_bytes_view() {
+  const auto len = u16();
+  if (!len) return std::nullopt;
+  return bytes_view(*len);
+}
+
 bool constant_time_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
   if (a.size() != b.size()) return false;
   std::uint8_t acc = 0;

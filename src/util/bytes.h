@@ -44,6 +44,10 @@ class ByteReader {
   std::optional<Bytes> bytes(std::size_t n);
   /// Read a u16 length prefix followed by that many bytes.
   std::optional<Bytes> var_bytes();
+  /// Zero-copy variants: the returned span aliases the reader's underlying
+  /// buffer and is valid only as long as that buffer is.
+  std::optional<std::span<const std::uint8_t>> bytes_view(std::size_t n);
+  std::optional<std::span<const std::uint8_t>> var_bytes_view();
 
   [[nodiscard]] std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
   [[nodiscard]] bool exhausted() const { return remaining() == 0; }

@@ -1,0 +1,124 @@
+// Small-buffer-optimized move-only callable.
+//
+// std::function heap-allocates any capture larger than its tiny internal
+// buffer (2 pointers on libstdc++), which puts one malloc/free on every
+// scheduled simulator event. InplaceFunction stores captures up to Capacity
+// bytes inline in the object; larger (or over-aligned) captures fall back to
+// a single heap allocation so arbitrary callables still work. Move-only:
+// the simulator never copies queued events, and requiring copyability would
+// forbid move-only captures.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace snd::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+  static_assert(Capacity >= sizeof(void*), "capacity must hold at least a pointer");
+
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>>
+    requires(!std::is_same_v<D, InplaceFunction> &&
+             std::is_invocable_r_v<R, D&, Args...>)
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stores_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True iff the target lives behind the heap fallback (capture larger
+  /// than Capacity or over-aligned). Exposed for tests and benches.
+  [[nodiscard]] bool heap_allocated() const { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool stores_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* storage, Args&&... args) -> R {
+        return std::invoke(*static_cast<D*>(storage), std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* storage) noexcept { static_cast<D*>(storage)->~D(); },
+      false,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* storage, Args&&... args) -> R {
+        return std::invoke(**static_cast<D**>(storage), std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* storage) noexcept { delete *static_cast<D**>(storage); },
+      true,
+  };
+
+  void move_from(InplaceFunction& other) noexcept {
+    if (other.ops_ == nullptr) return;
+    other.ops_->relocate(other.storage_, storage_);
+    ops_ = std::exchange(other.ops_, nullptr);
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace snd::util

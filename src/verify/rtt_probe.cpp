@@ -9,18 +9,33 @@ constexpr std::size_t kChallengeBytes = 8;
 constexpr std::size_t kResponseBytes = 8 + crypto::kShortMacSize;
 }  // namespace
 
-crypto::ShortMac rtt_response_mac(const crypto::SymmetricKey& pairwise, std::uint64_t nonce,
-                                  NodeId responder) {
+namespace {
+util::Bytes rtt_mac_input(std::uint64_t nonce, NodeId responder) {
   util::Bytes input;
   util::put_var_bytes(input, util::Bytes{'s', 'n', 'd', '.', 'r', 't', 't'});
   util::put_u64(input, nonce);
   util::put_u32(input, responder);
-  return crypto::short_mac(pairwise, input);
+  return input;
+}
+}  // namespace
+
+crypto::ShortMac rtt_response_mac(const crypto::SymmetricKey& pairwise, std::uint64_t nonce,
+                                  NodeId responder) {
+  return crypto::short_mac(pairwise, rtt_mac_input(nonce, responder));
+}
+
+crypto::ShortMac rtt_response_mac(const crypto::HmacKey& pairwise, std::uint64_t nonce,
+                                  NodeId responder) {
+  return pairwise.short_mac(rtt_mac_input(nonce, responder));
 }
 
 RttResponder::RttResponder(sim::Network& network, sim::DeviceId device, NodeId identity,
                            std::shared_ptr<crypto::KeyPredistribution> keys)
-    : network_(network), device_(device), identity_(identity), keys_(std::move(keys)) {}
+    : network_(network),
+      device_(device),
+      identity_(identity),
+      keys_(std::move(keys)),
+      key_cache_(keys_, identity) {}
 
 bool RttResponder::handle(const sim::Packet& packet) {
   if (packet.type != kRttChallengeType || packet.dst != identity_) return false;
@@ -28,14 +43,22 @@ bool RttResponder::handle(const sim::Packet& packet) {
   const auto nonce = reader.u64();
   if (!nonce || !reader.exhausted()) return true;  // consumed but malformed
 
-  const auto pairwise = keys_->pairwise(identity_, packet.src);
-  if (!pairwise) return true;  // cannot authenticate a response
+  crypto::ShortMac mac;
+  if (crypto::fast_path_enabled()) {
+    const crypto::PairKeyCache::Entry& entry = key_cache_.get(packet.src);
+    if (!entry.key.present()) return true;  // cannot authenticate a response
+    mac = rtt_response_mac(entry.mac, *nonce, identity_);
+  } else {
+    const auto pairwise = keys_->pairwise(identity_, packet.src);
+    if (!pairwise) return true;  // cannot authenticate a response
+    mac = rtt_response_mac(*pairwise, *nonce, identity_);
+  }
 
   // Respond after the declared fixed turnaround; the challenger subtracts
   // it from the measured round trip.
   util::Bytes payload;
   util::put_u64(payload, *nonce);
-  util::put_bytes(payload, rtt_response_mac(*pairwise, *nonce, identity_));
+  util::put_bytes(payload, mac);
   const NodeId challenger = packet.src;
   network_.scheduler().schedule_at(
       network_.now() + kRttTurnaround, [this, challenger, payload = std::move(payload)]() {
@@ -51,7 +74,11 @@ bool RttResponder::handle(const sim::Packet& packet) {
 
 RttChallenger::RttChallenger(sim::Network& network, sim::DeviceId device, NodeId identity,
                              std::shared_ptr<crypto::KeyPredistribution> keys)
-    : network_(network), device_(device), identity_(identity), keys_(std::move(keys)) {}
+    : network_(network),
+      device_(device),
+      identity_(identity),
+      keys_(std::move(keys)),
+      key_cache_(keys_, identity) {}
 
 void RttChallenger::probe(NodeId target, sim::Time timeout, Callback done) {
   const std::uint64_t nonce = next_nonce_++;
@@ -78,17 +105,26 @@ bool RttChallenger::handle(const sim::Packet& packet) {
   if (packet.type != kRttResponseType || packet.dst != identity_) return false;
   util::ByteReader reader(packet.payload);
   const auto nonce = reader.u64();
-  const auto mac = reader.bytes(crypto::kShortMacSize);
+  const auto mac = reader.bytes_view(crypto::kShortMacSize);
   if (!nonce || !mac || !reader.exhausted()) return true;
 
   const auto it = pending_.find(*nonce);
   if (it == pending_.end() || it->second.finished) return true;
 
-  const auto pairwise = keys_->pairwise(identity_, it->second.target);
-  if (!pairwise ||
-      !util::constant_time_equal(rtt_response_mac(*pairwise, *nonce, it->second.target),
-                                 *mac)) {
-    return true;  // forged response: keep waiting for an authentic one
+  if (crypto::fast_path_enabled()) {
+    const crypto::PairKeyCache::Entry& entry = key_cache_.get(it->second.target);
+    if (!entry.key.present() ||
+        !util::constant_time_equal(rtt_response_mac(entry.mac, *nonce, it->second.target),
+                                   *mac)) {
+      return true;  // forged response: keep waiting for an authentic one
+    }
+  } else {
+    const auto pairwise = keys_->pairwise(identity_, it->second.target);
+    if (!pairwise ||
+        !util::constant_time_equal(rtt_response_mac(*pairwise, *nonce, it->second.target),
+                                   *mac)) {
+      return true;  // forged response: keep waiting for an authentic one
+    }
   }
 
   // Subtract every deterministic overhead; what is left is 2x propagation.

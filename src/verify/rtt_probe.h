@@ -20,6 +20,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/keypredist.h"
+#include "crypto/session_cache.h"
 #include "sim/network.h"
 
 namespace snd::verify {
@@ -47,6 +48,7 @@ class RttResponder {
   sim::DeviceId device_;
   NodeId identity_;
   std::shared_ptr<crypto::KeyPredistribution> keys_;
+  crypto::PairKeyCache key_cache_;
 };
 
 /// Challenger half: issues a challenge to `target` and reports the distance
@@ -77,12 +79,16 @@ class RttChallenger {
   sim::DeviceId device_;
   NodeId identity_;
   std::shared_ptr<crypto::KeyPredistribution> keys_;
+  crypto::PairKeyCache key_cache_;
   std::uint64_t next_nonce_ = 1;
   std::map<std::uint64_t, Pending> pending_;
 };
 
 /// The expected response MAC: HMAC(K_uv, "snd.rtt" | nonce | responder).
 crypto::ShortMac rtt_response_mac(const crypto::SymmetricKey& pairwise, std::uint64_t nonce,
+                                  NodeId responder);
+/// Midstate variant; bit-identical to the SymmetricKey overload.
+crypto::ShortMac rtt_response_mac(const crypto::HmacKey& pairwise, std::uint64_t nonce,
                                   NodeId responder);
 
 }  // namespace snd::verify

@@ -19,7 +19,7 @@ class MessengerTest : public ::testing::Test {
       last_packet_ = p;
       ++packets_seen_;
       if (auto payload = bob_->open(p)) {
-        last_payload_ = *payload;
+        last_payload_.assign(payload->begin(), payload->end());
         ++accepted_;
       }
     });
@@ -64,7 +64,7 @@ TEST_F(MessengerTest, ReplayRejected) {
   ASSERT_EQ(accepted_, 1);
   // Eve replays the captured packet verbatim from her own radio.
   sim::Packet replay = last_packet_;
-  network_.transmit(eve_device_, std::move(replay), "attack");
+  network_.transmit(eve_device_, std::move(replay), obs::Phase::kAttack);
   run();
   EXPECT_EQ(packets_seen_, 2);
   EXPECT_EQ(accepted_, 1);  // replay must not be accepted again
@@ -77,7 +77,7 @@ TEST_F(MessengerTest, SpoofedSourceRejected) {
   body.insert(body.end(), crypto::kShortMacSize, 0);  // junk MAC
   network_.transmit(eve_device_,
                     sim::Packet{.src = 1, .dst = 2, .type = 9, .payload = std::move(body)},
-                    "attack");
+                    obs::Phase::kAttack);
   run();
   EXPECT_EQ(packets_seen_, 1);
   EXPECT_EQ(accepted_, 0);
@@ -88,7 +88,7 @@ TEST_F(MessengerTest, TamperedPayloadRejected) {
   run();
   sim::Packet tampered = last_packet_;
   tampered.payload[0] ^= 0xff;
-  network_.transmit(eve_device_, std::move(tampered), "attack");
+  network_.transmit(eve_device_, std::move(tampered), obs::Phase::kAttack);
   run();
   EXPECT_EQ(accepted_, 1);
 }
@@ -98,7 +98,7 @@ TEST_F(MessengerTest, TypeIsAuthenticated) {
   run();
   sim::Packet retyped = last_packet_;
   retyped.type = 7;  // change the message type, keep payload+MAC
-  network_.transmit(eve_device_, std::move(retyped), "attack");
+  network_.transmit(eve_device_, std::move(retyped), obs::Phase::kAttack);
   run();
   EXPECT_EQ(accepted_, 1);
 }
@@ -131,6 +131,113 @@ TEST_F(MessengerTest, DistinctSendersDistinctNonces) {
 TEST_F(MessengerTest, SendFailsWithoutPairwiseKey) {
   // Identity 1 talking to itself has no pairwise key under any scheme.
   EXPECT_FALSE(alice_->send(1, 9, {1}, snd::obs::Phase::kOther));
+}
+
+// RAII helper: runs a block with the crypto fast path forced on or off and
+// restores the previous setting afterwards.
+class FastPathGuard {
+ public:
+  explicit FastPathGuard(bool enabled) : previous_(crypto::fast_path_enabled()) {
+    crypto::set_fast_path_enabled(enabled);
+  }
+  ~FastPathGuard() { crypto::set_fast_path_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST_F(MessengerTest, FastAndSlowPathsProduceIdenticalPackets) {
+  // Same identity/device/keys => same nonce sequence; the packets (payload,
+  // nonce, MAC) must match byte for byte between the two paths.
+  const util::Bytes payload = {9, 8, 7, 6, 5};
+  sim::Packet fast_packet;
+  sim::Packet slow_packet;
+  {
+    FastPathGuard guard(true);
+    Messenger sender(network_, alice_device_, 1, keys_);
+    network_.set_receiver(bob_device_, [&](const sim::Packet& p) { fast_packet = p; });
+    ASSERT_TRUE(sender.send(2, 9, payload, snd::obs::Phase::kOther));
+    run();
+  }
+  {
+    FastPathGuard guard(false);
+    Messenger sender(network_, alice_device_, 1, keys_);
+    network_.set_receiver(bob_device_, [&](const sim::Packet& p) { slow_packet = p; });
+    ASSERT_TRUE(sender.send(2, 9, payload, snd::obs::Phase::kOther));
+    run();
+  }
+  EXPECT_EQ(fast_packet.payload, slow_packet.payload);
+  EXPECT_EQ(fast_packet.type, slow_packet.type);
+
+  // And either path's receiver accepts the other path's packet.
+  {
+    FastPathGuard guard(false);
+    Messenger receiver(network_, bob_device_, 2, keys_);
+    EXPECT_TRUE(receiver.open(fast_packet).has_value());
+  }
+  {
+    FastPathGuard guard(true);
+    Messenger receiver(network_, bob_device_, 2, keys_);
+    EXPECT_TRUE(receiver.open(slow_packet).has_value());
+  }
+}
+
+TEST_F(MessengerTest, SlowPathStillRejectsReplayAndAcceptsFreshTraffic) {
+  FastPathGuard guard(false);
+  alice_->send(2, 9, {1}, snd::obs::Phase::kOther);
+  run();
+  ASSERT_EQ(accepted_, 1);
+  sim::Packet replay = last_packet_;
+  network_.transmit(eve_device_, std::move(replay), obs::Phase::kAttack);
+  run();
+  EXPECT_EQ(accepted_, 1);
+  alice_->send(2, 9, {2}, snd::obs::Phase::kOther);
+  run();
+  EXPECT_EQ(accepted_, 2);
+}
+
+TEST_F(MessengerTest, ReplayStateStaysBoundedOverLongRuns) {
+  // The seed kept every nonce ever seen (one std::set node per message);
+  // the sliding window must hold steady at one window per (peer, device)
+  // regardless of traffic volume, while still rejecting recent replays.
+  std::vector<sim::Packet> captured;
+  network_.set_receiver(bob_device_, [&](const sim::Packet& p) {
+    captured.push_back(p);
+    if (bob_->open(p)) ++accepted_;
+  });
+  constexpr int kMessages = 5000;
+  for (int i = 0; i < kMessages; ++i) {
+    alice_->send(2, 9, {static_cast<std::uint8_t>(i)}, snd::obs::Phase::kOther);
+  }
+  run();
+  ASSERT_EQ(accepted_, kMessages);
+  EXPECT_EQ(bob_->replay_window_count(), 1u);
+
+  // The freshest packets are inside the window and must still be rejected
+  // on replay.
+  const std::size_t last = captured.size() - 1;
+  EXPECT_FALSE(bob_->open(captured[last]).has_value());
+  EXPECT_FALSE(bob_->open(captured[last - 5]).has_value());
+  // Ancient packets fall off the window's left edge; they are also
+  // rejected (as too-old), so no replay sneaks in either way.
+  EXPECT_FALSE(bob_->open(captured[0]).has_value());
+  EXPECT_EQ(bob_->replay_window_count(), 1u);
+}
+
+TEST_F(MessengerTest, OutOfOrderDeliveryWithinWindowAccepted) {
+  // Capture two packets, deliver them newest-first: the older one is within
+  // kReplayWindow of the newer and must still be accepted exactly once.
+  std::vector<sim::Packet> captured;
+  network_.set_receiver(bob_device_, [&](const sim::Packet& p) { captured.push_back(p); });
+  alice_->send(2, 9, {1}, snd::obs::Phase::kOther);
+  alice_->send(2, 9, {2}, snd::obs::Phase::kOther);
+  run();
+  ASSERT_EQ(captured.size(), 2u);
+
+  EXPECT_TRUE(bob_->open(captured[1]).has_value());   // newer first
+  EXPECT_TRUE(bob_->open(captured[0]).has_value());   // older, in window
+  EXPECT_FALSE(bob_->open(captured[0]).has_value());  // replay of the older
+  EXPECT_FALSE(bob_->open(captured[1]).has_value());  // replay of the newer
 }
 
 }  // namespace

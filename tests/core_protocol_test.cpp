@@ -220,11 +220,11 @@ TEST(ProtocolTest, TrafficChargedToAllPhases) {
   deployment.deploy_round(8);
   deployment.run();
   const auto& metrics = deployment.network().metrics();
-  EXPECT_GT(metrics.category("snd.hello").messages, 0u);
-  EXPECT_GT(metrics.category("snd.ack").messages, 0u);
-  EXPECT_GT(metrics.category("snd.record").messages, 0u);
-  EXPECT_GT(metrics.category("snd.commit").messages, 0u);
-  EXPECT_EQ(metrics.category("snd.evidence").messages, 0u);  // extension off
+  EXPECT_GT(metrics.phase(obs::Phase::kHello).messages, 0u);
+  EXPECT_GT(metrics.phase(obs::Phase::kAck).messages, 0u);
+  EXPECT_GT(metrics.phase(obs::Phase::kRecord).messages, 0u);
+  EXPECT_GT(metrics.phase(obs::Phase::kCommit).messages, 0u);
+  EXPECT_EQ(metrics.phase(obs::Phase::kEvidence).messages, 0u);  // extension off
 }
 
 TEST(ProtocolTest, WorksWithBlundoKeyScheme) {

@@ -26,7 +26,7 @@ TEST(RecordExchangeTest, OneBroadcastServesTheWholeRound) {
   // 12 nodes each requested 11 records; without aggregation that would be
   // 132 record replies. With broadcast aggregation each node answers its
   // burst once (repeat requests from later Hellos may add a few).
-  const auto records = deployment.network().metrics().category("snd.record");
+  const auto records = deployment.network().metrics().phase(obs::Phase::kRecord);
   // requests (12*11 unicast) + replies: replies must be ~12, not ~132.
   EXPECT_LT(records.messages, 12 * 11 + 40);
 }
@@ -73,7 +73,7 @@ TEST(RecordExchangeTest, StaleRecordSubstitutionDefeated) {
                     .dst = kNoNode,
                     .type = static_cast<std::uint8_t>(MessageType::kRelationCommit),
                     .payload = {}},
-        "attack");
+        obs::Phase::kAttack);
     // The actual stale record reply:
     deployment.network().transmit(
         attacker,
@@ -81,7 +81,7 @@ TEST(RecordExchangeTest, StaleRecordSubstitutionDefeated) {
                     .dst = kNoNode,
                     .type = static_cast<std::uint8_t>(MessageType::kRecordReply),
                     .payload = stale.serialize()},
-        "attack");
+        obs::Phase::kAttack);
   };
   // Schedule replays across the fresh node's whole exchange window.
   for (int ms = 0; ms <= 600; ms += 25) {
@@ -125,7 +125,7 @@ TEST(RecordExchangeTest, ForgedRecordBroadcastIgnored) {
                           .dst = kNoNode,
                           .type = static_cast<std::uint8_t>(MessageType::kRecordReply),
                           .payload = forged.serialize()},
-              "attack");
+              obs::Phase::kAttack);
         });
   }
 

@@ -33,6 +33,24 @@ TEST(HmacTest, Rfc4231Case3) {
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
 }
 
+// RFC 4231 test case 4: key = 0x01..0x19 (25 bytes), data = 0xcd * 50.
+TEST(HmacTest, Rfc4231Case4) {
+  const SymmetricKey key =
+      key_from_hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  const util::Bytes data(50, 0xcd);
+  EXPECT_EQ(hmac_sha256(key, data).hex(),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+// RFC 4231 test case 5: key = 0x0c * 20; the vector gives the tag truncated
+// to 128 bits, so compare the prefix. (Cases 6/7 use 131-byte keys, which
+// SymmetricKey's fixed 32-byte material cannot represent.)
+TEST(HmacTest, Rfc4231Case5Truncated) {
+  const SymmetricKey key = key_from_hex("0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c0c");
+  const Digest full = hmac_sha256(key, "Test With Truncation");
+  EXPECT_EQ(full.hex().substr(0, 32), "a3b6167473100ee06e0c796c2955552b");
+}
+
 TEST(HmacTest, DifferentKeysDifferentTags) {
   const SymmetricKey k1 = SymmetricKey::from_seed(1);
   const SymmetricKey k2 = SymmetricKey::from_seed(2);
@@ -92,6 +110,65 @@ TEST(ShortMacTest, VerifyRejectsWrongLength) {
   const util::Bytes message = {1};
   const ShortMac mac = short_mac(key, message);
   EXPECT_FALSE(verify_short_mac(key, message, std::span(mac).first(4)));
+}
+
+TEST(HmacKeyTest, DefaultConstructedIsAbsent) {
+  EXPECT_FALSE(HmacKey().present());
+  EXPECT_TRUE(HmacKey(SymmetricKey::from_seed(20)).present());
+}
+
+TEST(HmacKeyTest, MidstateMatchesReferenceAcrossMessageSizes) {
+  // Sizes straddling the SHA-256 block/padding boundaries: the midstate
+  // resume must agree with the from-scratch reference for every shape.
+  const SymmetricKey key = SymmetricKey::from_seed(21);
+  const HmacKey cached(key);
+  for (const std::size_t n : {0, 1, 31, 32, 55, 56, 63, 64, 65, 300}) {
+    const util::Bytes message(n, 0x5a);
+    EXPECT_EQ(cached.mac(message), hmac_sha256(key, message)) << "size " << n;
+    EXPECT_EQ(cached.short_mac(message), short_mac(key, message)) << "size " << n;
+    EXPECT_TRUE(cached.verify_short_mac(message, short_mac(key, message))) << "size " << n;
+  }
+}
+
+TEST(HmacKeyTest, ReusableAcrossManyTags) {
+  // The saved midstates are copied, never consumed: repeated use of one
+  // HmacKey over different messages keeps producing correct tags.
+  const SymmetricKey key = SymmetricKey::from_seed(22);
+  const HmacKey cached(key);
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    const util::Bytes message = {i, 1, 2};
+    EXPECT_EQ(cached.mac(message), hmac_sha256(key, message)) << int(i);
+  }
+}
+
+TEST(HmacKeyTest, StreamingFinishMatchesOneShot) {
+  const SymmetricKey key = SymmetricKey::from_seed(23);
+  const HmacKey cached(key);
+  const util::Bytes head = {1, 2, 3};
+  const util::Bytes tail = {4, 5, 6, 7};
+  util::Bytes whole = head;
+  whole.insert(whole.end(), tail.begin(), tail.end());
+
+  Sha256 ctx = cached.inner_context();
+  ctx.update(head);
+  ctx.update(tail);
+  EXPECT_EQ(cached.finish(std::move(ctx)), hmac_sha256(key, whole));
+
+  Sha256 short_ctx = cached.inner_context();
+  short_ctx.update(head);
+  short_ctx.update(tail);
+  EXPECT_EQ(cached.finish_short(std::move(short_ctx)), short_mac(key, whole));
+}
+
+TEST(HmacKeyTest, VerifyRejectsTamperedAndWrongLength) {
+  const HmacKey cached(SymmetricKey::from_seed(24));
+  const util::Bytes message = {9, 8, 7};
+  ShortMac mac = cached.short_mac(message);
+  EXPECT_TRUE(cached.verify_short_mac(message, mac));
+  mac[0] ^= 1;
+  EXPECT_FALSE(cached.verify_short_mac(message, mac));
+  mac[0] ^= 1;
+  EXPECT_FALSE(cached.verify_short_mac(message, std::span(mac).first(4)));
 }
 
 }  // namespace

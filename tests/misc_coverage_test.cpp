@@ -29,8 +29,8 @@ TEST(TxBytesTest, PerDeviceAndMaxTracking) {
   const sim::DeviceId b = network.add_device(2, {5, 0});
   network.transmit(a, sim::Packet{.src = 1, .dst = kNoNode, .type = 1,
                                   .payload = util::Bytes(9, 0)},
-                   "t");
-  network.transmit(a, sim::Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "t");
+                   obs::Phase::kOther);
+  network.transmit(a, sim::Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   network.scheduler().run();
   EXPECT_EQ(network.tx_bytes(a), 20u + 11u);  // (9+11) + (0+11)
   EXPECT_EQ(network.tx_bytes(b), 0u);

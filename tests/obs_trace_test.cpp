@@ -30,34 +30,29 @@ std::unique_ptr<sim::Network> make_network(double range = 10.0,
 
 // -- Typed Metrics ----------------------------------------------------------
 
-TEST(MetricsTypedTest, PhaseAndStringShimShareCounters) {
+TEST(MetricsTypedTest, PhaseCountersAccumulate) {
   sim::Metrics metrics;
   metrics.count_tx(obs::Phase::kHello, 10);
-  metrics.count_tx("snd.hello", 5);  // deprecated shim, same typed slot
+  metrics.count_tx(obs::Phase::kHello, 5);
   EXPECT_EQ(metrics.phase(obs::Phase::kHello).messages, 2u);
   EXPECT_EQ(metrics.phase(obs::Phase::kHello).bytes, 15u);
-  EXPECT_EQ(metrics.category("snd.hello").messages, 2u);
+  EXPECT_EQ(metrics.total().messages, 2u);
 }
 
-TEST(MetricsTypedTest, UnknownStringsFallBackToSideMap) {
+TEST(MetricsTypedTest, ByCategoryExportsNonZeroPhaseNames) {
   sim::Metrics metrics;
-  metrics.count_tx("legacy-phase", 7);
-  EXPECT_EQ(metrics.category("legacy-phase").messages, 1u);
-  EXPECT_EQ(metrics.category("legacy-phase").bytes, 7u);
-  EXPECT_EQ(metrics.total().messages, 1u);
-
-  // Export view carries both typed and legacy names, non-zero only.
   metrics.count_tx(obs::Phase::kCommit, 3);
+  metrics.count_tx(obs::Phase::kOther, 7);
   const auto exported = metrics.by_category();
   EXPECT_EQ(exported.size(), 2u);
-  EXPECT_EQ(exported.at("legacy-phase").bytes, 7u);
   EXPECT_EQ(exported.at("snd.commit").bytes, 3u);
+  EXPECT_EQ(exported.at("other").bytes, 7u);
 }
 
-TEST(MetricsTypedTest, LegacyCategoriesFoldIntoOtherInSummaries) {
+TEST(MetricsTypedTest, AccumulateIntoPreservesTotals) {
   sim::Metrics metrics;
   metrics.count_tx(obs::Phase::kHello, 4);
-  metrics.count_tx("legacy-phase", 6);
+  metrics.count_tx(obs::Phase::kOther, 6);
   obs::TraceSummary summary;
   metrics.accumulate_into(summary);
   EXPECT_EQ(summary.tx[static_cast<std::size_t>(obs::Phase::kHello)].bytes, 4u);

@@ -20,7 +20,7 @@ Packet ping(NodeId src, std::size_t payload = 0) {
 TEST(EnergyTest, DisabledAccountingNeverKills) {
   auto net = make_network({}, {});
   const DeviceId a = net->add_device(1, {0, 0});
-  for (int i = 0; i < 1000; ++i) net->transmit(a, ping(1, 100), "t");
+  for (int i = 0; i < 1000; ++i) net->transmit(a, ping(1, 100), obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_TRUE(net->device(a).alive);
   EXPECT_DOUBLE_EQ(net->energy_j(a), EnergyConfig{}.initial_j);
@@ -32,7 +32,7 @@ TEST(EnergyTest, TransmissionDrainsSender) {
   energy.initial_j = 1.0;
   auto net = make_network({}, energy);
   const DeviceId a = net->add_device(1, {0, 0});
-  net->transmit(a, ping(1, 89), "t");  // 100 wire bytes
+  net->transmit(a, ping(1, 89), obs::Phase::kOther);  // 100 wire bytes
   net->scheduler().run();
   EXPECT_NEAR(net->energy_j(a), 1.0 - 100 * energy.tx_j_per_byte, 1e-12);
 }
@@ -45,7 +45,7 @@ TEST(EnergyTest, ReceptionDrainsReceiver) {
   const DeviceId a = net->add_device(1, {0, 0});
   const DeviceId b = net->add_device(2, {10, 0});
   net->set_receiver(b, [](const Packet&) {});
-  net->transmit(a, ping(1, 89), "t");
+  net->transmit(a, ping(1, 89), obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_NEAR(net->energy_j(b), 1.0 - 100 * energy.rx_j_per_byte, 1e-12);
 }
@@ -56,12 +56,12 @@ TEST(EnergyTest, ExhaustedDeviceDies) {
   energy.initial_j = 100 * energy.tx_j_per_byte * 2.5;  // budget for ~2.5 sends
   auto net = make_network({}, energy);
   const DeviceId a = net->add_device(1, {0, 0});
-  for (int i = 0; i < 5; ++i) net->transmit(a, ping(1, 89), "t");
+  for (int i = 0; i < 5; ++i) net->transmit(a, ping(1, 89), obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_FALSE(net->device(a).alive);
   EXPECT_DOUBLE_EQ(net->energy_j(a), 0.0);
   // Only the sends while alive were charged to the air.
-  EXPECT_EQ(net->metrics().category("t").messages, 3u);
+  EXPECT_EQ(net->metrics().phase(obs::Phase::kOther).messages, 3u);
 }
 
 TEST(EnergyTest, DeadReceiverStopsHearing) {
@@ -74,7 +74,7 @@ TEST(EnergyTest, DeadReceiverStopsHearing) {
   net->set_energy_j(b, 100 * energy.rx_j_per_byte * 1.5);  // ~1.5 receptions
   int heard = 0;
   net->set_receiver(b, [&](const Packet&) { ++heard; });
-  for (int i = 0; i < 4; ++i) net->transmit(a, ping(1, 89), "t");
+  for (int i = 0; i < 4; ++i) net->transmit(a, ping(1, 89), obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(heard, 1);  // second reception kills it mid-drain
   EXPECT_FALSE(net->device(b).alive);
@@ -113,8 +113,8 @@ TEST(HalfDuplexTest, BackToBackSendsSerialize) {
   net->set_receiver(b, [&](const Packet&) { arrivals.push_back(net->now()); });
 
   // Two 100-wire-byte packets queued at t=0: 3.2 ms airtime each.
-  net->transmit(a, ping(1, 89), "t");
-  net->transmit(a, ping(1, 89), "t");
+  net->transmit(a, ping(1, 89), obs::Phase::kOther);
+  net->transmit(a, ping(1, 89), obs::Phase::kOther);
   net->scheduler().run();
 
   ASSERT_EQ(arrivals.size(), 2u);
@@ -130,8 +130,8 @@ TEST(HalfDuplexTest, FullDuplexDeliversSimultaneously) {
   const DeviceId b = net->add_device(2, {10, 0});
   std::vector<Time> arrivals;
   net->set_receiver(b, [&](const Packet&) { arrivals.push_back(net->now()); });
-  net->transmit(a, ping(1, 89), "t");
-  net->transmit(a, ping(1, 89), "t");
+  net->transmit(a, ping(1, 89), obs::Phase::kOther);
+  net->transmit(a, ping(1, 89), obs::Phase::kOther);
   net->scheduler().run();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[0], arrivals[1]);
@@ -151,8 +151,8 @@ TEST(HalfDuplexTest, TransmittingReceiverMissesPacket) {
 
   // Both start talking at t=0; each is on the air while the other's packet
   // lands, so both miss.
-  net->transmit(a, ping(1, 200), "t");
-  net->transmit(b, ping(2, 200), "t");
+  net->transmit(a, ping(1, 200), obs::Phase::kOther);
+  net->transmit(b, ping(2, 200), obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(a_heard, 0);
   EXPECT_EQ(b_heard, 0);
@@ -176,9 +176,9 @@ TEST(HalfDuplexTest, LateTransmitterStillHearsEarlierPacket) {
   // a's 211-wire-byte packet occupies the air for 6.752 ms; delivery fires
   // at ~7.252 ms after the processing delay. b starts its own transmission
   // in between: no airtime overlap, so b must still hear a.
-  net->transmit(a, ping(1, 200), "t");
+  net->transmit(a, ping(1, 200), obs::Phase::kOther);
   net->scheduler().schedule_at(Time::microseconds(6900),
-                               [&] { net->transmit(b, ping(2, 200), "t"); });
+                               [&] { net->transmit(b, ping(2, 200), obs::Phase::kOther); });
   net->scheduler().run();
   EXPECT_EQ(b_heard, 1);
   EXPECT_EQ(a_heard, 1);  // a is idle during b's airtime and hears it too
@@ -195,9 +195,9 @@ TEST(HalfDuplexTest, OverlappingLateTransmitterStillMisses) {
   int b_heard = 0;
   net->set_receiver(b, [&](const Packet&) { ++b_heard; });
 
-  net->transmit(a, ping(1, 200), "t");  // on the air over [0, 6.752 ms]
+  net->transmit(a, ping(1, 200), obs::Phase::kOther);  // on the air over [0, 6.752 ms]
   net->scheduler().schedule_at(Time::milliseconds(3),
-                               [&] { net->transmit(b, ping(2, 200), "t"); });
+                               [&] { net->transmit(b, ping(2, 200), obs::Phase::kOther); });
   net->scheduler().run();
   EXPECT_EQ(b_heard, 0);
 }
@@ -210,7 +210,7 @@ TEST(HalfDuplexTest, IdleReceiverStillHears) {
   const DeviceId b = net->add_device(2, {10, 0});
   int heard = 0;
   net->set_receiver(b, [&](const Packet&) { ++heard; });
-  net->transmit(a, ping(1), "t");
+  net->transmit(a, ping(1), obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(heard, 1);
 }

@@ -33,7 +33,7 @@ TEST(NetworkTest, DeliversWithinRange) {
     EXPECT_EQ(p.src, 1u);
     EXPECT_EQ(p.sender_device, a);
   });
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 1);
 }
@@ -44,7 +44,7 @@ TEST(NetworkTest, NoDeliveryBeyondRange) {
   const DeviceId b = net->add_device(2, {50, 0});
   int received = 0;
   net->set_receiver(b, [&](const Packet&) { ++received; });
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 0);
 }
@@ -57,7 +57,7 @@ TEST(NetworkTest, BroadcastReachesAllNeighbors) {
     const DeviceId d = net->add_device(static_cast<NodeId>(2 + i), {5.0 + i, 0});
     net->set_receiver(d, [&](const Packet&) { ++received; });
   }
-  net->transmit(center, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(center, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 5);
 }
@@ -67,7 +67,7 @@ TEST(NetworkTest, SenderDoesNotHearItself) {
   const DeviceId a = net->add_device(1, {0, 0});
   int received = 0;
   net->set_receiver(a, [&](const Packet&) { ++received; });
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 0);
 }
@@ -80,13 +80,13 @@ TEST(NetworkTest, DeadDeviceNeitherSendsNorReceives) {
   net->set_receiver(b, [&](const Packet&) { ++received; });
 
   net->device(b).alive = false;
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 0);
 
   net->device(b).alive = true;
   net->device(a).alive = false;
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 0);
 }
@@ -100,7 +100,7 @@ TEST(NetworkTest, DeliveryDelayedByTransmissionTime) {
   Time delivered_at = Time::zero();
   net->set_receiver(b, [&](const Packet&) { delivered_at = net->now(); });
   net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = util::Bytes(100, 0)},
-                "test");
+                obs::Phase::kOther);
   net->scheduler().run();
   // 111 bytes at 250 kbps = 3.552 ms, plus ~17 ns propagation.
   EXPECT_GT(delivered_at, Time::milliseconds(3));
@@ -115,12 +115,12 @@ TEST(NetworkTest, JammingBlocksBothDirections) {
   net->set_receiver(b, [&](const Packet&) { ++received; });
 
   const std::size_t jammer = net->add_jammer({{5, 0}, 2.0});  // covers b only
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 0);
 
   net->remove_jammer(jammer);
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 1);
 }
@@ -135,7 +135,7 @@ TEST(NetworkTest, ChannelLossDropsFraction) {
   net->set_receiver(b, [&](const Packet&) { ++received; });
   const int sent = 2000;
   for (int i = 0; i < sent; ++i) {
-    net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+    net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   }
   net->scheduler().run();
   EXPECT_NEAR(static_cast<double>(received) / sent, 0.6, 0.04);
@@ -149,13 +149,13 @@ TEST(NetworkTest, MetricsChargeCategoriesOncePerTransmit) {
     net->set_receiver(d, [](const Packet&) {});
   }
   net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = util::Bytes(10, 0)},
-                "phase-a");
-  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "phase-b");
+                obs::Phase::kHello);
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kAck);
   net->scheduler().run();
 
-  EXPECT_EQ(net->metrics().category("phase-a").messages, 1u);
-  EXPECT_EQ(net->metrics().category("phase-a").bytes, 10u + Packet::kHeaderBytes);
-  EXPECT_EQ(net->metrics().category("phase-b").messages, 1u);
+  EXPECT_EQ(net->metrics().phase(obs::Phase::kHello).messages, 1u);
+  EXPECT_EQ(net->metrics().phase(obs::Phase::kHello).bytes, 10u + Packet::kHeaderBytes);
+  EXPECT_EQ(net->metrics().phase(obs::Phase::kAck).messages, 1u);
   EXPECT_EQ(net->metrics().total().messages, 2u);
   EXPECT_EQ(net->metrics().deliveries(), 6u);  // 3 receivers x 2 packets
 }
@@ -245,13 +245,13 @@ TrafficResult run_traffic(bool use_index) {
 
   for (DeviceId d = 0; d < net.device_count(); ++d) {
     const NodeId self = net.device(d).identity;
-    net.transmit(d, Packet{.src = self, .dst = kNoNode, .type = 1, .payload = {}}, "bcast");
+    net.transmit(d, Packet{.src = self, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
     net.transmit(d,
                  Packet{.src = self,
                         .dst = static_cast<NodeId>(((d + 1) % n) + 1),
                         .type = 2,
                         .payload = util::Bytes(16, 0xab)},
-                 "unicast");
+                 obs::Phase::kOther);
   }
   net.scheduler().run();
 
@@ -305,24 +305,24 @@ TEST(SpatialIndexTest, IndexedBroadcastReachesBoundaryNeighbors) {
     net->set_receiver(d, [&](const Packet&) { ++received; });
   }
   ASSERT_TRUE(net->spatial_index_enabled());
-  net->transmit(center, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, "test");
+  net->transmit(center, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
   net->scheduler().run();
   EXPECT_EQ(received, 4);
 }
 
 TEST(MetricsTest, ResetClears) {
   Metrics metrics;
-  metrics.count_tx("x", 10);
+  metrics.count_tx(obs::Phase::kOther, 10);
   metrics.count_delivery();
   metrics.reset();
   EXPECT_EQ(metrics.total().messages, 0u);
   EXPECT_EQ(metrics.deliveries(), 0u);
 }
 
-TEST(MetricsTest, UnknownCategoryIsZero) {
+TEST(MetricsTest, UntouchedPhaseIsZero) {
   Metrics metrics;
-  EXPECT_EQ(metrics.category("nope").messages, 0u);
-  EXPECT_EQ(metrics.category("nope").bytes, 0u);
+  EXPECT_EQ(metrics.phase(obs::Phase::kUpdate).messages, 0u);
+  EXPECT_EQ(metrics.phase(obs::Phase::kUpdate).bytes, 0u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace snd::sim {
@@ -154,6 +157,76 @@ TEST(SchedulerTest, CancelAfterFireStaysBounded) {
   EXPECT_EQ(scheduler.pending(), 2u);
   scheduler.run();
   EXPECT_EQ(scheduler.executed(), 514u);
+}
+
+TEST(SchedulerTest, TypicalEventActionStaysInline) {
+  // The whole point of the SBO action type: simulator-sized captures must
+  // not reach the heap fallback.
+  Scheduler scheduler;
+  std::array<std::uint8_t, 64> capture{};
+  capture[0] = 42;
+  int seen = 0;
+  EventAction action = [capture, &seen] { seen = capture[0]; };
+  EXPECT_FALSE(action.heap_allocated());
+  scheduler.schedule_at(Time::zero(), std::move(action));
+  scheduler.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SchedulerTest, OversizedCaptureFallsBackToHeapAndStillRuns) {
+  Scheduler scheduler;
+  std::array<std::uint8_t, 256> blob{};
+  blob[0] = 7;
+  int seen = 0;
+  EventAction action = [blob, &seen] { seen = blob[0]; };
+  EXPECT_TRUE(action.heap_allocated());
+  scheduler.schedule_at(Time::zero(), std::move(action));
+  scheduler.run();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(SchedulerTest, CancelReleasesActionResources) {
+  // A cancelled event's capture must be destroyed, not leaked in the queue.
+  Scheduler scheduler;
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  const EventId id =
+      scheduler.schedule_at(Time::milliseconds(1), [token = std::move(token)] { (void)token; });
+  scheduler.cancel(id);
+  scheduler.run();
+  EXPECT_FALSE(watch.lock());
+  EXPECT_EQ(scheduler.executed(), 0u);
+}
+
+TEST(SchedulerTest, DestructionReleasesUnrunActions) {
+  // run_until() can leave events queued forever; destroying the scheduler
+  // must release their captures (inline and heap-fallback alike).
+  auto small = std::make_shared<int>(1);
+  auto large = std::make_shared<int>(2);
+  std::weak_ptr<int> watch_small = small;
+  std::weak_ptr<int> watch_large = large;
+  {
+    Scheduler scheduler;
+    scheduler.schedule_at(Time::milliseconds(1), [small = std::move(small)] { (void)small; });
+    std::array<std::uint8_t, 256> pad{};
+    scheduler.schedule_at(Time::milliseconds(2),
+                          [large = std::move(large), pad] { (void)pad; });
+    scheduler.run_until(Time::zero());
+    EXPECT_TRUE(watch_small.lock());
+    EXPECT_TRUE(watch_large.lock());
+  }
+  EXPECT_FALSE(watch_small.lock());
+  EXPECT_FALSE(watch_large.lock());
+}
+
+TEST(SchedulerTest, MoveOnlyCapturesSchedulable) {
+  // EventAction is move-only, so uniquely-owned captures work directly.
+  Scheduler scheduler;
+  auto value = std::make_unique<int>(11);
+  int seen = 0;
+  scheduler.schedule_at(Time::zero(), [value = std::move(value), &seen] { seen = *value; });
+  scheduler.run();
+  EXPECT_EQ(seen, 11);
 }
 
 TEST(SchedulerTest, ManyEventsStressOrdering) {

@@ -1,0 +1,128 @@
+#include "util/inplace_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+
+namespace snd::util {
+namespace {
+
+using Fn = InplaceFunction<int(), 64>;
+
+TEST(InplaceFunctionTest, DefaultAndNullptrAreEmpty) {
+  Fn a;
+  Fn b = nullptr;
+  EXPECT_FALSE(a);
+  EXPECT_FALSE(b);
+  EXPECT_FALSE(a.heap_allocated());
+}
+
+TEST(InplaceFunctionTest, SmallCaptureStoredInline) {
+  int x = 41;
+  Fn f = [x] { return x + 1; };
+  ASSERT_TRUE(f);
+  EXPECT_FALSE(f.heap_allocated());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InplaceFunctionTest, OversizedCaptureUsesHeapFallback) {
+  std::array<int, 64> big{};  // 256 bytes > 64-byte capacity
+  big[0] = 7;
+  Fn f = [big] { return big[0]; };
+  ASSERT_TRUE(f);
+  EXPECT_TRUE(f.heap_allocated());
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(InplaceFunctionTest, MoveTransfersInlineTarget) {
+  Fn f = [] { return 5; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move) - tested on purpose
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g(), 5);
+
+  Fn h;
+  h = std::move(g);
+  EXPECT_FALSE(g);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(h(), 5);
+}
+
+TEST(InplaceFunctionTest, MoveTransfersHeapTargetWithoutReallocating) {
+  std::array<int, 64> big{};
+  big[3] = 9;
+  Fn f = [big] { return big[3]; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(g.heap_allocated());
+  EXPECT_EQ(g(), 9);
+}
+
+TEST(InplaceFunctionTest, MoveOnlyCapturesSupported) {
+  auto p = std::make_unique<int>(9);
+  Fn f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InplaceFunctionTest, DestructionReleasesUninvokedInlineCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InplaceFunction<void(), 64> f = [token = std::move(token)] { (void)token; };
+    EXPECT_TRUE(watch.lock());
+  }
+  EXPECT_FALSE(watch.lock());
+}
+
+TEST(InplaceFunctionTest, DestructionReleasesUninvokedHeapCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    std::array<char, 128> pad{};
+    InplaceFunction<void(), 64> f = [token = std::move(token), pad] { (void)pad; };
+    EXPECT_TRUE(f.heap_allocated());
+    EXPECT_TRUE(watch.lock());
+  }
+  EXPECT_FALSE(watch.lock());
+}
+
+TEST(InplaceFunctionTest, MoveAssignmentDestroysPreviousTarget) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InplaceFunction<void(), 64> f = [token = std::move(token)] { (void)token; };
+  f = [] {};
+  EXPECT_FALSE(watch.lock());
+  ASSERT_TRUE(f);
+  f();  // replacement target still callable
+}
+
+TEST(InplaceFunctionTest, ArgumentsAndReturnValueForwarded) {
+  InplaceFunction<int(int, int), 32> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+
+  // Move-only argument passes through the type-erased invoke.
+  InplaceFunction<int(std::unique_ptr<int>), 32> deref =
+      [](std::unique_ptr<int> p) { return *p; };
+  EXPECT_EQ(deref(std::make_unique<int>(6)), 6);
+}
+
+TEST(InplaceFunctionTest, MutableLambdaStatePersists) {
+  InplaceFunction<int(), 32> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(InplaceFunctionTest, StdFunctionConvertible) {
+  // Callers that still build a std::function can hand it over; it becomes
+  // the stored target (inline: libstdc++ std::function is two pointers wide
+  // plus the callable wrapper, well under 64 bytes).
+  std::function<int()> std_fn = [] { return 3; };
+  Fn f = std_fn;
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f(), 3);
+}
+
+}  // namespace
+}  // namespace snd::util

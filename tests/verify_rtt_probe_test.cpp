@@ -87,7 +87,7 @@ TEST_F(RttProbeTest, ForgedResponseIgnored) {
                                   .dst = packet.src,
                                   .type = kRttResponseType,
                                   .payload = std::move(payload)},
-                      "attack");
+                      obs::Phase::kAttack);
   });
   probe_and_run(*a, 2);  // identity 2 does not exist: only Eve answers
   ASSERT_TRUE(result_.has_value());
