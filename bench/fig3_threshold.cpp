@@ -12,12 +12,15 @@
 // for any --jobs value.
 //
 //   ./fig3_threshold [--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]
+//                    [--fault-plan PATH]
 //                    [--log warn] [--trace counters] [--trace-json PATH]
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
+#include "fault/plan.h"
 #include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "util/cli.h"
@@ -34,7 +37,9 @@ struct TrialResult {
 };
 
 /// Fraction of the center node's actual neighbors that it validated.
-TrialResult center_node_accuracy(std::size_t threshold, std::uint64_t seed) {
+/// `plan` (optional) injects channel faults into every trial.
+TrialResult center_node_accuracy(std::size_t threshold, std::uint64_t seed,
+                                 const fault::FaultPlan* plan) {
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {100.0, 100.0}};
   config.radio_range = 50.0;
@@ -42,6 +47,7 @@ TrialResult center_node_accuracy(std::size_t threshold, std::uint64_t seed) {
   config.seed = seed;
 
   core::SndDeployment deployment(config);
+  if (plan != nullptr && !plan->empty()) deployment.apply_fault_plan(*plan);
   const NodeId center = deployment.deploy_node_at(config.field.center());
   deployment.deploy_round(199);
   deployment.run();
@@ -71,12 +77,26 @@ int main(int argc, char** argv) {
   const auto t_step = static_cast<std::size_t>(cli.get_int("tstep", 10));
   runner::TrialRunner pool(util::resolve_jobs(cli));
   const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-  if (!cli.validate(std::cerr, {"seeds", "tmax", "tstep", "jobs", "log", "trace", "trace-json"},
+  const std::string plan_path = cli.get("fault-plan", "");
+  if (!cli.validate(std::cerr,
+                    {"seeds", "tmax", "tstep", "jobs", "fault-plan", "log", "trace",
+                     "trace-json"},
                     "[--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]\n"
+                    "       [--fault-plan PATH]\n"
                     "       [--log warn] [--trace counters] [--trace-json PATH]")) {
     return 2;
   }
   if (!obs::apply_obs(obs_config, std::cerr)) return 2;
+  std::optional<fault::FaultPlan> plan;
+  if (!plan_path.empty()) {
+    plan = fault::FaultPlan::load(plan_path);
+    if (!plan) {
+      std::cerr << cli.program() << ": --fault-plan: cannot load " << plan_path << "\n";
+      return 2;
+    }
+    std::cout << "fault plan: " << plan_path << " (" << plan->actions.size()
+              << " actions)\n";
+  }
   if (seeds == 0 || t_step == 0) {
     std::cerr << cli.program() << ": --seeds and --tstep must be >= 1\n";
     return 2;
@@ -99,7 +119,8 @@ int main(int argc, char** argv) {
   const auto accuracy = pool.run(
       thresholds.size() * seeds, /*base_seed=*/101,
       [&](std::size_t i, std::uint64_t seed) {
-        TrialResult result = center_node_accuracy(thresholds[i / seeds], seed);
+        TrialResult result =
+            center_node_accuracy(thresholds[i / seeds], seed, plan ? &*plan : nullptr);
         registry.record(i, result.trace);
         return result.accuracy;
       },

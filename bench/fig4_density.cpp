@@ -10,13 +10,15 @@
 // across workers by runner::TrialRunner; aggregate statistics are
 // bit-identical for any --jobs value.
 //
-//   ./fig4_density [--seeds 10] [--jobs N]
+//   ./fig4_density [--seeds 10] [--jobs N] [--fault-plan PATH]
 //                  [--log warn] [--trace counters] [--trace-json PATH]
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
+#include "fault/plan.h"
 #include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "util/cli.h"
@@ -33,7 +35,7 @@ struct TrialResult {
 };
 
 TrialResult center_node_accuracy(double density_per_m2, std::size_t threshold,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, const fault::FaultPlan* plan) {
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {100.0, 100.0}};
   config.radio_range = 50.0;
@@ -42,6 +44,7 @@ TrialResult center_node_accuracy(double density_per_m2, std::size_t threshold,
 
   const auto nodes = static_cast<std::size_t>(density_per_m2 * config.field.area());
   core::SndDeployment deployment(config);
+  if (plan != nullptr && !plan->empty()) deployment.apply_fault_plan(*plan);
   const NodeId center = deployment.deploy_node_at(config.field.center());
   deployment.deploy_round(nodes - 1);
   deployment.run();
@@ -69,12 +72,23 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 10));
   runner::TrialRunner pool(util::resolve_jobs(cli));
   const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-  if (!cli.validate(std::cerr, {"seeds", "jobs", "log", "trace", "trace-json"},
-                    "[--seeds 10] [--jobs N]\n"
+  const std::string plan_path = cli.get("fault-plan", "");
+  if (!cli.validate(std::cerr, {"seeds", "jobs", "fault-plan", "log", "trace", "trace-json"},
+                    "[--seeds 10] [--jobs N] [--fault-plan PATH]\n"
                     "       [--log warn] [--trace counters] [--trace-json PATH]")) {
     return 2;
   }
   if (!obs::apply_obs(obs_config, std::cerr)) return 2;
+  std::optional<fault::FaultPlan> plan;
+  if (!plan_path.empty()) {
+    plan = fault::FaultPlan::load(plan_path);
+    if (!plan) {
+      std::cerr << cli.program() << ": --fault-plan: cannot load " << plan_path << "\n";
+      return 2;
+    }
+    std::cout << "fault plan: " << plan_path << " (" << plan->actions.size()
+              << " actions)\n";
+  }
   if (seeds == 0) {
     std::cerr << cli.program() << ": --seeds must be >= 1\n";
     return 2;
@@ -98,8 +112,8 @@ int main(int argc, char** argv) {
       [&](std::size_t i, std::uint64_t seed) {
         const std::size_t cell = i / seeds;
         const double density = densities_per_1000m2[cell / thresholds.size()] / 1000.0;
-        TrialResult result =
-            center_node_accuracy(density, thresholds[cell % thresholds.size()], seed);
+        TrialResult result = center_node_accuracy(
+            density, thresholds[cell % thresholds.size()], seed, plan ? &*plan : nullptr);
         registry.record(i, result.trace);
         return result.accuracy;
       },

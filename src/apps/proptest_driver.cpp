@@ -1,0 +1,104 @@
+// Property-suite CLI: randomized fault-injection trials over the SND
+// protocol with invariant oracles, automatic fault-plan shrinking, and
+// FAILCASE replay.
+//
+//   ./proptest_driver [--trials 20] [--seed 1] [--jobs N] [--ab-every 8]
+//                     [--failcase-dir .] [--max-failures 5]
+//                     [--plant none|uncounted_drop]
+//                     [--replay-failcase PATH]
+//                     [--log warn] [--trace off]
+//
+// --plant arms a deliberate, test-only bug inside fault::Injector so CI can
+// prove the harness actually catches, shrinks, and replays real defects.
+// --replay-failcase re-runs the exact (seed, plan) recorded in a FAILCASE
+// artifact and verifies the run is bit-identical to the recorded failure.
+#include <iostream>
+
+#include "fault/injector.h"
+#include "obs/config.h"
+#include "proptest/runner.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace snd;
+
+int replay(const std::string& path) {
+  const proptest::ReplayResult result = proptest::replay_failcase(path);
+  if (!result.loaded) {
+    std::cerr << "replay: " << result.error << "\n";
+    return 2;
+  }
+  std::cout << "== FAILCASE replay: " << path << " ==\n"
+            << "expected digest: " << result.expected_digest << "\n"
+            << "observed digest: " << result.outcome.digest << "\n"
+            << "digest match:    " << (result.digest_matches ? "yes" : "NO") << "\n"
+            << "reproduced:      " << (result.reproduced ? "yes" : "NO") << "\n";
+  for (const proptest::Violation& v : result.outcome.violations) {
+    std::cout << "  [" << v.oracle << "] " << v.message << "\n";
+  }
+  // Success means the artifact reproduces bit-identically: same digest and
+  // the violation fires again.
+  return result.digest_matches && result.reproduced ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  proptest::PropConfig config;
+  config.trials = static_cast<std::size_t>(cli.get_int("trials", 20));
+  config.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  config.jobs = util::resolve_jobs(cli);
+  config.ab_every = static_cast<std::size_t>(cli.get_int("ab-every", 8));
+  config.failcase_dir = cli.get("failcase-dir", ".");
+  config.max_failures = static_cast<std::size_t>(cli.get_int("max-failures", 5));
+  const std::string plant = cli.get("plant", "none");
+  const std::string replay_path = cli.get("replay-failcase", "");
+  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+
+  const auto planted = fault::planted_bug_from_name(plant);
+  if (!planted) cli.record_error("--plant: unknown bug '" + plant + "'");
+  if (!cli.validate(std::cerr,
+                    {"trials", "seed", "jobs", "ab-every", "failcase-dir", "max-failures",
+                     "plant", "replay-failcase", "log", "trace", "trace-json"},
+                    "[--trials 20] [--seed 1] [--jobs N] [--ab-every 8]\n"
+                    "       [--failcase-dir .] [--max-failures 5]\n"
+                    "       [--plant none|uncounted_drop] [--replay-failcase PATH]\n"
+                    "       [--log warn] [--trace off]")) {
+    return 2;
+  }
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
+  fault::set_planted_bug(*planted);
+
+  if (!replay_path.empty()) return replay(replay_path);
+
+  if (config.trials == 0) {
+    std::cerr << cli.program() << ": --trials must be >= 1\n";
+    return 2;
+  }
+
+  std::cout << "== SND property suite: " << config.trials << " randomized trials, seed "
+            << config.base_seed << ", " << config.jobs << " jobs ==\n";
+  if (*planted != fault::PlantedBug::kNone) {
+    std::cout << "(planted bug armed: " << plant << ")\n";
+  }
+
+  const proptest::PropReport report = proptest::run_property_suite(config);
+
+  std::cout << "\npassed " << report.passed << "/" << report.trials << ", failed "
+            << report.failed << ", errored " << report.errored << ", A/B checked "
+            << report.ab_checked << " (mismatches " << report.ab_mismatches << ")\n";
+  for (const proptest::FailCase& failcase : report.failcases) {
+    std::cout << "\nFAILCASE " << failcase.kind << " trial=" << failcase.trial
+              << " seed=" << failcase.trial_seed << " plan " << failcase.plan.actions.size()
+              << "/" << failcase.unshrunk_actions << " actions after "
+              << failcase.shrink_runs << " shrink runs\n";
+    for (const proptest::Violation& v : failcase.violations) {
+      std::cout << "  [" << v.oracle << "] " << v.message << "\n";
+    }
+    if (!failcase.path.empty()) std::cout << "  artifact: " << failcase.path << "\n";
+  }
+  std::cout << (report.all_green() ? "\nALL INVARIANTS HELD\n" : "\nINVARIANT FAILURES\n");
+  return report.all_green() ? 0 : 1;
+}

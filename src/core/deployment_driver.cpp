@@ -99,6 +99,71 @@ void SndDeployment::kill_device(sim::DeviceId device) {
   if (SndNode* agent = agent_for_device(device)) agent->stop();
 }
 
+namespace {
+
+void trace_inject(sim::Network& network, obs::InjectKind kind, NodeId node) {
+  obs::Tracer& tracer = network.tracer();
+  if (!tracer.active()) return;
+  tracer.emit(obs::Event{.kind = obs::EventKind::kInject,
+                         .code = static_cast<std::uint8_t>(kind),
+                         .node = node,
+                         .t_ns = network.now().ns()});
+}
+
+}  // namespace
+
+sim::DeviceId SndDeployment::original_device(NodeId identity) const {
+  for (const sim::Device& d : network_->devices()) {
+    if (d.identity == identity && !d.replica) return d.id;
+  }
+  return sim::kNoDevice;
+}
+
+void SndDeployment::apply_fault_plan(const fault::FaultPlan& plan) {
+  injector_ = std::make_unique<fault::Injector>(plan);
+  network_->set_fault_hook(injector_.get());
+  for (const fault::Injector::Lifecycle& action : injector_->lifecycle_actions()) {
+    // A fire time already in the past executes at the current instant.
+    const sim::Time at = std::max(network_->now(), sim::Time::nanoseconds(action.at_ns));
+    const NodeId node = action.node;
+    if (action.kind == fault::ActionKind::kCrash) {
+      network_->scheduler().schedule_at(at, [this, node]() { crash_node(node); });
+    } else {
+      network_->scheduler().schedule_at(at, [this, node]() { reboot_node(node); });
+    }
+  }
+}
+
+bool SndDeployment::crash_node(NodeId identity) {
+  const sim::DeviceId device = original_device(identity);
+  if (device == sim::kNoDevice) return false;
+  kill_device(device);
+  trace_inject(*network_, obs::InjectKind::kCrash, identity);
+  return true;
+}
+
+bool SndDeployment::reboot_node(NodeId identity) {
+  const sim::DeviceId device = original_device(identity);
+  if (device == sim::kNoDevice) return false;
+  network_->device(device).alive = true;
+  if (config_.energy.enabled) network_->set_energy_j(device, config_.energy.initial_j);
+  // Destroy the old incarnation first: its stop() deregisters the radio
+  // receiver, which must not clobber the fresh agent's registration.
+  agents_.erase(device);
+  const std::uint32_t epoch = ++boot_epochs_[device];
+  auto agent = std::make_unique<SndNode>(*network_, device, identity, master_, verifier_, keys_,
+                                         config_.protocol, epoch);
+  agent->start();
+  agents_.emplace(device, std::move(agent));
+  trace_inject(*network_, obs::InjectKind::kReboot, identity);
+  return true;
+}
+
+std::uint32_t SndDeployment::boot_epoch(sim::DeviceId device) const {
+  const auto it = boot_epochs_.find(device);
+  return it != boot_epochs_.end() ? it->second : 0;
+}
+
 topology::Digraph SndDeployment::actual_benign_graph() const {
   topology::Digraph graph;
   for (const sim::Device& a : network_->devices()) {

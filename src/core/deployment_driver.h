@@ -12,6 +12,7 @@
 #include "core/config.h"
 #include "core/protocol.h"
 #include "crypto/keypredist.h"
+#include "fault/injector.h"
 #include "sim/deployment.h"
 #include "sim/network.h"
 #include "topology/graph.h"
@@ -78,6 +79,29 @@ class SndDeployment {
   /// Marks a device dead (battery exhaustion): the agent stops receiving.
   void kill_device(sim::DeviceId device);
 
+  // -- Fault injection ---------------------------------------------------
+  /// Arms `plan` for this run: installs a fault::Injector as the network's
+  /// fault hook (delivery perturbation + clock skew) and schedules the
+  /// plan's crash/reboot actions. Call before run(); the deployment owns
+  /// the injector. An empty plan is a no-op, keeping the run bit-identical
+  /// to an unfaulted one.
+  void apply_fault_plan(const fault::FaultPlan& plan);
+  /// The armed injector, or nullptr when no plan was applied.
+  [[nodiscard]] fault::Injector* injector() { return injector_.get(); }
+  [[nodiscard]] const fault::Injector* injector() const { return injector_.get(); }
+
+  /// Crashes `identity`'s original device right now: the device dies and
+  /// its agent stops (same observable state as battery exhaustion).
+  /// Returns false for unknown identities.
+  bool crash_node(NodeId identity);
+  /// Revives `identity`'s original device and boots a *fresh* agent on it:
+  /// new protocol state, new Messenger with the next boot epoch (so peers
+  /// accept its traffic while stale pre-crash packets stay rejectable).
+  /// Restores the energy budget when accounting is on.
+  bool reboot_node(NodeId identity);
+  /// Reboots this device's agent (0 = never rebooted).
+  [[nodiscard]] std::uint32_t boot_epoch(sim::DeviceId device) const;
+
   // -- Graph views ----------------------------------------------------------
   /// Ground truth: radio links among benign devices (directed both ways).
   [[nodiscard]] topology::Digraph actual_benign_graph() const;
@@ -95,6 +119,11 @@ class SndDeployment {
   std::shared_ptr<crypto::KeyPredistribution> keys_;
   util::Rng deploy_rng_;
   std::map<sim::DeviceId, std::unique_ptr<SndNode>> agents_;
+  std::unique_ptr<fault::Injector> injector_;
+  std::map<sim::DeviceId, std::uint32_t> boot_epochs_;
+
+  /// The non-replica device claiming `identity`; kNoDevice when unknown.
+  [[nodiscard]] sim::DeviceId original_device(NodeId identity) const;
 };
 
 }  // namespace snd::core

@@ -5,15 +5,17 @@
 namespace snd::core {
 
 Messenger::Messenger(sim::Network& network, sim::DeviceId device, NodeId identity,
-                     std::shared_ptr<crypto::KeyPredistribution> keys)
+                     std::shared_ptr<crypto::KeyPredistribution> keys, std::uint32_t boot_epoch)
     : network_(network),
       device_(device),
       identity_(identity),
       keys_(std::move(keys)),
       key_cache_(keys_, identity),
       // Device-distinct starting nonce so replicas of one identity never
-      // collide in the receiver's replay cache.
-      nonce_counter_(static_cast<std::uint64_t>(device) << 32) {}
+      // collide in the receiver's replay cache; the epoch stride jumps a
+      // rebooted device's counters ahead of everything it sent before.
+      nonce_counter_((static_cast<std::uint64_t>(device) << 32) +
+                     static_cast<std::uint64_t>(boot_epoch) * kEpochStride) {}
 
 crypto::SymmetricKey Messenger::pair_key(NodeId peer) const {
   auto key = keys_->pairwise(identity_, peer);
@@ -124,7 +126,23 @@ std::optional<std::span<const std::uint8_t>> Messenger::open(const sim::Packet& 
     }
   }
 
-  if (!replay_accept(packet.src, *nonce)) return std::nullopt;
+  if (!replay_accept(packet.src, *nonce)) {
+    // The packet authenticated but its counter is a duplicate or too old:
+    // a replayed (or pathologically reordered) message. Charged as a typed
+    // post-delivery drop so traces distinguish it from silent discard.
+    ++replay_rejects_;
+    network_.metrics().count_drop(obs::DropCause::kReplay);
+    obs::Tracer& tracer = network_.tracer();
+    if (tracer.active()) {
+      tracer.emit(obs::Event{.kind = obs::EventKind::kDrop,
+                             .code = static_cast<std::uint8_t>(obs::DropCause::kReplay),
+                             .node = identity_,
+                             .peer = packet.src,
+                             .bytes = static_cast<std::uint32_t>(packet.wire_bytes()),
+                             .t_ns = network_.now().ns()});
+    }
+    return std::nullopt;
+  }
   return payload;
 }
 

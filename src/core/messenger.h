@@ -39,9 +39,13 @@ namespace snd::core {
 class Messenger {
  public:
   /// `identity` is the identity this endpoint speaks as (a replica speaks
-  /// as its stolen identity).
+  /// as its stolen identity). `boot_epoch` counts reboots of the device: a
+  /// rebooted node loses its counter state, so each epoch starts its nonce
+  /// counters 2^20 ahead of the previous one -- peers' replay windows see
+  /// strictly fresh counters, while stale pre-reboot traffic replayed later
+  /// still lands behind the window and is rejected.
   Messenger(sim::Network& network, sim::DeviceId device, NodeId identity,
-            std::shared_ptr<crypto::KeyPredistribution> keys);
+            std::shared_ptr<crypto::KeyPredistribution> keys, std::uint32_t boot_epoch = 0);
 
   /// Sends an authenticated unicast. Returns false if no pairwise key with
   /// `to` could be established. Cost is charged to `phase`.
@@ -77,6 +81,13 @@ class Messenger {
   /// memory, so this -- not the message count -- bounds replay state.
   [[nodiscard]] std::size_t replay_window_count() const;
 
+  /// Messages that authenticated but were rejected by the replay window
+  /// (also charged to obs::DropCause::kReplay on the network's metrics).
+  [[nodiscard]] std::uint64_t replay_rejects() const { return replay_rejects_; }
+
+  /// Per-epoch nonce-counter stride (see the constructor comment).
+  static constexpr std::uint64_t kEpochStride = 1ULL << 20;
+
  private:
   /// Slow-path key derivation (the seed implementation), kept verbatim for
   /// fast/slow A-B verification.
@@ -100,6 +111,7 @@ class Messenger {
   std::shared_ptr<crypto::KeyPredistribution> keys_;
   crypto::PairKeyCache key_cache_;
   std::uint64_t nonce_counter_;
+  std::uint64_t replay_rejects_ = 0;
   /// Nonces are (device << 32) + counter, so windows are keyed per
   /// (claimed src identity, sending device): replicas of one identity get
   /// independent windows and never collide.

@@ -28,7 +28,8 @@ void trace_event(sim::Network& network, NodeId node, obs::EventKind kind, Code c
 SndNode::SndNode(sim::Network& network, sim::DeviceId device, NodeId identity,
                  const crypto::SymmetricKey& master_key,
                  std::shared_ptr<verify::DirectVerifier> verifier,
-                 std::shared_ptr<crypto::KeyPredistribution> keys, ProtocolConfig config)
+                 std::shared_ptr<crypto::KeyPredistribution> keys, ProtocolConfig config,
+                 std::uint32_t boot_epoch)
     : network_(network),
       device_(device),
       identity_(identity),
@@ -37,7 +38,7 @@ SndNode::SndNode(sim::Network& network, sim::DeviceId device, NodeId identity,
       verifier_(std::move(verifier)),
       keys_(keys),
       config_(config),
-      messenger_(network, device, identity, std::move(keys)) {
+      messenger_(network, device, identity, std::move(keys), boot_epoch) {
   keys_->provision(identity);
 }
 
@@ -47,10 +48,22 @@ void SndNode::schedule(sim::Time at, sim::EventAction action) {
   pending_events_.push_back(network_.scheduler().schedule_at(at, std::move(action)));
 }
 
+sim::Time SndNode::skewed(sim::Time delay) const {
+  const sim::FaultHook* hook = network_.fault_hook();
+  if (hook == nullptr || !hook->skews_timers()) return delay;
+  const double drift = hook->timer_drift(identity_);
+  if (drift == 1.0) return delay;
+  return sim::Time::nanoseconds(
+      static_cast<std::int64_t>(static_cast<double>(delay.ns()) * drift));
+}
+
 sim::Time SndNode::jittered_now() {
   const auto max_ns = static_cast<double>(config_.tx_jitter.ns());
-  return network_.now() +
-         sim::Time::nanoseconds(static_cast<std::int64_t>(network_.rng().uniform(0.0, max_ns)));
+  // The RNG draw happens unconditionally (and first) so armed skew never
+  // changes the shared stream's consumption order.
+  const auto jitter =
+      sim::Time::nanoseconds(static_cast<std::int64_t>(network_.rng().uniform(0.0, max_ns)));
+  return network_.now() + skewed(jitter);
 }
 
 void SndNode::start() {
@@ -63,9 +76,9 @@ void SndNode::start() {
 
   const sim::Time jitter = sim::Time::nanoseconds(static_cast<std::int64_t>(
       network_.rng().uniform(0.0, static_cast<double>(config_.hello_jitter.ns()))));
-  schedule(network_.now() + jitter, [this]() { send_hellos(config_.hello_repeats); });
-  schedule(network_.now() + config_.discovery_window, [this]() { finish_discovery(); });
-  schedule(network_.now() + config_.discovery_window + config_.exchange_window,
+  schedule(network_.now() + skewed(jitter), [this]() { send_hellos(config_.hello_repeats); });
+  schedule(network_.now() + skewed(config_.discovery_window), [this]() { finish_discovery(); });
+  schedule(network_.now() + skewed(config_.discovery_window + config_.exchange_window),
            [this]() { run_validation(); });
 }
 
@@ -78,7 +91,7 @@ void SndNode::stop() {
 void SndNode::send_hellos(std::size_t remaining) {
   if (remaining == 0 || discovery_complete_) return;
   messenger_.broadcast(static_cast<std::uint8_t>(MessageType::kHello), {}, obs::Phase::kHello);
-  schedule(network_.now() + config_.hello_spacing,
+  schedule(network_.now() + skewed(config_.hello_spacing),
            [this, remaining]() { send_hellos(remaining - 1); });
 }
 
@@ -206,7 +219,8 @@ void SndNode::on_record_request(const sim::Packet& packet) {
   // reply.
   if (record_broadcast_scheduled_) return;
   record_broadcast_scheduled_ = true;
-  schedule(jittered_now() + sim::Time::milliseconds(20), [this]() { broadcast_record(); });
+  schedule(jittered_now() + skewed(sim::Time::milliseconds(20)),
+           [this]() { broadcast_record(); });
 }
 
 void SndNode::broadcast_record() {
@@ -311,7 +325,8 @@ void SndNode::run_validation() {
 
   if (config_.max_updates > 0) {
     // Keep K alive briefly to serve update requests, then erase.
-    schedule(network_.now() + config_.update_service_window, [this]() { erase_master_key(); });
+    schedule(network_.now() + skewed(config_.update_service_window),
+             [this]() { erase_master_key(); });
   } else {
     erase_master_key();
   }

@@ -40,10 +40,14 @@ namespace snd::core {
 
 class SndNode {
  public:
+  /// `boot_epoch` counts reboots of this device (0 on first boot); it only
+  /// offsets the Messenger's nonce counters so a restarted node's traffic
+  /// is accepted by peers that remember the previous incarnation.
   SndNode(sim::Network& network, sim::DeviceId device, NodeId identity,
           const crypto::SymmetricKey& master_key,
           std::shared_ptr<verify::DirectVerifier> verifier,
-          std::shared_ptr<crypto::KeyPredistribution> keys, ProtocolConfig config);
+          std::shared_ptr<crypto::KeyPredistribution> keys, ProtocolConfig config,
+          std::uint32_t boot_epoch = 0);
 
   SndNode(const SndNode&) = delete;
   SndNode& operator=(const SndNode&) = delete;
@@ -68,6 +72,8 @@ class SndNode {
   [[nodiscard]] const BindingRecord& record() const { return *record_; }
   [[nodiscard]] bool master_key_present() const { return master_.present(); }
   [[nodiscard]] bool discovery_complete() const { return discovery_complete_; }
+  /// Authenticated messages this node's transport rejected as replays.
+  [[nodiscard]] std::uint64_t replay_rejects() const { return messenger_.replay_rejects(); }
 
   /// Evidences buffered since the last record update: (issuer, E(x, u)).
   [[nodiscard]] const std::map<NodeId, crypto::Digest>& evidence_buffer() const {
@@ -108,7 +114,12 @@ class SndNode {
  private:
   /// Schedules `action` and remembers the event so stop() can cancel it.
   void schedule(sim::Time at, sim::EventAction action);
-  /// Now plus a uniform draw from [0, tx_jitter] (per-message backoff).
+  /// A relative delay as measured by this node's local clock: scaled by the
+  /// fault layer's per-node timer drift when a skew fault is armed,
+  /// otherwise returned untouched (the common, bit-identical path).
+  [[nodiscard]] sim::Time skewed(sim::Time delay) const;
+  /// Now plus a uniform draw from [0, tx_jitter] (per-message backoff),
+  /// measured on the local (possibly skewed) clock.
   sim::Time jittered_now();
   void send_hellos(std::size_t remaining);
   void on_packet(const sim::Packet& packet);

@@ -1,0 +1,105 @@
+#include "fault/injector.h"
+
+#include <atomic>
+
+namespace snd::fault {
+
+namespace {
+
+std::atomic<PlantedBug> g_planted_bug{PlantedBug::kNone};
+
+}  // namespace
+
+void set_planted_bug(PlantedBug bug) { g_planted_bug.store(bug, std::memory_order_relaxed); }
+
+PlantedBug planted_bug() { return g_planted_bug.load(std::memory_order_relaxed); }
+
+std::optional<PlantedBug> planted_bug_from_name(std::string_view name) {
+  if (name == "none") return PlantedBug::kNone;
+  if (name == "uncounted_drop") return PlantedBug::kUncountedDrop;
+  return std::nullopt;
+}
+
+Injector::Injector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {
+  hits_.assign(plan_.actions.size(), 0);
+  for (const FaultAction& action : plan_.actions) {
+    if (action.is_lifecycle()) {
+      lifecycle_.push_back(Lifecycle{.kind = action.kind, .node = action.node,
+                                     .at_ns = action.at_ns});
+    } else if (action.kind == ActionKind::kSkew) {
+      // Last skew action for a node wins (plans rarely stack them).
+      drift_[action.node] = action.drift;
+    }
+  }
+}
+
+sim::FaultDecision Injector::on_delivery(NodeId src, NodeId dst, obs::Phase phase,
+                                         sim::Time now) {
+  sim::FaultDecision decision;
+  const auto phase_code = static_cast<std::uint8_t>(phase);
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    const FaultAction& action = plan_.actions[i];
+    if (action.is_lifecycle() || action.kind == ActionKind::kSkew) continue;
+    if (hits_[i] >= action.match.max_hits) continue;
+    if (!action.match.covers(src, dst, phase_code, now.ns())) continue;
+    // The Bernoulli draw is consumed only for actions whose deterministic
+    // criteria matched, so unrelated traffic never shifts the stream.
+    if (action.match.probability < 1.0 && !rng_.chance(action.match.probability)) continue;
+    ++hits_[i];
+    switch (action.kind) {
+      case ActionKind::kDrop:
+      case ActionKind::kBurst:
+        decision.drop = true;
+        decision.drop_kind = action.kind == ActionKind::kBurst ? obs::InjectKind::kBurst
+                                                               : obs::InjectKind::kDrop;
+        if (planted_bug() != PlantedBug::kUncountedDrop) {
+          ++(action.kind == ActionKind::kBurst ? counters_.bursts : counters_.drops);
+        }
+        // A destroyed copy cannot also be duplicated/delayed/corrupted.
+        return decision;
+      case ActionKind::kDuplicate:
+        decision.copies += action.copies;
+        decision.copy_spacing = sim::Time::nanoseconds(action.delay_ns);
+        counters_.extra_copies += action.copies;
+        break;
+      case ActionKind::kDelay:
+        decision.extra_delay += sim::Time::nanoseconds(action.delay_ns);
+        ++counters_.delays;
+        break;
+      case ActionKind::kCorrupt:
+        if (!decision.corrupt) ++counters_.corrupts;
+        decision.corrupt = true;
+        corrupt_mode_ = action.corrupt_mode;
+        break;
+      case ActionKind::kCrash:
+      case ActionKind::kReboot:
+      case ActionKind::kSkew:
+        break;  // unreachable; filtered above
+    }
+  }
+  return decision;
+}
+
+void Injector::corrupt_packet(sim::Packet& packet) {
+  if (corrupt_mode_ == CorruptMode::kTruncate && !packet.payload.empty()) {
+    // Cut the payload anywhere, including to empty.
+    packet.payload.resize(
+        static_cast<std::size_t>(rng_.uniform_int(static_cast<std::uint64_t>(packet.payload.size()))));
+    return;
+  }
+  if (packet.payload.empty()) {
+    // Nothing to mutate in the body; scramble the type discriminator so the
+    // corruption is still observable end to end.
+    packet.type ^= static_cast<std::uint8_t>(1 + rng_.uniform_int(std::uint64_t{255}));
+    return;
+  }
+  const std::uint64_t bit = rng_.uniform_int(static_cast<std::uint64_t>(packet.payload.size() * 8));
+  packet.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+double Injector::timer_drift(NodeId node) const {
+  const auto it = drift_.find(node);
+  return it != drift_.end() ? it->second : 1.0;
+}
+
+}  // namespace snd::fault

@@ -1,0 +1,88 @@
+// Executes a FaultPlan against one simulated run.
+//
+// The Injector is the sim::FaultHook implementation: sim::Network consults
+// it per delivery candidate, core::SndDeployment schedules its lifecycle
+// actions (crash/reboot) and routes clock skew into protocol timers. All
+// randomness comes from the injector's own RNG seeded by the plan, so the
+// channel's draw sequence is untouched and a (plan, run seed) pair is fully
+// deterministic.
+//
+// The injector also keeps authoritative counts of everything it did. The
+// proptest conservation oracle cross-checks these against the simulator's
+// metrics (e.g. metrics drops[injected] == injector drops+bursts); a
+// test-only planted bug (set_planted_bug) deliberately corrupts this
+// bookkeeping so the harness can prove its oracles and shrinker work.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/plan.h"
+#include "sim/fault.h"
+#include "util/rng.h"
+
+namespace snd::fault {
+
+/// Test-only deliberate defects, armed process-wide via set_planted_bug.
+/// kNone in production; the proptest harness uses the others to verify that
+/// its oracles fire and its shrinker converges.
+enum class PlantedBug : std::uint8_t {
+  kNone = 0,
+  /// Injected drops are destroyed but not counted in the injector's own
+  /// bookkeeping -- the metrics-vs-injector conservation oracle must fire.
+  kUncountedDrop,
+};
+
+void set_planted_bug(PlantedBug bug);
+[[nodiscard]] PlantedBug planted_bug();
+/// Parses "none" / "uncounted_drop" (the --plant flag vocabulary).
+[[nodiscard]] std::optional<PlantedBug> planted_bug_from_name(std::string_view name);
+
+class Injector final : public sim::FaultHook {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // -- sim::FaultHook ----------------------------------------------------
+  sim::FaultDecision on_delivery(NodeId src, NodeId dst, obs::Phase phase,
+                                 sim::Time now) override;
+  void corrupt_packet(sim::Packet& packet) override;
+  [[nodiscard]] double timer_drift(NodeId node) const override;
+  [[nodiscard]] bool skews_timers() const override { return !drift_.empty(); }
+
+  // -- Lifecycle actions (deployment layer) ------------------------------
+  struct Lifecycle {
+    ActionKind kind = ActionKind::kCrash;  // kCrash or kReboot
+    NodeId node = kNoNode;
+    std::int64_t at_ns = 0;
+  };
+  /// Crash/reboot actions in plan order; the deployment schedules them.
+  [[nodiscard]] const std::vector<Lifecycle>& lifecycle_actions() const { return lifecycle_; }
+
+  // -- Authoritative accounting ------------------------------------------
+  struct Counters {
+    std::uint64_t drops = 0;        ///< candidates destroyed by kDrop
+    std::uint64_t bursts = 0;       ///< candidates destroyed by kBurst
+    std::uint64_t extra_copies = 0; ///< duplicate copies scheduled
+    std::uint64_t delays = 0;       ///< deliveries postponed
+    std::uint64_t corrupts = 0;     ///< payloads mutated
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  /// Mode of the most recent matching kCorrupt action; consumed by the
+  /// corrupt_packet call the Network makes right after on_delivery.
+  CorruptMode corrupt_mode_ = CorruptMode::kBitFlip;
+  /// Per-action hit counts (max_hits retirement), parallel to plan_.actions.
+  std::vector<std::uint64_t> hits_;
+  std::vector<Lifecycle> lifecycle_;
+  std::unordered_map<NodeId, double> drift_;
+  Counters counters_;
+};
+
+}  // namespace snd::fault

@@ -1,0 +1,123 @@
+// Seeded, serializable fault schedules.
+//
+// A FaultPlan is pure data: a seed plus an ordered list of FaultActions.
+// Applying one to a run (fault::Injector + core::SndDeployment) perturbs
+// the simulation deterministically -- the same (plan, deployment seed) pair
+// always reproduces the same run, which is what lets the property-based
+// harness shrink a failing plan to a minimal action subset and replay a
+// FAILCASE artifact bit-identically.
+//
+// Plans round-trip through JSON (to_json / parse / save / load). The
+// serialized form omits fields left at their defaults, so a
+// parse -> to_json cycle is canonicalizing and idempotent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace snd::util {
+class JsonValue;
+}
+
+namespace snd::fault {
+
+/// What one action does. Delivery actions (kDrop..kCorrupt, kBurst) fire
+/// per matching delivery candidate inside sim::Network; lifecycle actions
+/// (kCrash, kReboot) fire once at an absolute time via the deployment
+/// layer; kSkew arms a per-node clock-drift multiplier for the whole run.
+enum class ActionKind : std::uint8_t {
+  kDrop = 0,
+  kDuplicate,
+  kDelay,
+  kCorrupt,
+  kCrash,
+  kReboot,
+  kSkew,
+  kBurst,
+};
+inline constexpr std::size_t kActionKindCount = static_cast<std::size_t>(ActionKind::kBurst) + 1;
+
+[[nodiscard]] std::string_view action_kind_name(ActionKind kind);
+[[nodiscard]] std::optional<ActionKind> action_kind_from_name(std::string_view name);
+
+/// How a kCorrupt action mutates the in-flight copy.
+enum class CorruptMode : std::uint8_t {
+  kBitFlip = 0,  // flip one payload bit (or the type byte when empty)
+  kTruncate,     // cut the payload short
+};
+
+/// Which delivery candidates an action applies to. All criteria are ANDed;
+/// defaults match everything. `probability` adds a per-candidate Bernoulli
+/// draw from the injector's own RNG and `max_hits` retires the action after
+/// it has fired that many times.
+struct Match {
+  NodeId src = kNoNode;  ///< actual sender identity; kNoNode = any
+  NodeId dst = kNoNode;  ///< receiver identity; kNoNode = any
+  /// obs::Phase index the transmission is charged to; -1 = any.
+  std::int16_t phase = -1;
+  /// Half-open simulation-time window [from_ns, until_ns).
+  std::int64_t from_ns = 0;
+  std::int64_t until_ns = std::numeric_limits<std::int64_t>::max();
+  double probability = 1.0;
+  std::uint64_t max_hits = std::numeric_limits<std::uint64_t>::max();
+
+  /// The deterministic criteria (ids, phase, window). probability/max_hits
+  /// are stateful and live in the Injector.
+  [[nodiscard]] bool covers(NodeId from, NodeId to, std::uint8_t tx_phase,
+                            std::int64_t t_ns) const;
+};
+
+struct FaultAction {
+  ActionKind kind = ActionKind::kDrop;
+  Match match;
+
+  // -- kDuplicate -------------------------------------------------------
+  std::uint32_t copies = 1;  ///< extra copies per matching delivery
+
+  /// kDelay: extra latency per matching delivery; kDuplicate: spacing
+  /// between consecutive extra copies.
+  std::int64_t delay_ns = 1'000'000;  // 1 ms
+
+  // -- kCorrupt ---------------------------------------------------------
+  CorruptMode corrupt_mode = CorruptMode::kBitFlip;
+
+  // -- kCrash / kReboot / kSkew ----------------------------------------
+  NodeId node = kNoNode;   ///< target identity
+  std::int64_t at_ns = 0;  ///< absolute fire time (crash/reboot)
+  double drift = 1.0;      ///< skew: local timer multiplier (1.0 = none)
+
+  [[nodiscard]] bool is_lifecycle() const {
+    return kind == ActionKind::kCrash || kind == ActionKind::kReboot;
+  }
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultAction> actions;
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses the canonical JSON form; nullopt on syntax errors, unknown
+  /// kinds, or out-of-range field values.
+  [[nodiscard]] static std::optional<FaultPlan> parse(std::string_view json);
+  /// Same, from an already-parsed JSON object (e.g. the "plan" member of a
+  /// FAILCASE artifact).
+  [[nodiscard]] static std::optional<FaultPlan> from_value(const util::JsonValue& value);
+
+  /// File round-trip helpers. save() returns false on I/O errors; load()
+  /// nullopt on I/O or parse errors.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<FaultPlan> load(const std::string& path);
+};
+
+}  // namespace snd::fault

@@ -12,7 +12,8 @@ constexpr std::array<std::string_view, kPhaseCount> kPhaseNames = {
 };
 
 constexpr std::array<std::string_view, kDropCauseCount> kDropCauseNames = {
-    "out_of_range", "collision", "loss", "half_duplex", "sender_dead", "receiver_dead",
+    "out_of_range", "collision",     "loss",   "half_duplex",
+    "sender_dead",  "receiver_dead", "replay", "injected",
 };
 
 constexpr std::array<std::string_view, kNodePhaseCount> kNodePhaseNames = {
@@ -29,8 +30,12 @@ constexpr std::array<std::string_view, kAcceptViaCount> kAcceptViaNames = {
     "threshold", "commitment",
 };
 
+constexpr std::array<std::string_view, kInjectKindCount> kInjectKindNames = {
+    "drop", "duplicate", "delay", "corrupt", "crash", "reboot", "skew", "burst",
+};
+
 constexpr std::array<std::string_view, kEventKindCount> kEventKindNames = {
-    "tx", "delivery", "drop", "phase", "reject", "accept",
+    "tx", "delivery", "drop", "phase", "reject", "accept", "inject",
 };
 
 template <std::size_t N>
@@ -60,6 +65,10 @@ std::string_view accept_via_name(AcceptVia via) {
   return name_or_unknown(kAcceptViaNames, static_cast<std::size_t>(via));
 }
 
+std::string_view inject_kind_name(InjectKind kind) {
+  return name_or_unknown(kInjectKindNames, static_cast<std::size_t>(kind));
+}
+
 std::string_view event_kind_name(EventKind kind) {
   return name_or_unknown(kEventKindNames, static_cast<std::size_t>(kind));
 }
@@ -84,6 +93,8 @@ std::string_view event_code_name(EventKind kind, std::uint8_t code) {
       return name_or_unknown(kRejectReasonNames, code);
     case EventKind::kAccept:
       return name_or_unknown(kAcceptViaNames, code);
+    case EventKind::kInject:
+      return name_or_unknown(kInjectKindNames, code);
   }
   return "?";
 }

@@ -47,9 +47,19 @@ enum class DropCause : std::uint8_t {
   kHalfDuplex,      // "half_duplex"  -- receiver transmitting during the airtime
   kSenderDead,      // "sender_dead"  -- sender battery died mid-transmission
   kReceiverDead,    // "receiver_dead" -- receiver dead (or died) at delivery
+  // Post-seed causes. Serialized only when non-zero so clean-run BENCH
+  // artifacts stay byte-identical to their pre-fault-layer goldens.
+  kReplay,    // "replay"   -- delivered, then rejected by the replay window
+  kInjected,  // "injected" -- destroyed by an armed fault::Injector rule
 };
 inline constexpr std::size_t kDropCauseCount =
-    static_cast<std::size_t>(DropCause::kReceiverDead) + 1;
+    static_cast<std::size_t>(DropCause::kInjected) + 1;
+/// Causes the radio channel itself charges (everything before kReplay).
+/// kReplay is charged by core::Messenger after a successful delivery and
+/// kInjected by the fault layer, so conservation checks that balance
+/// enumerated delivery candidates against outcomes must treat them apart.
+inline constexpr std::size_t kChannelDropCauseCount =
+    static_cast<std::size_t>(DropCause::kReplay);
 
 /// Lifecycle milestones of an SndNode (paper section 4.1 timeline).
 enum class NodePhase : std::uint8_t {
@@ -87,6 +97,21 @@ enum class AcceptVia : std::uint8_t {
 inline constexpr std::size_t kAcceptViaCount =
     static_cast<std::size_t>(AcceptVia::kCommitment) + 1;
 
+/// What an armed fault::Injector did. Carried in EventKind::kInject events
+/// so a trace shows exactly where a fault plan perturbed the run.
+enum class InjectKind : std::uint8_t {
+  kDrop = 0,   // "drop"      -- delivery candidate destroyed
+  kDuplicate,  // "duplicate" -- extra copies scheduled
+  kDelay,      // "delay"     -- delivery postponed
+  kCorrupt,    // "corrupt"   -- payload mutated in flight
+  kCrash,      // "crash"     -- device forced dead mid-protocol
+  kReboot,     // "reboot"    -- device revived, agent restarted fresh
+  kSkew,       // "skew"      -- per-node clock drift armed
+  kBurst,      // "burst"     -- adversary-triggered loss burst hit
+};
+inline constexpr std::size_t kInjectKindCount =
+    static_cast<std::size_t>(InjectKind::kBurst) + 1;
+
 enum class EventKind : std::uint8_t {
   kTx = 0,    // code = Phase;        node = sender,   peer = dst, bytes on air
   kDelivery,  // code = Phase;        node = receiver, peer = claimed src
@@ -94,9 +119,10 @@ enum class EventKind : std::uint8_t {
   kPhase,     // code = NodePhase;    node = the node; bytes = list size
   kReject,    // code = RejectReason; node = rejecter, peer = offender
   kAccept,    // code = AcceptVia;    node = accepter, peer = new neighbor
+  kInject,    // code = InjectKind;   node = affected, peer = other party
 };
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kAccept) + 1;
+    static_cast<std::size_t>(EventKind::kInject) + 1;
 
 /// One trace record. Fixed-size POD: emission never allocates.
 struct Event {
@@ -120,6 +146,7 @@ struct Event {
 [[nodiscard]] std::string_view node_phase_name(NodePhase phase);
 [[nodiscard]] std::string_view reject_reason_name(RejectReason reason);
 [[nodiscard]] std::string_view accept_via_name(AcceptVia via);
+[[nodiscard]] std::string_view inject_kind_name(InjectKind kind);
 [[nodiscard]] std::string_view event_kind_name(EventKind kind);
 
 /// Maps a historical sim::Metrics category string ("snd.hello", ...) to its

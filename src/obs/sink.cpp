@@ -36,6 +36,9 @@ void CountingSink::on_event(const Event& event) {
     case EventKind::kAccept:
       if (code < kAcceptViaCount) ++summary_.accepts[code];
       break;
+    case EventKind::kInject:
+      if (code < kInjectKindCount) ++summary_.injects[code];
+      break;
   }
 }
 

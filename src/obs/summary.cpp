@@ -12,6 +12,7 @@ void TraceSummary::merge(const TraceSummary& other) {
   for (std::size_t i = 0; i < kNodePhaseCount; ++i) node_phases[i] += other.node_phases[i];
   for (std::size_t i = 0; i < kRejectReasonCount; ++i) rejects[i] += other.rejects[i];
   for (std::size_t i = 0; i < kAcceptViaCount; ++i) accepts[i] += other.accepts[i];
+  for (std::size_t i = 0; i < kInjectKindCount; ++i) injects[i] += other.injects[i];
   events += other.events;
   ring_overflow += other.ring_overflow;
   trials += other.trials;
@@ -26,6 +27,12 @@ std::uint64_t TraceSummary::total_messages() const {
 std::uint64_t TraceSummary::total_drops() const {
   std::uint64_t sum = 0;
   for (std::uint64_t d : drops) sum += d;
+  return sum;
+}
+
+std::uint64_t TraceSummary::total_injects() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t i : injects) sum += i;
   return sum;
 }
 
@@ -71,9 +78,23 @@ std::string TraceSummary::to_json() const {
   out += "{";
   bool first_drop = true;
   for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    // Channel causes always appear (downstream indexes without existence
+    // checks); the post-seed replay/injected causes only when non-zero so a
+    // clean run's artifact matches its pre-fault-layer golden byte for byte.
+    if (i >= kChannelDropCauseCount && drops[i] == 0) continue;
     append_u64(out, first_drop, drop_cause_name(static_cast<DropCause>(i)), drops[i]);
   }
   out += "}";
+
+  if (total_injects() > 0) {
+    append_field(out, first, "injects");
+    out += "{";
+    bool first_inject = true;
+    for (std::size_t i = 0; i < kInjectKindCount; ++i) {
+      append_u64(out, first_inject, inject_kind_name(static_cast<InjectKind>(i)), injects[i]);
+    }
+    out += "}";
+  }
 
   append_field(out, first, "node_phases");
   out += "{";

@@ -34,6 +34,9 @@ struct TraceSummary {
   std::array<std::uint64_t, kNodePhaseCount> node_phases{};
   std::array<std::uint64_t, kRejectReasonCount> rejects{};
   std::array<std::uint64_t, kAcceptViaCount> accepts{};
+  /// Fault-layer perturbations per InjectKind; all zero when no FaultPlan
+  /// was armed, in which case the block is omitted from to_json() entirely.
+  std::array<std::uint64_t, kInjectKindCount> injects{};
 
   /// Events emitted (all kinds), and ring-buffer overwrites. Overflow is
   /// counted, never silent: ring_overflow > 0 tells you the in-memory ring
@@ -49,11 +52,16 @@ struct TraceSummary {
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t total_drops() const;
 
+  [[nodiscard]] std::uint64_t total_injects() const;
+
   /// One-line JSON object: {"trials":..,"deliveries":..,"tx":{...},
   /// "drops":{...},"node_phases":{...},"rejects":{...},"accepts":{...}}.
   /// tx lists only phases with traffic; the small fixed maps (drops,
   /// node_phases, rejects, accepts) always list every key, so downstream
-  /// figure drivers can index without existence checks.
+  /// figure drivers can index without existence checks. Two exceptions keep
+  /// clean-run artifacts byte-identical to pre-fault-layer goldens: the
+  /// "replay"/"injected" drop causes appear only when non-zero, and the
+  /// "injects" block appears only when a fault plan actually fired.
   [[nodiscard]] std::string to_json() const;
 };
 

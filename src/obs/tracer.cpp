@@ -47,6 +47,9 @@ void Tracer::record(const Event& event) {
     case EventKind::kAccept:
       if (code < kAcceptViaCount) ++accepts_[code];
       break;
+    case EventKind::kInject:
+      if (code < kInjectKindCount) ++injects_[code];
+      break;
     default:
       // Radio events (tx/delivery/drop) are already counted by the typed
       // sim::Metrics arrays; counting them twice here would double-report.
@@ -78,6 +81,7 @@ void Tracer::accumulate_into(TraceSummary& summary) const {
   for (std::size_t i = 0; i < kNodePhaseCount; ++i) summary.node_phases[i] += node_phases_[i];
   for (std::size_t i = 0; i < kRejectReasonCount; ++i) summary.rejects[i] += rejects_[i];
   for (std::size_t i = 0; i < kAcceptViaCount; ++i) summary.accepts[i] += accepts_[i];
+  for (std::size_t i = 0; i < kInjectKindCount; ++i) summary.injects[i] += injects_[i];
   summary.events += events_;
   summary.ring_overflow += ring_overflow_;
 }
@@ -88,6 +92,7 @@ void Tracer::reset() {
   node_phases_ = {};
   rejects_ = {};
   accepts_ = {};
+  injects_ = {};
   ring_.clear();
   next_slot_ = 0;
 }

@@ -106,6 +106,7 @@ class Tracer {
   std::array<std::uint64_t, kNodePhaseCount> node_phases_{};
   std::array<std::uint64_t, kRejectReasonCount> rejects_{};
   std::array<std::uint64_t, kAcceptViaCount> accepts_{};
+  std::array<std::uint64_t, kInjectKindCount> injects_{};
 
   /// Circular buffer: next_slot_ is the oldest entry once full.
   std::vector<Event> ring_;

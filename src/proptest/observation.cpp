@@ -1,0 +1,124 @@
+#include "proptest/observation.h"
+
+#include "core/safety.h"
+#include "crypto/sha256.h"
+
+namespace snd::proptest {
+
+namespace {
+
+void append_u64(std::string& out, std::string_view key, std::uint64_t value) {
+  out += "\"";
+  out += key;
+  out += "\":" + std::to_string(value) + ",";
+}
+
+void append_bool(std::string& out, std::string_view key, bool value) {
+  out += "\"";
+  out += key;
+  out += value ? "\":true," : "\":false,";
+}
+
+}  // namespace
+
+std::string Observation::to_json() const {
+  std::string out = "{";
+  append_u64(out, "trial_seed", trial_seed);
+  append_u64(out, "candidates", candidates);
+  append_u64(out, "deliveries", deliveries);
+  out += "\"drops\":[";
+  for (std::size_t i = 0; i < drops.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(drops[i]);
+  }
+  out += "],";
+  append_bool(out, "fault_plan_armed", fault_plan_armed);
+  append_u64(out, "injected_drops", injected_drops);
+  append_u64(out, "injected_bursts", injected_bursts);
+  append_u64(out, "injected_extra_copies", injected_extra_copies);
+  append_u64(out, "injected_delays", injected_delays);
+  append_u64(out, "injected_corrupts", injected_corrupts);
+  // Doubles print with %.17g (shortest exact round-trip is overkill here;
+  // 17 significant digits reproduce the bits).
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"safety_d\":%.17g,", safety_d);
+  out += buf;
+  append_bool(out, "safety_holds", safety_holds);
+  append_u64(out, "safety_violations", safety_violations);
+  std::snprintf(buf, sizeof(buf), "\"max_impact_radius\":%.17g,", max_impact_radius);
+  out += buf;
+  out += "\"agents\":[";
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    const AgentObservation& a = agents[i];
+    if (i > 0) out += ",";
+    out += "{";
+    append_u64(out, "id", a.id);
+    append_bool(out, "alive", a.alive);
+    append_bool(out, "discovery_complete", a.discovery_complete);
+    append_bool(out, "has_record", a.has_record);
+    append_bool(out, "record_valid", a.record_valid);
+    append_bool(out, "record_lists_tentative", a.record_lists_tentative);
+    append_bool(out, "master_present", a.master_present);
+    append_u64(out, "record_version", a.record_version);
+    append_u64(out, "tentative", a.tentative);
+    append_u64(out, "functional", a.functional);
+    append_u64(out, "replay_rejects", a.replay_rejects);
+    out.pop_back();  // trailing comma
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Observation::digest() const { return crypto::Sha256::hash(to_json()).hex(); }
+
+Observation observe(const core::SndDeployment& deployment, double safety_d) {
+  Observation out;
+  const sim::Network& network = deployment.network();
+  const sim::Metrics& metrics = network.metrics();
+
+  out.candidates = metrics.candidates();
+  out.deliveries = metrics.deliveries();
+  for (std::size_t i = 0; i < obs::kDropCauseCount; ++i) {
+    out.drops[i] = metrics.drops(static_cast<obs::DropCause>(i));
+  }
+
+  if (const fault::Injector* injector = deployment.injector()) {
+    out.fault_plan_armed = true;
+    const fault::Injector::Counters& counters = injector->counters();
+    out.injected_drops = counters.drops;
+    out.injected_bursts = counters.bursts;
+    out.injected_extra_copies = counters.extra_copies;
+    out.injected_delays = counters.delays;
+    out.injected_corrupts = counters.corrupts;
+  }
+
+  const core::SafetyReport safety = core::audit_safety(deployment, safety_d);
+  out.safety_d = safety_d;
+  out.safety_holds = safety.holds();
+  out.safety_violations = safety.violation_count();
+  out.max_impact_radius = safety.max_impact_radius();
+
+  for (const core::SndNode* agent : deployment.agents()) {
+    AgentObservation a;
+    a.id = agent->identity();
+    a.alive = network.device(agent->device()).alive;
+    a.discovery_complete = agent->discovery_complete();
+    a.has_record = agent->has_record();
+    if (a.has_record) {
+      const core::BindingRecord& record = agent->record();
+      a.record_valid = record.verify(deployment.master_key());
+      a.record_version = record.version;
+      a.record_lists_tentative =
+          record.version != 0 || record.neighbors == agent->tentative_neighbors();
+    }
+    a.master_present = agent->master_key_present();
+    a.tentative = static_cast<std::uint32_t>(agent->tentative_neighbors().size());
+    a.functional = static_cast<std::uint32_t>(agent->functional_neighbors().size());
+    a.replay_rejects = agent->replay_rejects();
+    out.agents.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace snd::proptest

@@ -1,0 +1,72 @@
+// The flattened end-of-trial snapshot the invariant oracles inspect.
+//
+// An Observation is pure data deliberately decoupled from the live
+// deployment: oracles are pure functions over it, so unit tests can
+// hand-build violating observations and prove each oracle fires, and the
+// canonical serialization gives every trial a digest -- the bit-identity
+// anchor for FAILCASE replay and the fast/slow crypto A-B oracle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/deployment_driver.h"
+#include "obs/event.h"
+
+namespace snd::proptest {
+
+/// Per-agent protocol state at the end of a trial.
+struct AgentObservation {
+  NodeId id = kNoNode;
+  bool alive = true;
+  bool discovery_complete = false;
+  bool has_record = false;
+  /// Record commitment verifies under the deployment master key.
+  bool record_valid = false;
+  /// For version-0 records: the record lists exactly the tentative set.
+  bool record_lists_tentative = false;
+  bool master_present = false;
+  std::uint32_t record_version = 0;
+  std::uint32_t tentative = 0;
+  std::uint32_t functional = 0;
+  std::uint64_t replay_rejects = 0;
+};
+
+struct Observation {
+  std::uint64_t trial_seed = 0;
+
+  // -- Radio conservation inputs (sim::Metrics) --------------------------
+  std::uint64_t candidates = 0;
+  std::uint64_t deliveries = 0;
+  std::array<std::uint64_t, obs::kDropCauseCount> drops{};
+
+  // -- Fault-injector accounting (all zero when no plan armed) -----------
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_bursts = 0;
+  std::uint64_t injected_extra_copies = 0;
+  std::uint64_t injected_delays = 0;
+  std::uint64_t injected_corrupts = 0;
+  bool fault_plan_armed = false;
+
+  // -- d-safety audit (core::audit_safety) -------------------------------
+  double safety_d = 0.0;
+  bool safety_holds = true;
+  std::uint64_t safety_violations = 0;
+  double max_impact_radius = 0.0;
+
+  std::vector<AgentObservation> agents;
+
+  /// Canonical serialization: fixed field order, integers only where
+  /// exactness matters. Equal observations produce equal strings.
+  [[nodiscard]] std::string to_json() const;
+  /// SHA-256 hex of to_json() -- the trial's bit-identity fingerprint.
+  [[nodiscard]] std::string digest() const;
+};
+
+/// Snapshots `deployment` after a run: metrics, injector counters, a
+/// d-safety audit with radius `safety_d`, and per-agent protocol state.
+[[nodiscard]] Observation observe(const core::SndDeployment& deployment, double safety_d);
+
+}  // namespace snd::proptest

@@ -1,0 +1,118 @@
+#include "proptest/oracles.h"
+
+namespace snd::proptest {
+
+namespace {
+
+std::uint64_t drop(const Observation& o, obs::DropCause cause) {
+  return o.drops[static_cast<std::size_t>(cause)];
+}
+
+std::optional<std::string> check_channel_conservation(const Observation& o) {
+  // Every enumerated delivery candidate (plus every injected extra copy,
+  // which the Network also counts as a candidate) ends exactly one way:
+  // delivered, or charged to a channel-side drop cause. kSenderDead is
+  // per-transmission (no candidates were enumerated) and kReplay is
+  // post-delivery, so both stay out of the balance.
+  const std::uint64_t outcomes = o.deliveries + drop(o, obs::DropCause::kOutOfRange) +
+                                 drop(o, obs::DropCause::kCollision) +
+                                 drop(o, obs::DropCause::kLoss) +
+                                 drop(o, obs::DropCause::kHalfDuplex) +
+                                 drop(o, obs::DropCause::kReceiverDead) +
+                                 drop(o, obs::DropCause::kInjected);
+  if (o.candidates == outcomes) return std::nullopt;
+  return "candidates=" + std::to_string(o.candidates) +
+         " != deliveries+channel_drops=" + std::to_string(outcomes);
+}
+
+std::optional<std::string> check_injected_conservation(const Observation& o) {
+  const std::uint64_t injector_account = o.injected_drops + o.injected_bursts;
+  const std::uint64_t metric = drop(o, obs::DropCause::kInjected);
+  if (metric == injector_account) return std::nullopt;
+  return "metrics injected drops=" + std::to_string(metric) +
+         " != injector account=" + std::to_string(injector_account) +
+         " (drops+bursts)";
+}
+
+std::optional<std::string> check_replay_bounded(const Observation& o) {
+  const std::uint64_t replays = drop(o, obs::DropCause::kReplay);
+  if (replays > o.deliveries) {
+    return "replay drops=" + std::to_string(replays) + " exceed deliveries=" +
+           std::to_string(o.deliveries);
+  }
+  std::uint64_t agent_rejects = 0;
+  for (const AgentObservation& a : o.agents) agent_rejects += a.replay_rejects;
+  // Detached agents (compromise) take their reject counts with them, so the
+  // metric may exceed the surviving agents' sum -- never the reverse.
+  if (agent_rejects > replays) {
+    return "agents report " + std::to_string(agent_rejects) +
+           " replay rejects but metrics counted " + std::to_string(replays);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_record_consistency(const Observation& o) {
+  for (const AgentObservation& a : o.agents) {
+    if (a.discovery_complete && !a.has_record) {
+      return "node " + std::to_string(a.id) + " completed discovery without a binding record";
+    }
+    if (a.has_record && !a.record_valid) {
+      return "node " + std::to_string(a.id) +
+             " holds a binding record whose commitment does not verify under K";
+    }
+    if (a.has_record && !a.record_lists_tentative) {
+      return "node " + std::to_string(a.id) +
+             " version-0 record does not list its tentative neighbor set";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_key_erasure(const Observation& o) {
+  // A run is observed at scheduler quiescence, so every alive node that
+  // froze its neighborhood has also passed validation and the erasure
+  // deadline. Dead (crashed, never rebooted) nodes are exempt: their agent
+  // stopped mid-protocol and the paper's trusted-window assumption only
+  // covers nodes that stay up.
+  for (const AgentObservation& a : o.agents) {
+    if (a.alive && a.discovery_complete && a.master_present) {
+      return "alive node " + std::to_string(a.id) +
+             " still holds the master key K after quiescence";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_safety(const Observation& o) {
+  if (o.safety_holds) return std::nullopt;
+  char radius[32];
+  std::snprintf(radius, sizeof(radius), "%.3f", o.max_impact_radius);
+  return std::to_string(o.safety_violations) + " identity(ies) violate " +
+         std::to_string(o.safety_d) + "-safety (max impact radius " + radius + ")";
+}
+
+}  // namespace
+
+const std::vector<Oracle>& default_oracles() {
+  static const std::vector<Oracle> kOracles = {
+      {"conservation.channel", check_channel_conservation},
+      {"conservation.injected", check_injected_conservation},
+      {"replay.bounded", check_replay_bounded},
+      {"record.consistency", check_record_consistency},
+      {"key.erasure", check_key_erasure},
+      {"safety.d", check_safety},
+  };
+  return kOracles;
+}
+
+std::vector<Violation> check_all(const Observation& observation) {
+  std::vector<Violation> violations;
+  for (const Oracle& oracle : default_oracles()) {
+    if (auto message = oracle.check(observation)) {
+      violations.push_back(Violation{oracle.name, std::move(*message)});
+    }
+  }
+  return violations;
+}
+
+}  // namespace snd::proptest

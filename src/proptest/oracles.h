@@ -1,0 +1,49 @@
+// The invariant-oracle registry.
+//
+// Each oracle is a named pure predicate over an Observation; a violation is
+// a human-readable explanation of which invariant broke and by how much.
+// Oracles are deliberately side-effect free so unit tests can hand-build
+// violating observations and prove every oracle fires (the harness's own
+// tests must not be vacuous).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proptest/observation.h"
+
+namespace snd::proptest {
+
+struct Violation {
+  std::string oracle;
+  std::string message;
+};
+
+struct Oracle {
+  std::string name;
+  /// Returns an explanation when the invariant is violated.
+  std::function<std::optional<std::string>(const Observation&)> check;
+};
+
+/// The built-in registry:
+///   conservation.channel  -- enumerated delivery candidates balance against
+///                            deliveries + channel drops (+ injected drops)
+///   conservation.injected -- the simulator's injected-drop count matches
+///                            the injector's own authoritative bookkeeping
+///   replay.bounded        -- replay rejects never exceed deliveries (each
+///                            reject is a real delivered packet), and only
+///                            occur when agents report them
+///   record.consistency    -- every completed node holds a binding record
+///                            whose commitment verifies under K and whose
+///                            version-0 neighbor list is its tentative set
+///   key.erasure           -- no alive node that completed discovery still
+///                            holds the master key K at quiescence
+///   safety.d              -- the empirical d-safety audit holds
+[[nodiscard]] const std::vector<Oracle>& default_oracles();
+
+/// Runs every oracle in `default_oracles()`; empty means all green.
+[[nodiscard]] std::vector<Violation> check_all(const Observation& observation);
+
+}  // namespace snd::proptest

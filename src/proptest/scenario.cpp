@@ -1,0 +1,172 @@
+#include "proptest/scenario.h"
+
+#include <algorithm>
+
+#include "adversary/attacker.h"
+#include "util/rng.h"
+
+namespace snd::proptest {
+
+namespace {
+
+// Domain separators so scenario generation, plan generation, and the attack
+// draw from independent streams: overriding the plan (shrinking) must not
+// change which node gets compromised.
+constexpr std::uint64_t kScenarioStream = 0x5ce7a210;
+constexpr std::uint64_t kPlanStream = 0xfa017a7;
+constexpr std::uint64_t kAttackStream = 0xa77ac4;
+
+// All fault windows land inside the first round's protocol activity.
+constexpr std::int64_t kHorizonNs = 700'000'000;
+
+fault::FaultAction random_action(util::Rng& rng, std::size_t node_count) {
+  using fault::ActionKind;
+  fault::FaultAction action;
+  action.kind = static_cast<ActionKind>(rng.uniform_int(fault::kActionKindCount));
+  const auto random_node = [&] {
+    return static_cast<NodeId>(1 + rng.uniform_int(node_count));
+  };
+  switch (action.kind) {
+    case ActionKind::kDrop:
+      if (rng.chance(0.5)) action.match.src = random_node();
+      if (rng.chance(0.3)) action.match.dst = random_node();
+      action.match.probability = rng.chance(0.5) ? 1.0 : rng.uniform(0.2, 1.0);
+      break;
+    case ActionKind::kDuplicate:
+      action.copies = 1 + static_cast<std::uint32_t>(rng.uniform_int(3));
+      action.delay_ns = static_cast<std::int64_t>(rng.uniform(2e5, 5e6));
+      action.match.probability = rng.uniform(0.3, 1.0);
+      break;
+    case ActionKind::kDelay:
+      action.delay_ns = static_cast<std::int64_t>(rng.uniform(1e6, 4e7));
+      action.match.probability = rng.uniform(0.3, 1.0);
+      break;
+    case ActionKind::kCorrupt:
+      action.corrupt_mode = rng.chance(0.5) ? fault::CorruptMode::kBitFlip
+                                            : fault::CorruptMode::kTruncate;
+      action.match.probability = rng.uniform(0.2, 0.8);
+      if (rng.chance(0.3)) action.match.max_hits = 1 + rng.uniform_int(4);
+      break;
+    case ActionKind::kCrash:
+      action.node = random_node();
+      action.at_ns = static_cast<std::int64_t>(rng.uniform(0.0, 0.6 * kHorizonNs));
+      break;
+    case ActionKind::kReboot:
+      action.node = random_node();
+      action.at_ns = static_cast<std::int64_t>(rng.uniform(0.3, 1.0) * kHorizonNs);
+      break;
+    case ActionKind::kSkew:
+      action.node = random_node();
+      action.drift = rng.uniform(0.85, 1.2);
+      break;
+    case ActionKind::kBurst: {
+      const auto start = static_cast<std::int64_t>(rng.uniform(0.0, 0.8 * kHorizonNs));
+      action.match.from_ns = start;
+      action.match.until_ns = start + static_cast<std::int64_t>(rng.uniform(1e7, 1.5e8));
+      action.match.probability = rng.uniform(0.5, 1.0);
+      break;
+    }
+  }
+  // Message-level actions sometimes target a phase or a time window.
+  if (!action.is_lifecycle() && action.kind != ActionKind::kSkew &&
+      action.kind != ActionKind::kBurst) {
+    if (rng.chance(0.25)) {
+      action.match.phase = static_cast<std::int16_t>(rng.uniform_int(4));
+    }
+    if (rng.chance(0.3)) {
+      const auto start = static_cast<std::int64_t>(rng.uniform(0.0, 0.7 * kHorizonNs));
+      action.match.from_ns = start;
+      action.match.until_ns = start + static_cast<std::int64_t>(rng.uniform(5e7, 3e8));
+    }
+  }
+  return action;
+}
+
+fault::FaultPlan random_plan(std::uint64_t trial_seed, std::size_t node_count) {
+  util::Rng rng(util::derive_seed(trial_seed, kPlanStream));
+  fault::FaultPlan plan;
+  plan.seed = util::derive_seed(trial_seed, kPlanStream + 1);
+  // ~1/4 of trials run with no plan at all, continuously re-validating that
+  // an unarmed deployment stays on the golden path.
+  const std::size_t n_actions = rng.chance(0.25) ? 0 : 1 + rng.uniform_int(4);
+  plan.actions.reserve(n_actions);
+  for (std::size_t i = 0; i < n_actions; ++i) {
+    plan.actions.push_back(random_action(rng, node_count));
+  }
+  return plan;
+}
+
+}  // namespace
+
+Scenario make_scenario(std::uint64_t trial_seed) {
+  util::Rng rng(util::derive_seed(trial_seed, kScenarioStream));
+  Scenario s;
+  s.trial_seed = trial_seed;
+
+  core::DeploymentConfig& d = s.deployment;
+  d.seed = util::derive_seed(trial_seed, kScenarioStream + 1);
+  const double side = rng.uniform(80.0, 140.0);
+  d.field = util::Rect{{0.0, 0.0}, {side, side}};
+  d.radio_range = rng.uniform(35.0, 60.0);
+  d.channel_loss = rng.chance(0.5) ? rng.uniform(0.0, 0.25) : 0.0;
+  d.half_duplex = rng.chance(0.3);
+  d.protocol.threshold_t = 1 + rng.uniform_int(3);
+  d.protocol.max_updates = rng.chance(0.4) ? 1 + static_cast<std::uint32_t>(rng.uniform_int(2)) : 0;
+  d.protocol.early_erasure = rng.chance(0.25);
+
+  s.round1_nodes = 8 + rng.uniform_int(9);
+  s.round2_nodes = rng.chance(0.6) ? 4 + rng.uniform_int(5) : 0;
+  s.attack = s.round2_nodes > 0 && rng.chance(0.7);
+  // Theorem 3 gives 2R-safety without updates; Theorem 4 gives (m+1)R with
+  // the update extension. m == 1 coincides with 2R.
+  const double multiplier =
+      d.protocol.max_updates > 0 ? static_cast<double>(d.protocol.max_updates + 1) : 2.0;
+  s.safety_d = multiplier * d.radio_range;
+
+  s.plan = random_plan(trial_seed, s.round1_nodes);
+  return s;
+}
+
+TrialOutcome run_scenario(const Scenario& scenario) {
+  core::SndDeployment deployment(scenario.deployment);
+  if (!scenario.plan.empty()) deployment.apply_fault_plan(scenario.plan);
+
+  const std::vector<NodeId> round1 = deployment.deploy_round(scenario.round1_nodes);
+  deployment.run();
+
+  std::optional<adversary::Attacker> attacker;
+  if (scenario.attack) {
+    util::Rng attack_rng(util::derive_seed(scenario.trial_seed, kAttackStream));
+    adversary::MaliciousBehavior behavior;
+    behavior.creep_with_updates = scenario.deployment.protocol.max_updates > 0;
+    attacker.emplace(deployment, behavior);
+    const NodeId victim = round1[attack_rng.uniform_int(round1.size())];
+    if (attacker->compromise(victim)) {
+      const util::Rect& field = scenario.deployment.field;
+      const util::Vec2 position{attack_rng.uniform(field.lo.x, field.hi.x),
+                                attack_rng.uniform(field.lo.y, field.hi.y)};
+      attacker->place_replica(victim, position);
+    }
+  }
+
+  if (scenario.round2_nodes > 0) {
+    deployment.deploy_round(scenario.round2_nodes);
+    deployment.run();
+  }
+
+  TrialOutcome outcome;
+  outcome.observation = observe(deployment, scenario.safety_d);
+  outcome.observation.trial_seed = scenario.trial_seed;
+  outcome.violations = check_all(outcome.observation);
+  outcome.digest = outcome.observation.digest();
+  return outcome;
+}
+
+TrialOutcome run_trial(std::uint64_t trial_seed,
+                       const std::optional<fault::FaultPlan>& plan_override) {
+  Scenario scenario = make_scenario(trial_seed);
+  if (plan_override) scenario.plan = *plan_override;
+  return run_scenario(scenario);
+}
+
+}  // namespace snd::proptest

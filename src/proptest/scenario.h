@@ -1,0 +1,60 @@
+// Randomized trial scenarios for the property suite.
+//
+// Everything a trial does -- deployment geometry, channel conditions,
+// protocol knobs, the fault plan, and the optional replication attack --
+// derives deterministically from one 64-bit trial seed. Re-running the same
+// seed reproduces the same Observation bit-for-bit; that is what makes
+// FAILCASE replay and fault-plan shrinking meaningful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/deployment_driver.h"
+#include "fault/plan.h"
+#include "proptest/observation.h"
+#include "proptest/oracles.h"
+
+namespace snd::proptest {
+
+/// A fully materialized trial: the deployment recipe plus the fault plan.
+struct Scenario {
+  std::uint64_t trial_seed = 0;
+  core::DeploymentConfig deployment;
+  fault::FaultPlan plan;
+  /// Nodes in the initial deployment round.
+  std::size_t round1_nodes = 10;
+  /// Nodes deployed in a second round (0 = single-round trial).
+  std::size_t round2_nodes = 0;
+  /// Mount the paper's replication attack between the rounds: compromise a
+  /// round-1 node after quiescence and place a replica elsewhere.
+  bool attack = false;
+  /// The d the safety oracle audits: (m+1)R with updates enabled, else 2R.
+  double safety_d = 0.0;
+};
+
+/// Derives a scenario from `trial_seed` alone (pure function of the seed).
+[[nodiscard]] Scenario make_scenario(std::uint64_t trial_seed);
+
+/// Everything a single trial produces.
+struct TrialOutcome {
+  Observation observation;
+  std::vector<Violation> violations;
+  /// observation.digest(), cached.
+  std::string digest;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+/// Builds the deployment, arms the fault plan (only when non-empty, so a
+/// plan-free scenario is bit-identical to an unfaulted run), executes the
+/// round(s) and the optional attack, and snapshots + checks the result.
+[[nodiscard]] TrialOutcome run_scenario(const Scenario& scenario);
+
+/// make_scenario + run_scenario, with an optional fault-plan override --
+/// the shrinker re-runs the same seed with ever-smaller plans.
+[[nodiscard]] TrialOutcome run_trial(std::uint64_t trial_seed,
+                                     const std::optional<fault::FaultPlan>& plan_override =
+                                         std::nullopt);
+
+}  // namespace snd::proptest

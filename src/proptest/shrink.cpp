@@ -1,0 +1,51 @@
+#include "proptest/shrink.h"
+
+namespace snd::proptest {
+
+ShrinkResult shrink_failing_plan(std::uint64_t trial_seed, const fault::FaultPlan& plan) {
+  ShrinkResult result;
+  result.plan = plan;
+  result.outcome = run_trial(trial_seed, plan);
+  ++result.runs;
+  if (result.outcome.passed()) return result;  // not reproducible; nothing to shrink
+
+  // Fast path: if the empty plan already fails, the fault plan is
+  // irrelevant to the bug and the minimal reproduction is plan-free.
+  if (!result.plan.actions.empty()) {
+    fault::FaultPlan empty;
+    empty.seed = plan.seed;
+    TrialOutcome outcome = run_trial(trial_seed, empty);
+    ++result.runs;
+    if (!outcome.passed()) {
+      result.removed_actions = result.plan.actions.size();
+      result.plan = std::move(empty);
+      result.outcome = std::move(outcome);
+      return result;
+    }
+  }
+
+  // Greedy ddmin: drop one action at a time, restart the scan after every
+  // successful removal, stop at a fixed point. Plans are tiny (<= a dozen
+  // actions), so the quadratic worst case is immaterial.
+  bool progressed = true;
+  while (progressed && result.plan.actions.size() > 1) {
+    progressed = false;
+    for (std::size_t i = 0; i < result.plan.actions.size(); ++i) {
+      fault::FaultPlan candidate = result.plan;
+      candidate.actions.erase(candidate.actions.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      TrialOutcome outcome = run_trial(trial_seed, candidate);
+      ++result.runs;
+      if (!outcome.passed()) {
+        result.plan = std::move(candidate);
+        result.outcome = std::move(outcome);
+        ++result.removed_actions;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace snd::proptest

@@ -1,0 +1,33 @@
+// Fault-plan shrinking: reduces a failing trial's plan to a minimal set of
+// injections that still reproduces the violation.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/plan.h"
+#include "proptest/scenario.h"
+
+namespace snd::proptest {
+
+struct ShrinkResult {
+  /// The smallest plan found that still fails (== the original when nothing
+  /// could be removed).
+  fault::FaultPlan plan;
+  /// Outcome of the final run with `plan`.
+  TrialOutcome outcome;
+  /// Actions the shrinker removed from the original plan.
+  std::size_t removed_actions = 0;
+  /// Trial re-executions spent shrinking.
+  std::size_t runs = 0;
+};
+
+/// Greedy delta-debugging over the plan's action list: repeatedly tries to
+/// drop one action at a time, keeping any removal after which the trial
+/// still fails, until a fixed point; finally tries the empty plan (which,
+/// if it fails too, proves the bug is fault-independent). Every probe
+/// re-runs the *same* trial seed with a plan override, so the deployment,
+/// attack, and all non-plan randomness are held fixed.
+[[nodiscard]] ShrinkResult shrink_failing_plan(std::uint64_t trial_seed,
+                                               const fault::FaultPlan& plan);
+
+}  // namespace snd::proptest

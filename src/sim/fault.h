@@ -1,0 +1,71 @@
+// The simulator's seam for deterministic fault injection.
+//
+// sim::Network consults an optional FaultHook once per enumerated delivery
+// candidate that survived the physical channel (range, jamming, loss). The
+// hook decides whether that one copy is destroyed, duplicated, delayed, or
+// corrupted in flight; fault::Injector is the production implementation,
+// driven by a seeded, serializable FaultPlan.
+//
+// Determinism contract: with no hook installed the Network's code path --
+// including every RNG draw -- is unchanged from the seed implementation, so
+// runs are byte-identical to a build without the fault layer. With a hook
+// installed, the hook is consulted in the same deterministic candidate
+// order the channel resolves receivers in, so a (seed, plan) pair always
+// reproduces the same perturbed run.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/event.h"
+#include "sim/packet.h"
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace snd::sim {
+
+/// What the hook wants done with one delivery candidate. Defaults leave the
+/// delivery untouched.
+struct FaultDecision {
+  /// Destroy this copy (counted as obs::DropCause::kInjected and traced
+  /// with `drop_kind`, which distinguishes targeted drops from bursts).
+  bool drop = false;
+  obs::InjectKind drop_kind = obs::InjectKind::kDrop;
+
+  /// Extra copies delivered after the original (replay/duplication faults);
+  /// copy i arrives `copy_spacing` * i after the original.
+  std::uint32_t copies = 0;
+  Time copy_spacing;
+
+  /// Additional latency on the original delivery.
+  Time extra_delay;
+
+  /// Mutate the payload in flight (the hook's corrupt_packet is applied to
+  /// a private copy; other receivers of the broadcast are unaffected).
+  bool corrupt = false;
+
+  /// True when the decision changes anything about the delivery.
+  [[nodiscard]] bool perturbs() const {
+    return drop || copies > 0 || corrupt || extra_delay > Time::zero();
+  }
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// One decision per delivery candidate. `src` is the *actual* identity of
+  /// the transmitting device (ground truth, not the packet's claimed src),
+  /// `dst` the candidate receiver's identity.
+  virtual FaultDecision on_delivery(NodeId src, NodeId dst, obs::Phase phase, Time now) = 0;
+
+  /// Mutates `packet` for a corrupt decision (bit flips, truncation, ...).
+  virtual void corrupt_packet(Packet& packet) = 0;
+
+  /// Per-node local-oscillator drift: protocol layers multiply their
+  /// relative timer delays for `node` by this factor (1.0 = no skew).
+  [[nodiscard]] virtual double timer_drift(NodeId node) const = 0;
+  /// False when no node is skewed; lets the protocol skip the lookup.
+  [[nodiscard]] virtual bool skews_timers() const = 0;
+};
+
+}  // namespace snd::sim

@@ -40,6 +40,7 @@ void Metrics::reset() {
   phases_ = {};
   drops_ = {};
   deliveries_ = 0;
+  candidates_ = 0;
 }
 
 }  // namespace snd::sim

@@ -28,6 +28,12 @@ class Metrics {
   void count_delivery() { ++deliveries_; }
   void count_drop(obs::DropCause cause) { ++drops_[static_cast<std::size_t>(cause)]; }
 
+  /// One per delivery candidate that reached the channel (in range check and
+  /// beyond) plus one per injected extra copy. Feeds the proptest
+  /// conservation oracle: candidates == deliveries + channel drops. Not
+  /// serialized into reports -- purely an internal invariant anchor.
+  void count_candidate() { ++candidates_; }
+
   [[nodiscard]] Counter total() const;
   [[nodiscard]] Counter phase(obs::Phase phase) const {
     return phases_[static_cast<std::size_t>(phase)];
@@ -37,6 +43,7 @@ class Metrics {
   [[nodiscard]] std::map<std::string, Counter, std::less<>> by_category() const;
 
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t candidates() const { return candidates_; }
   [[nodiscard]] std::uint64_t drops(obs::DropCause cause) const {
     return drops_[static_cast<std::size_t>(cause)];
   }
@@ -52,6 +59,7 @@ class Metrics {
   std::array<Counter, obs::kPhaseCount> phases_{};
   std::array<std::uint64_t, obs::kDropCauseCount> drops_{};
   std::uint64_t deliveries_ = 0;
+  std::uint64_t candidates_ = 0;
 };
 
 }  // namespace snd::sim

@@ -136,6 +136,55 @@ void Network::note_drop(obs::DropCause cause, NodeId node, NodeId peer, std::uin
   }
 }
 
+void Network::note_inject(obs::InjectKind kind, NodeId node, NodeId peer, std::uint32_t bytes) {
+  if (tracer_.active()) {
+    tracer_.emit(obs::Event{.kind = obs::EventKind::kInject,
+                            .code = static_cast<std::uint8_t>(kind),
+                            .node = node,
+                            .peer = peer,
+                            .bytes = bytes,
+                            .t_ns = scheduler_.now().ns()});
+  }
+}
+
+void Network::deliver_copy(DeviceId to, const std::shared_ptr<const Packet>& packet, Time start,
+                           Time airtime_end, obs::Phase phase) {
+  const Device& d = devices_[to];
+  const NodeId sender_identity = devices_[packet->sender_device].identity;
+  const auto rx_bytes = static_cast<std::uint32_t>(packet->wire_bytes());
+  if (!d.alive || !receivers_[to]) {
+    note_drop(obs::DropCause::kReceiverDead, d.identity, sender_identity, rx_bytes);
+    return;
+  }
+  // Half-duplex: the receiver missed the packet iff its own transmit run
+  // overlapped our airtime [start, airtime_end). Comparing intervals --
+  // not just tx_busy_until_ > start -- means a transmission the receiver
+  // queues *after* our airtime ended (but before this delivery event
+  // fires) no longer retroactively destroys the packet. Only the latest
+  // contiguous run is tracked: an overlapping run that ended and was
+  // replaced by a non-overlapping one inside the ~0.5 ms delivery lag
+  // would be forgiven, a vanishingly rare and optimistic approximation.
+  if (config_.half_duplex && tx_run_start_[to] < airtime_end && tx_busy_until_[to] > start) {
+    note_drop(obs::DropCause::kHalfDuplex, d.identity, sender_identity, rx_bytes);
+    return;
+  }
+  drain(to, energy_.rx_j_per_byte * static_cast<double>(packet->wire_bytes()));
+  if (!devices_[to].alive) {
+    note_drop(obs::DropCause::kReceiverDead, d.identity, sender_identity, rx_bytes);
+    return;
+  }
+  metrics_.count_delivery();
+  if (tracer_.active()) {
+    tracer_.emit(obs::Event{.kind = obs::EventKind::kDelivery,
+                            .code = static_cast<std::uint8_t>(phase),
+                            .node = d.identity,
+                            .peer = sender_identity,
+                            .bytes = rx_bytes,
+                            .t_ns = scheduler_.now().ns()});
+  }
+  receivers_[to](*packet);
+}
+
 void Network::transmit(DeviceId from, Packet packet, obs::Phase phase) {
   transmit_impl(from, std::move(packet), phase);
 }
@@ -190,49 +239,17 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
   const auto shared = std::make_shared<const Packet>(std::move(packet));
 
   const NodeId sender_identity = sender.identity;
-  auto deliver = [this, start, airtime_end, shared, sender_identity, phase](DeviceId to) {
-    const Device& d = devices_[to];
-    const auto rx_bytes = static_cast<std::uint32_t>(shared->wire_bytes());
-    if (!d.alive || !receivers_[to]) {
-      note_drop(obs::DropCause::kReceiverDead, d.identity, sender_identity, rx_bytes);
-      return;
-    }
-    // Half-duplex: the receiver missed the packet iff its own transmit run
-    // overlapped our airtime [start, airtime_end). Comparing intervals --
-    // not just tx_busy_until_ > start -- means a transmission the receiver
-    // queues *after* our airtime ended (but before this delivery event
-    // fires) no longer retroactively destroys the packet. Only the latest
-    // contiguous run is tracked: an overlapping run that ended and was
-    // replaced by a non-overlapping one inside the ~0.5 ms delivery lag
-    // would be forgiven, a vanishingly rare and optimistic approximation.
-    if (config_.half_duplex && tx_run_start_[to] < airtime_end && tx_busy_until_[to] > start) {
-      note_drop(obs::DropCause::kHalfDuplex, d.identity, sender_identity, rx_bytes);
-      return;
-    }
-    drain(to, energy_.rx_j_per_byte * static_cast<double>(shared->wire_bytes()));
-    if (!devices_[to].alive) {
-      note_drop(obs::DropCause::kReceiverDead, d.identity, sender_identity, rx_bytes);
-      return;
-    }
-    metrics_.count_delivery();
-    if (tracer_.active()) {
-      tracer_.emit(obs::Event{.kind = obs::EventKind::kDelivery,
-                              .code = static_cast<std::uint8_t>(phase),
-                              .node = d.identity,
-                              .peer = sender_identity,
-                              .bytes = rx_bytes,
-                              .t_ns = scheduler_.now().ns()});
-    }
-    receivers_[to](*shared);
-  };
 
   // Check order (and therefore the loss-RNG draw sequence) is unchanged from
   // the untraced code path: grid and linear receiver resolution stay
   // bit-identical for deliveries. Only the kOutOfRange count depends on the
-  // candidate superset (3x3 block vs whole field).
+  // candidate superset (3x3 block vs whole field). The fault hook is
+  // consulted strictly after the channel resolved a copy as deliverable, so
+  // an uninstalled hook perturbs nothing -- not even RNG draw order.
   for_each_candidate(sender.position, [&](const Device& receiver) {
     if (receiver.id == from || !receiver.alive) return;
     if (!receivers_[receiver.id]) return;
+    metrics_.count_candidate();
     if (!propagation_->link_exists(sender.position, receiver.position)) {
       note_drop(obs::DropCause::kOutOfRange, receiver.identity, sender_identity, wire_bytes);
       return;
@@ -247,11 +264,57 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
     }
 
     const double distance = util::distance(sender.position, receiver.position);
+
+    if (fault_ != nullptr) {
+      const FaultDecision fd =
+          fault_->on_delivery(sender_identity, receiver.identity, phase, scheduler_.now());
+      if (fd.drop) {
+        note_inject(fd.drop_kind, receiver.identity, sender_identity, wire_bytes);
+        note_drop(obs::DropCause::kInjected, receiver.identity, sender_identity, wire_bytes);
+        return;
+      }
+      if (fd.perturbs()) {
+        // Perturbed copies always get dedicated per-receiver events with
+        // exact per-receiver timing -- an injected duplicate or delayed copy
+        // cannot ride the shared overhearer event.
+        const Time base = start + tx_time + PropagationModel::propagation_delay(distance) +
+                          config_.processing_delay + fd.extra_delay;
+        std::shared_ptr<const Packet> pkt = shared;
+        if (fd.corrupt) {
+          Packet mutated = *shared;
+          fault_->corrupt_packet(mutated);
+          pkt = std::make_shared<const Packet>(std::move(mutated));
+          note_inject(obs::InjectKind::kCorrupt, receiver.identity, sender_identity, wire_bytes);
+        }
+        if (fd.extra_delay > Time::zero()) {
+          note_inject(obs::InjectKind::kDelay, receiver.identity, sender_identity, wire_bytes);
+        }
+        const DeviceId to = receiver.id;
+        scheduler_.schedule_at(base, [this, to, pkt, start, airtime_end, phase]() {
+          deliver_copy(to, pkt, start, airtime_end, phase);
+        });
+        for (std::uint32_t i = 1; i <= fd.copies; ++i) {
+          // Extra copies count as fresh candidates so the conservation law
+          // (candidates == deliveries + channel drops) survives duplication.
+          metrics_.count_candidate();
+          note_inject(obs::InjectKind::kDuplicate, receiver.identity, sender_identity, wire_bytes);
+          scheduler_.schedule_at(
+              base + Time::nanoseconds(fd.copy_spacing.ns() * static_cast<std::int64_t>(i)),
+                                 [this, to, pkt, start, airtime_end, phase]() {
+                                   deliver_copy(to, pkt, start, airtime_end, phase);
+                                 });
+        }
+        return;
+      }
+    }
+
     if (!shared->is_broadcast() && receiver.identity == shared->dst) {
       const Time at = start + tx_time + PropagationModel::propagation_delay(distance) +
                       config_.processing_delay;
       const DeviceId to = receiver.id;
-      scheduler_.schedule_at(at, [deliver, to]() { deliver(to); });
+      scheduler_.schedule_at(at, [this, to, shared, start, airtime_end, phase]() {
+        deliver_copy(to, shared, start, airtime_end, phase);
+      });
     } else {
       overhearers.push_back(receiver.id);
       max_distance = std::max(max_distance, distance);
@@ -261,10 +324,10 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
 
   const Time deliver_at = start + tx_time + PropagationModel::propagation_delay(max_distance) +
                           config_.processing_delay;
-  scheduler_.schedule_at(deliver_at,
-                         [deliver, overhearers = std::move(overhearers)]() {
-                           for (DeviceId to : overhearers) deliver(to);
-                         });
+  scheduler_.schedule_at(deliver_at, [this, shared, start, airtime_end, phase,
+                                      overhearers = std::move(overhearers)]() {
+    for (DeviceId to : overhearers) deliver_copy(to, shared, start, airtime_end, phase);
+  });
 }
 
 obs::TraceSummary Network::trace_summary() const {

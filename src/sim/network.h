@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/tracer.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/packet.h"
 #include "sim/propagation.h"
@@ -107,6 +108,15 @@ class Network {
   void set_spatial_index_enabled(bool enabled) { use_spatial_index_ = enabled && indexable_; }
   [[nodiscard]] bool spatial_index_enabled() const { return use_spatial_index_; }
 
+  // -- Fault injection ---------------------------------------------------
+  /// Installs (or clears, with nullptr) the fault hook consulted once per
+  /// delivery candidate that survived the channel. The hook is not owned;
+  /// callers keep it alive for the Network's lifetime. With no hook the
+  /// transmit path -- including every RNG draw -- is exactly the unhooked
+  /// implementation, so clean runs stay byte-identical.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  [[nodiscard]] FaultHook* fault_hook() const { return fault_; }
+
   // -- Jamming ---------------------------------------------------------
   /// Returns a handle for remove_jammer. While active, any transmission
   /// whose sender or receiver sits inside the circle is destroyed.
@@ -150,8 +160,20 @@ class Network {
 
   void transmit_impl(DeviceId from, Packet packet, obs::Phase phase);
 
+  /// Delivers one in-flight copy of `packet` to `to`, re-running the
+  /// delivery-time checks (alive, receiver installed, half-duplex overlap
+  /// against [start, airtime_end), rx energy) before handing the packet to
+  /// the receive callback. Shared by the normal transmit path and
+  /// fault-injected duplicate/delayed/corrupted copies.
+  void deliver_copy(DeviceId to, const std::shared_ptr<const Packet>& packet, Time start,
+                    Time airtime_end, obs::Phase phase);
+
   /// Counts an undelivered copy in both the typed metrics and the tracer.
   void note_drop(obs::DropCause cause, NodeId node, NodeId peer, std::uint32_t bytes);
+
+  /// Traces one fault-injection application (tracer only; the authoritative
+  /// counts live in the installed FaultHook implementation).
+  void note_inject(obs::InjectKind kind, NodeId node, NodeId peer, std::uint32_t bytes);
 
   // -- Spatial index -----------------------------------------------------
   // Sparse uniform grid over device positions with cell side
@@ -191,6 +213,7 @@ class Network {
   std::vector<Time> tx_busy_until_;
   std::vector<Time> tx_run_start_;
   std::vector<std::optional<util::Circle>> jammers_;
+  FaultHook* fault_ = nullptr;
 
   /// Cell side of the spatial index (propagation max_range); devices are
   /// bucketed by floor(position / cell_size_).

@@ -1,0 +1,302 @@
+#include "util/json.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace snd::util {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue value;
+    if (!parse_value(value, 0)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // \uXXXX: decode the code unit; non-ASCII becomes UTF-8. The
+            // harness never writes surrogate pairs, so lone surrogates are
+            // passed through as-is rather than rejected.
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xc0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (cp & 0x3f));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      out += c;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(std::string& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      bool frac = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      bool exp = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        exp = true;
+      }
+      if (!exp) return false;
+    }
+    out.assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.type_ = JsonValue::Type::kObject;
+      skip_ws();
+      if (eat('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        JsonValue value;
+        if (!parse_value(value, depth + 1)) return false;
+        out.members_.emplace_back(std::move(key), std::move(value));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.type_ = JsonValue::Type::kArray;
+      skip_ws();
+      if (eat(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!parse_value(value, depth + 1)) return false;
+        out.items_.push_back(std::move(value));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      out.type_ = JsonValue::Type::kString;
+      return parse_string(out.scalar_);
+    }
+    if (c == 't') {
+      out.type_ = JsonValue::Type::kBool;
+      out.bool_ = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.type_ = JsonValue::Type::kBool;
+      out.bool_ = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.type_ = JsonValue::Type::kNull;
+      return literal("null");
+    }
+    out.type_ = JsonValue::Type::kNumber;
+    return parse_number(out.scalar_);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+std::optional<bool> JsonValue::as_bool() const {
+  if (type_ != Type::kBool) return std::nullopt;
+  return bool_;
+}
+
+std::optional<double> JsonValue::as_double() const {
+  if (type_ != Type::kNumber) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> JsonValue::as_u64() const {
+  if (type_ != Type::kNumber) return std::nullopt;
+  if (scalar_.empty() || scalar_[0] == '-') return std::nullopt;
+  if (scalar_.find_first_of(".eE") != std::string::npos) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::optional<std::int64_t> JsonValue::as_i64() const {
+  if (type_ != Type::kNumber) return std::nullopt;
+  if (scalar_.find_first_of(".eE") != std::string::npos) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() + scalar_.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<std::int64_t>(value);
+}
+
+std::optional<std::string_view> JsonValue::as_string() const {
+  if (type_ != Type::kString) return std::nullopt;
+  return std::string_view(scalar_);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> JsonValue::u64(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_u64() : std::nullopt;
+}
+
+std::optional<std::int64_t> JsonValue::i64(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_i64() : std::nullopt;
+}
+
+std::optional<double> JsonValue::number(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_double() : std::nullopt;
+}
+
+std::optional<std::string_view> JsonValue::string(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_string() : std::nullopt;
+}
+
+std::optional<bool> JsonValue::boolean(std::string_view key) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_bool() : std::nullopt;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace snd::util

@@ -1,0 +1,75 @@
+// Minimal recursive-descent JSON reader for the harness's own artifacts
+// (fault plans, FAILCASE_*.json). The library only ever parses JSON it
+// wrote itself, so the reader favors exact integer round-trips over
+// generality: numeric values keep their source text and are re-parsed as
+// u64/i64/double on demand (a 64-bit seed must survive a round trip that a
+// double cannot represent).
+//
+// Writing stays with the existing hand-serializers (SweepReport::to_json,
+// TraceSummary::to_json, fault::FaultPlan::to_json); this header is the
+// read side only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace snd::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (surrounding whitespace tolerated); nullopt on
+  /// any syntax error or trailing garbage. Depth-limited, so adversarial
+  /// nesting cannot overflow the stack.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+
+  /// Typed accessors; nullopt when the value has a different type (or, for
+  /// the integer forms, when the literal is not exactly representable).
+  [[nodiscard]] std::optional<bool> as_bool() const;
+  [[nodiscard]] std::optional<double> as_double() const;
+  [[nodiscard]] std::optional<std::uint64_t> as_u64() const;
+  [[nodiscard]] std::optional<std::int64_t> as_i64() const;
+  [[nodiscard]] std::optional<std::string_view> as_string() const;
+
+  /// Array elements (empty for non-arrays).
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in document order (empty for non-objects).
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// First member with `key`; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  // -- Shorthands for "required field" extraction ------------------------
+  [[nodiscard]] std::optional<std::uint64_t> u64(std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> i64(std::string_view key) const;
+  [[nodiscard]] std::optional<double> number(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string_view> string(std::string_view key) const;
+  [[nodiscard]] std::optional<bool> boolean(std::string_view key) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  /// Numbers keep their literal text; strings their unescaped value.
+  std::string scalar_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+/// Escapes `s` into a double-quoted JSON string literal (the write-side
+/// helper shared by the hand-serializers that emit user-controlled text).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+}  // namespace snd::util

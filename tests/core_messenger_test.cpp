@@ -196,6 +196,32 @@ TEST_F(MessengerTest, SlowPathStillRejectsReplayAndAcceptsFreshTraffic) {
   EXPECT_EQ(accepted_, 2);
 }
 
+TEST_F(MessengerTest, BootEpochOutrunsStaleTrafficAfterReboot) {
+  // Pre-crash traffic from Alice, captured off the air.
+  alice_->send(2, 9, {1}, obs::Phase::kOther);
+  run();
+  ASSERT_EQ(accepted_, 1);
+  const sim::Packet stale = last_packet_;
+
+  // Alice reboots: a fresh Messenger on the same device with the next boot
+  // epoch. The epoch stride keeps its nonces monotonically ahead of
+  // everything sent before the crash, so Bob accepts the fresh traffic
+  // without any handshake...
+  alice_ = std::make_unique<Messenger>(network_, alice_device_, 1, keys_, /*boot_epoch=*/1);
+  EXPECT_TRUE(alice_->send(2, 9, {2}, obs::Phase::kOther));
+  run();
+  EXPECT_EQ(accepted_, 2);
+  EXPECT_EQ(last_payload_, (util::Bytes{2}));
+
+  // ...and a replay of the pre-crash packet now falls far behind Bob's
+  // window: rebooting never re-opens the door to stale traffic.
+  network_.transmit(eve_device_, sim::Packet(stale), obs::Phase::kAttack);
+  run();
+  EXPECT_EQ(accepted_, 2);
+  EXPECT_EQ(bob_->replay_rejects(), 1u);
+  EXPECT_EQ(network_.metrics().drops(obs::DropCause::kReplay), 1u);
+}
+
 TEST_F(MessengerTest, ReplayStateStaysBoundedOverLongRuns) {
   // The seed kept every nonce ever seen (one std::set node per message);
   // the sliding window must hold steady at one window per (peer, device)

@@ -1,0 +1,226 @@
+// Deployment-level fault injection: the sim::Network fault hook, the
+// fault::Injector semantics (drops, duplicates, lifecycle, skew), the
+// plan-off bit-identity guarantee, and the replay/reboot interplay.
+#include <gtest/gtest.h>
+
+#include "core/deployment_driver.h"
+#include "fault/injector.h"
+#include "proptest/observation.h"
+#include "proptest/oracles.h"
+#include "topology/graph.h"
+
+namespace snd {
+namespace {
+
+/// A 6-node clique (tiny field, big radio range) with a threshold small
+/// enough that every pair validates: the protocol completes crisply, so
+/// fault effects stand out.
+core::DeploymentConfig clique_config(std::uint64_t seed) {
+  core::DeploymentConfig config;
+  config.field = {{0.0, 0.0}, {30.0, 30.0}};
+  config.radio_range = 60.0;
+  config.protocol.threshold_t = 1;
+  config.seed = seed;
+  return config;
+}
+
+/// Runs a deployment to quiescence and snapshots it. 2R is the plain
+/// Theorem-3 safety radius; no trial here mounts an attack, so the safety
+/// oracle audits trivially but the conservation oracles bite.
+proptest::Observation run_and_observe(core::SndDeployment& deployment, std::size_t nodes) {
+  deployment.deploy_round(nodes);
+  deployment.run();
+  return proptest::observe(deployment, 2.0 * deployment.config().radio_range);
+}
+
+TEST(FaultBitIdentityTest, UnmatchedPlanPerturbsNothing) {
+  // An armed injector whose only action can never match (empty time window)
+  // must leave the run bit-identical to an unfaulted one: the hook is
+  // consulted after every channel decision and the injector draws no
+  // randomness for non-matching actions.
+  core::SndDeployment plain(clique_config(7));
+  const proptest::Observation a = run_and_observe(plain, 6);
+
+  fault::FaultPlan plan;
+  fault::FaultAction action;
+  action.kind = fault::ActionKind::kDrop;
+  action.match.from_ns = 5;
+  action.match.until_ns = 5;  // half-open [5, 5) covers nothing
+  plan.actions.push_back(action);
+
+  core::SndDeployment faulted(clique_config(7));
+  faulted.apply_fault_plan(plan);
+  proptest::Observation b = run_and_observe(faulted, 6);
+  ASSERT_NE(faulted.injector(), nullptr);
+  EXPECT_TRUE(b.fault_plan_armed);
+
+  // Everything except the armed flag must match exactly.
+  b.fault_plan_armed = false;
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(FaultInjectorTest, TargetedDropsAreChargedAsInjected) {
+  fault::FaultPlan plan;
+  fault::FaultAction action;
+  action.kind = fault::ActionKind::kDrop;
+  action.match.src = 1;  // every delivery candidate sent by identity 1
+  plan.actions.push_back(action);
+
+  core::SndDeployment deployment(clique_config(11));
+  deployment.apply_fault_plan(plan);
+  const proptest::Observation observation = run_and_observe(deployment, 6);
+
+  const auto injected =
+      observation.drops[static_cast<std::size_t>(obs::DropCause::kInjected)];
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(injected, deployment.injector()->counters().drops);
+  // The balance (candidates == deliveries + channel drops) must absorb the
+  // injected drops; every oracle stays green.
+  EXPECT_TRUE(proptest::check_all(observation).empty());
+  // Identity 1 is radio-silenced, so nobody validates it.
+  for (const proptest::AgentObservation& agent : observation.agents) {
+    if (agent.id == 1) continue;
+    const core::SndNode* peer = deployment.agent(agent.id);
+    ASSERT_NE(peer, nullptr);
+    EXPECT_FALSE(topology::contains(peer->functional_neighbors(), 1));
+  }
+}
+
+TEST(FaultInjectorTest, DuplicatedPacketsRejectedAsReplaysNotReprocessed) {
+  // Duplicate every delivery. Authenticated duplicates carry a reused
+  // nonce, so receivers must charge them as kReplay instead of processing
+  // them twice -- the final neighbor graphs match the unfaulted run.
+  core::SndDeployment plain(clique_config(23));
+  run_and_observe(plain, 6);
+
+  fault::FaultPlan plan;
+  fault::FaultAction action;
+  action.kind = fault::ActionKind::kDuplicate;
+  action.copies = 2;
+  action.delay_ns = 400'000;
+  plan.actions.push_back(action);
+
+  core::SndDeployment faulted(clique_config(23));
+  faulted.apply_fault_plan(plan);
+  const proptest::Observation observation = run_and_observe(faulted, 6);
+
+  EXPECT_GT(observation.drops[static_cast<std::size_t>(obs::DropCause::kReplay)], 0u);
+  EXPECT_GT(observation.injected_extra_copies, 0u);
+  EXPECT_TRUE(proptest::check_all(observation).empty());
+  EXPECT_EQ(faulted.functional_graph().edge_count(), plain.functional_graph().edge_count());
+  EXPECT_EQ(faulted.tentative_graph().edge_count(), plain.tentative_graph().edge_count());
+}
+
+TEST(FaultInjectorTest, CrashAndRebootMidProtocol) {
+  // Crash identity 2 during discovery, reboot it after the survivors have
+  // finished. The fresh agent runs the whole protocol again on the next
+  // boot epoch; conservation holds across the lifecycle (in-flight packets
+  // to the dead radio are charged, not lost).
+  fault::FaultPlan plan;
+  fault::FaultAction crash;
+  crash.kind = fault::ActionKind::kCrash;
+  crash.node = 2;
+  crash.at_ns = 100'000'000;  // mid-discovery
+  plan.actions.push_back(crash);
+  fault::FaultAction reboot;
+  reboot.kind = fault::ActionKind::kReboot;
+  reboot.node = 2;
+  reboot.at_ns = 900'000'000;  // after the survivors' quiescence
+  plan.actions.push_back(reboot);
+
+  core::SndDeployment deployment(clique_config(31));
+  deployment.apply_fault_plan(plan);
+  const proptest::Observation observation = run_and_observe(deployment, 6);
+
+  const core::SndNode* rebooted = deployment.agent(2);
+  ASSERT_NE(rebooted, nullptr);
+  EXPECT_EQ(deployment.boot_epoch(rebooted->device()), 1u);
+  // The rebooted agent completed its (second) protocol run and erased K.
+  EXPECT_TRUE(rebooted->discovery_complete());
+  EXPECT_FALSE(rebooted->master_key_present());
+  EXPECT_TRUE(proptest::check_all(observation).empty());
+  // Survivors froze their neighborhoods long before the reboot, so the
+  // rebooted node must not have crept into anyone's functional list.
+  for (const proptest::AgentObservation& agent : observation.agents) {
+    if (agent.id == 2) continue;
+    const core::SndNode* peer = deployment.agent(agent.id);
+    ASSERT_NE(peer, nullptr);
+    EXPECT_FALSE(topology::contains(peer->functional_neighbors(), 2));
+  }
+}
+
+TEST(FaultInjectorTest, NeutralSkewIsBitIdentical) {
+  // drift == 1.0 arms the skew machinery (the hook reports skews_timers())
+  // but must not change a single timer: the RNG draw happens before the
+  // scaling, so the stream consumption order is untouched.
+  core::SndDeployment plain(clique_config(43));
+  const proptest::Observation a = run_and_observe(plain, 6);
+
+  fault::FaultPlan plan;
+  fault::FaultAction skew;
+  skew.kind = fault::ActionKind::kSkew;
+  skew.node = 3;
+  skew.drift = 1.0;
+  plan.actions.push_back(skew);
+
+  core::SndDeployment faulted(clique_config(43));
+  faulted.apply_fault_plan(plan);
+  proptest::Observation b = run_and_observe(faulted, 6);
+  b.fault_plan_armed = false;
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(FaultInjectorTest, SkewedNodeStillCompletes) {
+  fault::FaultPlan plan;
+  fault::FaultAction skew;
+  skew.kind = fault::ActionKind::kSkew;
+  skew.node = 4;
+  skew.drift = 1.15;  // 15% slow clock
+  plan.actions.push_back(skew);
+
+  core::SndDeployment deployment(clique_config(47));
+  deployment.apply_fault_plan(plan);
+  const proptest::Observation observation = run_and_observe(deployment, 6);
+  EXPECT_TRUE(proptest::check_all(observation).empty());
+  const core::SndNode* skewed = deployment.agent(4);
+  ASSERT_NE(skewed, nullptr);
+  EXPECT_TRUE(skewed->discovery_complete());
+}
+
+TEST(FaultInjectorTest, MaxHitsRetiresAction) {
+  fault::FaultPlan plan;
+  fault::FaultAction action;
+  action.kind = fault::ActionKind::kDrop;
+  action.match.max_hits = 3;
+  plan.actions.push_back(action);
+
+  core::SndDeployment deployment(clique_config(53));
+  deployment.apply_fault_plan(plan);
+  const proptest::Observation observation = run_and_observe(deployment, 6);
+  EXPECT_EQ(observation.drops[static_cast<std::size_t>(obs::DropCause::kInjected)], 3u);
+  EXPECT_TRUE(proptest::check_all(observation).empty());
+}
+
+TEST(FaultInjectorTest, PlantedBugBreaksInjectedConservationOnly) {
+  // The deliberate test-only defect: the injector stops counting its own
+  // drops. The simulator's metrics still see them, so exactly the
+  // cross-check oracle fires.
+  fault::set_planted_bug(fault::PlantedBug::kUncountedDrop);
+  fault::FaultPlan plan;
+  fault::FaultAction action;
+  action.kind = fault::ActionKind::kDrop;
+  plan.actions.push_back(action);
+
+  core::SndDeployment deployment(clique_config(61));
+  deployment.apply_fault_plan(plan);
+  const proptest::Observation observation = run_and_observe(deployment, 6);
+  fault::set_planted_bug(fault::PlantedBug::kNone);
+
+  const auto violations = proptest::check_all(observation);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].oracle, "conservation.injected");
+}
+
+}  // namespace
+}  // namespace snd

@@ -1,0 +1,144 @@
+// FaultPlan serialization: canonical JSON round-trips, field validation,
+// and the file helpers FAILCASE replay depends on.
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace snd::fault {
+namespace {
+
+TEST(FaultPlanTest, ActionKindNamesRoundTrip) {
+  for (std::size_t i = 0; i < kActionKindCount; ++i) {
+    const auto kind = static_cast<ActionKind>(i);
+    const auto parsed = action_kind_from_name(action_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(action_kind_from_name("explode").has_value());
+}
+
+TEST(FaultPlanTest, DefaultActionSerializesMinimal) {
+  FaultAction action;
+  EXPECT_EQ(action.to_json(), R"({"kind":"drop"})");
+}
+
+TEST(FaultPlanTest, JsonRoundTripPreservesEveryField) {
+  FaultPlan plan;
+  plan.seed = 0xdeadbeefcafef00dULL;  // must survive exactly (not a double)
+
+  FaultAction drop;
+  drop.kind = ActionKind::kDrop;
+  drop.match.src = 3;
+  drop.match.dst = 7;
+  drop.match.phase = 1;
+  drop.match.from_ns = 1'000;
+  drop.match.until_ns = 2'000'000;
+  drop.match.probability = 0.25;
+  drop.match.max_hits = 5;
+  plan.actions.push_back(drop);
+
+  FaultAction dup;
+  dup.kind = ActionKind::kDuplicate;
+  dup.copies = 3;
+  dup.delay_ns = 777;
+  plan.actions.push_back(dup);
+
+  FaultAction corrupt;
+  corrupt.kind = ActionKind::kCorrupt;
+  corrupt.corrupt_mode = CorruptMode::kTruncate;
+  plan.actions.push_back(corrupt);
+
+  FaultAction crash;
+  crash.kind = ActionKind::kCrash;
+  crash.node = 4;
+  crash.at_ns = 150'000'000;
+  plan.actions.push_back(crash);
+
+  FaultAction skew;
+  skew.kind = ActionKind::kSkew;
+  skew.node = 2;
+  skew.drift = 1.125;
+  plan.actions.push_back(skew);
+
+  const std::string json = plan.to_json();
+  const auto parsed = FaultPlan::parse(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, plan.seed);
+  ASSERT_EQ(parsed->actions.size(), plan.actions.size());
+  EXPECT_EQ(parsed->actions[0].match.src, 3u);
+  EXPECT_EQ(parsed->actions[0].match.dst, 7u);
+  EXPECT_EQ(parsed->actions[0].match.phase, 1);
+  EXPECT_EQ(parsed->actions[0].match.from_ns, 1'000);
+  EXPECT_EQ(parsed->actions[0].match.until_ns, 2'000'000);
+  EXPECT_DOUBLE_EQ(parsed->actions[0].match.probability, 0.25);
+  EXPECT_EQ(parsed->actions[0].match.max_hits, 5u);
+  EXPECT_EQ(parsed->actions[1].copies, 3u);
+  EXPECT_EQ(parsed->actions[1].delay_ns, 777);
+  EXPECT_EQ(parsed->actions[2].corrupt_mode, CorruptMode::kTruncate);
+  EXPECT_EQ(parsed->actions[3].node, 4u);
+  EXPECT_EQ(parsed->actions[3].at_ns, 150'000'000);
+  EXPECT_EQ(parsed->actions[4].node, 2u);
+  EXPECT_DOUBLE_EQ(parsed->actions[4].drift, 1.125);
+
+  // The serialized form is canonical: parse -> to_json is idempotent.
+  EXPECT_EQ(parsed->to_json(), json);
+}
+
+TEST(FaultPlanTest, ParseRejectsInvalidFields) {
+  EXPECT_FALSE(FaultPlan::parse("not json").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":7})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"explode"}]})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"drop","p":1.5}]})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"duplicate","copies":0}]})").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse(R"({"actions":[{"kind":"duplicate","copies":100}]})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"delay","delay_ns":-5}]})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"corrupt","mode":"melt"}]})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"drop","phase":"no-such"}]})").has_value());
+  // Lifecycle and skew actions require a target node.
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"crash"}]})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"reboot"}]})").has_value());
+  EXPECT_FALSE(FaultPlan::parse(R"({"actions":[{"kind":"skew","drift":1.2}]})").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse(R"({"actions":[{"kind":"crash","node":1,"at_ns":-1}]})").has_value());
+  EXPECT_FALSE(
+      FaultPlan::parse(R"({"actions":[{"kind":"skew","node":1,"drift":0.0}]})").has_value());
+}
+
+TEST(FaultPlanTest, FromValueParsesEmbeddedPlanObject) {
+  // The shape FAILCASE artifacts use: the plan as a nested JSON object.
+  const std::string wrapped =
+      R"({"trial_seed":9,"plan":{"seed":42,"actions":[{"kind":"burst","p":0.5}]}})";
+  const auto doc = util::JsonValue::parse(wrapped);
+  ASSERT_TRUE(doc.has_value());
+  const util::JsonValue* plan_value = doc->find("plan");
+  ASSERT_NE(plan_value, nullptr);
+  const auto plan = FaultPlan::from_value(*plan_value);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->actions.size(), 1u);
+  EXPECT_EQ(plan->actions[0].kind, ActionKind::kBurst);
+  EXPECT_DOUBLE_EQ(plan->actions[0].match.probability, 0.5);
+}
+
+TEST(FaultPlanTest, SaveLoadRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 1234567890123456789ULL;
+  FaultAction reboot;
+  reboot.kind = ActionKind::kReboot;
+  reboot.node = 6;
+  reboot.at_ns = 300'000'000;
+  plan.actions.push_back(reboot);
+
+  const std::string path = ::testing::TempDir() + "fault_plan_roundtrip.json";
+  ASSERT_TRUE(plan.save(path));
+  const auto loaded = FaultPlan::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->to_json(), plan.to_json());
+  EXPECT_FALSE(FaultPlan::load(path + ".does-not-exist").has_value());
+}
+
+}  // namespace
+}  // namespace snd::fault

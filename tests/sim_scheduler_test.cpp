@@ -229,6 +229,37 @@ TEST(SchedulerTest, MoveOnlyCapturesSchedulable) {
   EXPECT_EQ(seen, 11);
 }
 
+TEST(SchedulerTest, SameTimeOrderSurvivesCancelSweeps) {
+  // Regression pin: the lazy-cancel sweep compacts the heap, and a sweep
+  // that rebuilt it without the (time, id) tie-break would reorder
+  // same-timestamp events. Interleave a same-timestamp batch with enough
+  // stale cancels to force several sweeps (slack is 64) and check FIFO
+  // order survives, including a live cancellation in the middle.
+  Scheduler scheduler;
+  std::vector<EventId> stale;
+  for (int i = 0; i < 200; ++i) stale.push_back(scheduler.schedule_at(Time::zero(), [] {}));
+  scheduler.run();
+
+  std::vector<int> order;
+  std::vector<EventId> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(
+        scheduler.schedule_at(Time::milliseconds(7), [&order, i] { order.push_back(i); }));
+  }
+  for (const EventId id : stale) scheduler.cancel(id);  // triggers the sweeps
+  for (int i = 16; i < 32; ++i) {
+    scheduler.schedule_at(Time::milliseconds(7), [&order, i] { order.push_back(i); });
+  }
+  scheduler.cancel(batch[5]);
+  scheduler.run();
+
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    if (i != 5) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
 TEST(SchedulerTest, ManyEventsStressOrdering) {
   Scheduler scheduler;
   std::vector<std::int64_t> fired;
