@@ -13,7 +13,13 @@
 //
 //   ./fig3_threshold [--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]
 //                    [--fault-plan PATH]
+//                    [--shard i/N] [--checkpoint PATH] [--resume]
+//                    [--checkpoint-every N] [--canonical-report PATH]
 //                    [--log warn] [--trace counters] [--trace-json PATH]
+//
+// With --checkpoint the run persists every trial to a .sndshard file (and
+// --shard i/N restricts it to one stride of the trial space); shard_merge
+// folds the files back into the canonical report. See docs/SHARDING.md.
 #include <iostream>
 #include <optional>
 #include <vector>
@@ -23,6 +29,7 @@
 #include "fault/plan.h"
 #include "obs/config.h"
 #include "runner/trial_runner.h"
+#include "shard/session.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -77,12 +84,17 @@ int main(int argc, char** argv) {
   const auto t_step = static_cast<std::size_t>(cli.get_int("tstep", 10));
   runner::TrialRunner pool(util::resolve_jobs(cli));
   const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+  const shard::SessionOptions session_options = shard::resolve_session(cli);
+  const std::string canonical_path = cli.get("canonical-report", "");
   const std::string plan_path = cli.get("fault-plan", "");
   if (!cli.validate(std::cerr,
-                    {"seeds", "tmax", "tstep", "jobs", "fault-plan", "log", "trace",
-                     "trace-json"},
+                    {"seeds", "tmax", "tstep", "jobs", "fault-plan", "shard",
+                     "checkpoint", "resume", "checkpoint-every", "canonical-report",
+                     "log", "trace", "trace-json", "trace-bin"},
                     "[--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]\n"
                     "       [--fault-plan PATH]\n"
+                    "       [--shard i/N] [--checkpoint PATH] [--resume]\n"
+                    "       [--checkpoint-every N] [--canonical-report PATH]\n"
                     "       [--log warn] [--trace counters] [--trace-json PATH]")) {
     return 2;
   }
@@ -104,10 +116,6 @@ int main(int argc, char** argv) {
 
   const analysis::FieldModel model{200.0 / (100.0 * 100.0), 50.0};
 
-  std::cout << "== Figure 3: fraction of validated neighbors vs threshold t ==\n"
-            << "200 nodes, 100x100 m, R = 50 m, center node, " << seeds << " seeds, "
-            << pool.jobs() << " jobs\n\n";
-
   std::vector<std::size_t> thresholds;
   for (std::size_t t = 0; t <= t_max; t += t_step) thresholds.push_back(t);
 
@@ -115,17 +123,67 @@ int main(int argc, char** argv) {
   // the i-th derived seed.
   runner::SweepReport report;
   report.name = "fig3_threshold";
+
+  shard::ShardSpec spec;
+  spec.sweep_id = report.name;
+  spec.base_seed = 101;
+  spec.total_trials = thresholds.size() * seeds;
+  spec.metric_names = {"accuracy"};
+  shard::Session session(session_options, spec);
+  if (session.enabled() && !canonical_path.empty()) {
+    std::cerr << cli.program()
+              << ": --canonical-report needs a plain run (merge the shard files with "
+                 "shard_merge to get the canonical report)\n";
+    return 2;
+  }
+  if (!session.open(std::cerr)) return 2;
+
   obs::Registry registry(thresholds.size() * seeds);
-  const auto accuracy = pool.run(
-      thresholds.size() * seeds, /*base_seed=*/101,
-      [&](std::size_t i, std::uint64_t seed) {
-        TrialResult result =
-            center_node_accuracy(thresholds[i / seeds], seed, plan ? &*plan : nullptr);
-        registry.record(i, result.trace);
-        return result.accuracy;
-      },
-      &report);
+  const auto trial_body = [&](std::size_t i, std::uint64_t seed) {
+    try {
+      TrialResult result =
+          center_node_accuracy(thresholds[i / seeds], seed, plan ? &*plan : nullptr);
+      registry.record(i, result.trace);
+      session.record_success(i, {result.accuracy}, result.trace);
+      return result.accuracy;
+    } catch (const std::exception& e) {
+      session.record_failure(i, e.what());
+      throw;
+    } catch (...) {
+      session.record_failure(i, "non-standard exception");
+      throw;
+    }
+  };
+
+  if (session.enabled()) {
+    // Checkpointed (possibly sharded) mode: the shard file is the output;
+    // tables and BENCH artifacts come from shard_merge over all shards.
+    std::cout << "== Figure 3 (shard " << session.spec().shard_index << "/"
+              << session.spec().shard_count << " of " << spec.total_trials
+              << " trials) ==\n";
+    (void)pool.run_subset(session.pending(), spec.base_seed, trial_body, &report);
+    if (!session.finish(std::cerr)) return 1;
+    std::cout << "ran " << session.pending().size() << " trials (" << session.resumed()
+              << " resumed), " << report.failed << " failed -> "
+              << session_options.checkpoint_path << "\n";
+    return report.failed == 0 ? 0 : 1;
+  }
+
+  std::cout << "== Figure 3: fraction of validated neighbors vs threshold t ==\n"
+            << "200 nodes, 100x100 m, R = 50 m, center node, " << seeds << " seeds, "
+            << pool.jobs() << " jobs\n\n";
+
+  const auto accuracy =
+      pool.run(thresholds.size() * seeds, spec.base_seed, trial_body, &report);
   report.attach_trace(registry.fold());
+  report.metric("accuracy");  // column exists even if every trial failed
+  for (const auto& value : accuracy) {
+    if (value.has_value()) report.metric("accuracy").add(*value);
+  }
+  if (!canonical_path.empty() && !report.write_canonical(canonical_path)) {
+    std::cerr << cli.program() << ": cannot write " << canonical_path << "\n";
+    return 1;
+  }
 
   util::Table table({"t", "theory f_b", "theory tau^2", "simulation", "stdev"});
   for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {

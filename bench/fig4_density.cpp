@@ -11,7 +11,14 @@
 // bit-identical for any --jobs value.
 //
 //   ./fig4_density [--seeds 10] [--jobs N] [--fault-plan PATH]
+//                  [--shard i/N] [--checkpoint PATH] [--resume]
+//                  [--checkpoint-every N] [--canonical-report PATH]
 //                  [--log warn] [--trace counters] [--trace-json PATH]
+//
+// With --checkpoint the run persists every trial to a .sndshard file (and
+// --shard i/N restricts it to one stride of the trial space); shard_merge
+// folds the files back into the canonical report. See docs/SHARDING.md.
+#include <cstdio>
 #include <iostream>
 #include <optional>
 #include <vector>
@@ -21,6 +28,7 @@
 #include "fault/plan.h"
 #include "obs/config.h"
 #include "runner/trial_runner.h"
+#include "shard/session.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -72,9 +80,16 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 10));
   runner::TrialRunner pool(util::resolve_jobs(cli));
   const obs::ObsConfig obs_config = obs::resolve_obs(cli);
+  const shard::SessionOptions session_options = shard::resolve_session(cli);
+  const std::string canonical_path = cli.get("canonical-report", "");
   const std::string plan_path = cli.get("fault-plan", "");
-  if (!cli.validate(std::cerr, {"seeds", "jobs", "fault-plan", "log", "trace", "trace-json"},
+  if (!cli.validate(std::cerr,
+                    {"seeds", "jobs", "fault-plan", "shard", "checkpoint", "resume",
+                     "checkpoint-every", "canonical-report", "log", "trace",
+                     "trace-json", "trace-bin"},
                     "[--seeds 10] [--jobs N] [--fault-plan PATH]\n"
+                    "       [--shard i/N] [--checkpoint PATH] [--resume]\n"
+                    "       [--checkpoint-every N] [--canonical-report PATH]\n"
                     "       [--log warn] [--trace counters] [--trace-json PATH]")) {
     return 2;
   }
@@ -97,28 +112,73 @@ int main(int argc, char** argv) {
   const std::vector<double> densities_per_1000m2 = {5, 10, 15, 20, 25, 30, 40};
   const std::vector<std::size_t> thresholds = {10, 30, 50};
 
-  std::cout << "== Figure 4: fraction of validated neighbors vs deployment density ==\n"
-            << "R = 50 m, 100x100 m field, center node, " << seeds << " seeds, "
-            << pool.jobs() << " jobs\n\n";
-
   // One flat (density, t, seed) trial space: trial i covers density
   // i / (thresholds * seeds), threshold (i / seeds) % thresholds, seed i % seeds.
   runner::SweepReport report;
   report.name = "fig4_density";
   const std::size_t cells = densities_per_1000m2.size() * thresholds.size();
+
+  shard::ShardSpec spec;
+  spec.sweep_id = report.name;
+  spec.base_seed = 997;
+  spec.total_trials = cells * seeds;
+  spec.metric_names = {"accuracy"};
+  shard::Session session(session_options, spec);
+  if (session.enabled() && !canonical_path.empty()) {
+    std::cerr << cli.program()
+              << ": --canonical-report needs a plain run (merge the shard files with "
+                 "shard_merge to get the canonical report)\n";
+    return 2;
+  }
+  if (!session.open(std::cerr)) return 2;
+
   obs::Registry registry(cells * seeds);
-  const auto accuracy = pool.run(
-      cells * seeds, /*base_seed=*/997,
-      [&](std::size_t i, std::uint64_t seed) {
-        const std::size_t cell = i / seeds;
-        const double density = densities_per_1000m2[cell / thresholds.size()] / 1000.0;
-        TrialResult result = center_node_accuracy(
-            density, thresholds[cell % thresholds.size()], seed, plan ? &*plan : nullptr);
-        registry.record(i, result.trace);
-        return result.accuracy;
-      },
-      &report);
+  const auto trial_body = [&](std::size_t i, std::uint64_t seed) {
+    const std::size_t cell = i / seeds;
+    const double density = densities_per_1000m2[cell / thresholds.size()] / 1000.0;
+    try {
+      TrialResult result = center_node_accuracy(
+          density, thresholds[cell % thresholds.size()], seed, plan ? &*plan : nullptr);
+      registry.record(i, result.trace);
+      session.record_success(i, {result.accuracy}, result.trace);
+      return result.accuracy;
+    } catch (const std::exception& e) {
+      session.record_failure(i, e.what());
+      throw;
+    } catch (...) {
+      session.record_failure(i, "non-standard exception");
+      throw;
+    }
+  };
+
+  if (session.enabled()) {
+    // Checkpointed (possibly sharded) mode: the shard file is the output;
+    // tables and BENCH artifacts come from shard_merge over all shards.
+    std::cout << "== Figure 4 (shard " << session.spec().shard_index << "/"
+              << session.spec().shard_count << " of " << spec.total_trials
+              << " trials) ==\n";
+    (void)pool.run_subset(session.pending(), spec.base_seed, trial_body, &report);
+    if (!session.finish(std::cerr)) return 1;
+    std::cout << "ran " << session.pending().size() << " trials (" << session.resumed()
+              << " resumed), " << report.failed << " failed -> "
+              << session_options.checkpoint_path << "\n";
+    return report.failed == 0 ? 0 : 1;
+  }
+
+  std::cout << "== Figure 4: fraction of validated neighbors vs deployment density ==\n"
+            << "R = 50 m, 100x100 m field, center node, " << seeds << " seeds, "
+            << pool.jobs() << " jobs\n\n";
+
+  const auto accuracy = pool.run(cells * seeds, spec.base_seed, trial_body, &report);
   report.attach_trace(registry.fold());
+  report.metric("accuracy");  // column exists even if every trial failed
+  for (const auto& value : accuracy) {
+    if (value.has_value()) report.metric("accuracy").add(*value);
+  }
+  if (!canonical_path.empty() && !report.write_canonical(canonical_path)) {
+    std::cerr << cli.program() << ": cannot write " << canonical_path << "\n";
+    return 1;
+  }
 
   util::Table table({"density (/1000 m^2)", "t=10 sim", "t=10 theory", "t=30 sim",
                      "t=30 theory", "t=50 sim", "t=50 theory"});

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bench trend gate: compare the current BENCH_*.json micro-benchmark
+artifacts against the previous run's and flag regressions.
+
+Usage:
+    bench_trend.py --previous DIR --current DIR [--threshold 0.25] [--fail]
+
+Both directories hold BENCH_micro_crypto.json / BENCH_micro_sim.json (any
+BENCH_*.json present in both is compared). Tracked series are the numeric
+leaves whose key names a per-operation cost ("*us_per*": lower is better).
+A tracked mean more than --threshold above the previous run emits a GitHub
+"::warning" annotation (or "::error" + exit 1 with --fail); missing previous
+artifacts are not an error, so the gate degrades gracefully on the first
+run, on forks, and on expired artifact retention.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def numeric_leaves(tree, prefix=""):
+    """Flattens a JSON tree to {dotted.path: float} for numeric leaves."""
+    out = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            out.update(numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(tree, list):
+        for i, value in enumerate(tree):
+            out.update(numeric_leaves(value, f"{prefix}{i}."))
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        out[prefix.rstrip(".")] = float(tree)
+    return out
+
+
+def tracked(leaves):
+    """The cost series worth gating: per-operation times, lower-is-better."""
+    return {path: v for path, v in leaves.items() if "us_per" in path}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--previous", required=True, help="dir with the last run's BENCH_*.json")
+    parser.add_argument("--current", required=True, help="dir with this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that trips the gate (default 0.25)")
+    parser.add_argument("--fail", action="store_true",
+                        help="exit non-zero on regression instead of only warning")
+    args = parser.parse_args()
+
+    current_files = sorted(glob.glob(os.path.join(args.current, "BENCH_*.json")))
+    if not current_files:
+        print(f"bench-trend: no BENCH_*.json under {args.current}; nothing to compare")
+        return 0
+
+    regressions = []
+    compared = 0
+    for current_path in current_files:
+        name = os.path.basename(current_path)
+        previous_path = os.path.join(args.previous, name)
+        if not os.path.exists(previous_path):
+            print(f"bench-trend: no previous {name}; skipping (first run or expired artifact)")
+            continue
+        try:
+            with open(previous_path) as f:
+                previous = tracked(numeric_leaves(json.load(f)))
+            with open(current_path) as f:
+                current = tracked(numeric_leaves(json.load(f)))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench-trend: cannot parse {name}: {e}; skipping")
+            continue
+
+        for path, now in sorted(current.items()):
+            before = previous.get(path)
+            if before is None or before <= 0.0:
+                continue
+            compared += 1
+            ratio = now / before
+            marker = " <-- REGRESSION" if ratio > 1.0 + args.threshold else ""
+            print(f"bench-trend: {name}:{path}: {before:.3f} -> {now:.3f} "
+                  f"({(ratio - 1.0) * 100.0:+.1f}%){marker}")
+            if marker:
+                regressions.append((name, path, before, now, ratio))
+
+    for name, path, before, now, ratio in regressions:
+        level = "error" if args.fail else "warning"
+        print(f"::{level} title=bench regression::{name}:{path} slowed "
+              f"{(ratio - 1.0) * 100.0:.1f}% ({before:.3f} -> {now:.3f} us)")
+
+    print(f"bench-trend: {compared} tracked series compared, "
+          f"{len(regressions)} over the {args.threshold * 100.0:.0f}% threshold")
+    return 1 if (regressions and args.fail) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

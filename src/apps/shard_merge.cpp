@@ -1,0 +1,84 @@
+// Folds N .sndshard checkpoint files into one canonical BENCH report.
+//
+//   ./shard_merge shard_0.sndshard shard_1.sndshard ...
+//                 [--out PATH] [--summary-md PATH]
+//
+// Every file must describe the same sweep (sweep_id, shard_count,
+// base_seed, total_trials, schema hash), the shard indices must be
+// distinct, and the union of records must cover every trial exactly once.
+// Any overlap, gap, or spec mismatch exits non-zero with a precise message
+// -- a partial farm run can never silently masquerade as a complete sweep.
+//
+// The merged JSON is the sweep's canonical report (trial counts, per-metric
+// mean/ci95, error list, folded trace) with no timing fields, so it is
+// byte-identical to the `--canonical-report` output of an unsharded run of
+// the same sweep. CI asserts exactly that (see docs/SHARDING.md).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "shard/merge.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace snd;
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string out_flag = cli.get("out", "");
+  const std::string summary_path = cli.get("summary-md", "");
+  if (!cli.validate(std::cerr, {"out", "summary-md"},
+                    "SHARD.sndshard... [--out PATH] [--summary-md PATH]\n"
+                    "       (default --out: $SND_BENCH_DIR/BENCH_<sweep_id>.json)")) {
+    return 2;
+  }
+  if (cli.positional().empty()) {
+    std::cerr << cli.program() << ": no shard files given\n";
+    return 2;
+  }
+
+  std::string error;
+  const auto merged = shard::merge_shards(cli.positional(), &error);
+  if (!merged) {
+    std::cerr << cli.program() << ": " << error << "\n";
+    return 1;
+  }
+
+  std::string out_path = out_flag;
+  if (out_path.empty()) {
+    const char* dir = std::getenv("SND_BENCH_DIR");
+    out_path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
+    out_path += "BENCH_" + merged->report.name + ".json";
+  }
+  if (!write_file(out_path, merged->report.to_canonical_json())) {
+    std::cerr << cli.program() << ": cannot write " << out_path << "\n";
+    return 1;
+  }
+  if (!summary_path.empty() &&
+      !write_file(summary_path, shard::summary_markdown(*merged))) {
+    std::cerr << cli.program() << ": cannot write " << summary_path << "\n";
+    return 1;
+  }
+
+  std::cout << merged->report.name << ": merged " << merged->shards.size()
+            << " shards, " << merged->report.trials << " trials ("
+            << merged->report.failed << " failed) -> " << out_path << "\n";
+  for (const shard::ShardSummary& shard : merged->shards) {
+    std::printf("  shard %u: %llu trials, %.2f s  (%s)\n", shard.shard_index,
+                static_cast<unsigned long long>(shard.records), shard.wall_seconds,
+                shard.path.c_str());
+  }
+  return 0;
+}

@@ -97,6 +97,20 @@ ObsConfig resolve_obs(const util::Cli& cli) {
     }
   }
 
+  if (auto value = flag_or_env(cli, "trace-bin", "SND_TRACE_BIN", origin)) {
+    config.trace_bin_path = *value;
+    if (!config.trace_json_path.empty()) {
+      cli.record_error(origin +
+                       ": conflicts with --trace-json (pick one trace output format)");
+    } else if (*value == "-") {
+      cli.record_error(origin + ": binary trace output cannot go to stdout");
+    } else if (config.trace_level == TraceLevel::kOff && trace_explicit) {
+      cli.record_error(origin + ": conflicts with --trace off (binary output needs events)");
+    } else {
+      config.trace_level = TraceLevel::kEvents;
+    }
+  }
+
   return config;
 }
 
@@ -111,6 +125,13 @@ bool apply_obs(const ObsConfig& config, std::ostream& err) {
       return false;
     }
     sink = std::move(json);
+  } else if (!config.trace_bin_path.empty()) {
+    auto bin = std::make_shared<BinaryEventSink>(config.trace_bin_path);
+    if (!bin->ok()) {
+      err << "error: cannot open trace output '" << config.trace_bin_path << "'\n";
+      return false;
+    }
+    sink = std::move(bin);
   } else {
     sink = std::make_shared<StderrSink>();
   }

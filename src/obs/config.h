@@ -4,6 +4,7 @@
 //   --log   <debug|info|warn|error|off>     (env: SND_LOG_LEVEL)
 //   --trace <off|counters|events>           (env: SND_TRACE_LEVEL)
 //   --trace-json <path|->                   (env: SND_TRACE_JSON)
+//   --trace-bin  <path>                     (env: SND_TRACE_BIN)
 //
 // Flags beat environment variables. Bad values are recorded on the Cli, so
 // the driver's existing cli.validate() call rejects them (exit non-zero).
@@ -24,6 +25,9 @@ struct ObsConfig {
   /// JSON-lines destination for events + routed log lines; empty = none,
   /// "-" = stdout. A non-empty path raises trace_level to kEvents.
   std::string trace_json_path;
+  /// Binary .sndtrace destination (obs::BinaryEventSink); empty = none.
+  /// Mutually exclusive with trace_json_path; also raises trace_level.
+  std::string trace_bin_path;
 };
 
 /// "off" / "counters" / "events" (numeric "0".."2" accepted too).
@@ -32,7 +36,7 @@ struct ObsConfig {
 
 /// Reads the flags/environment above. Unknown values are recorded with
 /// cli.record_error() -- call this before cli.validate() and list "log",
-/// "trace", "trace-json" among the allowed flags.
+/// "trace", "trace-json", "trace-bin" among the allowed flags.
 [[nodiscard]] ObsConfig resolve_obs(const util::Cli& cli);
 
 /// Installs `config` process-wide: sets the util log level, re-routes

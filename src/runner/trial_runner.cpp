@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -85,7 +86,6 @@ double micros_between(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
-constexpr std::size_t kMaxReportedErrors = 8;
 
 }  // namespace
 
@@ -96,35 +96,38 @@ TrialRunner::TrialRunner(std::size_t jobs) : jobs_(jobs) {
   }
 }
 
-void TrialRunner::run_raw(std::size_t trials, std::uint64_t base_seed,
-                          const std::function<void(std::size_t, std::uint64_t)>& body,
-                          SweepReport* report) const {
+void TrialRunner::run_raw(
+    std::size_t count, std::uint64_t base_seed, const std::uint32_t* indices,
+    const std::function<void(std::size_t, std::size_t, std::uint64_t)>& body,
+    SweepReport* report) const {
   // Shard indices are packed 32-bit (see StealableRange).
-  if (trials > 0xffffffffULL) {
+  if (count > 0xffffffffULL) {
     throw std::invalid_argument("TrialRunner: more than 2^32 trials per sweep");
   }
   const auto sweep_start = std::chrono::steady_clock::now();
 
-  // Per-trial slots: each index is written by exactly one worker, and the
+  // Per-trial slots: each slot is written by exactly one worker, and the
   // joins below publish every write before the trial-order merge reads them.
-  std::vector<double> micros(trials, 0.0);
-  std::vector<std::string> messages(trials);
-  std::vector<unsigned char> failed(trials, 0);
+  std::vector<double> micros(count, 0.0);
+  std::vector<std::string> messages(count);
+  std::vector<unsigned char> failed(count, 0);
 
-  auto execute = [&](std::uint32_t i) {
+  auto execute = [&](std::uint32_t slot) {
+    const std::size_t trial = indices != nullptr ? indices[slot] : slot;
     const auto t0 = std::chrono::steady_clock::now();
     try {
-      body(i, util::derive_seed(base_seed, i));
+      body(slot, trial, util::derive_seed(base_seed, trial));
     } catch (const std::exception& e) {
-      failed[i] = 1;
-      messages[i] = e.what();
+      failed[slot] = 1;
+      messages[slot] = e.what();
     } catch (...) {
-      failed[i] = 1;
-      messages[i] = "non-standard exception";
+      failed[slot] = 1;
+      messages[slot] = "non-standard exception";
     }
-    micros[i] = micros_between(t0, std::chrono::steady_clock::now());
+    micros[slot] = micros_between(t0, std::chrono::steady_clock::now());
   };
 
+  const std::size_t trials = count;
   const std::size_t jobs = trials == 0 ? 1 : std::min(jobs_, trials);
   if (jobs <= 1) {
     for (std::uint32_t i = 0; i < trials; ++i) execute(i);
@@ -184,11 +187,20 @@ void TrialRunner::run_raw(std::size_t trials, std::uint64_t base_seed,
     report->trial_micros.add(micros[i]);
     if (failed[i] != 0) {
       ++report->failed;
-      if (report->errors.size() < kMaxReportedErrors) {
-        report->errors.push_back("trial " + std::to_string(i) + ": " + messages[i]);
+      if (report->errors.size() < SweepReport::kMaxReportedErrors) {
+        const std::size_t trial = indices != nullptr ? indices[i] : i;
+        report->errors.push_back("trial " + std::to_string(trial) + ": " + messages[i]);
       }
     }
   }
+}
+
+util::Series& SweepReport::metric(std::string_view name) {
+  for (auto& [key, series] : metrics) {
+    if (key == name) return series;
+  }
+  metrics.emplace_back(std::string(name), util::Series{});
+  return metrics.back().second;
 }
 
 double SweepReport::trials_per_second() const {
@@ -202,8 +214,12 @@ void SweepReport::merge(const SweepReport& other) {
   wall_seconds += other.wall_seconds;
   for (double v : other.trial_micros.values()) trial_micros.add(v);
   for (const std::string& e : other.errors) {
-    if (errors.size() >= kMaxReportedErrors) break;
+    if (errors.size() >= SweepReport::kMaxReportedErrors) break;
     errors.push_back(e);
+  }
+  for (const auto& [key, series] : other.metrics) {
+    util::Series& mine = metric(key);
+    for (double v : series.values()) mine.add(v);
   }
   if (other.has_trace) attach_trace(other.trace);
 }
@@ -237,6 +253,24 @@ std::string json_num(double v) {
   return buf;
 }
 
+/// mean/stdev/ci95 block for one metric column. The normal-approximation
+/// 95% interval (mean +/- 1.96 * sem) is computed from the series in its
+/// stored (trial) order, so it is byte-identical however the trials were
+/// sharded.
+std::string metric_block(const util::Series& series) {
+  const double mean = series.mean();
+  const double stdev = series.stdev();
+  const double sem = series.count() > 1
+                         ? stdev / std::sqrt(static_cast<double>(series.count()))
+                         : 0.0;
+  std::string out = "{\"count\": " + std::to_string(series.count());
+  out += ", \"mean\": " + json_num(mean);
+  out += ", \"stdev\": " + json_num(stdev);
+  out += ", \"ci95\": [" + json_num(mean - 1.96 * sem) + ", " +
+         json_num(mean + 1.96 * sem) + "]}";
+  return out;
+}
+
 }  // namespace
 
 std::string SweepReport::to_json() const {
@@ -254,7 +288,42 @@ std::string SweepReport::to_json() const {
     out += ", \"p95\": " + json_num(trial_micros.percentile(95.0));
     out += ", \"max\": " + json_num(trial_micros.percentile(100.0));
   }
-  out += "},\n  \"errors\": [";
+  out += "}";
+  if (!metrics.empty()) {
+    out += ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_json_string(out, metrics[i].first);
+      out += ": " + metric_block(metrics[i].second);
+    }
+    out += "}";
+  }
+  out += ",\n  \"errors\": [";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, errors[i]);
+  }
+  out += "]";
+  if (has_trace) out += ",\n  \"trace\": " + trace.to_json();
+  out += "\n}\n";
+  return out;
+}
+
+std::string SweepReport::to_canonical_json() const {
+  std::string out = "{\n  \"name\": ";
+  append_json_string(out, name);
+  out += ",\n  \"trials\": " + std::to_string(trials);
+  out += ",\n  \"failed\": " + std::to_string(failed);
+  if (!metrics.empty()) {
+    out += ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_json_string(out, metrics[i].first);
+      out += ": " + metric_block(metrics[i].second);
+    }
+    out += "}";
+  }
+  out += ",\n  \"errors\": [";
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (i > 0) out += ", ";
     append_json_string(out, errors[i]);
@@ -274,6 +343,14 @@ std::string SweepReport::write_json() const {
   const std::string json = to_json();
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok ? path : std::string{};
+}
+
+bool SweepReport::write_canonical(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_canonical_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace snd::runner

@@ -38,6 +38,18 @@ struct SweepReport {
   double wall_seconds = 0.0;
   util::Series trial_micros;        ///< Per-trial wall time, in trial order.
   std::vector<std::string> errors;  ///< First few failure messages, trial order.
+  /// Cap on `errors`; shared with shard::merge_shards so a merged report
+  /// reconstructs the exact error list an unsharded run would have kept.
+  static constexpr std::size_t kMaxReportedErrors = 8;
+
+  /// Named per-trial result columns (e.g. "accuracy"), appended in trial
+  /// order by the driver after the workers join. Deterministic, so they are
+  /// part of the canonical report (below) and of the .sndshard columnar
+  /// format; serialized as mean/stdev/ci95 per metric.
+  std::vector<std::pair<std::string, util::Series>> metrics;
+  /// The column named `name`, created on first use (insertion order is
+  /// serialization order).
+  util::Series& metric(std::string_view name);
 
   /// Folded per-trial trace summaries (typed per-phase traffic, drop-cause
   /// breakdown, protocol counters). Deterministic: drivers record each
@@ -55,9 +67,17 @@ struct SweepReport {
   /// one cumulative report). Timing series are concatenated, wall time sums.
   void merge(const SweepReport& other);
   [[nodiscard]] std::string to_json() const;
+  /// Deterministic subset of to_json(): drops the wall-clock fields (jobs,
+  /// wall_seconds, trials_per_second, trial_us) and keeps name, trials,
+  /// failed, metrics, errors, and the trace block. Two runs of the same
+  /// sweep -- sharded or not, any --jobs -- produce byte-identical canonical
+  /// reports; CI's shard merge gate compares exactly these bytes.
+  [[nodiscard]] std::string to_canonical_json() const;
   /// Writes BENCH_<name>.json into $SND_BENCH_DIR (default: the working
   /// directory); returns the path, or an empty string on I/O failure.
   std::string write_json() const;
+  /// Writes to_canonical_json() to `path`; false on I/O failure.
+  bool write_canonical(const std::string& path) const;
 };
 
 class TrialRunner {
@@ -77,8 +97,31 @@ class TrialRunner {
     using T = std::invoke_result_t<Fn&, std::size_t, std::uint64_t>;
     std::vector<std::optional<T>> results(trials);
     run_raw(
-        trials, base_seed,
-        [&](std::size_t i, std::uint64_t seed) { results[i].emplace(fn(i, seed)); },
+        trials, base_seed, /*indices=*/nullptr,
+        [&](std::size_t slot, std::size_t i, std::uint64_t seed) {
+          results[slot].emplace(fn(i, seed));
+        },
+        report);
+    return results;
+  }
+
+  /// Shard-aware variant: runs fn(trial_index, seed) only for the global
+  /// trial indices in `indices` (any order, no duplicates), returning
+  /// results parallel to `indices`. Each trial still gets
+  /// derive_seed(base_seed, trial_index) -- the seed depends on the global
+  /// index alone, so the union of disjoint subsets is bit-identical to one
+  /// run() over the full sweep (docs/SHARDING.md).
+  template <typename Fn>
+  auto run_subset(const std::vector<std::uint32_t>& indices, std::uint64_t base_seed,
+                  Fn&& fn, SweepReport* report = nullptr)
+      -> std::vector<std::optional<std::invoke_result_t<Fn&, std::size_t, std::uint64_t>>> {
+    using T = std::invoke_result_t<Fn&, std::size_t, std::uint64_t>;
+    std::vector<std::optional<T>> results(indices.size());
+    run_raw(
+        indices.size(), base_seed, indices.data(),
+        [&](std::size_t slot, std::size_t i, std::uint64_t seed) {
+          results[slot].emplace(fn(i, seed));
+        },
         report);
     return results;
   }
@@ -97,8 +140,11 @@ class TrialRunner {
 
  private:
   /// Non-template core: sharding, stealing, timing, and failure capture.
-  void run_raw(std::size_t trials, std::uint64_t base_seed,
-               const std::function<void(std::size_t, std::uint64_t)>& body,
+  /// Runs `count` tasks; task `slot` executes global trial index
+  /// `indices ? indices[slot] : slot` with that index's derived seed.
+  void run_raw(std::size_t count, std::uint64_t base_seed,
+               const std::uint32_t* indices,
+               const std::function<void(std::size_t, std::size_t, std::uint64_t)>& body,
                SweepReport* report) const;
 
   std::size_t jobs_;

@@ -1,0 +1,405 @@
+#include "shard/format.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+
+#include "util/crc32.h"
+
+namespace snd::shard {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'S', 'N', 'D', 'S', 'H', 'R', 'D', '1'};
+constexpr char kChunkMagic[4] = {'C', 'H', 'N', 'K'};
+constexpr std::size_t kChunkHeaderSize = 4 + 4;   // magic + payload_len
+constexpr std::size_t kChunkFooterSize = 8 + 8 + 4;  // completed, wall, crc
+
+/// TraceSummary <-> flat counter row, in the documented column order.
+std::array<std::uint64_t, kTraceColumnCount> flatten_trace(const obs::TraceSummary& t) {
+  std::array<std::uint64_t, kTraceColumnCount> row{};
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) row[c++] = t.tx[i].messages;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) row[c++] = t.tx[i].bytes;
+  for (std::size_t i = 0; i < obs::kDropCauseCount; ++i) row[c++] = t.drops[i];
+  row[c++] = t.deliveries;
+  for (std::size_t i = 0; i < obs::kNodePhaseCount; ++i) row[c++] = t.node_phases[i];
+  for (std::size_t i = 0; i < obs::kRejectReasonCount; ++i) row[c++] = t.rejects[i];
+  for (std::size_t i = 0; i < obs::kAcceptViaCount; ++i) row[c++] = t.accepts[i];
+  for (std::size_t i = 0; i < obs::kInjectKindCount; ++i) row[c++] = t.injects[i];
+  row[c++] = t.events;
+  row[c++] = t.ring_overflow;
+  row[c++] = t.trials;
+  return row;
+}
+
+obs::TraceSummary unflatten_trace(const std::array<std::uint64_t, kTraceColumnCount>& row) {
+  obs::TraceSummary t;
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) t.tx[i].messages = row[c++];
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) t.tx[i].bytes = row[c++];
+  for (std::size_t i = 0; i < obs::kDropCauseCount; ++i) t.drops[i] = row[c++];
+  t.deliveries = row[c++];
+  for (std::size_t i = 0; i < obs::kNodePhaseCount; ++i) t.node_phases[i] = row[c++];
+  for (std::size_t i = 0; i < obs::kRejectReasonCount; ++i) t.rejects[i] = row[c++];
+  for (std::size_t i = 0; i < obs::kAcceptViaCount; ++i) t.accepts[i] = row[c++];
+  for (std::size_t i = 0; i < obs::kInjectKindCount; ++i) t.injects[i] = row[c++];
+  t.events = row[c++];
+  t.ring_overflow = row[c++];
+  t.trials = row[c++];
+  return t;
+}
+
+void put_varbytes(util::Bytes& out, std::string_view text) {
+  util::put_varint(out, text.size());
+  for (char ch : text) out.push_back(static_cast<std::uint8_t>(ch));
+}
+
+std::optional<std::string> read_varbytes(util::ByteReader& reader) {
+  const auto len = reader.varint();
+  if (!len) return std::nullopt;
+  const auto view = reader.bytes_view(static_cast<std::size_t>(*len));
+  if (!view) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(view->data()), view->size());
+}
+
+bool write_all(std::FILE* file, const util::Bytes& bytes) {
+  return std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+}
+
+/// Parses one chunk payload into `records` (appending). Returns false on
+/// any structural inconsistency -- which, after a passed CRC, means a
+/// writer/reader schema bug rather than disk corruption.
+bool decode_chunk_payload(std::span<const std::uint8_t> payload,
+                          std::size_t metric_count,
+                          std::vector<TrialRecord>& records) {
+  util::ByteReader reader(payload);
+  const auto n_opt = reader.varint();
+  if (!n_opt || *n_opt == 0) return false;
+  // A chunk cannot hold more records than bytes in its index column.
+  if (*n_opt > payload.size()) return false;
+  const auto n = static_cast<std::size_t>(*n_opt);
+
+  const std::size_t first = records.size();
+  records.resize(first + n);
+
+  // Trial index column: absolute, then strictly ascending deltas.
+  std::uint64_t trial = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = reader.varint();
+    if (!v) return false;
+    if (i == 0) {
+      trial = *v;
+    } else {
+      if (*v == 0) return false;  // duplicates within a chunk are malformed
+      trial += *v;
+    }
+    records[first + i].trial = trial;
+  }
+
+  // Failure bitmap + messages.
+  const auto bitmap = reader.bytes_view((n + 7) / 8);
+  if (!bitmap) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    records[first + i].failed = ((*bitmap)[i / 8] >> (i % 8) & 1) != 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!records[first + i].failed) continue;
+    auto message = read_varbytes(reader);
+    if (!message) return false;
+    records[first + i].error = std::move(*message);
+  }
+
+  // Metric columns (failed trials carry 0.0 placeholders).
+  for (std::size_t i = 0; i < n; ++i) records[first + i].values.resize(metric_count);
+  for (std::size_t m = 0; m < metric_count; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto bits = reader.u64();
+      if (!bits) return false;
+      records[first + i].values[m] = std::bit_cast<double>(*bits);
+    }
+  }
+
+  // Trace counter columns, column-major.
+  std::vector<std::array<std::uint64_t, kTraceColumnCount>> rows(n);
+  for (std::size_t c = 0; c < kTraceColumnCount; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = reader.varint();
+      if (!v) return false;
+      rows[i][c] = *v;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    records[first + i].trace = unflatten_trace(rows[i]);
+  }
+
+  return reader.ok() && reader.exhausted();
+}
+
+}  // namespace
+
+util::Bytes encode_header(const ShardSpec& spec) {
+  util::Bytes out;
+  for (char c : kFileMagic) out.push_back(static_cast<std::uint8_t>(c));
+  util::put_u64(out, spec.schema_hash());
+  put_varbytes(out, spec.sweep_id);
+  util::put_varint(out, spec.shard_index);
+  util::put_varint(out, spec.shard_count);
+  util::put_u64(out, spec.base_seed);
+  util::put_varint(out, spec.total_trials);
+  util::put_varint(out, spec.metric_names.size());
+  for (const std::string& name : spec.metric_names) put_varbytes(out, name);
+  util::put_u32(out, util::crc32(out));
+  return out;
+}
+
+util::Bytes encode_chunk(std::span<const TrialRecord> records,
+                         std::size_t metric_count, std::uint64_t completed_total,
+                         std::uint64_t wall_micros) {
+  util::Bytes payload;
+  util::put_varint(payload, records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    util::put_varint(payload, i == 0 ? records[0].trial
+                                     : records[i].trial - records[i - 1].trial);
+  }
+  util::Bytes bitmap((records.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].failed) bitmap[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  util::put_bytes(payload, bitmap);
+  for (const TrialRecord& r : records) {
+    if (r.failed) put_varbytes(payload, r.error);
+  }
+  for (std::size_t m = 0; m < metric_count; ++m) {
+    for (const TrialRecord& r : records) {
+      const double v = m < r.values.size() ? r.values[m] : 0.0;
+      util::put_u64(payload, std::bit_cast<std::uint64_t>(v));
+    }
+  }
+  for (std::size_t c = 0; c < kTraceColumnCount; ++c) {
+    for (const TrialRecord& r : records) {
+      util::put_varint(payload, flatten_trace(r.trace)[c]);
+    }
+  }
+
+  util::Bytes out;
+  for (char c : kChunkMagic) out.push_back(static_cast<std::uint8_t>(c));
+  util::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  util::put_bytes(out, payload);
+  // Footer: cumulative progress + wall time, CRC over payload and both.
+  util::Bytes footer;
+  util::put_u64(footer, completed_total);
+  util::put_u64(footer, wall_micros);
+  std::uint32_t crc = util::crc32_init();
+  crc = util::crc32_update(crc, payload);
+  crc = util::crc32_update(crc, footer);
+  util::put_bytes(out, footer);
+  util::put_u32(out, util::crc32_final(crc));
+  return out;
+}
+
+std::optional<ShardFileData> read_shard_file(const std::string& path,
+                                             std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<ShardFileData> {
+    if (error != nullptr) *error = path + ": " + message;
+    return std::nullopt;
+  };
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return fail("cannot open");
+  util::Bytes data;
+  std::uint8_t buf[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(file);
+
+  // -- Header (any damage here is a hard error: nothing can be salvaged) --
+  util::ByteReader reader(data);
+  const auto magic = reader.bytes_view(sizeof(kFileMagic));
+  if (!magic || std::memcmp(magic->data(), kFileMagic, sizeof(kFileMagic)) != 0) {
+    return fail("not a .sndshard file (bad magic)");
+  }
+  ShardFileData out;
+  const auto schema = reader.u64();
+  auto sweep_id = read_varbytes(reader);
+  const auto shard_index = reader.varint();
+  const auto shard_count = reader.varint();
+  const auto base_seed = reader.u64();
+  const auto total_trials = reader.varint();
+  const auto metric_count = reader.varint();
+  if (!schema || !sweep_id || !shard_index || !shard_count || !base_seed ||
+      !total_trials || !metric_count || *metric_count > 1024) {
+    return fail("truncated or corrupt header");
+  }
+  out.spec.sweep_id = std::move(*sweep_id);
+  out.spec.shard_index = static_cast<std::uint32_t>(*shard_index);
+  out.spec.shard_count = static_cast<std::uint32_t>(*shard_count);
+  out.spec.base_seed = *base_seed;
+  out.spec.total_trials = *total_trials;
+  for (std::uint64_t m = 0; m < *metric_count; ++m) {
+    auto name = read_varbytes(reader);
+    if (!name) return fail("truncated or corrupt header (metric names)");
+    out.spec.metric_names.push_back(std::move(*name));
+  }
+  const std::size_t header_size = data.size() - reader.remaining();
+  const auto header_crc = reader.u32();
+  if (!header_crc ||
+      *header_crc != util::crc32(std::span(data).first(header_size))) {
+    return fail("header CRC mismatch");
+  }
+  if (out.spec.shard_count == 0 || out.spec.shard_index >= out.spec.shard_count) {
+    return fail("header declares shard " + std::to_string(out.spec.shard_index) +
+                "/" + std::to_string(out.spec.shard_count));
+  }
+  if (out.spec.schema_hash() != *schema) {
+    return fail("schema hash mismatch (file written by an incompatible build)");
+  }
+
+  // -- Chunks (a bad chunk ends the valid prefix; the tail is discarded) --
+  out.valid_bytes = header_size + 4;
+  std::vector<std::uint8_t> seen((out.spec.total_trials + 7) / 8, 0);
+  while (reader.remaining() > 0) {
+    const std::size_t chunk_start = data.size() - reader.remaining();
+    util::ByteReader peek{std::span(data).subspan(chunk_start)};
+    const auto chunk_magic = peek.bytes_view(sizeof(kChunkMagic));
+    if (!chunk_magic ||
+        std::memcmp(chunk_magic->data(), kChunkMagic, sizeof(kChunkMagic)) != 0) {
+      break;  // torn tail
+    }
+    const auto payload_len = peek.u32();
+    if (!payload_len || peek.remaining() < *payload_len + kChunkFooterSize) {
+      break;  // torn tail
+    }
+    const auto payload = *peek.bytes_view(*payload_len);
+    const auto completed_total = *peek.u64();
+    const auto wall_micros = *peek.u64();
+    const auto crc = *peek.u32();
+    std::uint32_t want = util::crc32_init();
+    want = util::crc32_update(want, payload);
+    want = util::crc32_update(
+        want, std::span(data).subspan(chunk_start + kChunkHeaderSize + *payload_len,
+                                      16));
+    if (crc != util::crc32_final(want)) break;  // torn tail
+
+    // CRC passed: the chunk's *content* must now be consistent, or the file
+    // was written by a buggy/hostile producer -- hard error, not a tail.
+    const std::size_t before = out.records.size();
+    if (!decode_chunk_payload(payload, out.spec.metric_names.size(), out.records)) {
+      return fail("chunk at byte " + std::to_string(chunk_start) +
+                  " is internally inconsistent");
+    }
+    for (std::size_t i = before; i < out.records.size(); ++i) {
+      const std::uint64_t trial = out.records[i].trial;
+      if (!out.spec.owns(trial)) {
+        return fail("trial " + std::to_string(trial) + " does not belong to shard " +
+                    std::to_string(out.spec.shard_index) + "/" +
+                    std::to_string(out.spec.shard_count));
+      }
+      if ((seen[trial / 8] >> (trial % 8) & 1) != 0) {
+        return fail("trial " + std::to_string(trial) + " recorded twice");
+      }
+      seen[trial / 8] |= static_cast<std::uint8_t>(1u << (trial % 8));
+    }
+    if (completed_total != out.records.size()) {
+      return fail("checkpoint footer counts " + std::to_string(completed_total) +
+                  " trials, file holds " + std::to_string(out.records.size()));
+    }
+    out.wall_seconds = static_cast<double>(wall_micros) / 1e6;
+    const std::size_t chunk_size =
+        kChunkHeaderSize + *payload_len + kChunkFooterSize;
+    out.valid_bytes = chunk_start + chunk_size;
+    reader = util::ByteReader(std::span(data).subspan(chunk_start + chunk_size));
+  }
+  // Everything after the last valid chunk is the (expected-after-crash) tail.
+  out.discarded_bytes = data.size() - out.valid_bytes;
+  return out;
+}
+
+ShardWriter::~ShardWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ShardWriter::open_new(const std::string& path, const ShardSpec& spec,
+                           std::string* error) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = path + ": cannot open for writing";
+    return false;
+  }
+  path_ = path;
+  spec_ = spec;
+  completed_ = 0;
+  if (!write_all(file_, encode_header(spec)) || std::fflush(file_) != 0) {
+    if (error != nullptr) *error = path + ": header write failed";
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  return true;
+}
+
+bool ShardWriter::open_resume(const std::string& path, const ShardSpec& spec,
+                              std::vector<TrialRecord>* completed,
+                              std::string* error) {
+  if (!std::filesystem::exists(path)) return open_new(path, spec, error);
+  auto existing = read_shard_file(path, error);
+  if (!existing) return false;
+  if (existing->spec.shard_index != spec.shard_index) {
+    if (error != nullptr) {
+      *error = path + ": file is shard " + std::to_string(existing->spec.shard_index) +
+               ", expected " + std::to_string(spec.shard_index);
+    }
+    return false;
+  }
+  if (const std::string why = spec.mismatch(existing->spec); !why.empty()) {
+    if (error != nullptr) *error = path + ": cannot resume: " + why;
+    return false;
+  }
+
+  // Drop the torn tail so the next chunk starts at a clean boundary.
+  std::error_code ec;
+  std::filesystem::resize_file(path, existing->valid_bytes, ec);
+  if (ec) {
+    if (error != nullptr) *error = path + ": cannot truncate torn tail";
+    return false;
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    if (error != nullptr) *error = path + ": cannot reopen for append";
+    return false;
+  }
+  path_ = path;
+  spec_ = spec;
+  completed_ = existing->records.size();
+  resumed_wall_ = existing->wall_seconds;
+  if (completed != nullptr) *completed = std::move(existing->records);
+  return true;
+}
+
+void ShardWriter::append(TrialRecord record) { buffer_.push_back(std::move(record)); }
+
+bool ShardWriter::checkpoint(double wall_seconds) {
+  if (file_ == nullptr) return false;
+  if (buffer_.empty()) return true;
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const TrialRecord& a, const TrialRecord& b) { return a.trial < b.trial; });
+  completed_ += buffer_.size();
+  const util::Bytes chunk =
+      encode_chunk(buffer_, spec_.metric_names.size(), completed_,
+                   static_cast<std::uint64_t>(wall_seconds * 1e6));
+  buffer_.clear();
+  return write_all(file_, chunk) && std::fflush(file_) == 0;
+}
+
+bool ShardWriter::close(double wall_seconds) {
+  if (file_ == nullptr) return false;
+  const bool ok = checkpoint(wall_seconds);
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return ok && closed;
+}
+
+}  // namespace snd::shard

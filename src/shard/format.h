@@ -1,0 +1,125 @@
+// The .sndshard binary columnar trace/report format.
+//
+// One file holds the completed trials of one shard of one sweep, written as
+// an append-only sequence of self-validating checkpoint chunks so a
+// crashed or preempted run can resume from its last checkpoint:
+//
+//   file   := header chunk*
+//   header := magic "SNDSHRD1" | schema_hash u64 | sweep_id varbytes
+//             | shard_index varint | shard_count varint | base_seed u64
+//             | total_trials varint | metric_count varint
+//             | { name varbytes }*  | crc32 u32 (over everything above)
+//   chunk  := magic "CHNK" | payload_len u32 | payload | footer
+//   payload:= n varint
+//             | trial indices: first absolute varint, then n-1 ascending
+//               varint deltas
+//             | failed bitmap (ceil(n/8) bytes, LSB-first)
+//             | failure messages, one varbytes per set bit, in order
+//             | one column per metric: n f64 values (IEEE bits, big-endian)
+//             | trace columns: kTraceColumnCount columns * n varint-packed
+//               event counts, column-major
+//   footer := completed_total u64 | wall_micros u64
+//             | crc32 u32 (over payload + the two footer integers)
+//
+// Integers are big-endian (matching util::put_u32/u64); varints are
+// unsigned LEB128 (util::put_varint). A torn tail -- a chunk cut short or
+// corrupted by a crash mid-write -- fails its length or CRC check; the
+// reader keeps every chunk before it and reports the tail's byte count, and
+// ShardWriter::open_resume truncates the tail and appends from there.
+// See docs/SHARDING.md for the full design.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shard/shard.h"
+#include "util/bytes.h"
+
+namespace snd::shard {
+
+/// Flat width of the per-trial trace counter table (tx messages + bytes per
+/// phase, drops, deliveries, node phases, rejects, accepts, injects,
+/// events, ring_overflow, trials).
+inline constexpr std::size_t kTraceColumnCount =
+    obs::kPhaseCount * 2 + obs::kDropCauseCount + obs::kNodePhaseCount +
+    obs::kRejectReasonCount + obs::kAcceptViaCount + obs::kInjectKindCount + 4;
+
+/// Everything a .sndshard file contains, after validation.
+struct ShardFileData {
+  ShardSpec spec;
+  std::vector<TrialRecord> records;   ///< file order, ascending per chunk
+  double wall_seconds = 0.0;          ///< cumulative, from the last footer
+  std::uint64_t valid_bytes = 0;      ///< prefix covered by valid chunks
+  std::uint64_t discarded_bytes = 0;  ///< torn/corrupt tail the reader dropped
+};
+
+/// Reads and validates `path`. Returns nullopt (message in *error) on an
+/// unreadable file, bad magic, corrupt header, or a chunk whose CRC passes
+/// but whose content is inconsistent (duplicate trial, index outside the
+/// shard). A torn tail after the last valid checkpoint is NOT an error --
+/// that is exactly the crash/preemption case resume exists for -- and is
+/// reported via discarded_bytes instead.
+std::optional<ShardFileData> read_shard_file(const std::string& path,
+                                             std::string* error);
+
+/// Serializers, exposed for tests (and for the reader's own fuzzing).
+[[nodiscard]] util::Bytes encode_header(const ShardSpec& spec);
+[[nodiscard]] util::Bytes encode_chunk(std::span<const TrialRecord> records,
+                                       std::size_t metric_count,
+                                       std::uint64_t completed_total,
+                                       std::uint64_t wall_micros);
+
+/// Append-only .sndshard writer with buffered checkpointing. Not
+/// thread-safe; shard::Session serializes access.
+class ShardWriter {
+ public:
+  ShardWriter() = default;
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+  ~ShardWriter();
+
+  /// Creates (or truncates) `path` and writes the header.
+  bool open_new(const std::string& path, const ShardSpec& spec, std::string* error);
+
+  /// Resumes an interrupted shard: validates that the existing file's header
+  /// matches `spec` exactly (including shard_index and schema hash --
+  /// mismatches are refused, never silently merged), loads every checkpointed
+  /// record into *completed, truncates any torn tail, and reopens for append.
+  /// A path that does not exist yet starts fresh (open_new), so retrying an
+  /// interrupted job with --resume is safe even if the first attempt died
+  /// before creating the file.
+  bool open_resume(const std::string& path, const ShardSpec& spec,
+                   std::vector<TrialRecord>* completed, std::string* error);
+
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+  /// Records persisted by previous checkpoints (incl. resumed ones).
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  /// Cumulative wall seconds recovered from a resumed file's last footer.
+  [[nodiscard]] double resumed_wall_seconds() const { return resumed_wall_; }
+
+  /// Buffers one record until the next checkpoint.
+  void append(TrialRecord record);
+
+  /// Flushes the buffer as one checkpoint chunk (no-op on an empty buffer).
+  /// `wall_seconds` is the session's cumulative wall time, persisted in the
+  /// footer for the merge tool's per-shard summary.
+  bool checkpoint(double wall_seconds);
+
+  /// Final checkpoint + close; returns false if any write failed.
+  bool close(double wall_seconds);
+
+ private:
+  std::FILE* file_ = nullptr;
+  ShardSpec spec_;
+  std::string path_;
+  std::vector<TrialRecord> buffer_;
+  std::uint64_t completed_ = 0;
+  double resumed_wall_ = 0.0;
+};
+
+}  // namespace snd::shard

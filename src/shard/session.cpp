@@ -1,0 +1,116 @@
+#include "shard/session.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace snd::shard {
+
+SessionOptions resolve_session(const util::Cli& cli) {
+  SessionOptions options;
+  if (cli.has("shard")) {
+    const std::string text = cli.get("shard", "");
+    if (const auto parsed = parse_shard_arg(text)) {
+      options.shard_index = parsed->first;
+      options.shard_count = parsed->second;
+    } else {
+      cli.record_error("--shard: expected i/N with 0 <= i < N, got '" + text + "'");
+    }
+  }
+  options.checkpoint_path = cli.get("checkpoint", "");
+  options.enabled = !options.checkpoint_path.empty();
+  options.resume = cli.get_bool("resume", false);
+  const std::int64_t every = cli.get_int("checkpoint-every", 16);
+  if (every < 1) {
+    cli.record_error("--checkpoint-every: must be >= 1");
+  } else {
+    options.checkpoint_every = static_cast<std::size_t>(every);
+  }
+  if (cli.has("shard") && !options.enabled) {
+    cli.record_error("--shard: requires --checkpoint PATH (a sharded run's results "
+                     "live only in its shard file)");
+  }
+  if (options.resume && !options.enabled) {
+    cli.record_error("--resume: requires --checkpoint PATH");
+  }
+  return options;
+}
+
+Session::Session(const SessionOptions& options, ShardSpec spec)
+    : options_(options), spec_(std::move(spec)), start_(std::chrono::steady_clock::now()) {
+  spec_.shard_index = options_.shard_index;
+  spec_.shard_count = options_.shard_count;
+}
+
+bool Session::open(std::ostream& err) {
+  std::string error;
+  std::vector<TrialRecord> completed;
+  if (options_.enabled) {
+    const bool ok =
+        options_.resume
+            ? writer_.open_resume(options_.checkpoint_path, spec_, &completed, &error)
+            : writer_.open_new(options_.checkpoint_path, spec_, &error);
+    if (!ok) {
+      err << "error: " << error << "\n";
+      return false;
+    }
+  }
+  resumed_ = completed.size();
+
+  // Pending = owned minus already-checkpointed, ascending.
+  std::vector<std::uint8_t> done((spec_.total_trials + 7) / 8, 0);
+  for (const TrialRecord& r : completed) {
+    done[r.trial / 8] |= static_cast<std::uint8_t>(1u << (r.trial % 8));
+  }
+  for (std::uint32_t trial : spec_.trial_indices()) {
+    if ((done[trial / 8] >> (trial % 8) & 1) == 0) pending_.push_back(trial);
+  }
+  return true;
+}
+
+void Session::record(TrialRecord record) {
+  const std::scoped_lock lock(mutex_);
+  if (!writer_.is_open()) return;
+  writer_.append(std::move(record));
+  if (writer_.buffered() >= options_.checkpoint_every) {
+    if (!writer_.checkpoint(wall_seconds())) io_error_ = true;
+  }
+}
+
+/// Cumulative across resumes: this process's elapsed time plus whatever the
+/// resumed file's last footer had already accumulated.
+double Session::wall_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count() +
+         writer_.resumed_wall_seconds();
+}
+
+void Session::record_success(std::uint64_t trial, std::vector<double> values,
+                             const obs::TraceSummary& trace) {
+  if (!options_.enabled) return;
+  TrialRecord record;
+  record.trial = trial;
+  record.values = std::move(values);
+  record.trace = trace;
+  this->record(std::move(record));
+}
+
+void Session::record_failure(std::uint64_t trial, std::string message) {
+  if (!options_.enabled) return;
+  TrialRecord record;
+  record.trial = trial;
+  record.failed = true;
+  record.error = std::move(message);
+  record.values.assign(spec_.metric_names.size(), 0.0);
+  this->record(std::move(record));
+}
+
+bool Session::finish(std::ostream& err) {
+  if (!options_.enabled) return true;
+  const std::scoped_lock lock(mutex_);
+  if (!writer_.close(wall_seconds()) || io_error_) {
+    err << "error: " << options_.checkpoint_path << ": checkpoint write failed\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace snd::shard

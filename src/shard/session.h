@@ -1,0 +1,98 @@
+// Driver-side glue between a SweepReport-producing bench and the shard
+// farm: resolves the shared --shard/--checkpoint/--resume flag surface,
+// computes the pending trial indices (owned by this shard, minus trials
+// already checkpointed when resuming), and persists every completed trial to the
+// .sndshard checkpoint file from the worker threads.
+//
+//   shard::SessionOptions sopt = shard::resolve_session(cli);
+//   // ... cli.validate({... "shard", "checkpoint", "resume", ...}) ...
+//   shard::Session session(sopt, spec);
+//   if (!session.open(std::cerr)) return 2;
+//   pool.run_subset(session.pending(), spec.base_seed, body, &report);
+//   if (!session.finish(std::cerr)) return 1;
+//
+// See docs/SHARDING.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shard/format.h"
+#include "util/cli.h"
+
+namespace snd::shard {
+
+/// The shared flag surface:
+///   --shard i/N          run only shard i of N (requires --checkpoint)
+///   --checkpoint PATH    persist results to PATH (.sndshard), checkpointing
+///                        every --checkpoint-every trials (default 16)
+///   --resume             continue an interrupted PATH instead of truncating
+struct SessionOptions {
+  bool enabled = false;  ///< --checkpoint given (sharded or whole-sweep)
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  std::string checkpoint_path;
+  bool resume = false;
+  std::size_t checkpoint_every = 16;
+
+  [[nodiscard]] bool sharded() const { return shard_count > 1; }
+};
+
+/// Reads the flags above; invalid combinations (bad "i/N", --shard without
+/// --checkpoint, --resume without --checkpoint, --checkpoint-every < 1) are
+/// recorded with cli.record_error() so the driver's cli.validate() call
+/// rejects them with a non-zero exit.
+[[nodiscard]] SessionOptions resolve_session(const util::Cli& cli);
+
+/// One shard run of one sweep. Thread-safe recording: the runner's worker
+/// threads call record_success/record_failure concurrently; every
+/// checkpoint_every records the session flushes a self-validating chunk, so
+/// a crash loses at most the unflushed buffer.
+class Session {
+ public:
+  /// `spec` carries sweep_id/total_trials/base_seed/metric_names; the shard
+  /// coordinates are taken from `options`.
+  Session(const SessionOptions& options, ShardSpec spec);
+
+  /// Opens (or resumes) the checkpoint file. No-op for a disabled session.
+  /// Prints the reason to `err` and returns false on failure -- including a
+  /// resume header that does not match this sweep's spec.
+  [[nodiscard]] bool open(std::ostream& err);
+
+  [[nodiscard]] bool enabled() const { return options_.enabled; }
+  [[nodiscard]] bool sharded() const { return options_.sharded(); }
+  [[nodiscard]] const ShardSpec& spec() const { return spec_; }
+  /// Trials this run still has to execute: the shard's owned indices minus
+  /// the ones a resumed checkpoint already holds. Ascending. For a disabled
+  /// session this is every trial of the sweep.
+  [[nodiscard]] const std::vector<std::uint32_t>& pending() const { return pending_; }
+  /// Trials restored from the checkpoint by open() when resuming.
+  [[nodiscard]] std::size_t resumed() const { return resumed_; }
+
+  /// Persist one completed trial (values parallel to spec().metric_names).
+  void record_success(std::uint64_t trial, std::vector<double> values,
+                      const obs::TraceSummary& trace);
+  void record_failure(std::uint64_t trial, std::string message);
+
+  /// Final checkpoint + close; false (message on `err`) if any write failed.
+  [[nodiscard]] bool finish(std::ostream& err);
+
+ private:
+  void record(TrialRecord record);
+  [[nodiscard]] double wall_seconds() const;
+
+  SessionOptions options_;
+  ShardSpec spec_;
+  std::vector<std::uint32_t> pending_;
+  std::size_t resumed_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::mutex mutex_;
+  ShardWriter writer_;
+  bool io_error_ = false;
+};
+
+}  // namespace snd::shard

@@ -1,0 +1,99 @@
+#include "shard/shard.h"
+
+#include "obs/event.h"
+
+namespace snd::shard {
+
+std::vector<std::uint32_t> ShardSpec::trial_indices() const {
+  std::vector<std::uint32_t> indices;
+  if (shard_count == 0) return indices;
+  indices.reserve(static_cast<std::size_t>(total_trials / shard_count + 1));
+  for (std::uint64_t i = shard_index; i < total_trials; i += shard_count) {
+    indices.push_back(static_cast<std::uint32_t>(i));
+  }
+  return indices;
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t state, std::string_view text) {
+  for (char c : text) {
+    state ^= static_cast<std::uint8_t>(c);
+    state *= 0x100000001b3ULL;
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t ShardSpec::schema_hash() const {
+  // The descriptor names every column group and its width; bumping an obs
+  // enum or renaming a metric changes the hash and old files are rejected
+  // instead of silently misread.
+  std::uint64_t h = fnv1a(0xcbf29ce484222325ULL, "sndshard/v1");
+  const auto dim = [&](std::string_view label, std::size_t n) {
+    h = fnv1a(h, ";");
+    h = fnv1a(h, label);
+    h = fnv1a(h, "=");
+    h = fnv1a(h, std::to_string(n));
+  };
+  dim("tx", obs::kPhaseCount);
+  dim("drops", obs::kDropCauseCount);
+  dim("node_phases", obs::kNodePhaseCount);
+  dim("rejects", obs::kRejectReasonCount);
+  dim("accepts", obs::kAcceptViaCount);
+  dim("injects", obs::kInjectKindCount);
+  h = fnv1a(h, ";metrics");
+  for (const std::string& name : metric_names) {
+    h = fnv1a(h, ",");
+    h = fnv1a(h, name);
+  }
+  return h;
+}
+
+std::string ShardSpec::mismatch(const ShardSpec& other) const {
+  if (sweep_id != other.sweep_id) {
+    return "sweep_id '" + other.sweep_id + "' != '" + sweep_id + "'";
+  }
+  if (shard_count != other.shard_count) {
+    return "shard_count " + std::to_string(other.shard_count) + " != " +
+           std::to_string(shard_count);
+  }
+  if (base_seed != other.base_seed) {
+    return "base_seed " + std::to_string(other.base_seed) + " != " +
+           std::to_string(base_seed);
+  }
+  if (total_trials != other.total_trials) {
+    return "total_trials " + std::to_string(other.total_trials) + " != " +
+           std::to_string(total_trials);
+  }
+  if (schema_hash() != other.schema_hash()) {
+    return "schema hash mismatch (different metric columns or build vintage)";
+  }
+  return {};
+}
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>> parse_shard_arg(
+    std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos || slash == 0 || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  for (char c : text.substr(0, slash)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    index = index * 10 + static_cast<std::uint64_t>(c - '0');
+    if (index > 0xffffffffULL) return std::nullopt;
+  }
+  for (char c : text.substr(slash + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    count = count * 10 + static_cast<std::uint64_t>(c - '0');
+    if (count > 0xffffffffULL) return std::nullopt;
+  }
+  if (count == 0 || index >= count) return std::nullopt;
+  return std::make_pair(static_cast<std::uint32_t>(index),
+                        static_cast<std::uint32_t>(count));
+}
+
+}  // namespace snd::shard

@@ -66,6 +66,20 @@ void put_var_bytes(Bytes& out, std::span<const std::uint8_t> data) {
   put_bytes(out, data);
 }
 
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_varint_signed(Bytes& out, std::int64_t v) {
+  // ZigZag: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+  put_varint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                      static_cast<std::uint64_t>(v >> 63));
+}
+
 bool ByteReader::take(std::size_t n) {
   if (!ok_ || data_.size() - pos_ < n) {
     ok_ = false;
@@ -100,6 +114,30 @@ std::optional<std::uint64_t> ByteReader::u64() {
   for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
   pos_ += 8;
   return v;
+}
+
+std::optional<std::uint64_t> ByteReader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const auto byte = u8();
+    if (!byte) return std::nullopt;
+    // The 10th group holds the top single bit of a 64-bit value; anything
+    // above it would silently truncate, so reject it as malformed.
+    if (shift == 63 && (*byte & 0xfe) != 0) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    v |= static_cast<std::uint64_t>(*byte & 0x7f) << shift;
+    if ((*byte & 0x80) == 0) return v;
+  }
+  ok_ = false;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> ByteReader::varint_signed() {
+  const auto zz = varint();
+  if (!zz) return std::nullopt;
+  return static_cast<std::int64_t>((*zz >> 1) ^ (~(*zz & 1) + 1));
 }
 
 std::optional<Bytes> ByteReader::bytes(std::size_t n) {

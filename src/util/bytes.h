@@ -28,6 +28,14 @@ void put_bytes(Bytes& out, std::span<const std::uint8_t> data);
 /// Length-prefixed (u16) byte string.
 void put_var_bytes(Bytes& out, std::span<const std::uint8_t> data);
 
+/// Append an unsigned LEB128 varint (7 value bits per byte, little-endian
+/// groups, high bit = continuation). 1 byte for values < 128; at most 10
+/// bytes for a full 64-bit value. The columnar shard format stores all its
+/// event counts this way (docs/SHARDING.md).
+void put_varint(Bytes& out, std::uint64_t v);
+/// ZigZag-folded signed varint (small magnitudes stay small either sign).
+void put_varint_signed(Bytes& out, std::int64_t v);
+
 /// Sequential bounds-checked reader over an immutable byte span.
 /// All getters return std::nullopt once the buffer is exhausted; after a
 /// failed read the reader is poisoned and every further read fails, so
@@ -40,6 +48,12 @@ class ByteReader {
   std::optional<std::uint16_t> u16();
   std::optional<std::uint32_t> u32();
   std::optional<std::uint64_t> u64();
+  /// Unsigned LEB128 varint. Rejects encodings longer than 10 bytes and
+  /// 10-byte encodings whose final group overflows 64 bits, so every value
+  /// has exactly one accepted encoding length bound.
+  std::optional<std::uint64_t> varint();
+  /// ZigZag-folded signed varint (inverse of put_varint_signed).
+  std::optional<std::int64_t> varint_signed();
   /// Read exactly n raw bytes.
   std::optional<Bytes> bytes(std::size_t n);
   /// Read a u16 length prefix followed by that many bytes.

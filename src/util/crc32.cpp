@@ -1,0 +1,40 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace snd::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xffffffffu; }
+
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) {
+  const auto& t = table();
+  for (std::uint8_t b : data) state = t[(state ^ b) & 0xff] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xffffffffu; }
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace snd::util

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// footers of the binary artifact formats (.sndshard checkpoint chunks).
+// Not cryptographic -- it detects truncation and accidental corruption,
+// which is all an append-only checkpoint file needs; authenticated storage
+// is out of scope here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace snd::util {
+
+/// One-shot CRC-32 of a byte span.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: feed `crc32_update` the previous return value (seed
+/// with crc32_init()) and finish with crc32_final.
+[[nodiscard]] std::uint32_t crc32_init();
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::span<const std::uint8_t> data);
+[[nodiscard]] std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace snd::util

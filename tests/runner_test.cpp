@@ -188,6 +188,75 @@ TEST(SweepReportTest, JsonContainsTheHeadlineFields) {
   EXPECT_NE(json.find("trial 3: boom"), std::string::npos);
 }
 
+TEST(RunSubsetTest, UnionOfDisjointShardsIsBitIdenticalToFullRun) {
+  const std::size_t trials = 61;
+  TrialRunner pool(3);
+  const auto full = pool.run(trials, 987, noisy_trial);
+
+  // Strided 4-way split, shards run independently (even at other job counts).
+  std::vector<std::optional<double>> stitched(trials);
+  for (std::uint32_t shard = 0; shard < 4; ++shard) {
+    std::vector<std::uint32_t> indices;
+    for (std::size_t i = shard; i < trials; i += 4) {
+      indices.push_back(static_cast<std::uint32_t>(i));
+    }
+    TrialRunner shard_pool(1 + shard % 3);
+    const auto part = shard_pool.run_subset(indices, 987, noisy_trial);
+    ASSERT_EQ(part.size(), indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) stitched[indices[k]] = part[k];
+  }
+  for (std::size_t i = 0; i < trials; ++i) {
+    ASSERT_TRUE(stitched[i].has_value()) << i;
+    EXPECT_EQ(*stitched[i], *full[i]) << i;  // bit-identical, not just close
+  }
+}
+
+TEST(RunSubsetTest, ReportsGlobalTrialIndicesForFailures) {
+  TrialRunner pool(2);
+  SweepReport report;
+  report.name = "subset";
+  const std::vector<std::uint32_t> indices = {3, 10, 17};
+  const auto results = pool.run_subset(
+      indices, 5,
+      [](std::size_t i, std::uint64_t) -> double {
+        if (i == 10) throw std::runtime_error("bad trial");
+        return static_cast<double>(i);
+      },
+      &report);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].has_value());
+  EXPECT_FALSE(results[1].has_value());
+  EXPECT_EQ(report.failed, 1u);
+  ASSERT_EQ(report.errors.size(), 1u);
+  // The message names the global trial index, not the subset slot.
+  EXPECT_NE(report.errors[0].find("trial 10"), std::string::npos) << report.errors[0];
+}
+
+TEST(SweepReportTest, CanonicalJsonOmitsTimingAndKeepsMetrics) {
+  SweepReport report;
+  report.name = "canon";
+  report.trials = 3;
+  report.jobs = 8;
+  report.wall_seconds = 1.25;
+  report.trial_micros.add(10.0);
+  report.metric("accuracy").add(0.5);
+  report.metric("accuracy").add(0.7);
+  const std::string canonical = report.to_canonical_json();
+  EXPECT_EQ(canonical.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(canonical.find("trial_us"), std::string::npos);
+  EXPECT_EQ(canonical.find("jobs"), std::string::npos);
+  EXPECT_NE(canonical.find("\"accuracy\""), std::string::npos);
+  EXPECT_NE(canonical.find("\"ci95\""), std::string::npos);
+
+  // Same logical sweep, different timing: canonical form is identical.
+  SweepReport other = report;
+  other.wall_seconds = 99.0;
+  other.jobs = 1;
+  other.trial_micros.add(5555.0);
+  EXPECT_EQ(other.to_canonical_json(), canonical);
+  EXPECT_NE(other.to_json(), report.to_json());  // full form does keep timing
+}
+
 TEST(JobsKnobTest, FlagBeatsEnvBeatsHardware) {
   const char* argv_flag[] = {"prog", "--jobs", "6"};
   setenv("SND_JOBS", "3", 1);

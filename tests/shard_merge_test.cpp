@@ -1,0 +1,220 @@
+// shard::merge_shards validation and byte-identity, and the shard::Session
+// driver glue: a sweep run as N shards (with failures, checkpoints, and a
+// simulated crash + resume) must merge into a canonical report
+// byte-identical to the one an unsharded run of the same sweep produces.
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/trial_runner.h"
+#include "shard/merge.h"
+#include "shard/session.h"
+#include "util/rng.h"
+
+namespace snd::shard {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 4242;
+constexpr std::uint64_t kTrials = 29;
+
+ShardSpec sweep_spec() {
+  ShardSpec spec;
+  spec.sweep_id = "merge_sweep";
+  spec.base_seed = kBaseSeed;
+  spec.total_trials = kTrials;
+  spec.metric_names = {"score"};
+  return spec;
+}
+
+/// The deterministic per-trial "simulation" both the sharded and unsharded
+/// paths run: a seed-derived score, with trials divisible by 9 failing.
+double trial_score(std::size_t i, std::uint64_t seed) {
+  if (i % 9 == 4) throw std::runtime_error("synthetic failure " + std::to_string(i));
+  util::Rng rng(seed);
+  return rng.uniform() + static_cast<double>(i) * 1e-6;
+}
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + name; }
+
+SessionOptions options_for(const std::string& path, std::uint32_t index,
+                           std::uint32_t count, bool resume = false) {
+  SessionOptions options;
+  options.enabled = true;
+  options.shard_index = index;
+  options.shard_count = count;
+  options.checkpoint_path = path;
+  options.resume = resume;
+  options.checkpoint_every = 3;
+  return options;
+}
+
+/// Runs one shard of the sweep through a Session (the same shape the fig3 /
+/// fig4 drivers use), returning the runner's report.
+runner::SweepReport run_shard(const SessionOptions& options) {
+  runner::TrialRunner pool(2);
+  runner::SweepReport report;
+  report.name = "merge_sweep";
+  Session session(options, sweep_spec());
+  EXPECT_TRUE(session.open(std::cerr));
+  (void)pool.run_subset(
+      session.pending(), kBaseSeed,
+      [&](std::size_t i, std::uint64_t seed) {
+        try {
+          const double score = trial_score(i, seed);
+          session.record_success(i, {score}, obs::TraceSummary{});
+          return score;
+        } catch (const std::exception& e) {
+          session.record_failure(i, e.what());
+          throw;
+        }
+      },
+      &report);
+  EXPECT_TRUE(session.finish(std::cerr));
+  return report;
+}
+
+/// The unsharded reference: same sweep through the plain runner path.
+std::string unsharded_canonical() {
+  runner::TrialRunner pool(2);
+  runner::SweepReport report;
+  report.name = "merge_sweep";
+  const auto values = pool.run(kTrials, kBaseSeed, trial_score, &report);
+  obs::Registry registry(kTrials);
+  report.attach_trace(registry.fold());
+  report.metric("score");
+  for (const auto& value : values) {
+    if (value.has_value()) report.metric("score").add(*value);
+  }
+  return report.to_canonical_json();
+}
+
+TEST(ShardMerge, ShardedRunMergesByteIdenticalToUnsharded) {
+  const std::uint32_t kShards = 4;
+  std::vector<std::string> paths;
+  for (std::uint32_t k = 0; k < kShards; ++k) {
+    paths.push_back(temp_path("merge_ok_" + std::to_string(k) + ".sndshard"));
+    run_shard(options_for(paths.back(), k, kShards));
+  }
+
+  std::string error;
+  const auto merged = merge_shards(paths, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(merged->report.trials, kTrials);
+  EXPECT_EQ(merged->report.failed, 3u);  // trials 4, 13, 22
+  EXPECT_EQ(merged->shards.size(), kShards);
+  EXPECT_EQ(merged->report.to_canonical_json(), unsharded_canonical());
+}
+
+TEST(ShardMerge, CrashedShardResumesAndStillMergesByteIdentical) {
+  const std::uint32_t kShards = 3;
+  std::vector<std::string> paths;
+  for (std::uint32_t k = 0; k < kShards; ++k) {
+    paths.push_back(temp_path("merge_resume_" + std::to_string(k) + ".sndshard"));
+    run_shard(options_for(paths.back(), k, kShards));
+  }
+
+  // Simulate a crash of shard 1: cut its file mid-chunk, then resume it.
+  const auto size = std::filesystem::file_size(paths[1]);
+  std::filesystem::resize_file(paths[1], size - 9);
+  std::string error;
+  {
+    const auto partial = read_shard_file(paths[1], &error);
+    ASSERT_TRUE(partial.has_value()) << error;
+    ASSERT_LT(partial->records.size(), sweep_spec().trial_indices().size());
+  }
+  const auto incomplete = merge_shards(paths, &error);
+  EXPECT_FALSE(incomplete.has_value());
+  EXPECT_NE(error.find("incomplete coverage"), std::string::npos) << error;
+
+  run_shard(options_for(paths[1], 1, kShards, /*resume=*/true));
+
+  const auto merged = merge_shards(paths, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(merged->report.to_canonical_json(), unsharded_canonical());
+}
+
+TEST(ShardMerge, RejectsOverlappingShards) {
+  const std::string a = temp_path("overlap_a.sndshard");
+  const std::string b = temp_path("overlap_b.sndshard");
+  run_shard(options_for(a, 0, 2));
+  run_shard(options_for(b, 0, 2));  // same shard index twice
+  std::string error;
+  EXPECT_FALSE(merge_shards({a, b}, &error).has_value());
+  EXPECT_NE(error.find("overlapping"), std::string::npos) << error;
+}
+
+TEST(ShardMerge, RejectsMismatchedSpecs) {
+  const std::string a = temp_path("spec_a.sndshard");
+  const std::string b = temp_path("spec_b.sndshard");
+  run_shard(options_for(a, 0, 2));
+
+  // Same path shape, different base seed: a different sweep entirely.
+  SessionOptions other = options_for(b, 1, 2);
+  ShardSpec spec = sweep_spec();
+  spec.base_seed ^= 99;
+  Session session(other, spec);
+  ASSERT_TRUE(session.open(std::cerr));
+  ASSERT_TRUE(session.finish(std::cerr));
+
+  std::string error;
+  EXPECT_FALSE(merge_shards({a, b}, &error).has_value());
+  EXPECT_NE(error.find("base_seed"), std::string::npos) << error;
+}
+
+TEST(ShardMerge, RejectsMismatchedShardCounts) {
+  const std::string a = temp_path("count_a.sndshard");
+  const std::string b = temp_path("count_b.sndshard");
+  run_shard(options_for(a, 0, 2));
+  run_shard(options_for(b, 1, 3));
+  std::string error;
+  EXPECT_FALSE(merge_shards({a, b}, &error).has_value());
+  EXPECT_NE(error.find("shard_count"), std::string::npos) << error;
+}
+
+TEST(ShardMerge, ReportsMissingTrialsPrecisely) {
+  const std::string a = temp_path("missing_a.sndshard");
+  run_shard(options_for(a, 0, 2));
+  std::string error;
+  EXPECT_FALSE(merge_shards({a}, &error).has_value());
+  EXPECT_NE(error.find("incomplete coverage"), std::string::npos) << error;
+  EXPECT_NE(error.find("1"), std::string::npos);  // first missing trial listed
+}
+
+TEST(ShardMerge, SummaryMarkdownListsMetricsAndShards) {
+  const std::uint32_t kShards = 2;
+  std::vector<std::string> paths;
+  for (std::uint32_t k = 0; k < kShards; ++k) {
+    paths.push_back(temp_path("md_" + std::to_string(k) + ".sndshard"));
+    run_shard(options_for(paths[k], k, kShards));
+  }
+  std::string error;
+  const auto merged = merge_shards(paths, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  const std::string md = summary_markdown(*merged);
+  EXPECT_NE(md.find("merge_sweep"), std::string::npos);
+  EXPECT_NE(md.find("| score |"), std::string::npos);
+  EXPECT_NE(md.find("| shard | trials | wall seconds |"), std::string::npos);
+}
+
+TEST(Session, ResolveSessionRejectsBadCombinations) {
+  const auto check_errors = [](std::vector<const char*> argv, bool expect_error) {
+    argv.insert(argv.begin(), "prog");
+    const util::Cli cli(static_cast<int>(argv.size()), argv.data());
+    (void)resolve_session(cli);
+    EXPECT_EQ(!cli.errors().empty(), expect_error);
+  };
+  check_errors({"--shard", "1/4", "--checkpoint", "x.sndshard"}, false);
+  check_errors({"--shard", "1/4"}, true);               // shard without checkpoint
+  check_errors({"--resume"}, true);                     // resume without checkpoint
+  check_errors({"--shard", "9/4", "--checkpoint", "x"}, true);  // index out of range
+  check_errors({"--shard", "nope", "--checkpoint", "x"}, true);
+  check_errors({"--checkpoint", "x", "--checkpoint-every", "0"}, true);
+  check_errors({"--checkpoint", "x", "--checkpoint-every", "5"}, false);
+}
+
+}  // namespace
+}  // namespace snd::shard
