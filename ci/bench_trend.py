@@ -74,7 +74,18 @@ def main():
 
         for path, now in sorted(current.items()):
             before = previous.get(path)
-            if before is None or before <= 0.0:
+            if before is None:
+                # A series that exists now but not before (new bench, renamed
+                # key) must be visible, not silently untracked -- a rename
+                # would otherwise disable the gate for that series forever.
+                print(f"bench-trend: {name}:{path}: no comparable baseline "
+                      f"(series absent from previous run); not compared")
+                continue
+            if before <= 0.0:
+                # A zero/negative previous mean makes the ratio meaningless
+                # (and used to crash older versions with a divide-by-zero).
+                print(f"bench-trend: {name}:{path}: no comparable baseline "
+                      f"(previous value {before:.3f} <= 0); not compared")
                 continue
             compared += 1
             ratio = now / before

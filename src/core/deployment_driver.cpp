@@ -49,8 +49,16 @@ NodeId SndDeployment::deploy_node_at(util::Vec2 position) {
   auto agent = std::make_unique<SndNode>(*network_, device, identity, master_, verifier_, keys_,
                                          config_.protocol);
   agent->start();
-  agents_.emplace(device, std::move(agent));
+  ensure_slot(device);
+  agents_[device] = std::move(agent);
   return identity;
+}
+
+void SndDeployment::ensure_slot(sim::DeviceId device) {
+  if (device >= agents_.size()) {
+    agents_.resize(device + 1);
+    boot_epochs_.resize(device + 1, 0);
+  }
 }
 
 void SndDeployment::run() { network_->scheduler().run(); }
@@ -60,20 +68,25 @@ void SndDeployment::run_for(sim::Time duration) {
 }
 
 SndNode* SndDeployment::agent_for_device(sim::DeviceId device) {
-  const auto it = agents_.find(device);
-  return it != agents_.end() ? it->second.get() : nullptr;
+  return device < agents_.size() ? agents_[device].get() : nullptr;
 }
 
 SndNode* SndDeployment::agent(NodeId identity) {
-  for (auto& [device, agent] : agents_) {
-    if (agent->identity() == identity && !network_->device(device).replica) return agent.get();
+  for (sim::DeviceId device = 0; device < agents_.size(); ++device) {
+    SndNode* agent = agents_[device].get();
+    if (agent != nullptr && agent->identity() == identity && !network_->device(device).replica) {
+      return agent;
+    }
   }
   return nullptr;
 }
 
 const SndNode* SndDeployment::agent(NodeId identity) const {
-  for (const auto& [device, agent] : agents_) {
-    if (agent->identity() == identity && !network_->device(device).replica) return agent.get();
+  for (sim::DeviceId device = 0; device < agents_.size(); ++device) {
+    const SndNode* agent = agents_[device].get();
+    if (agent != nullptr && agent->identity() == identity && !network_->device(device).replica) {
+      return agent;
+    }
   }
   return nullptr;
 }
@@ -81,15 +94,15 @@ const SndNode* SndDeployment::agent(NodeId identity) const {
 std::vector<const SndNode*> SndDeployment::agents() const {
   std::vector<const SndNode*> out;
   out.reserve(agents_.size());
-  for (const auto& [device, agent] : agents_) out.push_back(agent.get());
+  for (const auto& agent : agents_) {
+    if (agent != nullptr) out.push_back(agent.get());
+  }
   return out;
 }
 
 std::unique_ptr<SndNode> SndDeployment::detach_agent(sim::DeviceId device) {
-  const auto it = agents_.find(device);
-  if (it == agents_.end()) return nullptr;
-  std::unique_ptr<SndNode> agent = std::move(it->second);
-  agents_.erase(it);
+  if (device >= agents_.size() || agents_[device] == nullptr) return nullptr;
+  std::unique_ptr<SndNode> agent = std::move(agents_[device]);
   agent->stop();
   return agent;
 }
@@ -149,19 +162,19 @@ bool SndDeployment::reboot_node(NodeId identity) {
   if (config_.energy.enabled) network_->set_energy_j(device, config_.energy.initial_j);
   // Destroy the old incarnation first: its stop() deregisters the radio
   // receiver, which must not clobber the fresh agent's registration.
-  agents_.erase(device);
+  ensure_slot(device);
+  agents_[device].reset();
   const std::uint32_t epoch = ++boot_epochs_[device];
   auto agent = std::make_unique<SndNode>(*network_, device, identity, master_, verifier_, keys_,
                                          config_.protocol, epoch);
   agent->start();
-  agents_.emplace(device, std::move(agent));
+  agents_[device] = std::move(agent);
   trace_inject(*network_, obs::InjectKind::kReboot, identity);
   return true;
 }
 
 std::uint32_t SndDeployment::boot_epoch(sim::DeviceId device) const {
-  const auto it = boot_epochs_.find(device);
-  return it != boot_epochs_.end() ? it->second : 0;
+  return device < boot_epochs_.size() ? boot_epochs_[device] : 0;
 }
 
 topology::Digraph SndDeployment::actual_benign_graph() const {
@@ -182,7 +195,8 @@ topology::Digraph SndDeployment::actual_benign_graph() const {
 
 topology::Digraph SndDeployment::tentative_graph() const {
   topology::Digraph graph;
-  for (const auto& [device, agent] : agents_) {
+  for (const auto& agent : agents_) {
+    if (agent == nullptr) continue;
     graph.add_node(agent->identity());
     for (NodeId v : agent->tentative_neighbors()) graph.add_edge(agent->identity(), v);
   }
@@ -191,7 +205,8 @@ topology::Digraph SndDeployment::tentative_graph() const {
 
 topology::Digraph SndDeployment::functional_graph() const {
   topology::Digraph graph;
-  for (const auto& [device, agent] : agents_) {
+  for (const auto& agent : agents_) {
+    if (agent == nullptr) continue;
     graph.add_node(agent->identity());
     for (NodeId v : agent->functional_neighbors()) graph.add_edge(agent->identity(), v);
   }

@@ -5,7 +5,6 @@
 // test; the adversary attaches to it to mount attacks.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -118,9 +117,17 @@ class SndDeployment {
   std::shared_ptr<verify::DirectVerifier> verifier_;
   std::shared_ptr<crypto::KeyPredistribution> keys_;
   util::Rng deploy_rng_;
-  std::map<sim::DeviceId, std::unique_ptr<SndNode>> agents_;
+  /// Agents in sim::Network layout: parallel to the device table, indexed by
+  /// DeviceId (dense from 0). A null slot is a device with no agent -- never
+  /// deployed by this driver, or detached/compromised. Iteration ascends by
+  /// device id, exactly as the seed std::map did.
+  std::vector<std::unique_ptr<SndNode>> agents_;
   std::unique_ptr<fault::Injector> injector_;
-  std::map<sim::DeviceId, std::uint32_t> boot_epochs_;
+  /// Reboot counts, parallel to agents_ (0 = never rebooted).
+  std::vector<std::uint32_t> boot_epochs_;
+
+  /// Grows the parallel vectors to cover `device`.
+  void ensure_slot(sim::DeviceId device);
 
   /// The non-replica device claiming `identity`; kNoDevice when unknown.
   [[nodiscard]] sim::DeviceId original_device(NodeId identity) const;

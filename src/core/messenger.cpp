@@ -15,7 +15,8 @@ Messenger::Messenger(sim::Network& network, sim::DeviceId device, NodeId identit
       // collide in the receiver's replay cache; the epoch stride jumps a
       // rebooted device's counters ahead of everything it sent before.
       nonce_counter_((static_cast<std::uint64_t>(device) << 32) +
-                     static_cast<std::uint64_t>(boot_epoch) * kEpochStride) {}
+                     static_cast<std::uint64_t>(boot_epoch) * kEpochStride),
+      soa_(util::soa_enabled()) {}
 
 crypto::SymmetricKey Messenger::pair_key(NodeId peer) const {
   auto key = keys_->pairwise(identity_, peer);
@@ -169,11 +170,17 @@ bool Messenger::ReplayWindow::accept(std::uint64_t counter) {
 }
 
 bool Messenger::replay_accept(NodeId src, std::uint64_t nonce) {
-  ReplayWindow& window = replay_windows_[src][static_cast<std::uint32_t>(nonce >> 32)];
-  return window.accept(nonce & 0xffffffffULL);
+  const std::uint32_t sender_device = static_cast<std::uint32_t>(nonce >> 32);
+  const std::uint64_t counter = nonce & 0xffffffffULL;
+  if (soa_) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | sender_device;
+    return replay_windows_flat_.get_or_insert(key).accept(counter);
+  }
+  return replay_windows_[src][sender_device].accept(counter);
 }
 
 std::size_t Messenger::replay_window_count() const {
+  if (soa_) return replay_windows_flat_.size();
   std::size_t count = 0;
   for (const auto& [src, windows] : replay_windows_) count += windows.size();
   return count;

@@ -32,6 +32,7 @@
 #include "crypto/session_cache.h"
 #include "obs/event.h"
 #include "sim/network.h"
+#include "util/flat.h"
 #include "util/ids.h"
 
 namespace snd::core {
@@ -112,10 +113,17 @@ class Messenger {
   crypto::PairKeyCache key_cache_;
   std::uint64_t nonce_counter_;
   std::uint64_t replay_rejects_ = 0;
+  /// Representation of the replay table, captured at construction (see
+  /// util::soa_enabled()). Replay state is lookup-only -- nothing iterates
+  /// it on a decision path -- so the two representations are trivially
+  /// behavior-identical.
+  const bool soa_;
   /// Nonces are (device << 32) + counter, so windows are keyed per
   /// (claimed src identity, sending device): replicas of one identity get
-  /// independent windows and never collide.
+  /// independent windows and never collide. Seed representation.
   std::map<NodeId, std::map<std::uint32_t, ReplayWindow>> replay_windows_;
+  /// Flat representation: one sorted array keyed (src << 32) | device.
+  util::FlatMap<std::uint64_t, ReplayWindow> replay_windows_flat_;
 };
 
 }  // namespace snd::core

@@ -153,7 +153,7 @@ void SndNode::on_packet(const sim::Packet& packet) {
 void SndNode::on_hello(const sim::Packet& packet) {
   // Make ourselves discoverable to the new node (once per identity --
   // repeated Hellos from the same node need no duplicate ACKs).
-  if (acked_identities_.insert(packet.src).second) {
+  if (acked_identities_.insert(packet.src)) {
     messenger_.send_unauth(packet.src, static_cast<std::uint8_t>(MessageType::kHelloAck), {},
                            obs::Phase::kAck);
   }
@@ -173,13 +173,13 @@ void SndNode::consider_tentative(const sim::Packet& packet) {
   // Direct verification is a (potentially expensive) challenge-response:
   // it runs once per candidate identity and the verdict is remembered, not
   // re-rolled for every overheard packet.
-  const auto cached = verification_cache_.find(packet.src);
+  const bool* cached = verification_cache_.find(packet.src);
   bool accepted;
-  if (cached != verification_cache_.end()) {
-    accepted = cached->second;
+  if (cached != nullptr) {
+    accepted = *cached;
   } else {
     accepted = verifier_->verify(network_, device_, packet.sender_device, packet.src);
-    verification_cache_.emplace(packet.src, accepted);
+    verification_cache_.try_emplace(packet.src, accepted);
   }
   if (!accepted) return;
   topology::insert_sorted(tentative_, packet.src);
@@ -260,8 +260,8 @@ void SndNode::on_record_reply(const sim::Packet& packet, std::span<const std::ui
   // OLD (still commitment-valid) record of a node that has since updated;
   // preferring the higher version neutralizes that substitution, and the
   // adversary cannot mint higher versions without K.
-  const auto existing = neighbor_records_.find(record.node);
-  if (existing != neighbor_records_.end() && existing->second.version >= record.version) {
+  const BindingRecord* existing = neighbor_records_.find(record.node);
+  if (existing != nullptr && existing->version >= record.version) {
     trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kStaleVersion,
                 packet.src);
     return;
@@ -282,12 +282,12 @@ void SndNode::run_validation() {
   validated_ = true;
 
   for (NodeId v : tentative_) {
-    const auto it = neighbor_records_.find(v);
-    if (it == neighbor_records_.end()) {
+    const BindingRecord* found = neighbor_records_.find(v);
+    if (found == nullptr) {
       trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kNoRecord, v);
       continue;
     }
-    const BindingRecord& record = it->second;
+    const BindingRecord& record = *found;
 
     if (meets_threshold(tentative_, record.neighbors, config_.threshold_t)) {
       topology::insert_sorted(functional_, v);
@@ -473,7 +473,9 @@ SndNode::Secrets SndNode::steal_secrets() const {
   secrets.record = record_;
   secrets.tentative = tentative_;
   secrets.functional = functional_;
-  secrets.evidence_buffer = evidence_buffer_;
+  for (const auto& [issuer, digest] : evidence_buffer_) {
+    secrets.evidence_buffer.emplace(issuer, digest);
+  }
   return secrets;
 }
 

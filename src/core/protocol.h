@@ -34,9 +34,15 @@
 #include "core/wire.h"
 #include "crypto/keypredist.h"
 #include "sim/network.h"
+#include "util/flat.h"
 #include "verify/verifier.h"
 
 namespace snd::core {
+
+/// Evidence issuers -> E(x, u). Representation (seed std::map vs flat
+/// sorted array) follows util::soa_enabled(); iteration is ascending by
+/// issuer either way.
+using EvidenceMap = util::DualMap<NodeId, crypto::Digest>;
 
 class SndNode {
  public:
@@ -76,9 +82,7 @@ class SndNode {
   [[nodiscard]] std::uint64_t replay_rejects() const { return messenger_.replay_rejects(); }
 
   /// Evidences buffered since the last record update: (issuer, E(x, u)).
-  [[nodiscard]] const std::map<NodeId, crypto::Digest>& evidence_buffer() const {
-    return evidence_buffer_;
-  }
+  [[nodiscard]] const EvidenceMap& evidence_buffer() const { return evidence_buffer_; }
 
   // -- Update extension (§4.4) -------------------------------------------
   /// Asks `server` (a newly deployed node that should still hold K) to
@@ -159,17 +163,17 @@ class SndNode {
   std::optional<BindingRecord> record_;
   /// Verified binding records of tentative neighbors (kept only until
   /// validation; the paper notes R(v) can be deleted after use).
-  std::map<NodeId, BindingRecord> neighbor_records_;
+  util::DualMap<NodeId, BindingRecord> neighbor_records_;
   /// A record request arrived before our record existed.
   bool pending_record_request_ = false;
   /// An aggregated record broadcast is already scheduled.
   bool record_broadcast_scheduled_ = false;
   /// Evidences received from later deployments: issuer -> E(x, u).
-  std::map<NodeId, crypto::Digest> evidence_buffer_;
+  EvidenceMap evidence_buffer_;
   /// Identities already answered with a HelloAck (duplicate suppression).
-  std::set<NodeId> acked_identities_;
+  util::DualSet<NodeId> acked_identities_;
   /// Direct-verification verdicts, one per candidate identity.
-  std::map<NodeId, bool> verification_cache_;
+  util::DualMap<NodeId, bool> verification_cache_;
   /// Update requests this node has issued (diagnostics).
   std::size_t updates_requested_ = 0;
   /// Events scheduled by this agent (cancelled on stop/destruction).

@@ -29,7 +29,11 @@ void set_fast_path_enabled(bool enabled) {
 }
 
 const PairKeyCache::Entry& PairKeyCache::get(NodeId peer) {
-  if (const auto it = entries_.find(peer); it != entries_.end()) return it->second;
+  if (soa_) {
+    if (const Entry* hit = entries_flat_.find(peer)) return *hit;
+  } else if (const auto it = entries_.find(peer); it != entries_.end()) {
+    return it->second;
+  }
 
   auto derived = scheme_->pairwise(self_, peer);
   if (!derived || !derived->present()) return absent_;
@@ -37,6 +41,11 @@ const PairKeyCache::Entry& PairKeyCache::get(NodeId peer) {
   Entry entry;
   entry.key = std::move(*derived);
   entry.mac = HmacKey(entry.key);
+  if (soa_) {
+    Entry& slot = entries_flat_.get_or_insert(peer);
+    slot = std::move(entry);
+    return slot;
+  }
   return entries_.emplace(peer, std::move(entry)).first->second;
 }
 

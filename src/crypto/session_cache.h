@@ -18,6 +18,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/keypredist.h"
+#include "util/flat.h"
 #include "util/ids.h"
 
 namespace snd::crypto {
@@ -37,23 +38,38 @@ class PairKeyCache {
   };
 
   PairKeyCache(std::shared_ptr<const KeyPredistribution> scheme, NodeId self)
-      : scheme_(std::move(scheme)), self_(self) {}
+      : scheme_(std::move(scheme)), self_(self), soa_(util::soa_enabled()) {}
 
   /// The cached pairwise entry for (self, peer). Derives and caches on the
-  /// first hit; negative results are returned but never stored. The
-  /// reference is invalidated by invalidate()/clear() only.
+  /// first hit; negative results are returned but never stored. With the
+  /// seed map the reference lives until invalidate()/clear(); with the flat
+  /// representation (util::soa_enabled()) any later get() that inserts may
+  /// also invalidate it -- every call site consumes the entry immediately.
   const Entry& get(NodeId peer);
 
   /// Drops one peer's entry (e.g. after re-keying in tests).
-  void invalidate(NodeId peer) { entries_.erase(peer); }
-  void clear() { entries_.clear(); }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void invalidate(NodeId peer) {
+    if (soa_) {
+      entries_flat_.erase(peer);
+    } else {
+      entries_.erase(peer);
+    }
+  }
+  void clear() {
+    entries_.clear();
+    entries_flat_.clear();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return soa_ ? entries_flat_.size() : entries_.size();
+  }
   [[nodiscard]] NodeId self() const { return self_; }
 
  private:
   std::shared_ptr<const KeyPredistribution> scheme_;
   NodeId self_;
-  std::map<NodeId, Entry> entries_;
+  const bool soa_;  // representation, captured at construction
+  std::map<NodeId, Entry> entries_;            // seed representation
+  util::FlatMap<NodeId, Entry> entries_flat_;  // sorted-array representation
   Entry absent_;  // returned (not stored) when derivation fails
 };
 

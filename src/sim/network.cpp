@@ -4,7 +4,17 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/soa.h"
+
 namespace snd::sim {
+
+namespace {
+
+/// Pooled packets are recycled, not destroyed; cap the free list so a
+/// delivery burst cannot pin an unbounded amount of payload memory.
+constexpr std::size_t kMaxPooledPackets = 1024;
+
+}  // namespace
 
 namespace {
 
@@ -31,6 +41,32 @@ Network::Network(std::unique_ptr<PropagationModel> propagation, ChannelConfig co
   cell_size_ = propagation_->max_range();
   indexable_ = std::isfinite(cell_size_) && cell_size_ > 0.0;
   use_spatial_index_ = indexable_;
+  if (util::soa_enabled()) packet_pool_ = std::make_shared<PacketPool>();
+}
+
+std::shared_ptr<const Packet> Network::share_packet(Packet&& packet) {
+  if (packet_pool_ == nullptr) return std::make_shared<const Packet>(std::move(packet));
+  std::unique_ptr<Packet> slot;
+  if (!packet_pool_->free.empty()) {
+    slot = std::move(packet_pool_->free.back());
+    packet_pool_->free.pop_back();
+    *slot = std::move(packet);  // reuses the recycled payload's heap buffer
+  } else {
+    slot = std::make_unique<Packet>(std::move(packet));
+  }
+  // The deleter returns the Packet to the pool if the pool still exists
+  // (weak_ptr: delivery events can outlive the Network only during its own
+  // destruction, where the lock simply fails and the Packet is freed).
+  return std::shared_ptr<const Packet>(
+      slot.release(), [pool = std::weak_ptr<PacketPool>(packet_pool_)](const Packet* p) {
+        Packet* recycled = const_cast<Packet*>(p);
+        if (const auto locked = pool.lock(); locked && locked->free.size() < kMaxPooledPackets) {
+          recycled->payload.clear();
+          locked->free.emplace_back(recycled);
+        } else {
+          delete recycled;
+        }
+      });
 }
 
 DeviceId Network::add_device(NodeId identity, util::Vec2 position) {
@@ -44,17 +80,39 @@ DeviceId Network::add_device(NodeId identity, util::Vec2 position) {
   energy_j_.push_back(energy_.initial_j);
   tx_busy_until_.push_back(Time::zero());
   tx_run_start_.push_back(Time::zero());
+  identity_index_[identity].push_back(id);
   grid_insert(id, position);
   return id;
 }
 
 void Network::grid_insert(DeviceId id, util::Vec2 position) {
   if (!indexable_) return;
-  // Ids are assigned sequentially and never re-bucketed, so every cell's
-  // vector stays sorted ascending -- the property candidate enumeration
-  // relies on for deterministic device-id order.
+  // Ids are assigned sequentially, so appending keeps every cell's vector
+  // sorted ascending -- the property candidate enumeration relies on for
+  // deterministic device-id order. (set_position re-buckets with a sorted
+  // insert, because a moved id is usually not the cell's maximum.)
   grid_[cell_key(cell_coord(position.x, cell_size_), cell_coord(position.y, cell_size_))]
       .push_back(id);
+  ++grid_version_;
+}
+
+void Network::set_position(DeviceId id, util::Vec2 position) {
+  Device& d = devices_.at(id);
+  const util::Vec2 old = d.position;
+  d.position = position;
+  if (!indexable_) return;
+  const std::uint64_t old_key =
+      cell_key(cell_coord(old.x, cell_size_), cell_coord(old.y, cell_size_));
+  const std::uint64_t new_key =
+      cell_key(cell_coord(position.x, cell_size_), cell_coord(position.y, cell_size_));
+  // A move inside one cell changes no cell membership, and cached candidate
+  // lists hold only ids (queries re-check link_exists against live
+  // positions), so the caches stay valid -- no version bump needed.
+  if (old_key == new_key) return;
+  std::vector<DeviceId>& old_cell = grid_[old_key];
+  old_cell.erase(std::remove(old_cell.begin(), old_cell.end(), id), old_cell.end());
+  std::vector<DeviceId>& new_cell = grid_[new_key];
+  new_cell.insert(std::lower_bound(new_cell.begin(), new_cell.end(), id), id);
   ++grid_version_;
 }
 
@@ -109,8 +167,10 @@ DeviceId Network::add_replica(NodeId identity, util::Vec2 position) {
 
 std::vector<DeviceId> Network::devices_with_identity(NodeId identity) const {
   std::vector<DeviceId> out;
-  for (const Device& d : devices_) {
-    if (d.alive && d.identity == identity) out.push_back(d.id);
+  const auto it = identity_index_.find(identity);
+  if (it == identity_index_.end()) return out;
+  for (const DeviceId id : it->second) {
+    if (devices_[id].alive) out.push_back(id);
   }
   return out;
 }
@@ -236,7 +296,7 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
   // measure time of flight (distance bounding) depend on it.
   std::vector<DeviceId> overhearers;
   double max_distance = 0.0;
-  const auto shared = std::make_shared<const Packet>(std::move(packet));
+  const std::shared_ptr<const Packet> shared = share_packet(std::move(packet));
 
   const NodeId sender_identity = sender.identity;
 
@@ -283,7 +343,7 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
         if (fd.corrupt) {
           Packet mutated = *shared;
           fault_->corrupt_packet(mutated);
-          pkt = std::make_shared<const Packet>(std::move(mutated));
+          pkt = share_packet(std::move(mutated));
           note_inject(obs::InjectKind::kCorrupt, receiver.identity, sender_identity, wire_bytes);
         }
         if (fd.extra_delay > Time::zero()) {

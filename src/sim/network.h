@@ -80,7 +80,18 @@ class Network {
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
   [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
 
-  /// All alive devices currently claiming `identity` (> 1 under replication).
+  /// Moves a device (mobility tooling, attacker repositioning): updates the
+  /// ground-truth position AND re-buckets the spatial index, invalidating
+  /// the cached candidate lists. Writing Device::position directly leaves
+  /// the index stale -- transmissions would resolve receivers against the
+  /// old cell -- so every position mutation must go through here.
+  void set_position(DeviceId id, util::Vec2 position);
+
+  /// All alive devices currently claiming `identity` (> 1 under
+  /// replication), ascending by device id. Served from the identity index
+  /// (devices never change identity), not a field scan: direct verifiers
+  /// call this once per heard Hello, which made the O(n) scan the dominant
+  /// O(n^2) term of million-node deployments.
   [[nodiscard]] std::vector<DeviceId> devices_with_identity(NodeId identity) const;
 
   // -- Radio ----------------------------------------------------------------
@@ -178,13 +189,13 @@ class Network {
   // -- Spatial index -----------------------------------------------------
   // Sparse uniform grid over device positions with cell side
   // propagation()->max_range(): every device within radio reach of a point
-  // lies in the 3x3 cell block around it. Positions are immutable after
-  // add_device, so cells never need rebalancing; dead devices stay indexed
-  // and are filtered at query time, because `alive` is ground-truth state
-  // that tooling toggles in both directions (kill/revive). The merged,
-  // id-sorted candidate list of each 3x3 block is cached per cell
-  // (deployment is rare, transmission constant), so steady-state receiver
-  // resolution is one hash lookup.
+  // lies in the 3x3 cell block around it. Positions mutate only through
+  // set_position(), which re-buckets the device and bumps grid_version_;
+  // dead devices stay indexed and are filtered at query time, because
+  // `alive` is ground-truth state that tooling toggles in both directions
+  // (kill/revive). The merged, id-sorted candidate list of each 3x3 block
+  // is cached per cell (deployment is rare, transmission constant), so
+  // steady-state receiver resolution is one hash lookup.
   void grid_insert(DeviceId id, util::Vec2 position);
   /// Device ids in cells reachable from `center`, ascending id order -- a
   /// superset of the linked set; callers re-filter with link_exists. The
@@ -195,6 +206,24 @@ class Network {
   /// and the device at `center` itself -- callers filter).
   template <typename Fn>
   void for_each_candidate(util::Vec2 center, Fn&& fn) const;
+
+  /// Recycled Packet buffers for the transmit path (data-oriented core).
+  /// Each transmission shares one immutable Packet among its delivery
+  /// events; with the pool, the Packet (and its payload's heap buffer) is
+  /// returned to a free list when the last event releases it instead of
+  /// going back to the allocator. Null when util::soa_enabled() is off at
+  /// construction -- the seed make_shared path is kept verbatim. Deleters
+  /// hold a weak_ptr, so teardown order against the scheduler is safe; the
+  /// member is still declared before scheduler_ so pooled packets owned by
+  /// pending events are recycled (not leaked) during destruction.
+  struct PacketPool {
+    std::vector<std::unique_ptr<Packet>> free;
+  };
+  std::shared_ptr<PacketPool> packet_pool_;
+
+  /// Wraps `packet` for sharing across delivery events: pooled when the
+  /// pool exists, plain make_shared otherwise.
+  [[nodiscard]] std::shared_ptr<const Packet> share_packet(Packet&& packet);
 
   std::unique_ptr<PropagationModel> propagation_;
   ChannelConfig config_;
@@ -213,6 +242,10 @@ class Network {
   std::vector<Time> tx_busy_until_;
   std::vector<Time> tx_run_start_;
   std::vector<std::optional<util::Circle>> jammers_;
+  /// identity -> device ids claiming it (ascending: ids are appended in
+  /// creation order). Identities are append-only, so the index never needs
+  /// rebucketing; `alive` is filtered at query time like the grid.
+  std::unordered_map<NodeId, std::vector<DeviceId>> identity_index_;
   FaultHook* fault_ = nullptr;
 
   /// Cell side of the spatial index (propagation max_range); devices are
@@ -223,13 +256,14 @@ class Network {
   bool use_spatial_index_ = false;
   std::unordered_map<std::uint64_t, std::vector<DeviceId>> grid_;
   /// Memoized 3x3-block candidate lists, stamped with the deployment
-  /// version that built them; rebuilt lazily after any add_device.
+  /// version that built them; rebuilt lazily after any topology mutation.
   struct BlockCache {
     std::uint64_t version = 0;
     std::vector<DeviceId> candidates;
   };
   mutable std::unordered_map<std::uint64_t, BlockCache> block_cache_;
-  /// Bumped on every add_device; invalidates all cached blocks at once.
+  /// Bumped on every add_device and cell-crossing set_position; invalidates
+  /// all cached blocks at once.
   std::uint64_t grid_version_ = 0;
 };
 

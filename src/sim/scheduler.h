@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "util/bitset.h"
 #include "util/inplace_function.h"
 
 namespace snd::sim {
@@ -28,6 +29,8 @@ using EventAction = util::InplaceFunction<void(), 88>;
 
 class Scheduler {
  public:
+  Scheduler();
+
   /// Schedules `action` at absolute time `at`. Events in the past of the
   /// current clock are clamped to "now" (fire next).
   EventId schedule_at(Time at, EventAction action);
@@ -40,20 +43,27 @@ class Scheduler {
 
   [[nodiscard]] bool empty() const { return pending() == 0; }
   [[nodiscard]] Time now() const { return now_; }
-  /// Live (non-cancelled) events still waiting to fire. cancelled_ may
+  /// Live (non-cancelled) events still waiting to fire. The cancel set may
   /// briefly contain ids of events that already fired (cancel-after-fire is
   /// a no-op, swept lazily), so the subtraction saturates; when the set
   /// provably holds stale ids (it outnumbers the heap) it is swept first,
   /// keeping this count exact in the face of heavy cancel-after-fire.
-  [[nodiscard]] std::size_t pending() const {
-    if (cancelled_.size() > heap_.size()) sweep_cancelled();
-    return heap_.size() > cancelled_.size() ? heap_.size() - cancelled_.size() : 0;
-  }
+  /// uint64_t (not size_t) so the count cannot wrap on 32-bit hosts in
+  /// simulations pushing past 2^32 events.
+  [[nodiscard]] std::uint64_t pending() const;
   /// Size of the lazy-cancellation side set; bounded by
   /// pending() + kCancelSweepSlack however many cancel-after-fire calls a
   /// long-running simulation makes (exposed so tests can pin the bound).
-  [[nodiscard]] std::size_t cancelled_backlog() const { return cancelled_.size(); }
+  [[nodiscard]] std::uint64_t cancelled_backlog() const {
+    return soa_ ? cancelled_count_ : static_cast<std::uint64_t>(cancelled_.size());
+  }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Test hook: fast-forwards the event-id counter (e.g. to just below
+  /// 2^32) so overflow behavior at >= 10^8 events is testable without
+  /// scheduling billions of real events. Only moves forward, and requires
+  /// an empty queue so the cancel-window invariants stay trivially true.
+  void set_next_event_id(EventId id);
 
   /// Executes the next event, advancing the clock. Returns false when the
   /// queue is empty.
@@ -85,8 +95,8 @@ class Scheduler {
   void sift_up(std::size_t index);
   void sift_down(std::size_t index);
   /// Drops cancelled ids whose events are no longer in the heap (i.e.
-  /// already fired); afterwards cancelled_.size() <= heap_.size(). Const
-  /// because it only compacts bookkeeping -- observable state is unchanged.
+  /// already fired); afterwards the backlog <= heap_.size(). Const because
+  /// it only compacts bookkeeping -- observable state is unchanged.
   void sweep_cancelled() const;
   /// Removes cancelled entries sitting at the heap root.
   void drop_cancelled_head();
@@ -95,11 +105,28 @@ class Scheduler {
   /// Next live entry's time without popping; false if empty.
   bool peek(Time& at);
 
+  /// Membership/removal against whichever cancel representation is active.
+  [[nodiscard]] bool cancelled_contains(EventId id) const;
+  void cancelled_erase(EventId id);
+
   Time now_ = Time::zero();
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::vector<Entry> heap_;
+  /// Cancel-set representation, captured at construction (util::soa_enabled()).
+  /// Cancellation semantics are identical either way, so runs stay
+  /// bit-identical across the switch.
+  const bool soa_;
+  /// Seed representation: hash set of cancelled ids.
   mutable std::unordered_set<EventId> cancelled_;
+  /// SoA representation: one bit per event id in the window
+  /// [bits_base_, next_id_). bits_base_ never exceeds the oldest pending
+  /// id, so any id below it provably fired already and its cancel is a
+  /// no-op. The window is grown lazily on cancel and rebased (shrunk to the
+  /// live range) by sweep_cancelled().
+  mutable util::BitSet cancelled_bits_;
+  mutable EventId bits_base_ = 1;
+  mutable std::uint64_t cancelled_count_ = 0;
 };
 
 }  // namespace snd::sim

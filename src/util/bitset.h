@@ -1,0 +1,84 @@
+// Fixed-capacity bitset with explicit sizing, in the data-oriented idiom of
+// game-engine runtimes: capacity is chosen by the owner (not a template
+// parameter, not amortized doubling), storage is a flat array of 64-bit
+// words, and every operation is branch-light word arithmetic. Used for the
+// scheduler's windowed cancel set and the SoA verdict cache, where the
+// universe of indices is dense and bounded by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snd::util {
+
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(std::size_t bits) { resize(bits); }
+
+  /// Grows (or shrinks) to hold `bits` bits; existing bits below the new
+  /// capacity are preserved, new bits start clear.
+  void resize(std::size_t bits) {
+    words_.resize((bits + 63) / 64, 0);
+    bits_ = bits;
+    trim_tail();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return bits_; }
+
+  void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Clears every bit, keeping capacity.
+  void clear() {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) n += static_cast<std::size_t>(popcount(w));
+    return n;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Direct word access for scans and bulk ops.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  static int popcount(std::uint64_t w) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(w);
+#else
+    int n = 0;
+    while (w != 0) {
+      w &= w - 1;
+      ++n;
+    }
+    return n;
+#endif
+  }
+
+  /// Zeroes bits past capacity in the last word so count()/any() stay exact
+  /// after a shrink.
+  void trim_tail() {
+    const std::size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace snd::util

@@ -1,0 +1,31 @@
+#include "util/soa.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace snd::util {
+
+namespace {
+
+bool soa_from_env() {
+  const char* raw = std::getenv("SND_SOA");
+  if (raw == nullptr) return true;
+  const std::string_view value(raw);
+  return !(value == "0" || value == "off" || value == "false");
+}
+
+std::atomic<bool>& soa_flag() {
+  static std::atomic<bool> enabled{soa_from_env()};
+  return enabled;
+}
+
+}  // namespace
+
+bool soa_enabled() { return soa_flag().load(std::memory_order_relaxed); }
+
+void set_soa_enabled(bool enabled) {
+  soa_flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace snd::util

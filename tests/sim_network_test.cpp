@@ -310,6 +310,88 @@ TEST(SpatialIndexTest, IndexedBroadcastReachesBoundaryNeighbors) {
   EXPECT_EQ(received, 4);
 }
 
+TEST(SpatialIndexTest, DeviceAddedAfterBroadcastsStillReceives) {
+  // Regression pin for stale candidate caches: the first broadcast warms
+  // the 3x3 block cache around the sender; a device added afterwards must
+  // invalidate it (grid_version_ bump) and hear the second broadcast.
+  auto net = make_network(20.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  ASSERT_TRUE(net->spatial_index_enabled());
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
+  net->scheduler().run();
+
+  const DeviceId late = net->add_device(2, {5, 0});
+  int received = 0;
+  net->set_receiver(late, [&](const Packet&) { ++received; });
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
+  net->scheduler().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SpatialIndexTest, SetPositionMovesDeviceIntoRange) {
+  // A device parked far away (different grid cell, cached as unreachable)
+  // moves next to the sender: set_position must re-bucket it and invalidate
+  // the cached candidate lists, or the move would be invisible to the
+  // radio. Writing Device::position directly was exactly that bug.
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {500, 500});
+  int received = 0;
+  net->set_receiver(b, [&](const Packet&) { ++received; });
+
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
+  net->scheduler().run();
+  EXPECT_EQ(received, 0);  // out of range, and the block cache is now warm
+
+  net->set_position(b, {5, 0});
+  EXPECT_EQ(net->device(b).position.x, 5.0);
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
+  net->scheduler().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SpatialIndexTest, SetPositionMovesDeviceOutOfRange) {
+  auto net = make_network(10.0);
+  const DeviceId a = net->add_device(1, {0, 0});
+  const DeviceId b = net->add_device(2, {5, 0});
+  int received = 0;
+  net->set_receiver(b, [&](const Packet&) { ++received; });
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
+  net->scheduler().run();
+  EXPECT_EQ(received, 1);
+
+  net->set_position(b, {800, 800});
+  net->transmit(a, Packet{.src = 1, .dst = kNoNode, .type = 1, .payload = {}}, obs::Phase::kOther);
+  net->scheduler().run();
+  EXPECT_EQ(received, 1);  // unchanged: the moved device is out of reach
+}
+
+TEST(SpatialIndexTest, SetPositionKeepsGridIdenticalToLinearScan) {
+  // After a batch of moves (cell-crossing and same-cell alike, including a
+  // move onto an exact cell boundary), the indexed receiver resolution must
+  // still match the ground-truth linear scan for every device.
+  Network net(std::make_unique<UnitDiskModel>(50.0), ChannelConfig{}, 3);
+  util::Rng place(23);
+  for (std::size_t i = 0; i < 120; ++i) {
+    net.add_device(static_cast<NodeId>(i + 1),
+                   {place.uniform(0.0, 500.0), place.uniform(0.0, 500.0)});
+  }
+  util::Rng move(29);
+  for (DeviceId d = 0; d < net.device_count(); d += 7) {
+    net.set_position(d, {move.uniform(0.0, 500.0), move.uniform(0.0, 500.0)});
+  }
+  net.set_position(3, {50.0, 50.0});                           // exact cell corner
+  net.set_position(10, net.device(10).position + util::Vec2{0.1, 0.1});  // same cell
+
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    net.set_spatial_index_enabled(true);
+    const auto indexed = net.devices_in_range(d);
+    net.set_spatial_index_enabled(false);
+    const auto linear = net.devices_in_range(d);
+    EXPECT_EQ(indexed, linear) << "device " << d;
+  }
+}
+
 TEST(MetricsTest, ResetClears) {
   Metrics metrics;
   metrics.count_tx(obs::Phase::kOther, 10);

@@ -1,0 +1,91 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace snd::util {
+namespace {
+
+TEST(BitSetTest, StartsEmpty) {
+  BitSet bits;
+  EXPECT_EQ(bits.capacity(), 0u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(BitSetTest, SetTestReset) {
+  BitSet bits(130);  // crosses two word boundaries
+  EXPECT_EQ(bits.capacity(), 130u);
+  for (std::size_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(bits.test(i));
+    bits.set(i);
+    EXPECT_TRUE(bits.test(i));
+  }
+  EXPECT_EQ(bits.count(), 6u);
+  EXPECT_TRUE(bits.any());
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 5u);
+}
+
+TEST(BitSetTest, SetIsIdempotent) {
+  BitSet bits(10);
+  bits.set(3);
+  bits.set(3);
+  EXPECT_EQ(bits.count(), 1u);
+}
+
+TEST(BitSetTest, ClearKeepsCapacity) {
+  BitSet bits(100);
+  for (std::size_t i = 0; i < 100; i += 7) bits.set(i);
+  bits.clear();
+  EXPECT_EQ(bits.capacity(), 100u);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(BitSetTest, ResizeGrowPreservesBits) {
+  BitSet bits(10);
+  bits.set(3);
+  bits.set(9);
+  bits.resize(200);
+  EXPECT_TRUE(bits.test(3));
+  EXPECT_TRUE(bits.test(9));
+  EXPECT_FALSE(bits.test(150));
+  EXPECT_EQ(bits.count(), 2u);
+  bits.set(199);
+  EXPECT_EQ(bits.count(), 3u);
+}
+
+TEST(BitSetTest, ResizeShrinkTrimsTail) {
+  // Bits past the new capacity must not survive in the last word, or
+  // count()/any() would report ghosts.
+  BitSet bits(128);
+  bits.set(100);
+  bits.set(70);
+  bits.set(5);
+  bits.resize(66);
+  EXPECT_EQ(bits.count(), 1u);
+  EXPECT_TRUE(bits.test(5));
+  bits.resize(128);
+  EXPECT_FALSE(bits.test(70));
+  EXPECT_FALSE(bits.test(100));
+}
+
+TEST(BitSetTest, ResizeToZeroEmpties) {
+  BitSet bits(64);
+  bits.set(0);
+  bits.resize(0);
+  EXPECT_EQ(bits.capacity(), 0u);
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(BitSetTest, WordsExposeRawStorage) {
+  BitSet bits(64);
+  bits.set(0);
+  bits.set(63);
+  ASSERT_EQ(bits.words().size(), 1u);
+  EXPECT_EQ(bits.words()[0], (std::uint64_t{1} << 63) | 1u);
+}
+
+}  // namespace
+}  // namespace snd::util
