@@ -16,7 +16,7 @@
 #include "apps/georouting.h"
 #include "core/deployment_driver.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -35,9 +35,15 @@ std::map<NodeId, util::Vec2> original_positions(const core::SndDeployment& deplo
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 6));
-  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 6]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "app_impact",
+      "Application-level impact of secure neighbor discovery: flooding\n"
+      "coverage and greedy routing over the functional vs tentative topology.");
+  driver_spec.int_flag("seeds", 6, "N", "independent deployment seeds", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
+
 
   std::cout << "== Application impact of secure neighbor discovery ==\n"
             << "400 nodes, 300x300 m, R = 50 m, t = 5; 3 identities replicated at the\n"

@@ -9,7 +9,7 @@
 
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -58,10 +58,16 @@ Outcome run_probe(util::Vec2 position, std::size_t threshold, std::uint64_t seed
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 6));
-  const auto t = static_cast<std::size_t>(cli.get_int("threshold", 60));
-  if (!cli.validate(std::cerr, {"seeds", "threshold"}, "[--seeds 6] [--threshold 60]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "border_effects",
+      "Field-border effects: validation accuracy of edge and corner nodes\n"
+      "versus interior nodes.");
+  driver_spec.int_flag("seeds", 6, "N", "independent deployment seeds", 1)
+      .int_flag("threshold", 60, "T", "security threshold t", 0);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
+  const auto t = static_cast<std::size_t>(cli.get_int("threshold"));
 
   const analysis::FieldModel model{0.02, 50.0};
 

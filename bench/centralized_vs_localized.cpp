@@ -10,7 +10,7 @@
 #include "baseline/centralized.h"
 #include "core/deployment_driver.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/table.h"
 
 namespace {
@@ -20,9 +20,14 @@ using namespace snd;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
-  if (!cli.validate(std::cerr, {"seed"}, "[--seed 5]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "centralized_vs_localized",
+      "Centralized (base station) vs localized validation: communication\n"
+      "bytes per node as the deployment grows.");
+  driver_spec.int_flag("seed", 5, "S", "deployment seed");
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   std::cout << "== Centralized (base station) vs localized validation ==\n"
             << "fixed density 1 node / 100 m^2, R = 50 m, t = 8; the field grows with n\n\n";

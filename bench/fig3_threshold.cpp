@@ -30,7 +30,7 @@
 #include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "shard/session.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -78,40 +78,35 @@ TrialResult center_node_accuracy(std::size_t threshold, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 20));
-  const auto t_max = static_cast<std::size_t>(cli.get_int("tmax", 150));
-  const auto t_step = static_cast<std::size_t>(cli.get_int("tstep", 10));
-  runner::TrialRunner pool(util::resolve_jobs(cli));
-  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-  const shard::SessionOptions session_options = shard::resolve_session(cli);
-  const std::string canonical_path = cli.get("canonical-report", "");
-  const std::string plan_path = cli.get("fault-plan", "");
-  if (!cli.validate(std::cerr,
-                    {"seeds", "tmax", "tstep", "jobs", "fault-plan", "shard",
-                     "checkpoint", "resume", "checkpoint-every", "canonical-report",
-                     "log", "trace", "trace-json", "trace-bin"},
-                    "[--seeds 20] [--tmax 150] [--tstep 10] [--jobs N]\n"
-                    "       [--fault-plan PATH]\n"
-                    "       [--shard i/N] [--checkpoint PATH] [--resume]\n"
-                    "       [--checkpoint-every N] [--canonical-report PATH]\n"
-                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
-    return 2;
-  }
-  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
+  std::size_t jobs = 1;
+  obs::ObsConfig obs_config;
+  shard::SessionOptions session_options;
   std::optional<fault::FaultPlan> plan;
-  if (!plan_path.empty()) {
-    plan = fault::FaultPlan::load(plan_path);
-    if (!plan) {
-      std::cerr << cli.program() << ": --fault-plan: cannot load " << plan_path << "\n";
-      return 2;
-    }
-    std::cout << "fault plan: " << plan_path << " (" << plan->actions.size()
-              << " actions)\n";
-  }
-  if (seeds == 0 || t_step == 0) {
-    std::cerr << cli.program() << ": --seeds and --tstep must be >= 1\n";
-    return 2;
+  util::cli::DriverSpec spec(
+      "fig3_threshold",
+      "Figure 3 reproduction: fraction of actual neighbors validated by the\n"
+      "center node as a function of the security threshold t.");
+  spec.int_flag("seeds", 20, "N", "independent seeds per threshold", 1)
+      .int_flag("tmax", 150, "T", "largest threshold t to sweep", 0)
+      .int_flag("tstep", 10, "T", "threshold sweep step", 1)
+      .string_flag("canonical-report", "", "PATH",
+                   "write the canonical sweep report JSON to PATH")
+      .group(util::cli::jobs_group(&jobs))
+      .group(fault::plan_flag_group(&plan))
+      .group(shard::session_flag_group(&session_options))
+      .group(obs::obs_flag_group(&obs_config));
+  const util::cli::Driver cli = spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
+
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  const auto t_max = static_cast<std::size_t>(cli.get_int("tmax"));
+  const auto t_step = static_cast<std::size_t>(cli.get_int("tstep"));
+  const std::string canonical_path = cli.get("canonical-report");
+  runner::TrialRunner pool(jobs);
+  if (plan) {
+    std::cout << "fault plan: " << cli.get("fault-plan") << " ("
+              << plan->actions.size() << " actions)\n";
   }
 
   const analysis::FieldModel model{200.0 / (100.0 * 100.0), 50.0};
@@ -124,12 +119,12 @@ int main(int argc, char** argv) {
   runner::SweepReport report;
   report.name = "fig3_threshold";
 
-  shard::ShardSpec spec;
-  spec.sweep_id = report.name;
-  spec.base_seed = 101;
-  spec.total_trials = thresholds.size() * seeds;
-  spec.metric_names = {"accuracy"};
-  shard::Session session(session_options, spec);
+  shard::ShardSpec shard_spec;
+  shard_spec.sweep_id = report.name;
+  shard_spec.base_seed = 101;
+  shard_spec.total_trials = thresholds.size() * seeds;
+  shard_spec.metric_names = {"accuracy"};
+  shard::Session session(session_options, shard_spec);
   if (session.enabled() && !canonical_path.empty()) {
     std::cerr << cli.program()
               << ": --canonical-report needs a plain run (merge the shard files with "
@@ -159,9 +154,9 @@ int main(int argc, char** argv) {
     // Checkpointed (possibly sharded) mode: the shard file is the output;
     // tables and BENCH artifacts come from shard_merge over all shards.
     std::cout << "== Figure 3 (shard " << session.spec().shard_index << "/"
-              << session.spec().shard_count << " of " << spec.total_trials
+              << session.spec().shard_count << " of " << shard_spec.total_trials
               << " trials) ==\n";
-    (void)pool.run_subset(session.pending(), spec.base_seed, trial_body, &report);
+    (void)pool.run_subset(session.pending(), shard_spec.base_seed, trial_body, &report);
     if (!session.finish(std::cerr)) return 1;
     std::cout << "ran " << session.pending().size() << " trials (" << session.resumed()
               << " resumed), " << report.failed << " failed -> "
@@ -174,7 +169,7 @@ int main(int argc, char** argv) {
             << pool.jobs() << " jobs\n\n";
 
   const auto accuracy =
-      pool.run(thresholds.size() * seeds, spec.base_seed, trial_body, &report);
+      pool.run(thresholds.size() * seeds, shard_spec.base_seed, trial_body, &report);
   report.attach_trace(registry.fold());
   report.metric("accuracy");  // column exists even if every trial failed
   for (const auto& value : accuracy) {

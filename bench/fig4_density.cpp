@@ -29,7 +29,7 @@
 #include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "shard/session.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -76,37 +76,32 @@ TrialResult center_node_accuracy(double density_per_m2, std::size_t threshold,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 10));
-  runner::TrialRunner pool(util::resolve_jobs(cli));
-  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-  const shard::SessionOptions session_options = shard::resolve_session(cli);
-  const std::string canonical_path = cli.get("canonical-report", "");
-  const std::string plan_path = cli.get("fault-plan", "");
-  if (!cli.validate(std::cerr,
-                    {"seeds", "jobs", "fault-plan", "shard", "checkpoint", "resume",
-                     "checkpoint-every", "canonical-report", "log", "trace",
-                     "trace-json", "trace-bin"},
-                    "[--seeds 10] [--jobs N] [--fault-plan PATH]\n"
-                    "       [--shard i/N] [--checkpoint PATH] [--resume]\n"
-                    "       [--checkpoint-every N] [--canonical-report PATH]\n"
-                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
-    return 2;
-  }
-  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
+  std::size_t jobs = 1;
+  obs::ObsConfig obs_config;
+  shard::SessionOptions session_options;
   std::optional<fault::FaultPlan> plan;
-  if (!plan_path.empty()) {
-    plan = fault::FaultPlan::load(plan_path);
-    if (!plan) {
-      std::cerr << cli.program() << ": --fault-plan: cannot load " << plan_path << "\n";
-      return 2;
-    }
-    std::cout << "fault plan: " << plan_path << " (" << plan->actions.size()
-              << " actions)\n";
-  }
-  if (seeds == 0) {
-    std::cerr << cli.program() << ": --seeds must be >= 1\n";
-    return 2;
+  util::cli::DriverSpec driver_spec(
+      "fig4_density",
+      "Figure 4 reproduction: fraction of validated neighbors as a function\n"
+      "of deployment density, for several thresholds t.");
+  driver_spec
+      .int_flag("seeds", 10, "N", "independent seeds per (density, t) cell", 1)
+      .string_flag("canonical-report", "", "PATH",
+                   "write the canonical sweep report JSON to PATH")
+      .group(util::cli::jobs_group(&jobs))
+      .group(fault::plan_flag_group(&plan))
+      .group(shard::session_flag_group(&session_options))
+      .group(obs::obs_flag_group(&obs_config));
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  if (!obs::apply_obs(obs_config, std::cerr)) return 2;
+
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  const std::string canonical_path = cli.get("canonical-report");
+  runner::TrialRunner pool(jobs);
+  if (plan) {
+    std::cout << "fault plan: " << cli.get("fault-plan") << " ("
+              << plan->actions.size() << " actions)\n";
   }
 
   const std::vector<double> densities_per_1000m2 = {5, 10, 15, 20, 25, 30, 40};
@@ -118,12 +113,12 @@ int main(int argc, char** argv) {
   report.name = "fig4_density";
   const std::size_t cells = densities_per_1000m2.size() * thresholds.size();
 
-  shard::ShardSpec spec;
-  spec.sweep_id = report.name;
-  spec.base_seed = 997;
-  spec.total_trials = cells * seeds;
-  spec.metric_names = {"accuracy"};
-  shard::Session session(session_options, spec);
+  shard::ShardSpec shard_spec;
+  shard_spec.sweep_id = report.name;
+  shard_spec.base_seed = 997;
+  shard_spec.total_trials = cells * seeds;
+  shard_spec.metric_names = {"accuracy"};
+  shard::Session session(session_options, shard_spec);
   if (session.enabled() && !canonical_path.empty()) {
     std::cerr << cli.program()
               << ": --canonical-report needs a plain run (merge the shard files with "
@@ -155,9 +150,9 @@ int main(int argc, char** argv) {
     // Checkpointed (possibly sharded) mode: the shard file is the output;
     // tables and BENCH artifacts come from shard_merge over all shards.
     std::cout << "== Figure 4 (shard " << session.spec().shard_index << "/"
-              << session.spec().shard_count << " of " << spec.total_trials
+              << session.spec().shard_count << " of " << shard_spec.total_trials
               << " trials) ==\n";
-    (void)pool.run_subset(session.pending(), spec.base_seed, trial_body, &report);
+    (void)pool.run_subset(session.pending(), shard_spec.base_seed, trial_body, &report);
     if (!session.finish(std::cerr)) return 1;
     std::cout << "ran " << session.pending().size() << " trials (" << session.resumed()
               << " resumed), " << report.failed << " failed -> "
@@ -169,7 +164,7 @@ int main(int argc, char** argv) {
             << "R = 50 m, 100x100 m field, center node, " << seeds << " seeds, "
             << pool.jobs() << " jobs\n\n";
 
-  const auto accuracy = pool.run(cells * seeds, spec.base_seed, trial_body, &report);
+  const auto accuracy = pool.run(cells * seeds, shard_spec.base_seed, trial_body, &report);
   report.attach_trace(registry.fold());
   report.metric("accuracy");  // column exists even if every trial failed
   for (const auto& value : accuracy) {

@@ -20,7 +20,7 @@
 #include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -123,20 +123,22 @@ double run_wormhole(std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 8));
-  runner::TrialRunner pool(util::resolve_jobs(cli));
-  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-  if (!cli.validate(std::cerr, {"seeds", "jobs", "log", "trace", "trace-json"},
-                    "[--seeds 8] [--jobs N]\n"
-                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
-    return 2;
-  }
+  std::size_t jobs = 1;
+  obs::ObsConfig obs_config;
+  util::cli::DriverSpec driver_spec(
+      "hostile_accuracy",
+      "Benign-node accuracy under hostile scenarios (paper section 4.5.2):\n"
+      "chaff flood, replication, wormhole, jamming, and a no-direct-\n"
+      "verification ablation, each compared against a clean deployment.");
+  driver_spec.int_flag("seeds", 8, "N", "independent seeds per scenario", 1)
+      .group(util::cli::jobs_group(&jobs))
+      .group(obs::obs_flag_group(&obs_config));
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
   if (!obs::apply_obs(obs_config, std::cerr)) return 2;
-  if (seeds == 0) {
-    std::cerr << cli.program() << ": --seeds must be >= 1\n";
-    return 2;
-  }
+
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  runner::TrialRunner pool(jobs);
 
   std::cout << "== Hostile-situation accuracy (paper section 4.5.2) ==\n"
             << "400 nodes, 200x200 m, R = 50 m, t = 8, " << seeds << " seeds, "

@@ -14,7 +14,7 @@
 
 #include "core/deployment_driver.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -56,9 +56,14 @@ Outcome run(bool early, double channel_loss, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 5]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "key_exposure",
+      "Key-exposure growth: fraction of pairwise keys an adversary learns as\n"
+      "compromised nodes accumulate.");
+  driver_spec.int_flag("seeds", 5, "N", "independent deployment seeds", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
 
   std::cout << "== Master-key exposure window: fixed window vs early erasure ==\n"
             << "400 nodes, 200x200 m, R = 50 m, t = 8, " << seeds << " seeds\n\n";

@@ -12,7 +12,7 @@
 #include "crypto/blundo.h"
 #include "crypto/eg_pool.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -77,9 +77,14 @@ Accuracy run_accuracy(const std::shared_ptr<crypto::KeyPredistribution>& scheme,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 4));
-  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 4]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "key_scheme_ablation",
+      "Key-scheme ablation: master-key vs pairwise vs location-bound keys\n"
+      "under node compromise.");
+  driver_spec.int_flag("seeds", 4, "N", "independent deployment seeds", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
 
   std::cout << "== Key predistribution ablation ==\n"
             << "200 nodes, 150x150 m, R = 50 m, t = 5, " << seeds << " seeds\n\n";

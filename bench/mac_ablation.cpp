@@ -10,7 +10,7 @@
 
 #include "core/deployment_driver.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -59,9 +59,14 @@ Outcome run(bool half_duplex, bool jitter, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 5]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "mac_ablation",
+      "MAC ablation: what breaks when binding records drop their\n"
+      "authentication codes.");
+  driver_spec.int_flag("seeds", 5, "N", "independent deployment seeds", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
 
   std::cout << "== MAC / jitter ablation ==\n"
             << "200 nodes, 150x150 m, R = 50 m, t = 5, energy accounting on, " << seeds

@@ -26,6 +26,7 @@
 #include "crypto/secure_channel.h"
 #include "crypto/session_cache.h"
 #include "crypto/sha256.h"
+#include "util/runtime_config.h"
 #include "sim/network.h"
 
 namespace {
@@ -294,9 +295,7 @@ int write_crypto_artifact() {
                 blundo_fast.us_per_msg, blundo_speedup, blundo_slow.hash_ops_per_msg,
                 blundo_fast.hash_ops_per_msg);
 
-  const char* dir = std::getenv("SND_BENCH_DIR");
-  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
-  path += "BENCH_micro_crypto.json";
+  const std::string path = bench_artifact_path("BENCH_micro_crypto.json");
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fwrite(json, 1, std::strlen(json), f);
     std::fclose(f);

@@ -20,6 +20,7 @@
 
 #include "core/deployment_driver.h"
 #include "obs/sink.h"
+#include "util/runtime_config.h"
 #include "obs/tracer.h"
 #include "sim/deployment.h"
 #include "sim/scheduler.h"
@@ -249,9 +250,7 @@ int write_resolution_artifact() {
                 trace_off.total_s / per_tx * 1e6, trace_counters.total_s / per_tx * 1e6,
                 trace_events.total_s / per_tx * 1e6, counters_overhead, events_null_overhead);
 
-  const char* dir = std::getenv("SND_BENCH_DIR");
-  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
-  path += "BENCH_micro_sim.json";
+  const std::string path = bench_artifact_path("BENCH_micro_sim.json");
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fwrite(json, 1, std::strlen(json), f);
     std::fclose(f);

@@ -8,7 +8,7 @@
 
 #include "core/deployment_driver.h"
 #include "crypto/sha256.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/table.h"
 
 namespace {
@@ -93,14 +93,19 @@ void run_and_report(bool extension, std::size_t nodes, std::size_t threshold,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 200));
-  const auto threshold = static_cast<std::size_t>(cli.get_int("threshold", 10));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  if (!cli.validate(std::cerr, {"nodes", "threshold", "seed"},
-                    "[--nodes 200] [--threshold 10] [--seed 1]")) {
-    return 2;
-  }
+  util::cli::DriverSpec driver_spec(
+      "overhead",
+      "Per-node protocol overhead (paper section 4.3): messages, bytes, and\n"
+      "binding-record storage for one full discovery round.");
+  driver_spec.int_flag("nodes", 200, "N", "deployed node count", 1)
+      .int_flag("threshold", 10, "T", "security threshold t", 0)
+      .int_flag("seed", 1, "S", "deployment seed");
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes"));
+  const auto threshold = static_cast<std::size_t>(cli.get_int("threshold"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
 
   std::cout << "== Protocol overhead (paper section 4.3) ==\n"
             << "100x100 m field, R = 50 m\n";

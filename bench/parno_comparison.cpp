@@ -20,7 +20,7 @@
 #include "baseline/parno.h"
 #include "core/safety.h"
 #include "crypto/sha256.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -127,9 +127,14 @@ baseline::DetectionResult run_parno(std::uint64_t seed, bool line_selected) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 6));
-  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 6]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "parno_comparison",
+      "Replica-detection comparison against Parno et al. line-selected\n"
+      "multicast, under the paper's threat model.");
+  driver_spec.int_flag("seeds", 6, "N", "independent deployment seeds", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
 
   std::cout << "== Comparison vs Parno et al. replica handling (paper section 4.5.3) ==\n"
             << "350 nodes + 3 compromised identities replicated at 3 remote sites,\n"

@@ -23,7 +23,8 @@
 #include <vector>
 
 #include "core/deployment_driver.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
+#include "util/runtime_config.h"
 #include "util/soa.h"
 
 namespace {
@@ -97,18 +98,24 @@ std::vector<std::size_t> parse_nodes_list(const std::string& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const std::string nodes_spec = cli.get("nodes", "10000,100000,1000000");
-  const double degree = cli.get_double("degree", 10.0);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  util::cli::DriverSpec driver_spec(
+      "scale",
+      "Deployment-scale benchmark: full discovery at constant degree across\n"
+      "growing node counts, with an optional peak-RSS budget.");
+  driver_spec.string_flag("nodes", "10000,100000,1000000", "LIST",
+                   "comma-separated node counts to run")
+      .double_flag("degree", 10.0, "D", "target mean node degree", 0.1)
+      .int_flag("seed", 1, "S", "deployment seed")
+      .double_flag("max-rss-mb", 0.0, "MB",
+                   "fail if peak RSS exceeds this budget (0 disables)", 0.0);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const std::string nodes_spec = cli.get("nodes");
+  const double degree = cli.get_double("degree");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   // 0 disables the assertion; CI's scale-smoke passes a budget so a memory
   // regression fails the job instead of silently growing.
-  const double max_rss_mb = cli.get_double("max-rss-mb", 0.0);
-  if (!cli.validate(std::cerr, {"nodes", "degree", "seed", "max-rss-mb"},
-                    "[--nodes 10000,100000,1000000] [--degree 10] [--seed 1] "
-                    "[--max-rss-mb 0]")) {
-    return 2;
-  }
+  const double max_rss_mb = cli.get_double("max-rss-mb");
 
   const std::vector<std::size_t> sizes = parse_nodes_list(nodes_spec);
   std::printf("== Deployment scale: full discovery, constant degree %.0f, SoA core %s ==\n",
@@ -154,9 +161,7 @@ int main(int argc, char** argv) {
                 degree, util::soa_enabled() ? "true" : "false");
   const std::string json = std::string(head) + deployments + "\n  ]\n}\n";
 
-  const char* dir = std::getenv("SND_BENCH_DIR");
-  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
-  path += "BENCH_scale.json";
+  const std::string path = bench_artifact_path("BENCH_scale.json");
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);

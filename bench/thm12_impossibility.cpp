@@ -12,7 +12,7 @@
 
 #include "adversary/theorem_attack.h"
 #include "sim/deployment.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -40,7 +40,13 @@ topology::Digraph geometric_graph(std::size_t n, double field_size, double range
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+  util::cli::DriverSpec driver_spec(
+      "thm12_impossibility",
+      "Theorems 1-2 demonstration: graph-cloning defeats topology-only\n"
+      "validation, motivating the paper's location-bound keys.");
+  driver_spec.int_flag("trials", 10, "N", "random cloning trials", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
 
   std::cout << "== Theorem 1: graph-cloning attack vs topology-only validation ==\n"
             << "F = common-neighbor threshold rule without deployment-time security\n\n";
@@ -65,8 +71,7 @@ int main(int argc, char** argv) {
             << "A far-away compromised node v is accepted by u after the attacker\n"
             << "renames a hypothetical new local node's relations to v.\n\n";
 
-  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials", 10));
-  if (!cli.validate(std::cerr, {"trials"}, "[--trials 10]")) return 2;
+  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials"));
   util::Table t2({"trial", "nodes", "t", "|N(u)|", "victim distance (m)", "accepted before",
                   "accepted after attack"});
   std::size_t successes = 0;

@@ -19,7 +19,7 @@
 #include "core/safety.h"
 #include "obs/config.h"
 #include "runner/trial_runner.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -90,21 +90,23 @@ Outcome run_attack(std::size_t t, std::size_t compromised, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto t = static_cast<std::size_t>(cli.get_int("threshold", 4));
-  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 5));
-  runner::TrialRunner pool(util::resolve_jobs(cli));
-  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-  if (!cli.validate(std::cerr, {"threshold", "seeds", "jobs", "log", "trace", "trace-json"},
-                    "[--threshold 4] [--seeds 5] [--jobs N]\n"
-                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
-    return 2;
-  }
+  std::size_t jobs = 1;
+  obs::ObsConfig obs_config;
+  util::cli::DriverSpec driver_spec(
+      "thm3_safety",
+      "Theorem 3 check: a colluding clique of c compromised nodes cannot\n"
+      "create a functional link longer than 2R unless c > t.");
+  driver_spec.int_flag("threshold", 4, "T", "security threshold t", 0)
+      .int_flag("seeds", 5, "N", "independent seeds per clique size", 1)
+      .group(util::cli::jobs_group(&jobs))
+      .group(obs::obs_flag_group(&obs_config));
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
   if (!obs::apply_obs(obs_config, std::cerr)) return 2;
-  if (seeds == 0) {
-    std::cerr << cli.program() << ": --seeds must be >= 1\n";
-    return 2;
-  }
+
+  const auto t = static_cast<std::size_t>(cli.get_int("threshold"));
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  runner::TrialRunner pool(jobs);
 
   std::cout << "== Theorem 3: 2R-safety vs number of colluding compromised nodes ==\n"
             << "t = " << t << ", R = 50 m (2R = 100 m), colluding clique replicated at a\n"

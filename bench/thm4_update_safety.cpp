@@ -13,7 +13,7 @@
 
 #include "adversary/attacker.h"
 #include "core/safety.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -83,10 +83,17 @@ Outcome run_creeping_attack(std::uint32_t m, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 4));
-  const auto m_max = static_cast<std::uint32_t>(cli.get_int("mmax", 4));
-  if (!cli.validate(std::cerr, {"seeds", "mmax"}, "[--seeds 4] [--mmax 4]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "thm4_update_safety",
+      "Theorem 4 check: after m rounds of incremental updates the maximum\n"
+      "functional link stays within (m+1)R.");
+  driver_spec.int_flag("seeds", 4, "N", "independent deployment seeds", 1)
+      .int_flag("mmax", 4, "M", "maximum number of update rounds", 0);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
+  const auto m_max = static_cast<std::uint32_t>(cli.get_int("mmax"));
+
 
   std::cout << "== Theorem 4: (m+1)R-safety under the update extension ==\n"
             << "creeping replica attack down a corridor, R = 50 m, t = 3, " << seeds

@@ -10,7 +10,7 @@
 #include "adversary/wormhole.h"
 #include "core/deployment_driver.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -80,9 +80,14 @@ Outcome run(const VerifierCase& verifier_case, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 3));
-  if (!cli.validate(std::cerr, {"seeds"}, "[--seeds 3]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "verifier_comparison",
+      "Verifier-selection policy comparison: accuracy and message cost of\n"
+      "alternative common-neighbor verifier choices.");
+  driver_spec.int_flag("seeds", 3, "N", "independent deployment seeds", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
 
   std::cout << "== Direct-verification mechanisms under wormhole + chaff ==\n"
             << "250 nodes in a 400x100 m corridor, tunnel across it, chaff mid-field,\n"

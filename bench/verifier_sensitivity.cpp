@@ -13,7 +13,7 @@
 #include "adversary/wormhole.h"
 #include "core/deployment_driver.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -61,10 +61,16 @@ Outcome run(double false_reject, double false_accept, std::size_t t, std::uint64
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds", 5));
-  const auto t = static_cast<std::size_t>(cli.get_int("threshold", 8));
-  if (!cli.validate(std::cerr, {"seeds", "threshold"}, "[--seeds 5] [--threshold 8]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "verifier_sensitivity",
+      "Sensitivity of validation accuracy to the number of reachable\n"
+      "verifiers around the threshold t.");
+  driver_spec.int_flag("seeds", 5, "N", "independent deployment seeds", 1)
+      .int_flag("threshold", 8, "T", "security threshold t", 0);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto seeds = static_cast<std::uint64_t>(cli.get_int("seeds"));
+  const auto t = static_cast<std::size_t>(cli.get_int("threshold"));
 
   std::cout << "== Sensitivity to imperfect direct verification (paper section 6) ==\n"
             << "400 nodes, 200x200 m, R = 50 m, t = " << t << ", " << seeds << " seeds\n\n";

@@ -14,20 +14,25 @@
 #include "adversary/attacker.h"
 #include "apps/clustering.h"
 #include "core/deployment_driver.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace snd;
 
-  const util::Cli cli(argc, argv);
+  util::cli::DriverSpec driver_spec(
+      "cluster_protection",
+      "Cluster-head protection demo: the functional topology keeps a\n"
+      "cluster head from adopting far-away members.");
+  driver_spec.int_flag("seed", 3, "S", "deployment seed");
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
 
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {300.0, 300.0}};
   config.radio_range = 50.0;
   config.protocol.threshold_t = 5;
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
-  if (!cli.validate(std::cerr, {"seed"}, "[--seed 3]")) return 2;
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   // Identity 1 -- the smallest ID in the network, i.e. a guaranteed cluster
   // head wherever it is believed to be a neighbor -- is the attacker's

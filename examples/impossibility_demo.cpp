@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "adversary/theorem_attack.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 
 namespace {
 
@@ -27,9 +27,14 @@ void print_graph(const char* name, const topology::Digraph& g) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto t = static_cast<std::size_t>(cli.get_int("threshold", 2));
-  if (!cli.validate(std::cerr, {"threshold"}, "[--threshold 2]")) return 2;
+  util::cli::DriverSpec driver_spec(
+      "impossibility_demo",
+      "Theorem 1 demo: two indistinguishable worlds defeat topology-only\n"
+      "neighbor validation.");
+  driver_spec.int_flag("threshold", 2, "T", "security threshold t", 0);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const auto t = static_cast<std::size_t>(cli.get_int("threshold"));
 
   core::CommonNeighborValidator validator(t);
   std::cout << "Validation function F: " << validator.name()

@@ -18,7 +18,7 @@
 #include "obs/config.h"
 #include "runner/trial_runner.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -89,25 +89,26 @@ std::vector<RoundStats> simulate(std::uint32_t max_updates, std::size_t rounds,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds", 4));
-  const auto deaths = static_cast<std::size_t>(cli.get_int("deaths", 12));
-  const auto updates = static_cast<std::uint32_t>(cli.get_int("updates", 3));
-  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 1));
-  runner::TrialRunner pool(util::resolve_jobs(cli));
-  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-  if (!cli.validate(std::cerr,
-                    {"rounds", "deaths", "updates", "seeds", "jobs", "log", "trace",
-                     "trace-json"},
-                    "[--rounds 4] [--deaths 12] [--updates 3] [--seeds 1] [--jobs N]\n"
-                    "       [--log warn] [--trace counters] [--trace-json PATH]")) {
-    return 2;
-  }
+  std::size_t jobs = 1;
+  obs::ObsConfig obs_config;
+  util::cli::DriverSpec driver_spec(
+      "incremental_deployment",
+      "Incremental-deployment walkthrough (paper Theorem 4): deploy in\n"
+      "rounds, kill batteries, update survivors, revalidate each round.");
+  driver_spec.int_flag("rounds", 4, "N", "deployment rounds", 1)
+      .int_flag("deaths", 12, "N", "battery deaths per round", 0)
+      .int_flag("updates", 3, "N", "position updates per round", 0)
+      .int_flag("seeds", 1, "N", "independent seeds", 1)
+      .group(util::cli::jobs_group(&jobs))
+      .group(obs::obs_flag_group(&obs_config));
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
   if (!obs::apply_obs(obs_config, std::cerr)) return 2;
-  if (rounds == 0 || seeds == 0) {
-    std::cerr << cli.program() << ": --rounds and --seeds must be >= 1\n";
-    return 2;
-  }
+  const auto rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  const auto deaths = static_cast<std::size_t>(cli.get_int("deaths"));
+  const auto updates = static_cast<std::uint32_t>(cli.get_int("updates"));
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  runner::TrialRunner pool(jobs);
 
   std::cout << "== Incremental deployment with battery deaths ==\n"
             << "180 initial nodes, " << deaths << " deaths + 20 arrivals per round, t = 12, "

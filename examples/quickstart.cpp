@@ -10,21 +10,25 @@
 #include "core/deployment_driver.h"
 #include "topology/partition.h"
 #include "topology/stats.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace snd;
 
-  const util::Cli cli(argc, argv);
+  util::cli::DriverSpec driver_spec(
+      "quickstart",
+      "Smallest end-to-end run: deploy a field, run discovery, print the\n"
+      "functional topology summary.");
+  driver_spec.int_flag("nodes", 200, "N", "deployed node count", 1)
+      .int_flag("threshold", 10, "T", "security threshold t", 0)
+      .int_flag("seed", 1, "S", "deployment seed");
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
   core::DeploymentConfig config;
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  config.protocol.threshold_t = static_cast<std::size_t>(cli.get_int("threshold", 10));
-  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes", 200));
-  if (!cli.validate(std::cerr, {"seed", "threshold", "nodes"},
-                    "[--nodes 200] [--threshold 10] [--seed 1]")) {
-    return 2;
-  }
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.protocol.threshold_t = static_cast<std::size_t>(cli.get_int("threshold"));
+  const auto nodes = static_cast<std::size_t>(cli.get_int("nodes"));
 
   std::cout << "== SND quickstart ==\n"
             << "field:     " << config.field.width() << " x " << config.field.height()

@@ -15,24 +15,28 @@
 #include "adversary/attacker.h"
 #include "core/deployment_driver.h"
 #include "core/safety.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace snd;
 
-  const util::Cli cli(argc, argv);
-  const bool leak_master = cli.get_bool("leak-master", false);
+  util::cli::DriverSpec driver_spec(
+      "replica_attack",
+      "Node-replication attack demo: clone a compromised node at a remote\n"
+      "site and watch validation reject (or, with --leak-master, admit) it.");
+  driver_spec.bool_flag("leak-master", "leak the master key to the adversary")
+      .int_flag("seed", 7, "S", "deployment seed")
+      .int_flag("threshold", 8, "T", "security threshold t", 0);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const bool leak_master = cli.get_bool("leak-master");
 
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {400.0, 400.0}};
   config.radio_range = 50.0;
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-  config.protocol.threshold_t = static_cast<std::size_t>(cli.get_int("threshold", 8));
-  if (!cli.validate(std::cerr, {"leak-master", "seed", "threshold"},
-                    "[--seed 7] [--threshold 8] [--leak-master]")) {
-    return 2;
-  }
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.protocol.threshold_t = static_cast<std::size_t>(cli.get_int("threshold"));
 
   core::SndDeployment deployment(config);
   deployment.deploy_round(600);  // ~ one node per 267 m^2

@@ -17,7 +17,7 @@
 #include "fault/injector.h"
 #include "obs/config.h"
 #include "proptest/runner.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
 
 namespace {
 
@@ -45,42 +45,47 @@ int replay(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  proptest::PropConfig config;
-  config.trials = static_cast<std::size_t>(cli.get_int("trials", 20));
-  config.base_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  config.jobs = util::resolve_jobs(cli);
-  config.ab_every = static_cast<std::size_t>(cli.get_int("ab-every", 8));
-  config.failcase_dir = cli.get("failcase-dir", ".");
-  config.max_failures = static_cast<std::size_t>(cli.get_int("max-failures", 5));
-  const std::string plant = cli.get("plant", "none");
-  const std::string replay_path = cli.get("replay-failcase", "");
-  const obs::ObsConfig obs_config = obs::resolve_obs(cli);
-
-  const auto planted = fault::planted_bug_from_name(plant);
-  if (!planted) cli.record_error("--plant: unknown bug '" + plant + "'");
-  if (!cli.validate(std::cerr,
-                    {"trials", "seed", "jobs", "ab-every", "failcase-dir", "max-failures",
-                     "plant", "replay-failcase", "log", "trace", "trace-json"},
-                    "[--trials 20] [--seed 1] [--jobs N] [--ab-every 8]\n"
-                    "       [--failcase-dir .] [--max-failures 5]\n"
-                    "       [--plant none|uncounted_drop] [--replay-failcase PATH]\n"
-                    "       [--log warn] [--trace off]")) {
-    return 2;
-  }
+  std::size_t jobs = 1;
+  obs::ObsConfig obs_config;
+  util::cli::DriverSpec driver_spec(
+      "proptest_driver",
+      "Property-based invariant fuzzing over random fault-injected\n"
+      "deployments; failing trials are persisted as replayable failcases.");
+  driver_spec.int_flag("trials", 20, "N", "random trials to run", 1)
+      .int_flag("seed", 1, "S", "base seed for trial derivation")
+      .int_flag("ab-every", 8, "N", "A/B-compare against the model every N trials", 0)
+      .string_flag("failcase-dir", ".", "DIR", "directory for failcase JSON files")
+      .int_flag("max-failures", 5, "N", "stop after N failing trials", 1)
+      .string_flag("plant", "none", "BUG",
+                   "plant a known bug (none|...) to exercise the harness",
+                   [](std::string_view value) -> std::optional<std::string> {
+                     if (fault::planted_bug_from_name(std::string(value))) return std::nullopt;
+                     return "unknown bug '" + std::string(value) + "'";
+                   })
+      .string_flag("replay-failcase", "", "PATH", "replay one failcase file and exit")
+      .group(util::cli::jobs_group(&jobs))
+      .group(obs::obs_flag_group(&obs_config));
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
   if (!obs::apply_obs(obs_config, std::cerr)) return 2;
-  fault::set_planted_bug(*planted);
+
+  proptest::PropConfig config;
+  config.trials = static_cast<std::size_t>(cli.get_int("trials"));
+  config.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.jobs = jobs;
+  config.ab_every = static_cast<std::size_t>(cli.get_int("ab-every"));
+  config.failcase_dir = cli.get("failcase-dir");
+  config.max_failures = static_cast<std::size_t>(cli.get_int("max-failures"));
+  const std::string replay_path = cli.get("replay-failcase");
+  const std::string plant = cli.get("plant");
+  const fault::PlantedBug planted = *fault::planted_bug_from_name(plant);
+  fault::set_planted_bug(planted);
 
   if (!replay_path.empty()) return replay(replay_path);
 
-  if (config.trials == 0) {
-    std::cerr << cli.program() << ": --trials must be >= 1\n";
-    return 2;
-  }
-
   std::cout << "== SND property suite: " << config.trials << " randomized trials, seed "
             << config.base_seed << ", " << config.jobs << " jobs ==\n";
-  if (*planted != fault::PlantedBug::kNone) {
+  if (planted != fault::PlantedBug::kNone) {
     std::cout << "(planted bug armed: " << plant << ")\n";
   }
 

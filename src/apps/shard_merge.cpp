@@ -20,7 +20,8 @@
 #include <vector>
 
 #include "shard/merge.h"
-#include "util/cli.h"
+#include "util/driver_spec.h"
+#include "util/runtime_config.h"
 
 namespace {
 
@@ -36,18 +37,18 @@ bool write_file(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
-  const std::string out_flag = cli.get("out", "");
-  const std::string summary_path = cli.get("summary-md", "");
-  if (!cli.validate(std::cerr, {"out", "summary-md"},
-                    "SHARD.sndshard... [--out PATH] [--summary-md PATH]\n"
-                    "       (default --out: $SND_BENCH_DIR/BENCH_<sweep_id>.json)")) {
-    return 2;
-  }
-  if (cli.positional().empty()) {
-    std::cerr << cli.program() << ": no shard files given\n";
-    return 2;
-  }
+  util::cli::DriverSpec driver_spec(
+      "shard_merge",
+      "Fold .sndshard checkpoint files from a sharded sweep back into the\n"
+      "canonical BENCH report (default --out: $SND_BENCH_DIR/\n"
+      "BENCH_<sweep_id>.json).");
+  driver_spec.string_flag("out", "", "PATH", "write the merged report JSON to PATH")
+      .string_flag("summary-md", "", "PATH", "also write a markdown summary table")
+      .positional("SHARD.sndshard", "shard files to merge", 1);
+  const util::cli::Driver cli = driver_spec.parse(argc, argv);
+  if (!cli.ok()) return cli.exit_code();
+  const std::string out_flag = cli.get("out");
+  const std::string summary_path = cli.get("summary-md");
 
   std::string error;
   const auto merged = shard::merge_shards(cli.positional(), &error);
@@ -58,9 +59,7 @@ int main(int argc, char** argv) {
 
   std::string out_path = out_flag;
   if (out_path.empty()) {
-    const char* dir = std::getenv("SND_BENCH_DIR");
-    out_path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
-    out_path += "BENCH_" + merged->report.name + ".json";
+    out_path = bench_artifact_path("BENCH_" + merged->report.name + ".json");
   }
   if (!write_file(out_path, merged->report.to_canonical_json())) {
     std::cerr << cli.program() << ": cannot write " << out_path << "\n";

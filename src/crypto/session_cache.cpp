@@ -1,22 +1,15 @@
 #include "crypto/session_cache.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <string_view>
+
+#include "util/runtime_config.h"
 
 namespace snd::crypto {
 
 namespace {
 
-bool fast_path_from_env() {
-  const char* raw = std::getenv("SND_CRYPTO_FAST");
-  if (raw == nullptr) return true;
-  const std::string_view value(raw);
-  return !(value == "0" || value == "off" || value == "false");
-}
-
 std::atomic<bool>& fast_path_flag() {
-  static std::atomic<bool> enabled{fast_path_from_env()};
+  static std::atomic<bool> enabled{runtime_config().crypto_fast};
   return enabled;
 }
 

@@ -202,6 +202,28 @@ bool FaultPlan::save(const std::string& path) const {
   return std::fclose(file) == 0 && ok;
 }
 
+util::cli::FlagGroup plan_flag_group(std::optional<FaultPlan>* out) {
+  util::cli::FlagGroup group;
+  group.title = "Fault injection";
+  util::cli::FlagDef def;
+  def.name = "fault-plan";
+  def.type = util::cli::FlagType::kString;
+  def.value_name = "PATH";
+  def.help = "inject the channel faults described by PATH (fault::FaultPlan JSON) "
+             "into every trial";
+  group.flags.push_back(std::move(def));
+  group.resolve = [out](const util::Cli& cli) {
+    out->reset();
+    const std::string path = cli.get("fault-plan", "");
+    if (path.empty()) return;
+    *out = FaultPlan::load(path);
+    if (!*out) {
+      cli.record_error("--fault-plan=" + path + " (cannot load plan file)");
+    }
+  };
+  return group;
+}
+
 std::optional<FaultPlan> FaultPlan::load(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) return std::nullopt;

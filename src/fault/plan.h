@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/driver_spec.h"
 #include "util/ids.h"
 
 namespace snd::util {
@@ -119,5 +120,10 @@ struct FaultPlan {
   [[nodiscard]] bool save(const std::string& path) const;
   [[nodiscard]] static std::optional<FaultPlan> load(const std::string& path);
 };
+
+/// The shared --fault-plan surface as a DriverSpec flag group: loads the
+/// plan file during parse() into `*out` (nullopt when the flag is absent);
+/// a missing or malformed file is recorded as a validation error.
+[[nodiscard]] util::cli::FlagGroup plan_flag_group(std::optional<FaultPlan>* out);
 
 }  // namespace snd::fault

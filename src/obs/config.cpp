@@ -1,11 +1,11 @@
 #include "obs/config.h"
 
-#include <cstdlib>
 #include <memory>
 #include <ostream>
 #include <utility>
 
 #include "obs/sink.h"
+#include "util/runtime_config.h"
 
 namespace snd::obs {
 
@@ -18,23 +18,18 @@ struct StderrSink final : Sink {
   void on_event(const Event&) override {}
 };
 
-std::optional<std::string> env_value(const char* name) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return std::nullopt;
-  return std::string(value);
-}
-
-/// Flag value if given, else environment value, else nullopt. `origin` is set
-/// to a human-readable source name for error messages.
+/// Flag value if given, else the RuntimeConfig environment fallback, else
+/// nullopt. `origin` is set to a human-readable source name for messages.
 std::optional<std::string> flag_or_env(const util::Cli& cli, std::string_view flag,
-                                       const char* env, std::string& origin) {
+                                       const std::optional<std::string>& env_value,
+                                       const char* env_name, std::string& origin) {
   if (cli.has(flag)) {
     origin = "--" + std::string(flag);
     return cli.get(flag, "");
   }
-  if (auto value = env_value(env)) {
-    origin = env;
-    return value;
+  if (env_value) {
+    origin = env_name;
+    return env_value;
   }
   return std::nullopt;
 }
@@ -65,9 +60,10 @@ std::optional<TraceLevel> trace_level_from_name(std::string_view name) {
 
 ObsConfig resolve_obs(const util::Cli& cli) {
   ObsConfig config;
+  const RuntimeConfig& env = runtime_config();
   std::string origin;
 
-  if (auto value = flag_or_env(cli, "log", "SND_LOG_LEVEL", origin)) {
+  if (auto value = flag_or_env(cli, "log", env.log_level, "SND_LOG_LEVEL", origin)) {
     if (auto level = util::log_level_from_name(*value)) {
       config.log_level = *level;
     } else {
@@ -77,7 +73,7 @@ ObsConfig resolve_obs(const util::Cli& cli) {
   }
 
   bool trace_explicit = false;
-  if (auto value = flag_or_env(cli, "trace", "SND_TRACE_LEVEL", origin)) {
+  if (auto value = flag_or_env(cli, "trace", env.trace_level, "SND_TRACE_LEVEL", origin)) {
     if (auto level = trace_level_from_name(*value)) {
       config.trace_level = *level;
       trace_explicit = true;
@@ -87,7 +83,7 @@ ObsConfig resolve_obs(const util::Cli& cli) {
     }
   }
 
-  if (auto value = flag_or_env(cli, "trace-json", "SND_TRACE_JSON", origin)) {
+  if (auto value = flag_or_env(cli, "trace-json", env.trace_json, "SND_TRACE_JSON", origin)) {
     config.trace_json_path = *value;
     if (config.trace_level == TraceLevel::kOff && trace_explicit) {
       cli.record_error(origin + ": conflicts with --trace off (JSON-lines output needs events)");
@@ -97,7 +93,7 @@ ObsConfig resolve_obs(const util::Cli& cli) {
     }
   }
 
-  if (auto value = flag_or_env(cli, "trace-bin", "SND_TRACE_BIN", origin)) {
+  if (auto value = flag_or_env(cli, "trace-bin", env.trace_bin, "SND_TRACE_BIN", origin)) {
     config.trace_bin_path = *value;
     if (!config.trace_json_path.empty()) {
       cli.record_error(origin +
@@ -112,6 +108,29 @@ ObsConfig resolve_obs(const util::Cli& cli) {
   }
 
   return config;
+}
+
+util::cli::FlagGroup obs_flag_group(ObsConfig* out) {
+  using util::cli::FlagDef;
+  using util::cli::FlagType;
+  util::cli::FlagGroup group;
+  group.title = "Observability";
+  const auto add = [&group](const char* name, const char* value_name, const char* help) {
+    FlagDef def;
+    def.name = name;
+    def.type = FlagType::kString;
+    def.value_name = value_name;
+    def.help = help;
+    group.flags.push_back(std::move(def));
+  };
+  add("log", "LEVEL", "log verbosity: debug|info|warn|error|off (env: SND_LOG_LEVEL)");
+  add("trace", "LEVEL", "event tracing: off|counters|events (env: SND_TRACE_LEVEL)");
+  add("trace-json", "PATH", "write JSON-lines event trace to PATH, '-' for stdout "
+                            "(env: SND_TRACE_JSON)");
+  add("trace-bin", "PATH", "write binary .sndtrace event trace to PATH "
+                           "(env: SND_TRACE_BIN)");
+  group.resolve = [out](const util::Cli& cli) { *out = resolve_obs(cli); };
+  return group;
 }
 
 bool apply_obs(const ObsConfig& config, std::ostream& err) {

@@ -15,6 +15,7 @@
 
 #include "obs/tracer.h"
 #include "util/cli.h"
+#include "util/driver_spec.h"
 #include "util/log.h"
 
 namespace snd::obs {
@@ -38,6 +39,11 @@ struct ObsConfig {
 /// cli.record_error() -- call this before cli.validate() and list "log",
 /// "trace", "trace-json", "trace-bin" among the allowed flags.
 [[nodiscard]] ObsConfig resolve_obs(const util::Cli& cli);
+
+/// The same surface as a DriverSpec flag group: declares the four flags and
+/// resolves them into `*out` during parse(). Prefer this over hand-listing
+/// the flag names in new drivers.
+[[nodiscard]] util::cli::FlagGroup obs_flag_group(ObsConfig* out);
 
 /// Installs `config` process-wide: sets the util log level, re-routes
 /// util::log_line through the active Sink, and makes every subsequently

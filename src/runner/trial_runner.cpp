@@ -1,5 +1,7 @@
 #include "runner/trial_runner.h"
 
+#include "util/runtime_config.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -335,9 +337,7 @@ std::string SweepReport::to_canonical_json() const {
 }
 
 std::string SweepReport::write_json() const {
-  const char* dir = std::getenv("SND_BENCH_DIR");
-  std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : "";
-  path += "BENCH_" + name + ".json";
+  const std::string path = bench_artifact_path("BENCH_" + name + ".json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return {};
   const std::string json = to_json();

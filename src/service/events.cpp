@@ -1,0 +1,84 @@
+#include "service/events.h"
+
+#include <algorithm>
+
+namespace snd::service {
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDeploy:
+      return "deploy";
+    case EventKind::kUpdate:
+      return "update";
+    case EventKind::kRevoke:
+      return "revoke";
+  }
+  return "?";
+}
+
+std::vector<TopologyEvent> random_events(std::size_t count, const util::Rect& field,
+                                         std::vector<NodeId> initial, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<NodeId> live = std::move(initial);
+  std::sort(live.begin(), live.end());
+  NodeId next_id = live.empty() ? 0 : live.back() + 1;
+
+  std::vector<TopologyEvent> events;
+  events.reserve(count);
+  const auto random_position = [&rng, &field]() {
+    return util::Vec2{rng.uniform(field.lo.x, field.hi.x),
+                      rng.uniform(field.lo.y, field.hi.y)};
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    // 2:1:1 deploy:update:revoke, degrading to deploy while nothing is live
+    // so the sequence never references a node that does not exist.
+    const std::uint64_t roll = rng.uniform_int(std::uint64_t{4});
+    if (roll < 2 || live.empty()) {
+      events.push_back(TopologyEvent::deploy(next_id, random_position()));
+      live.push_back(next_id);
+      ++next_id;
+    } else if (roll == 2) {
+      const std::size_t pick = rng.uniform_int(static_cast<std::uint64_t>(live.size()));
+      events.push_back(TopologyEvent::update(live[pick], random_position()));
+    } else {
+      const std::size_t pick = rng.uniform_int(static_cast<std::uint64_t>(live.size()));
+      events.push_back(TopologyEvent::revoke(live[pick]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  return events;
+}
+
+std::vector<TopologyEvent> events_from_fault_plan(const fault::FaultPlan& plan,
+                                                  const util::Rect& field) {
+  struct Timed {
+    std::int64_t at_ns;
+    std::size_t order;
+    TopologyEvent event;
+  };
+  std::vector<Timed> timed;
+  // The reboot position is derived from the plan seed and the node identity,
+  // so the projection is deterministic per (plan, node) without consuming a
+  // shared RNG stream (action order must not change positions).
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    const fault::FaultAction& action = plan.actions[i];
+    if (!action.is_lifecycle() || action.node == kNoNode) continue;
+    if (action.kind == fault::ActionKind::kCrash) {
+      timed.push_back({action.at_ns, i, TopologyEvent::revoke(action.node)});
+    } else {
+      util::Rng rng(util::derive_seed(plan.seed, action.node));
+      const util::Vec2 position{rng.uniform(field.lo.x, field.hi.x),
+                                rng.uniform(field.lo.y, field.hi.y)};
+      timed.push_back({action.at_ns, i, TopologyEvent::deploy(action.node, position)});
+    }
+  }
+  std::stable_sort(timed.begin(), timed.end(), [](const Timed& a, const Timed& b) {
+    return a.at_ns != b.at_ns ? a.at_ns < b.at_ns : a.order < b.order;
+  });
+  std::vector<TopologyEvent> events;
+  events.reserve(timed.size());
+  for (Timed& t : timed) events.push_back(t.event);
+  return events;
+}
+
+}  // namespace snd::service

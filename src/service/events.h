@@ -1,0 +1,68 @@
+// Topology mutation events the validation service ingests.
+//
+// The service's world changes in exactly three ways, mirroring the paper's
+// deployment lifecycle: a node is deployed (Theorem 4's incremental
+// deployment), an existing node's binding records are re-established at a
+// new position (a legitimate re-deployment / record update), or a node is
+// revoked (compromise detected, its records withdrawn). Each event is pure
+// data so sequences serialize into traces, replay deterministically, and
+// translate 1:1 onto the wire protocol's kEvent frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "util/geometry.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace snd::service {
+
+enum class EventKind : std::uint8_t {
+  kDeploy = 0,  ///< new node appears at `position`
+  kUpdate = 1,  ///< existing node re-binds at `position`
+  kRevoke = 2,  ///< node removed (position ignored)
+};
+
+[[nodiscard]] std::string_view event_kind_name(EventKind kind);
+
+struct TopologyEvent {
+  EventKind kind = EventKind::kDeploy;
+  NodeId node = kNoNode;
+  util::Vec2 position;
+
+  [[nodiscard]] static TopologyEvent deploy(NodeId node, util::Vec2 position) {
+    return {EventKind::kDeploy, node, position};
+  }
+  [[nodiscard]] static TopologyEvent update(NodeId node, util::Vec2 position) {
+    return {EventKind::kUpdate, node, position};
+  }
+  [[nodiscard]] static TopologyEvent revoke(NodeId node) {
+    return {EventKind::kRevoke, node, {}};
+  }
+
+  friend bool operator==(const TopologyEvent& a, const TopologyEvent& b) {
+    return a.kind == b.kind && a.node == b.node && a.position == b.position;
+  }
+};
+
+/// A seeded random event sequence over `field`: each step deploys a fresh
+/// node, moves a live one, or revokes a live one (weights 2:1:1), starting
+/// from the live set `initial`. Node IDs for deploys continue after the
+/// largest initial ID. Drives the equivalence suite and the load generator.
+[[nodiscard]] std::vector<TopologyEvent> random_events(std::size_t count,
+                                                       const util::Rect& field,
+                                                       std::vector<NodeId> initial,
+                                                       std::uint64_t seed);
+
+/// Projects a FaultPlan's lifecycle actions onto service events: kCrash
+/// becomes a revocation (the compromised/failed node's records are
+/// withdrawn) and kReboot a deployment at `reboot_position(node)`. Delivery
+/// actions (drops, delays, ...) have no topology-level effect and are
+/// skipped. Actions are emitted in at_ns order, ties in plan order.
+[[nodiscard]] std::vector<TopologyEvent> events_from_fault_plan(
+    const fault::FaultPlan& plan, const util::Rect& field);
+
+}  // namespace snd::service

@@ -1,0 +1,317 @@
+#include "service/validation_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <utility>
+
+#include "core/validation.h"
+
+namespace snd::service {
+
+namespace {
+
+/// Packs the two signed cell coordinates into one map key.
+std::uint64_t pack_cell(std::int32_t cx, std::int32_t cy) {
+  const auto ux = static_cast<std::uint32_t>(cx);
+  const auto uy = static_cast<std::uint32_t>(cy);
+  return (static_cast<std::uint64_t>(ux) << 32) | uy;
+}
+
+std::int32_t cell_coord(double v, double cell) {
+  return static_cast<std::int32_t>(std::floor(v / cell));
+}
+
+/// Sorted-list insert/erase returning whether the list changed.
+bool insert_value(topology::NeighborList& list, NodeId v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it != list.end() && *it == v) return false;
+  list.insert(it, v);
+  return true;
+}
+
+bool erase_value(topology::NeighborList& list, NodeId v) {
+  const auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return false;
+  list.erase(it);
+  return true;
+}
+
+}  // namespace
+
+void SpatialGrid::insert(NodeId id, util::Vec2 position) {
+  cells_.get_or_insert(cell_key(position)).push_back(id);
+}
+
+void SpatialGrid::erase(NodeId id, util::Vec2 position) {
+  auto* bucket = cells_.find(cell_key(position));
+  if (bucket == nullptr) return;
+  const auto it = std::find(bucket->begin(), bucket->end(), id);
+  if (it != bucket->end()) bucket->erase(it);
+  if (bucket->empty()) cells_.erase(cell_key(position));
+}
+
+std::uint64_t SpatialGrid::cell_key(util::Vec2 position) const {
+  return pack_cell(cell_coord(position.x, cell_), cell_coord(position.y, cell_));
+}
+
+std::vector<NodeId> SpatialGrid::query_disc(
+    util::Vec2 center, double radius,
+    const util::FlatMap<NodeId, util::Vec2>& positions) const {
+  const double r2 = radius * radius;
+  const std::int32_t x_lo = cell_coord(center.x - radius, cell_);
+  const std::int32_t x_hi = cell_coord(center.x + radius, cell_);
+  const std::int32_t y_lo = cell_coord(center.y - radius, cell_);
+  const std::int32_t y_hi = cell_coord(center.y + radius, cell_);
+  std::vector<NodeId> result;
+  for (std::int32_t cx = x_lo; cx <= x_hi; ++cx) {
+    for (std::int32_t cy = y_lo; cy <= y_hi; ++cy) {
+      const auto* bucket = cells_.find(pack_cell(cx, cy));
+      if (bucket == nullptr) continue;
+      for (const NodeId id : *bucket) {
+        const auto* position = positions.find(id);
+        if (position != nullptr && util::distance_squared(*position, center) <= r2) {
+          result.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+ValidationService::ValidationService(ServiceConfig config)
+    : config_(config), grid_(config.radio_range),
+      map_(std::make_shared<const Snapshot::NodeMap>()) {
+  current_ = std::make_shared<const Snapshot>(epoch_, config_.threshold_t,
+                                              config_.radio_range, map_);
+}
+
+topology::NeighborList ValidationService::derive_neighbors(NodeId id,
+                                                           util::Vec2 position) const {
+  topology::NeighborList neighbors =
+      grid_.query_disc(position, config_.radio_range, positions_);
+  // query_disc includes the node itself when indexed; N(u) excludes u.
+  const auto self = std::lower_bound(neighbors.begin(), neighbors.end(), id);
+  if (self != neighbors.end() && *self == id) neighbors.erase(self);
+  return neighbors;
+}
+
+topology::NeighborList ValidationService::derive_validated(
+    NodeId id, const Snapshot::NodeMap& nodes) const {
+  const auto* state = nodes.find(id);
+  topology::NeighborList validated;
+  if (state == nullptr) return validated;
+  const topology::NeighborList& mine = (*state)->neighbors;
+  for (const NodeId other : mine) {
+    const auto* peer = nodes.find(other);
+    if (peer == nullptr) continue;
+    if (core::meets_threshold(mine, (*peer)->neighbors, config_.threshold_t)) {
+      validated.push_back(other);
+    }
+  }
+  return validated;  // `mine` is sorted, so validated is too
+}
+
+NodeState ValidationService::clone_state(const Snapshot::NodeMap& nodes, NodeId id) {
+  return **nodes.find(id);
+}
+
+ApplyResult ValidationService::apply_locked(const TopologyEvent& event,
+                                            Snapshot::NodeMap& nodes) {
+  const NodeId id = event.node;
+
+  // Pre-existing nodes inside the event's radio disc(s). `gain` / `lose`
+  // are the (disjoint) subsets whose tentative list picks up / drops the
+  // event node; `process` is their union plus, for updates, the nodes that
+  // stay adjacent across the move (their pair verdicts can still flip
+  // because N(id) changed).
+  topology::NeighborList process;
+  topology::NeighborList gain;
+  topology::NeighborList lose;
+  bool live_after = true;
+
+  switch (event.kind) {
+    case EventKind::kDeploy: {
+      if (positions_.contains(id)) {
+        return ApplyResult::failure("deploy: node " + std::to_string(id) +
+                                    " already live");
+      }
+      positions_.insert_or_assign(id, event.position);
+      grid_.insert(id, event.position);
+      auto state = std::make_shared<NodeState>();
+      state->position = event.position;
+      state->neighbors = derive_neighbors(id, event.position);
+      gain = state->neighbors;
+      process = gain;
+      nodes.insert_or_assign(id, std::move(state));
+      break;
+    }
+    case EventKind::kRevoke: {
+      const auto* position = positions_.find(id);
+      if (position == nullptr) {
+        return ApplyResult::failure("revoke: node " + std::to_string(id) +
+                                    " not live");
+      }
+      lose = (*nodes.find(id))->neighbors;
+      process = lose;
+      grid_.erase(id, *position);
+      positions_.erase(id);
+      nodes.erase(id);
+      live_after = false;
+      break;
+    }
+    case EventKind::kUpdate: {
+      const auto* position = positions_.find(id);
+      if (position == nullptr) {
+        return ApplyResult::failure("update: node " + std::to_string(id) +
+                                    " not live");
+      }
+      const topology::NeighborList old_neighbors = (*nodes.find(id))->neighbors;
+      grid_.erase(id, *position);
+      positions_.insert_or_assign(id, event.position);
+      grid_.insert(id, event.position);
+      NodeState moved = clone_state(nodes, id);
+      moved.position = event.position;
+      moved.neighbors = derive_neighbors(id, event.position);
+      const topology::NeighborList& new_neighbors = moved.neighbors;
+      std::set_difference(new_neighbors.begin(), new_neighbors.end(),
+                          old_neighbors.begin(), old_neighbors.end(),
+                          std::back_inserter(gain));
+      std::set_difference(old_neighbors.begin(), old_neighbors.end(),
+                          new_neighbors.begin(), new_neighbors.end(),
+                          std::back_inserter(lose));
+      std::set_union(old_neighbors.begin(), old_neighbors.end(),
+                     new_neighbors.begin(), new_neighbors.end(),
+                     std::back_inserter(process));
+      nodes.insert_or_assign(id, std::make_shared<const NodeState>(std::move(moved)));
+      break;
+    }
+  }
+
+  // Pass 1: splice the event node in/out of its neighbors' tentative lists
+  // (all lists must be final before any threshold is evaluated). Dropping
+  // the event node also drops it from the validated list -- validated(a) is
+  // a subset of N(a) by construction, and `id` is the only id whose
+  // membership this event can change.
+  for (const NodeId a : gain) {
+    NodeState next = clone_state(nodes, a);
+    insert_value(next.neighbors, id);
+    nodes.insert_or_assign(a, std::make_shared<const NodeState>(std::move(next)));
+  }
+  for (const NodeId a : lose) {
+    NodeState next = clone_state(nodes, a);
+    erase_value(next.neighbors, id);
+    erase_value(next.validated, id);
+    nodes.insert_or_assign(a, std::make_shared<const NodeState>(std::move(next)));
+  }
+
+  // Pass 2: recheck exactly the pairs the event can have flipped. A pair's
+  // predicate (adjacency + common-neighbor count) reads only N(a) and N(v),
+  // and the event changed only `id`'s membership anywhere -- so both
+  // endpoints lie in the disc(s), i.e. in `process` (or are `id` itself).
+  topology::NeighborList affected = process;
+  if (live_after) insert_value(affected, id);
+  for (const NodeId a : process) {
+    const NodeState& current = **nodes.find(a);
+    const topology::NeighborList candidates =
+        topology::intersect(current.neighbors, affected);
+    if (candidates.empty()) continue;
+    NodeState next = current;
+    bool changed = false;
+    for (const NodeId v : candidates) {
+      const NodeState& peer = **nodes.find(v);
+      if (core::meets_threshold(next.neighbors, peer.neighbors, config_.threshold_t)) {
+        changed |= insert_value(next.validated, v);
+      } else {
+        changed |= erase_value(next.validated, v);
+      }
+    }
+    if (changed) {
+      nodes.insert_or_assign(a, std::make_shared<const NodeState>(std::move(next)));
+    }
+  }
+  if (live_after) {
+    NodeState next = clone_state(nodes, id);
+    next.validated = derive_validated(id, nodes);
+    nodes.insert_or_assign(id, std::make_shared<const NodeState>(std::move(next)));
+  }
+  ++events_applied_;
+  return ApplyResult::success();
+}
+
+ApplyResult ValidationService::apply(const TopologyEvent& event) {
+  Snapshot::NodeMap nodes = *map_;
+  const ApplyResult result = apply_locked(event, nodes);
+  if (result.ok) publish(std::move(nodes));
+  return result;
+}
+
+std::size_t ValidationService::apply_all(std::span<const TopologyEvent> events) {
+  Snapshot::NodeMap nodes = *map_;
+  std::size_t applied = 0;
+  for (const TopologyEvent& event : events) {
+    if (apply_locked(event, nodes).ok) ++applied;
+  }
+  publish(std::move(nodes));
+  return applied;
+}
+
+void ValidationService::seed_topology(
+    std::span<const std::pair<NodeId, util::Vec2>> nodes) {
+  for (const auto& [id, position] : nodes) {
+    positions_.insert_or_assign(id, position);
+    grid_.insert(id, position);
+  }
+  Snapshot::NodeMap map;
+  map.reserve(nodes.size());
+  for (const auto& [id, position] : nodes) {
+    auto state = std::make_shared<NodeState>();
+    state->position = position;
+    state->neighbors = derive_neighbors(id, position);
+    map.insert_or_assign(id, std::move(state));
+  }
+  for (const auto& [id, position] : nodes) {
+    topology::NeighborList validated = derive_validated(id, map);
+    NodeState next = clone_state(map, id);
+    next.validated = std::move(validated);
+    map.insert_or_assign(id, std::make_shared<const NodeState>(std::move(next)));
+  }
+  publish(std::move(map));
+}
+
+std::shared_ptr<const Snapshot> ValidationService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return current_;
+}
+
+std::shared_ptr<const Snapshot> ValidationService::rebuild() const {
+  Snapshot::NodeMap map;
+  map.reserve(positions_.size());
+  for (const auto& [id, position] : positions_) {
+    auto state = std::make_shared<NodeState>();
+    state->position = position;
+    state->neighbors = derive_neighbors(id, position);
+    map.insert_or_assign(id, std::move(state));
+  }
+  for (const auto& [id, position] : positions_) {
+    topology::NeighborList validated = derive_validated(id, map);
+    NodeState next = clone_state(map, id);
+    next.validated = std::move(validated);
+    map.insert_or_assign(id, std::make_shared<const NodeState>(std::move(next)));
+  }
+  return std::make_shared<const Snapshot>(
+      epoch_, config_.threshold_t, config_.radio_range,
+      std::make_shared<const Snapshot::NodeMap>(std::move(map)));
+}
+
+void ValidationService::publish(Snapshot::NodeMap nodes) {
+  map_ = std::make_shared<const Snapshot::NodeMap>(std::move(nodes));
+  ++epoch_;
+  auto next = std::make_shared<const Snapshot>(epoch_, config_.threshold_t,
+                                               config_.radio_range, map_);
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  current_ = std::move(next);
+}
+
+}  // namespace snd::service

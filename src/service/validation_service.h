@@ -1,0 +1,164 @@
+// A long-lived neighbor-validation service.
+//
+// Where the bench drivers run one deployment, measure, and exit, the
+// service owns a functional topology for the lifetime of a process: it
+// ingests TopologyEvents (deploy / update / revoke) and answers
+// F(u, v) queries against immutable, versioned Snapshots. This is the
+// base-station role the paper's centralized scheme (§2) assumes, grown into
+// an actual daemon: apps/snd_serve exposes it over a socket, or a
+// simulation embeds it directly.
+//
+// ## Incremental recomputation
+//
+// An event at position p only perturbs the topology inside disc(p, 2R):
+// nodes within R gain/lose the event's node in their tentative list N(·),
+// and any validated pair (a, v) both endpoints of which see a changed
+// neighborhood lies within 2R of p -- the locality argument behind the
+// paper's Theorem 4 incremental-deployment safety.
+//
+// Ingestion exploits a bound sharper than that safe 2R envelope. The only
+// list membership any single event changes is that of its own node, so for
+// a pair of pre-existing nodes (a, v) the predicate
+//
+//   v in N(a)  and  |N(a) ∩ N(v)| >= t+1
+//
+// can flip only when the event node enters or leaves N(a) ∩ N(v) (or is v
+// itself) -- which requires BOTH a and v within R of p. Ingestion therefore
+// re-splices tentative lists across disc(p, R) and rechecks exactly the
+// validated pairs with both endpoints in that disc; an update event uses
+// the union of the old- and new-position discs. Everything else is
+// structurally shared with the previous epoch. rebuild() recomputes the
+// world from scratch through the same derivation helpers; the equivalence
+// suite asserts both paths serialize byte-identically after arbitrary
+// event sequences.
+//
+// ## Concurrency
+//
+// Mutators (apply / apply_all / seed_topology) are externally serialized by
+// the caller (the daemon's ingest loop is single-threaded). Readers call
+// snapshot() from any thread: publication swaps a shared_ptr under a short
+// mutex, and a reader keeps its Snapshot alive for as long as it likes
+// without ever blocking ingestion (tests/service_stress_test runs this
+// under TSan).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/events.h"
+#include "service/snapshot.h"
+#include "util/flat.h"
+#include "util/geometry.h"
+#include "util/ids.h"
+
+namespace snd::service {
+
+/// Uniform grid over node positions with cell size R; every disc query the
+/// service makes has radius R or 2R, i.e. a 3x3 or 5x5 cell block.
+class SpatialGrid {
+ public:
+  explicit SpatialGrid(double cell_size) : cell_(cell_size) {}
+
+  void insert(NodeId id, util::Vec2 position);
+  void erase(NodeId id, util::Vec2 position);
+
+  /// Ids of indexed nodes within `radius` of `center` (inclusive), sorted.
+  [[nodiscard]] std::vector<NodeId> query_disc(util::Vec2 center, double radius,
+                                               const util::FlatMap<NodeId, util::Vec2>&
+                                                   positions) const;
+
+ private:
+  [[nodiscard]] std::uint64_t cell_key(util::Vec2 position) const;
+
+  double cell_;
+  util::FlatMap<std::uint64_t, std::vector<NodeId>> cells_;
+};
+
+struct ServiceConfig {
+  double radio_range = 50.0;
+  std::size_t threshold_t = 2;
+};
+
+/// Outcome of one ingested event. Rejections (deploying an existing id,
+/// updating/revoking an unknown one) leave the topology unchanged.
+struct ApplyResult {
+  bool ok = true;
+  std::string error;
+
+  [[nodiscard]] static ApplyResult success() { return {}; }
+  [[nodiscard]] static ApplyResult failure(std::string message) {
+    return {false, std::move(message)};
+  }
+};
+
+class ValidationService {
+ public:
+  explicit ValidationService(ServiceConfig config);
+
+  /// Ingest one event and publish the next epoch. Touches only per-node
+  /// states within radio range of the event position(s); see the header
+  /// comment for the locality argument.
+  ApplyResult apply(const TopologyEvent& event);
+
+  /// Ingest a batch, publishing a single epoch at the end. Returns the
+  /// number of events applied successfully (failures are skipped, matching
+  /// replaying the batch through apply one by one).
+  std::size_t apply_all(std::span<const TopologyEvent> events);
+
+  /// Bulk bootstrap: deploys all nodes, then derives every list once --
+  /// O(n · deg²) instead of n incremental events' O(n · deg³) -- and
+  /// publishes one epoch. Requires distinct ids; call on an empty service.
+  void seed_topology(std::span<const std::pair<NodeId, util::Vec2>> nodes);
+
+  /// Current snapshot; never null, safe to call from any thread and to
+  /// retain across later ingestion.
+  [[nodiscard]] std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// F(u, v) at the current epoch.
+  [[nodiscard]] bool validate(NodeId u, NodeId v) const {
+    return snapshot()->validate(u, v);
+  }
+
+  /// From-scratch recomputation of the current world (same epoch number),
+  /// ignoring all incrementally-maintained lists. The equivalence gate
+  /// asserts snapshot()->canonical_json() == rebuild()->canonical_json().
+  [[nodiscard]] std::shared_ptr<const Snapshot> rebuild() const;
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t node_count() const { return positions_.size(); }
+  /// Events accepted since construction (not counting seed_topology nodes).
+  [[nodiscard]] std::uint64_t events_applied() const { return events_applied_; }
+
+ private:
+  /// Tentative list for `id`: live nodes within R, excluding `id` itself.
+  [[nodiscard]] topology::NeighborList derive_neighbors(NodeId id,
+                                                        util::Vec2 position) const;
+  /// Validated list for `id` given the current tentative lists in `nodes`.
+  [[nodiscard]] topology::NeighborList derive_validated(
+      NodeId id, const Snapshot::NodeMap& nodes) const;
+
+  /// Clones nodes[id] (which must exist) for mutation.
+  [[nodiscard]] static NodeState clone_state(const Snapshot::NodeMap& nodes, NodeId id);
+
+  ApplyResult apply_locked(const TopologyEvent& event, Snapshot::NodeMap& nodes);
+  void publish(Snapshot::NodeMap nodes);
+
+  ServiceConfig config_;
+  SpatialGrid grid_;
+  util::FlatMap<NodeId, util::Vec2> positions_;
+  /// The current epoch's immutable node map, shared with the published
+  /// Snapshot; ingestion copies it, mutates the copy, and re-freezes.
+  /// Never null.
+  std::shared_ptr<const Snapshot::NodeMap> map_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t events_applied_ = 0;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> current_;
+};
+
+}  // namespace snd::service

@@ -35,6 +35,32 @@ SessionOptions resolve_session(const util::Cli& cli) {
   return options;
 }
 
+util::cli::FlagGroup session_flag_group(SessionOptions* out) {
+  using util::cli::FlagDef;
+  using util::cli::FlagType;
+  util::cli::FlagGroup group;
+  group.title = "Checkpointing / sharding";
+  const auto add = [&group](const char* name, FlagType type, const char* value_name,
+                            const char* help) {
+    FlagDef def;
+    def.name = name;
+    def.type = type;
+    def.value_name = value_name;
+    def.help = help;
+    group.flags.push_back(std::move(def));
+  };
+  add("shard", FlagType::kString, "i/N",
+      "run only shard i of N (requires --checkpoint)");
+  add("checkpoint", FlagType::kString, "PATH",
+      "persist completed trials to PATH (.sndshard)");
+  add("resume", FlagType::kBool, "",
+      "continue an interrupted checkpoint instead of truncating it");
+  add("checkpoint-every", FlagType::kInt, "N", "flush the checkpoint every N trials");
+  group.flags.back().def_int = 16;
+  group.resolve = [out](const util::Cli& cli) { *out = resolve_session(cli); };
+  return group;
+}
+
 Session::Session(const SessionOptions& options, ShardSpec spec)
     : options_(options), spec_(std::move(spec)), start_(std::chrono::steady_clock::now()) {
   spec_.shard_index = options_.shard_index;

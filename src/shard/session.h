@@ -23,6 +23,7 @@
 
 #include "shard/format.h"
 #include "util/cli.h"
+#include "util/driver_spec.h"
 
 namespace snd::shard {
 
@@ -47,6 +48,11 @@ struct SessionOptions {
 /// recorded with cli.record_error() so the driver's cli.validate() call
 /// rejects them with a non-zero exit.
 [[nodiscard]] SessionOptions resolve_session(const util::Cli& cli);
+
+/// The same surface as a DriverSpec flag group: declares --shard,
+/// --checkpoint, --resume, --checkpoint-every and resolves them into `*out`
+/// during parse(). Prefer this over hand-listing the flags in new drivers.
+[[nodiscard]] util::cli::FlagGroup session_flag_group(SessionOptions* out);
 
 /// One shard run of one sweep. Thread-safe recording: the runner's worker
 /// threads call record_success/record_failure concurrently; every

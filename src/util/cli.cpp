@@ -5,6 +5,8 @@
 #include <ostream>
 #include <thread>
 
+#include "util/runtime_config.h"
+
 namespace snd::util {
 
 Cli::Cli(int argc, const char* const* argv) {
@@ -16,13 +18,26 @@ Cli::Cli(int argc, const char* const* argv) {
       continue;
     }
     arg.remove_prefix(2);
+    std::string name;
+    std::string value;
     if (const auto eq = arg.find('='); eq != std::string_view::npos) {
-      flags_.emplace(arg.substr(0, eq), arg.substr(eq + 1));
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
-      flags_.emplace(arg, argv[++i]);
+      name = arg;
+      value = argv[++i];
     } else {
-      flags_.emplace(arg, "true");
+      name = arg;
+      value = "true";
     }
+    // A repeated flag is ambiguous (which value wins?); the seed parser
+    // silently kept the first occurrence. Reject instead of guessing.
+    if (const auto it = flags_.find(name); it != flags_.end()) {
+      duplicates_.push_back("--" + name + " given more than once ('" + it->second +
+                           "' and '" + value + "')");
+      continue;
+    }
+    flags_.emplace(std::move(name), std::move(value));
   }
 }
 
@@ -65,12 +80,21 @@ bool Cli::get_bool(std::string_view name, bool fallback) const {
 
 bool Cli::validate(std::ostream& err, std::initializer_list<std::string_view> allowed,
                    std::string_view usage) const {
+  return validate(err, std::vector<std::string_view>(allowed), usage);
+}
+
+bool Cli::validate(std::ostream& err, const std::vector<std::string_view>& allowed,
+                   std::string_view usage) const {
   bool ok = true;
   for (const auto& [name, value] : flags_) {
     if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
       err << program_ << ": unknown flag --" << name << "\n";
       ok = false;
     }
+  }
+  for (const std::string& duplicate : duplicates_) {
+    err << program_ << ": duplicate flag " << duplicate << "\n";
+    ok = false;
   }
   for (const std::string& error : errors_) {
     err << program_ << ": invalid value " << error << "\n";
@@ -84,8 +108,8 @@ std::size_t resolve_jobs(const Cli& cli) {
   std::int64_t jobs = 0;
   if (cli.has("jobs")) {
     jobs = cli.get_int("jobs", 0);
-  } else if (const char* env = std::getenv("SND_JOBS"); env != nullptr && *env != '\0') {
-    jobs = std::strtoll(env, nullptr, 10);
+  } else if (const auto env_jobs = runtime_config().jobs) {
+    jobs = *env_jobs;
   } else {
     jobs = static_cast<std::int64_t>(std::thread::hardware_concurrency());
   }

@@ -38,18 +38,28 @@ class Cli {
   /// a parsed (logically immutable) Cli may fail.
   void record_error(std::string message) const { errors_.push_back(std::move(message)); }
 
-  /// True when every flag given on the command line is in `allowed` and every
-  /// numeric lookup so far parsed cleanly; otherwise prints the offending
-  /// flags plus `usage` to `err`. Call after reading all flags, and exit
-  /// non-zero on false so CI smoke runs can assert on bad invocations.
+  /// True when every flag given on the command line is in `allowed`, no flag
+  /// was given twice, and every numeric lookup so far parsed cleanly;
+  /// otherwise prints the offending flags plus `usage` to `err`. Call after
+  /// reading all flags, and exit non-zero on false so CI smoke runs can
+  /// assert on bad invocations.
   [[nodiscard]] bool validate(std::ostream& err,
                               std::initializer_list<std::string_view> allowed,
                               std::string_view usage = {}) const;
+  /// Same, with a runtime-assembled allow list (cli::DriverSpec uses this).
+  [[nodiscard]] bool validate(std::ostream& err,
+                              const std::vector<std::string_view>& allowed,
+                              std::string_view usage = {}) const;
+
+  /// Flags that appeared more than once on the command line (rejected by
+  /// validate(); the first occurrence stays readable through the getters).
+  [[nodiscard]] const std::vector<std::string>& duplicates() const { return duplicates_; }
 
  private:
   std::string program_;
   std::map<std::string, std::string, std::less<>> flags_;
   std::vector<std::string> positional_;
+  std::vector<std::string> duplicates_;
   mutable std::vector<std::string> errors_;
 };
 

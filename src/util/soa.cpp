@@ -1,22 +1,15 @@
 #include "util/soa.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <string_view>
+
+#include "util/runtime_config.h"
 
 namespace snd::util {
 
 namespace {
 
-bool soa_from_env() {
-  const char* raw = std::getenv("SND_SOA");
-  if (raw == nullptr) return true;
-  const std::string_view value(raw);
-  return !(value == "0" || value == "off" || value == "false");
-}
-
 std::atomic<bool>& soa_flag() {
-  static std::atomic<bool> enabled{soa_from_env()};
+  static std::atomic<bool> enabled{runtime_config().soa};
   return enabled;
 }
 
