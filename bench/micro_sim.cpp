@@ -21,6 +21,7 @@
 #include "core/deployment_driver.h"
 #include "obs/sink.h"
 #include "util/runtime_config.h"
+#include "util/simd.h"
 #include "obs/tracer.h"
 #include "sim/deployment.h"
 #include "sim/scheduler.h"
@@ -207,6 +208,26 @@ int write_resolution_artifact() {
   constexpr int kRounds = 10;
   const RoundTimings linear = measure(kNodes, /*use_index=*/false, kRounds);
   const RoundTimings grid = measure(kNodes, /*use_index=*/true, kRounds);
+
+  // Strip-filter series: the same field with the vectorized candidate
+  // classifier on (SND_SIMD default) vs the scalar per-candidate filter
+  // (the seed path), in both resolution modes. The flag is latched at
+  // Network construction, so flip it around measure()'s field setup. The
+  // grid already prunes to a 3x3 block, so the strip mostly helps the
+  // full-scan shape, where nearly every candidate is a definite Out.
+  util::set_simd_enabled(false);
+  const RoundTimings strip_off_grid = measure(kNodes, /*use_index=*/true, kRounds);
+  const RoundTimings strip_off_linear = measure(kNodes, /*use_index=*/false, kRounds);
+  util::set_simd_enabled(true);
+  const RoundTimings strip_on_grid = measure(kNodes, /*use_index=*/true, kRounds);
+  const RoundTimings strip_on_linear = measure(kNodes, /*use_index=*/false, kRounds);
+  const double strip_grid_speedup = strip_on_grid.resolution_s > 0.0
+                                        ? strip_off_grid.resolution_s / strip_on_grid.resolution_s
+                                        : 0.0;
+  const double strip_linear_speedup =
+      strip_on_linear.resolution_s > 0.0
+          ? strip_off_linear.resolution_s / strip_on_linear.resolution_s
+          : 0.0;
   // Trace-overhead sweep on the grid configuration: the runtime-disabled
   // fast path (kOff) is the baseline; kCounters adds the typed-array bumps,
   // kEvents+NullSink adds ring writes and the sink virtual call with no
@@ -243,12 +264,24 @@ int write_resolution_artifact() {
                 "    \"events_null_round_us_per_tx\": %.3f,\n"
                 "    \"counters_overhead\": %.3f,\n"
                 "    \"events_null_overhead\": %.3f\n"
+                "  },\n"
+                "  \"strip_filter\": {\n"
+                "    \"grid_scalar_us_per_tx\": %.3f,\n"
+                "    \"grid_strip_us_per_tx\": %.3f,\n"
+                "    \"grid_resolution_speedup\": %.2f,\n"
+                "    \"linear_scalar_us_per_tx\": %.3f,\n"
+                "    \"linear_strip_us_per_tx\": %.3f,\n"
+                "    \"linear_resolution_speedup\": %.2f\n"
                 "  }\n"
                 "}\n",
                 kNodes, per_tx, linear.resolution_s / per_tx * 1e6,
                 grid.resolution_s / per_tx * 1e6, resolution_speedup, round_speedup,
                 trace_off.total_s / per_tx * 1e6, trace_counters.total_s / per_tx * 1e6,
-                trace_events.total_s / per_tx * 1e6, counters_overhead, events_null_overhead);
+                trace_events.total_s / per_tx * 1e6, counters_overhead, events_null_overhead,
+                strip_off_grid.resolution_s / per_tx * 1e6,
+                strip_on_grid.resolution_s / per_tx * 1e6, strip_grid_speedup,
+                strip_off_linear.resolution_s / per_tx * 1e6,
+                strip_on_linear.resolution_s / per_tx * 1e6, strip_linear_speedup);
 
   const std::string path = bench_artifact_path("BENCH_micro_sim.json");
   if (std::FILE* f = std::fopen(path.c_str(), "w")) {
@@ -262,6 +295,12 @@ int write_resolution_artifact() {
   std::printf("trace overhead per round (grid): off %.2f us/tx, counters %.2fx, "
               "events+nullsink %.2fx\n",
               trace_off.total_s / per_tx * 1e6, counters_overhead, events_null_overhead);
+  std::printf("strip filter: grid %.2f -> %.2f us/tx (%.2fx), "
+              "linear %.2f -> %.2f us/tx (%.2fx)\n",
+              strip_off_grid.resolution_s / per_tx * 1e6,
+              strip_on_grid.resolution_s / per_tx * 1e6, strip_grid_speedup,
+              strip_off_linear.resolution_s / per_tx * 1e6,
+              strip_on_linear.resolution_s / per_tx * 1e6, strip_linear_speedup);
   return resolution_speedup >= 1.0 ? 0 : 1;
 }
 

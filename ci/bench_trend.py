@@ -36,8 +36,15 @@ def numeric_leaves(tree, prefix=""):
 
 
 def tracked(leaves):
-    """The cost series worth gating: per-operation times, lower-is-better."""
-    return {path: v for path, v in leaves.items() if "us_per" in path}
+    """The series worth gating: per-operation times ("*us_per*", lower is
+    better) and throughputs ("*per_s*", higher is better)."""
+    return {path: v for path, v in leaves.items()
+            if "us_per" in path or "per_s" in path}
+
+
+def higher_is_better(path):
+    """Throughput series regress by dropping, not rising."""
+    return "per_s" in path and "us_per" not in path
 
 
 def main():
@@ -89,7 +96,11 @@ def main():
                 continue
             compared += 1
             ratio = now / before
-            marker = " <-- REGRESSION" if ratio > 1.0 + args.threshold else ""
+            if higher_is_better(path):
+                regressed = ratio < 1.0 - args.threshold
+            else:
+                regressed = ratio > 1.0 + args.threshold
+            marker = " <-- REGRESSION" if regressed else ""
             print(f"bench-trend: {name}:{path}: {before:.3f} -> {now:.3f} "
                   f"({(ratio - 1.0) * 100.0:+.1f}%){marker}")
             if marker:
@@ -97,8 +108,9 @@ def main():
 
     for name, path, before, now, ratio in regressions:
         level = "error" if args.fail else "warning"
-        print(f"::{level} title=bench regression::{name}:{path} slowed "
-              f"{(ratio - 1.0) * 100.0:.1f}% ({before:.3f} -> {now:.3f} us)")
+        verb = "dropped" if higher_is_better(path) else "slowed"
+        print(f"::{level} title=bench regression::{name}:{path} {verb} "
+              f"{abs(ratio - 1.0) * 100.0:.1f}% ({before:.3f} -> {now:.3f})")
 
     print(f"bench-trend: {compared} tracked series compared, "
           f"{len(regressions)} over the {args.threshold * 100.0:.0f}% threshold")

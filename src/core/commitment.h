@@ -8,9 +8,15 @@
 //
 // Each derivation is domain-separated by a label and length-framed, so no
 // two of them can collide even on crafted inputs.
+//
+// Each derivation also has a batched form that drains one crypto::HashBatch
+// through the multi-buffer engine; the scalar and batched variants absorb
+// through the same templated helpers, so the outputs are bit-identical by
+// construction (and cost the same hash-op count).
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "crypto/key.h"
 #include "crypto/sha256.h"
@@ -36,5 +42,35 @@ crypto::Digest relation_commitment(const crypto::SymmetricKey& verification_key_
 /// considers v a tentative neighbor while v's record is at version i.
 crypto::Digest relation_evidence(const crypto::SymmetricKey& master, NodeId u, NodeId v,
                                  std::uint32_t version);
+
+/// Batched K_v derivation: one output per node in `nodes` (same length).
+void verification_keys(const crypto::SymmetricKey& master, std::span<const NodeId> nodes,
+                       std::span<crypto::SymmetricKey> out);
+
+/// Batched C(u, v) for one claimant u against many verification keys.
+void relation_commitments(std::span<const crypto::SymmetricKey> verification_keys_of_v, NodeId u,
+                          std::span<crypto::Digest> out);
+
+/// One E(u, v) derivation of a batch.
+struct EvidenceSpec {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  std::uint32_t version = 0;
+};
+
+/// Batched E(u, v) derivation: one output per spec (same length).
+void relation_evidences(const crypto::SymmetricKey& master, std::span<const EvidenceSpec> specs,
+                        std::span<crypto::Digest> out);
+
+/// One C(u) derivation of a batch; `neighbors` must outlive the call.
+struct BindingSpec {
+  NodeId node = kNoNode;
+  std::uint32_t version = 0;
+  const topology::NeighborList* neighbors = nullptr;
+};
+
+/// Batched C(u) derivation: one output per spec (same length).
+void binding_commitments(const crypto::SymmetricKey& master, std::span<const BindingSpec> specs,
+                         std::span<crypto::Digest> out);
 
 }  // namespace snd::core

@@ -1,6 +1,11 @@
 #include "core/messenger.h"
 
+#include <algorithm>
 #include <array>
+#include <vector>
+
+#include "crypto/sha256_mb.h"
+#include "util/simd.h"
 
 namespace snd::core {
 
@@ -39,7 +44,10 @@ util::Bytes mac_input(NodeId src, NodeId dst, std::uint8_t type,
 // Streams the same byte sequence as mac_input() directly into the hash
 // context: u32 src | u32 dst | u8 type | u16 len | payload | u64 nonce.
 // Keeping the two in lockstep is what makes fast and slow MACs bit-equal.
-void mac_absorb(crypto::Sha256& h, NodeId src, NodeId dst, std::uint8_t type,
+// Templated over the context so a crypto::HashBatch::Job (send_many's wide
+// MAC path) absorbs exactly the bytes a scalar crypto::Sha256 would.
+template <typename Ctx>
+void mac_absorb(Ctx& h, NodeId src, NodeId dst, std::uint8_t type,
                 std::span<const std::uint8_t> payload, std::uint64_t nonce) {
   std::array<std::uint8_t, 11> head;
   head[0] = static_cast<std::uint8_t>(src >> 24);
@@ -87,6 +95,61 @@ bool Messenger::send(NodeId to, std::uint8_t type, const util::Bytes& payload,
   sim::Packet packet{.src = identity_, .dst = to, .type = type, .payload = std::move(body)};
   network_.transmit(device_, std::move(packet), phase);
   return true;
+}
+
+std::size_t Messenger::send_many(std::span<const Outgoing> messages) {
+  // Serial fallback keeps send() semantics verbatim when the slow crypto
+  // path is selected, SIMD batching is off, or a second hash lane would
+  // never fill.
+  if (!crypto::fast_path_enabled() || !util::simd_enabled() || messages.size() < 2) {
+    std::size_t sent = 0;
+    for (const Outgoing& m : messages) {
+      if (send(m.to, m.type, m.payload, m.phase)) ++sent;
+    }
+    return sent;
+  }
+
+  struct Pending {
+    std::size_t index;  // into `messages`
+    std::uint64_t nonce;
+    crypto::Sha256 outer;  // outer midstate, captured before the cache entry can move
+  };
+  std::vector<Pending> pending;
+  pending.reserve(messages.size());
+  crypto::HashBatch inner;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const Outgoing& m = messages[i];
+    const crypto::PairKeyCache::Entry& entry = key_cache_.get(m.to);
+    if (!entry.key.present()) continue;  // skipped without a nonce, like send() == false
+    const std::uint64_t nonce = ++nonce_counter_;
+    crypto::HashBatch::Job job = inner.add(entry.mac.inner_context());
+    mac_absorb(job, identity_, m.to, m.type, m.payload, nonce);
+    pending.push_back({i, nonce, entry.mac.outer_context()});
+  }
+  inner.run();
+
+  crypto::HashBatch outer;
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    outer.add(pending[j].outer).update(inner.digest(j).bytes);
+  }
+  outer.run();
+
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    const Pending& p = pending[j];
+    const Outgoing& m = messages[p.index];
+    crypto::ShortMac mac;
+    std::copy_n(outer.digest(j).bytes.begin(), crypto::kShortMacSize, mac.begin());
+
+    util::Bytes body;
+    body.reserve(m.payload.size() + kAuthOverhead);
+    util::put_bytes(body, m.payload);
+    util::put_u64(body, p.nonce);
+    util::put_bytes(body, mac);
+
+    sim::Packet packet{.src = identity_, .dst = m.to, .type = m.type, .payload = std::move(body)};
+    network_.transmit(device_, std::move(packet), m.phase);
+  }
+  return pending.size();
 }
 
 void Messenger::broadcast(std::uint8_t type, const util::Bytes& payload, obs::Phase phase) {

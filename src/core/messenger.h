@@ -52,6 +52,24 @@ class Messenger {
   /// `to` could be established. Cost is charged to `phase`.
   bool send(NodeId to, std::uint8_t type, const util::Bytes& payload, obs::Phase phase);
 
+  /// One message of a send_many() burst.
+  struct Outgoing {
+    NodeId to = kNoNode;
+    std::uint8_t type = 0;
+    util::Bytes payload;
+    obs::Phase phase = obs::Phase::kOther;
+  };
+
+  /// Sends a burst of authenticated unicasts, exactly equivalent to calling
+  /// send() on each element in order: same key-cache touch order, same
+  /// nonce assignment (a message with no establishable pairwise key is
+  /// skipped without consuming a nonce), same wire bytes, same transmit
+  /// order. The difference is purely mechanical -- with the fast path and
+  /// SND_SIMD on, the burst's MACs drain through the multi-buffer hash
+  /// engine (inner contexts wide, then outer contexts over the inner
+  /// digests). Returns the number of messages actually sent.
+  std::size_t send_many(std::span<const Outgoing> messages);
+
   /// Broadcasts without per-pair authentication (Hello/HelloAck carry no
   /// secrets; authenticity of what matters is established end-to-end).
   void broadcast(std::uint8_t type, const util::Bytes& payload, obs::Phase phase);

@@ -1,6 +1,7 @@
 #include "core/protocol.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/validation.h"
 
@@ -281,40 +282,81 @@ void SndNode::run_validation() {
   if (validated_) return;
   validated_ = true;
 
+  // Phase A -- decide. Trace emission and functional_ insertion happen in
+  // the original per-neighbor order; surviving peers are queued for the
+  // batched derivations below.
+  struct PendingPeer {
+    NodeId v;
+    const BindingRecord* record;
+    bool accepted;
+  };
+  std::vector<PendingPeer> pending;
+  pending.reserve(tentative_.size());
   for (NodeId v : tentative_) {
     const BindingRecord* found = neighbor_records_.find(v);
     if (found == nullptr) {
       trace_event(network_, identity_, obs::EventKind::kReject, obs::RejectReason::kNoRecord, v);
       continue;
     }
-    const BindingRecord& record = *found;
-
-    if (meets_threshold(tentative_, record.neighbors, config_.threshold_t)) {
+    const bool accepted = meets_threshold(tentative_, found->neighbors, config_.threshold_t);
+    if (accepted) {
       topology::insert_sorted(functional_, v);
       trace_event(network_, identity_, obs::EventKind::kAccept, obs::AcceptVia::kThreshold, v);
-      // Commitments are computed now, while K is in hand, but put on the
-      // air jittered so a whole round's worth does not collide.
-      const crypto::Digest commit =
-          relation_commitment(verification_key(master_, v), identity_);
-      schedule(jittered_now(), [this, v, commit]() {
-        messenger_.send(v, static_cast<std::uint8_t>(MessageType::kRelationCommit),
-                        RelationCommitPayload{commit}.serialize(), obs::Phase::kCommit);
-      });
     } else {
       trace_event(network_, identity_, obs::EventKind::kReject,
                   obs::RejectReason::kThresholdNotMet, v);
     }
+    pending.push_back({v, found, accepted});
+  }
 
-    // Extension: leave evidence with every tentative neighbor so a future
-    // new deployment can re-issue their records including us.
-    if (config_.max_updates > 0) {
-      const EvidencePayload evidence{
-          record.version, relation_evidence(master_, identity_, v, record.version)};
-      schedule(jittered_now(), [this, v, evidence]() {
-        messenger_.send(v, static_cast<std::uint8_t>(MessageType::kEvidence),
-                        evidence.serialize(), obs::Phase::kEvidence);
-      });
+  // Phase B -- derive. All of the round's commitments and evidences are
+  // computed now, while K is in hand, in batched drains of the multi-buffer
+  // hash engine (bit-identical to the scalar derivations and the same
+  // hash-op count; see core/commitment.h).
+  std::vector<NodeId> accepted_ids;
+  for (const PendingPeer& p : pending) {
+    if (p.accepted) accepted_ids.push_back(p.v);
+  }
+  std::vector<crypto::SymmetricKey> vkeys(accepted_ids.size());
+  std::vector<crypto::Digest> commits(accepted_ids.size());
+  verification_keys(master_, accepted_ids, vkeys);
+  relation_commitments(vkeys, identity_, commits);
+
+  // Extension: leave evidence with every tentative neighbor so a future
+  // new deployment can re-issue their records including us.
+  std::vector<crypto::Digest> evidences(config_.max_updates > 0 ? pending.size() : 0);
+  if (config_.max_updates > 0) {
+    std::vector<EvidenceSpec> specs;
+    specs.reserve(pending.size());
+    for (const PendingPeer& p : pending) {
+      specs.push_back({identity_, p.v, p.record->version});
     }
+    relation_evidences(master_, specs, evidences);
+  }
+
+  // Phase C -- transmit. The whole round goes on the air as one jittered
+  // burst (commit then evidence per neighbor, in the decision order) whose
+  // MACs also drain wide through Messenger::send_many. Payloads are
+  // serialized now: neighbor_records_ is cleared before the burst fires.
+  std::vector<Messenger::Outgoing> burst;
+  std::size_t commit_index = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PendingPeer& p = pending[i];
+    if (p.accepted) {
+      burst.push_back({p.v, static_cast<std::uint8_t>(MessageType::kRelationCommit),
+                       RelationCommitPayload{commits[commit_index]}.serialize(),
+                       obs::Phase::kCommit});
+      ++commit_index;
+    }
+    if (config_.max_updates > 0) {
+      burst.push_back({p.v, static_cast<std::uint8_t>(MessageType::kEvidence),
+                       EvidencePayload{p.record->version, evidences[i]}.serialize(),
+                       obs::Phase::kEvidence});
+    }
+  }
+  if (!burst.empty()) {
+    schedule(jittered_now(),
+             [this, burst = std::move(burst)]() { messenger_.send_many(burst); });
   }
 
   trace_event(network_, identity_, obs::EventKind::kPhase, obs::NodePhase::kValidated, kNoNode,
@@ -418,10 +460,44 @@ void SndNode::on_update_request(const sim::Packet& packet,
   }
 
   topology::NeighborList updated = old_record.neighbors;
+
+  // Precompute the expected evidences in one wide hash drain. Only safe
+  // when no issuer repeats: with duplicates, the scalar loop's "already in
+  // `updated`" check depends on earlier insertions, so fall back to
+  // deriving inside the loop. Either way the derivations (and hash-op
+  // counts) are exactly the ones the scalar loop performs.
+  std::vector<const crypto::Digest*> expected(request->evidences.size(), nullptr);
+  std::vector<crypto::Digest> batch_digests;
+  {
+    std::vector<NodeId> issuers;
+    issuers.reserve(request->evidences.size());
+    for (const auto& [issuer, digest] : request->evidences) issuers.push_back(issuer);
+    std::sort(issuers.begin(), issuers.end());
+    const bool unique = std::adjacent_find(issuers.begin(), issuers.end()) == issuers.end();
+    if (unique) {
+      std::vector<EvidenceSpec> specs;
+      std::vector<std::size_t> where;
+      for (std::size_t i = 0; i < request->evidences.size(); ++i) {
+        const NodeId issuer = request->evidences[i].first;
+        if (topology::contains(updated, issuer)) continue;
+        specs.push_back({issuer, old_record.node, old_record.version});
+        where.push_back(i);
+      }
+      batch_digests.resize(specs.size());
+      relation_evidences(master_, specs, batch_digests);
+      for (std::size_t j = 0; j < where.size(); ++j) expected[where[j]] = &batch_digests[j];
+    }
+  }
+
   bool any_verified = false;
-  for (const auto& [issuer, digest] : request->evidences) {
+  for (std::size_t i = 0; i < request->evidences.size(); ++i) {
+    const auto& [issuer, digest] = request->evidences[i];
     if (topology::contains(updated, issuer)) continue;
-    if (digest != relation_evidence(master_, issuer, old_record.node, old_record.version)) {
+    const crypto::Digest want =
+        expected[i] != nullptr
+            ? *expected[i]
+            : relation_evidence(master_, issuer, old_record.node, old_record.version);
+    if (digest != want) {
       continue;  // unverifiable claim; skip it, keep the rest
     }
     topology::insert_sorted(updated, issuer);

@@ -48,6 +48,10 @@ class HmacKey {
   [[nodiscard]] Sha256 inner_context() const { return inner_; }
   [[nodiscard]] Digest finish(Sha256&& inner) const;
   [[nodiscard]] ShortMac finish_short(Sha256&& inner) const;
+  /// Outer midstate for the batched engine (crypto::HashBatch): a batched
+  /// MAC drains the inner contexts wide, then the outer contexts over the
+  /// inner digests -- the same byte flow as finish(), in two phases.
+  [[nodiscard]] Sha256 outer_context() const { return outer_; }
 
  private:
   Sha256 inner_;  // state after absorbing key ^ ipad

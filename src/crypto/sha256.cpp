@@ -4,26 +4,15 @@
 #include <cassert>
 #include <cstring>
 
+#include "util/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
 namespace snd::crypto {
 
 namespace {
-
-constexpr std::array<std::uint32_t, 64> kRoundConstants = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
-
-constexpr std::array<std::uint32_t, 8> kInitialState = {
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
 // Per-thread so parallel trial workers (--jobs > 1) never cross-contaminate
 // each other's overhead accounting; each worker resets/reads around its own
@@ -42,6 +31,68 @@ void store_be32(std::uint8_t* p, std::uint32_t v) {
   p[3] = static_cast<std::uint8_t>(v);
 }
 
+#if defined(__x86_64__) || defined(__i386__)
+
+/// One block through the SHA extension (sha256rnds2 / sha256msg1 /
+/// sha256msg2). This is the same function computed by dedicated hardware, so
+/// digests are bit-identical to the portable compressor and dispatch is
+/// purely a speed decision. Round constants are loaded from
+/// detail::kRoundConstants instead of being re-typed as vector literals so
+/// the two compressors cannot drift apart.
+__attribute__((target("sha,sse4.1,ssse3"))) void sha256_compress_shani(
+    std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
+  const __m128i bswap = _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+  const auto* quads = reinterpret_cast<const __m128i*>(block);
+  const auto* k = reinterpret_cast<const __m128i*>(detail::kRoundConstants.data());
+
+  // Repack {a..d},{e..h} into the ABEF/CDGH register layout sha256rnds2 wants.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data()));
+  __m128i st1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state.data() + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  st1 = _mm_shuffle_epi32(st1, 0x1B);
+  __m128i st0 = _mm_alignr_epi8(tmp, st1, 8);
+  st1 = _mm_blend_epi16(st1, tmp, 0xF0);
+  const __m128i save0 = st0;
+  const __m128i save1 = st1;
+
+  __m128i m[4];
+  for (int i = 0; i < 4; ++i) m[i] = _mm_shuffle_epi8(_mm_loadu_si128(quads + i), bswap);
+
+  // Sixteen groups of four rounds; the message quads rotate through m[0..3]
+  // with msg1/msg2 extending the schedule in place (constant trip count, so
+  // the compiler unrolls this back into the canonical straight-line form).
+  for (int g = 0; g < 16; ++g) {
+    __m128i msg = _mm_add_epi32(m[g & 3], _mm_loadu_si128(k + g));
+    st1 = _mm_sha256rnds2_epu32(st1, st0, msg);
+    if (g >= 3 && g < 15) {
+      const __m128i shifted = _mm_alignr_epi8(m[g & 3], m[(g + 3) & 3], 4);
+      m[(g + 1) & 3] = _mm_sha256msg2_epu32(_mm_add_epi32(m[(g + 1) & 3], shifted), m[g & 3]);
+    }
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    st0 = _mm_sha256rnds2_epu32(st0, st1, msg);
+    if (g >= 1 && g < 13) m[(g + 3) & 3] = _mm_sha256msg1_epu32(m[(g + 3) & 3], m[g & 3]);
+  }
+
+  st0 = _mm_add_epi32(st0, save0);
+  st1 = _mm_add_epi32(st1, save1);
+
+  tmp = _mm_shuffle_epi32(st0, 0x1B);
+  st1 = _mm_shuffle_epi32(st1, 0xB1);
+  st0 = _mm_blend_epi16(tmp, st1, 0xF0);
+  st1 = _mm_alignr_epi8(st1, tmp, 8);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data()), st0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state.data() + 4), st1);
+}
+
+bool shani_supported() {
+  static const bool ok = __builtin_cpu_supports("sha") != 0 &&
+                         __builtin_cpu_supports("sse4.1") != 0 &&
+                         __builtin_cpu_supports("ssse3") != 0;
+  return ok;
+}
+
+#endif  // x86
+
 }  // namespace
 
 std::uint64_t Digest::prefix64() const {
@@ -50,11 +101,20 @@ std::uint64_t Digest::prefix64() const {
   return v;
 }
 
-Sha256::Sha256() : state_(kInitialState) {}
+namespace detail {
 
-void Sha256::process_block(const std::uint8_t* block) {
-  ++t_hash_ops;
-
+void sha256_compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
+  // Single-stream hardware path for the traffic that cannot ride the
+  // multi-buffer engine (receive-side HMAC verifies, one-off derivations).
+  // Gated like every wide path: SND_SIMD=0 or a forced-scalar tier restores
+  // the portable loop below, which is also the non-x86 and pre-SHA-NI path.
+#if defined(__x86_64__) || defined(__i386__)
+  if (shani_supported() && util::simd_enabled() &&
+      util::active_simd_tier() != util::SimdTier::kScalar) {
+    sha256_compress_shani(state, block);
+    return;
+  }
+#endif
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) w[static_cast<std::size_t>(i)] = load_be32(block + 4 * i);
   for (std::size_t i = 16; i < 64; ++i) {
@@ -65,7 +125,7 @@ void Sha256::process_block(const std::uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  auto [a, b, c, d, e, f, g, h] = state_;
+  auto [a, b, c, d, e, f, g, h] = state;
   for (std::size_t i = 0; i < 64; ++i) {
     const std::uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
     const std::uint32_t ch = (e & f) ^ (~e & g);
@@ -83,14 +143,44 @@ void Sha256::process_block(const std::uint8_t* block) {
     a = temp1 + temp2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+void add_hash_ops(std::uint64_t n) { t_hash_ops += n; }
+
+}  // namespace detail
+
+Sha256::Sha256() : state_(detail::kInitialState) {}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  ++t_hash_ops;
+  detail::sha256_compress(state_, block);
+}
+
+Sha256::Midstate Sha256::midstate() const {
+  assert(!finalized_);
+  Midstate m;
+  m.state = state_;
+  m.tail = buffer_;
+  m.tail_len = buffered_;
+  m.total_bytes = total_bytes_;
+  return m;
+}
+
+Sha256 Sha256::resume(const Midstate& m) {
+  Sha256 ctx;
+  ctx.state_ = m.state;
+  ctx.buffer_ = m.tail;
+  ctx.buffered_ = m.tail_len;
+  ctx.total_bytes_ = m.total_bytes;
+  return ctx;
 }
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) {
@@ -134,28 +224,22 @@ Sha256& Sha256::update_framed(std::string_view text) {
   return update_framed(std::span(reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 }
 
-Sha256& Sha256::update_u64(std::uint64_t v) {
-  std::array<std::uint8_t, 8> buf;
-  for (int i = 7; i >= 0; --i) {
-    buf[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
-    v >>= 8;
-  }
-  return update(buf);
-}
-
 Digest Sha256::finalize() {
   assert(!finalized_);
   finalized_ = true;
 
   const std::uint64_t bit_length = total_bytes_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(std::span(&pad_byte, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffered_ != 56) update(std::span(&zero, 1));
-  std::array<std::uint8_t, 8> len;
-  for (int i = 7; i >= 0; --i) len[static_cast<std::size_t>(i)] =
-      static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
-  update(len);
+  // The 0x80 marker, zero run, and length field go through one update() as a
+  // prebuilt trailer: the byte-at-a-time padding loop this replaces cost a
+  // call per zero byte, which dominated finalize on the per-MAC hot path.
+  // The absorbed byte sequence (and thus every block boundary) is unchanged.
+  std::array<std::uint8_t, 72> trailer{};
+  trailer[0] = 0x80;
+  const std::size_t pad = (buffered_ < 56 ? 56 : 120) - buffered_;
+  for (int i = 0; i < 8; ++i)
+    trailer[pad + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
+  update(std::span(trailer.data(), pad + 8));
   assert(buffered_ == 0);
 
   Digest out;

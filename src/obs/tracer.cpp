@@ -35,28 +35,6 @@ Tracer::Tracer(TraceLevel level, std::shared_ptr<Sink> sink, std::size_t ring_ca
     : level_(level), sink_(std::move(sink)), ring_capacity_(ring_capacity > 0 ? ring_capacity : 1) {}
 
 void Tracer::record(const Event& event) {
-  ++events_;
-  const std::size_t code = event.code;
-  switch (event.kind) {
-    case EventKind::kPhase:
-      if (code < kNodePhaseCount) ++node_phases_[code];
-      break;
-    case EventKind::kReject:
-      if (code < kRejectReasonCount) ++rejects_[code];
-      break;
-    case EventKind::kAccept:
-      if (code < kAcceptViaCount) ++accepts_[code];
-      break;
-    case EventKind::kInject:
-      if (code < kInjectKindCount) ++injects_[code];
-      break;
-    default:
-      // Radio events (tx/delivery/drop) are already counted by the typed
-      // sim::Metrics arrays; counting them twice here would double-report.
-      break;
-  }
-  if (level_ != TraceLevel::kEvents) return;
-
   if (ring_.size() < ring_capacity_) {
     ring_.push_back(event);
   } else {

@@ -72,9 +72,25 @@ class Tracer {
   void emit(const Event& event) {
 #if SND_TRACE
     if (level_ == TraceLevel::kOff) return;
-    record(event);
+    // The kCounters path stays header-inline: dense sweeps emit once per
+    // candidate drop, and the two increments cost less than an out-of-line
+    // call. Only the kEvents tail (ring + sink) leaves the header.
+    ++events_;
+    count(event);
+    if (level_ == TraceLevel::kEvents) record(event);
 #else
     (void)event;
+#endif
+  }
+
+  /// Radio-event fast path (tx / delivery / drop): those kinds carry no
+  /// typed counter here -- sim::Metrics counts them -- so below kEvents an
+  /// emit() reduces to the events_ increment. Call sites use this with
+  /// recording() to skip building an Event payload per candidate; totals
+  /// stay identical to emitting the full event.
+  void count_radio_event() {
+#if SND_TRACE
+    if (level_ != TraceLevel::kOff) ++events_;
 #endif
   }
 
@@ -95,6 +111,28 @@ class Tracer {
   void reset();
 
  private:
+  void count(const Event& event) {
+    const std::size_t code = event.code;
+    switch (event.kind) {
+      case EventKind::kPhase:
+        if (code < kNodePhaseCount) ++node_phases_[code];
+        break;
+      case EventKind::kReject:
+        if (code < kRejectReasonCount) ++rejects_[code];
+        break;
+      case EventKind::kAccept:
+        if (code < kAcceptViaCount) ++accepts_[code];
+        break;
+      case EventKind::kInject:
+        if (code < kInjectKindCount) ++injects_[code];
+        break;
+      default:
+        // Radio events (tx/delivery/drop) are already counted by the typed
+        // sim::Metrics arrays; counting them twice here would double-report.
+        break;
+    }
+  }
+  /// kEvents-only slow path: ring append + sink dispatch.
   void record(const Event& event);
 
   TraceLevel level_ = TraceLevel::kCounters;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <iterator>
 #include <utility>
+#include <vector>
 
+#include "core/commitment.h"
 #include "core/validation.h"
 
 namespace snd::service {
@@ -236,8 +238,43 @@ ApplyResult ValidationService::apply_locked(const TopologyEvent& event,
     next.validated = derive_validated(id, nodes);
     nodes.insert_or_assign(id, std::make_shared<const NodeState>(std::move(next)));
   }
+
+  // The only tentative lists this event changed are those of gain/lose
+  // members and the event node itself -- exactly the commitments to refresh
+  // (one batched drain; a revoked id is erased inside the helper).
+  if (config_.master_key.present()) {
+    topology::NeighborList dirty;
+    std::set_union(gain.begin(), gain.end(), lose.begin(), lose.end(),
+                   std::back_inserter(dirty));
+    insert_value(dirty, id);
+    refresh_commitments(dirty, nodes);
+  }
+
   ++events_applied_;
   return ApplyResult::success();
+}
+
+void ValidationService::refresh_commitments(std::span<const NodeId> ids,
+                                            const Snapshot::NodeMap& nodes) {
+  if (!config_.master_key.present() || ids.empty()) return;
+  std::vector<core::BindingSpec> specs;
+  std::vector<NodeId> live;
+  specs.reserve(ids.size());
+  live.reserve(ids.size());
+  for (const NodeId id : ids) {
+    const auto* state = nodes.find(id);
+    if (state == nullptr) {
+      commitments_.erase(id);
+      continue;
+    }
+    specs.push_back({id, 0, &(*state)->neighbors});
+    live.push_back(id);
+  }
+  std::vector<crypto::Digest> digests(specs.size());
+  core::binding_commitments(config_.master_key, specs, digests);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    commitments_.insert_or_assign(live[i], digests[i]);
+  }
 }
 
 ApplyResult ValidationService::apply(const TopologyEvent& event) {
@@ -276,6 +313,12 @@ void ValidationService::seed_topology(
     NodeState next = clone_state(map, id);
     next.validated = std::move(validated);
     map.insert_or_assign(id, std::make_shared<const NodeState>(std::move(next)));
+  }
+  if (config_.master_key.present()) {
+    std::vector<NodeId> ids;
+    ids.reserve(nodes.size());
+    for (const auto& [id, position] : nodes) ids.push_back(id);
+    refresh_commitments(ids, map);
   }
   publish(std::move(map));
 }

@@ -49,6 +49,8 @@
 #include <string>
 #include <vector>
 
+#include "crypto/key.h"
+#include "crypto/sha256.h"
 #include "service/events.h"
 #include "service/snapshot.h"
 #include "util/flat.h"
@@ -81,6 +83,11 @@ class SpatialGrid {
 struct ServiceConfig {
   double radio_range = 50.0;
   std::size_t threshold_t = 2;
+  /// When present, the service maintains the paper's binding commitment
+  /// C(u) (version 0, over u's current tentative list) for every live node
+  /// -- the base-station role holds K, so it can re-issue records on
+  /// demand. Absent (the default) disables commitment maintenance.
+  crypto::SymmetricKey master_key;
 };
 
 /// Outcome of one ingested event. Rejections (deploying an existing id,
@@ -133,6 +140,17 @@ class ValidationService {
   /// Events accepted since construction (not counting seed_topology nodes).
   [[nodiscard]] std::uint64_t events_applied() const { return events_applied_; }
 
+  /// C(id) over id's current tentative list, or nullptr when id is not
+  /// live or no master key is configured. Maintained incrementally: each
+  /// ingested event recomputes only the commitments of nodes whose
+  /// tentative list changed, in one batched drain of the multi-buffer hash
+  /// engine (bit-identical to core::binding_commitment). Call from the
+  /// ingest thread only, like the mutators.
+  [[nodiscard]] const crypto::Digest* binding_commitment_of(NodeId id) const {
+    return commitments_.find(id);
+  }
+  [[nodiscard]] std::size_t commitment_count() const { return commitments_.size(); }
+
  private:
   /// Tentative list for `id`: live nodes within R, excluding `id` itself.
   [[nodiscard]] topology::NeighborList derive_neighbors(NodeId id,
@@ -147,6 +165,11 @@ class ValidationService {
   ApplyResult apply_locked(const TopologyEvent& event, Snapshot::NodeMap& nodes);
   void publish(Snapshot::NodeMap nodes);
 
+  /// Recomputes the binding commitments of `ids` against `nodes` in one
+  /// batched hash drain; ids no longer live are erased instead. No-op
+  /// without a configured master key.
+  void refresh_commitments(std::span<const NodeId> ids, const Snapshot::NodeMap& nodes);
+
   ServiceConfig config_;
   SpatialGrid grid_;
   util::FlatMap<NodeId, util::Vec2> positions_;
@@ -156,6 +179,10 @@ class ValidationService {
   std::shared_ptr<const Snapshot::NodeMap> map_;
   std::uint64_t epoch_ = 0;
   std::uint64_t events_applied_ = 0;
+  /// Live nodes' binding commitments (empty without a master key). Not part
+  /// of Snapshot -- commitments are secrets of the K-holding role, not of
+  /// the published topology.
+  util::FlatMap<NodeId, crypto::Digest> commitments_;
 
   mutable std::mutex snapshot_mutex_;
   std::shared_ptr<const Snapshot> current_;

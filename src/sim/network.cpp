@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/simd.h"
 #include "util/soa.h"
 
 namespace snd::sim {
@@ -41,6 +42,7 @@ Network::Network(std::unique_ptr<PropagationModel> propagation, ChannelConfig co
   cell_size_ = propagation_->max_range();
   indexable_ = std::isfinite(cell_size_) && cell_size_ > 0.0;
   use_spatial_index_ = indexable_;
+  strip_filter_ = util::simd_enabled() && propagation_->supports_link_classes();
   if (util::soa_enabled()) packet_pool_ = std::make_shared<PacketPool>();
 }
 
@@ -80,6 +82,8 @@ DeviceId Network::add_device(NodeId identity, util::Vec2 position) {
   energy_j_.push_back(energy_.initial_j);
   tx_busy_until_.push_back(Time::zero());
   tx_run_start_.push_back(Time::zero());
+  pos_x_.push_back(position.x);
+  pos_y_.push_back(position.y);
   identity_index_[identity].push_back(id);
   grid_insert(id, position);
   return id;
@@ -100,6 +104,8 @@ void Network::set_position(DeviceId id, util::Vec2 position) {
   Device& d = devices_.at(id);
   const util::Vec2 old = d.position;
   d.position = position;
+  pos_x_[id] = position.x;
+  pos_y_[id] = position.y;
   if (!indexable_) return;
   const std::uint64_t old_key =
       cell_key(cell_coord(old.x, cell_size_), cell_coord(old.y, cell_size_));
@@ -186,13 +192,17 @@ Time Network::transmission_time(std::size_t wire_bytes) const {
 
 void Network::note_drop(obs::DropCause cause, NodeId node, NodeId peer, std::uint32_t bytes) {
   metrics_.count_drop(cause);
-  if (tracer_.active()) {
+  // Dense sweeps hit this once per out-of-range candidate; below kEvents the
+  // tracer only needs the event tally, not a built payload.
+  if (tracer_.recording()) {
     tracer_.emit(obs::Event{.kind = obs::EventKind::kDrop,
                             .code = static_cast<std::uint8_t>(cause),
                             .node = node,
                             .peer = peer,
                             .bytes = bytes,
                             .t_ns = scheduler_.now().ns()});
+  } else {
+    tracer_.count_radio_event();
   }
 }
 
@@ -234,13 +244,15 @@ void Network::deliver_copy(DeviceId to, const std::shared_ptr<const Packet>& pac
     return;
   }
   metrics_.count_delivery();
-  if (tracer_.active()) {
+  if (tracer_.recording()) {
     tracer_.emit(obs::Event{.kind = obs::EventKind::kDelivery,
                             .code = static_cast<std::uint8_t>(phase),
                             .node = d.identity,
                             .peer = sender_identity,
                             .bytes = rx_bytes,
                             .t_ns = scheduler_.now().ns()});
+  } else {
+    tracer_.count_radio_event();
   }
   receivers_[to](*packet);
 }
@@ -256,13 +268,15 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
 
   const auto wire_bytes = static_cast<std::uint32_t>(packet.wire_bytes());
   metrics_.count_tx(phase, wire_bytes);
-  if (tracer_.active()) {
+  if (tracer_.recording()) {
     tracer_.emit(obs::Event{.kind = obs::EventKind::kTx,
                             .code = static_cast<std::uint8_t>(phase),
                             .node = sender.identity,
                             .peer = packet.dst,
                             .bytes = wire_bytes,
                             .t_ns = scheduler_.now().ns()});
+  } else {
+    tracer_.count_radio_event();
   }
   tx_bytes_[from] += packet.wire_bytes();
   drain(from, energy_.tx_j_per_byte * static_cast<double>(packet.wire_bytes()));
@@ -306,11 +320,19 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
   // candidate superset (3x3 block vs whole field). The fault hook is
   // consulted strictly after the channel resolved a copy as deliverable, so
   // an uninstalled hook perturbs nothing -- not even RNG draw order.
-  for_each_candidate(sender.position, [&](const Device& receiver) {
+  //
+  // `link_class` carries the strip filter's verdict for this candidate
+  // (kLinkCheck when the strip path is off, which reduces the link decision
+  // to the seed's scalar link_exists call).
+  const auto handle = [&](const Device& receiver, std::uint8_t link_class) {
     if (receiver.id == from || !receiver.alive) return;
     if (!receivers_[receiver.id]) return;
     metrics_.count_candidate();
-    if (!propagation_->link_exists(sender.position, receiver.position)) {
+    const bool linked =
+        link_class == kLinkIn ||
+        (link_class == kLinkCheck &&
+         propagation_->link_exists(sender.position, receiver.position));
+    if (!linked) {
       note_drop(obs::DropCause::kOutOfRange, receiver.identity, sender_identity, wire_bytes);
       return;
     }
@@ -379,7 +401,40 @@ void Network::transmit_impl(DeviceId from, Packet packet, obs::Phase phase) {
       overhearers.push_back(receiver.id);
       max_distance = std::max(max_distance, distance);
     }
-  });
+  };
+
+  // A strip shorter than one vector pass is not worth gathering.
+  constexpr std::size_t kStripMin = 4;
+  if (use_spatial_index_) {
+    const std::vector<DeviceId>& cands = candidates_near(sender.position);
+    const bool strip = strip_filter_ && cands.size() >= kStripMin;
+    if (strip) {
+      strip_x_.resize(cands.size());
+      strip_y_.resize(cands.size());
+      strip_class_.resize(cands.size());
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        strip_x_[i] = pos_x_[cands[i]];
+        strip_y_[i] = pos_y_[cands[i]];
+      }
+      propagation_->classify_links(sender.position, strip_x_.data(), strip_y_.data(),
+                                   cands.size(), strip_class_.data());
+    }
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      handle(devices_[cands[i]], strip ? strip_class_[i] : kLinkCheck);
+    }
+  } else {
+    // Linear path: the SoA position mirrors *are* the strip.
+    const std::size_t n = devices_.size();
+    const bool strip = strip_filter_ && n >= kStripMin;
+    if (strip) {
+      strip_class_.resize(n);
+      propagation_->classify_links(sender.position, pos_x_.data(), pos_y_.data(), n,
+                                   strip_class_.data());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      handle(devices_[i], strip ? strip_class_[i] : kLinkCheck);
+    }
+  }
   if (overhearers.empty()) return;
 
   const Time deliver_at = start + tx_time + PropagationModel::propagation_delay(max_distance) +

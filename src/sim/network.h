@@ -225,6 +225,24 @@ class Network {
   /// pool exists, plain make_shared otherwise.
   [[nodiscard]] std::shared_ptr<const Packet> share_packet(Packet&& packet);
 
+  // -- Strip filter ------------------------------------------------------
+  // SoA mirrors of every device's position, maintained by add_device and
+  // set_position alongside Device::position. transmit_impl feeds candidate
+  // strips from these (contiguous doubles, not scattered Device fields)
+  // into PropagationModel::classify_links, which emits a survivor-class
+  // mask ahead of the scalar delivery bookkeeping. Enabled when the SIMD
+  // gate was on at construction and the model supports link classes;
+  // results are bit-identical either way (definite verdicts imply the
+  // scalar predicate; borderline candidates re-check scalar).
+  std::vector<double> pos_x_;
+  std::vector<double> pos_y_;
+  /// Scratch reused across transmissions: gathered candidate positions
+  /// (grid path) and the per-candidate class mask.
+  std::vector<double> strip_x_;
+  std::vector<double> strip_y_;
+  std::vector<std::uint8_t> strip_class_;
+  bool strip_filter_ = false;
+
   std::unique_ptr<PropagationModel> propagation_;
   ChannelConfig config_;
   EnergyConfig energy_;

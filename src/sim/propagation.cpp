@@ -3,6 +3,15 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SND_PROPAGATION_X86 1
+#else
+#define SND_PROPAGATION_X86 0
+#endif
+
 namespace snd::sim {
 
 namespace {
@@ -25,7 +34,138 @@ std::uint64_t hash_position(util::Vec2 p) {
   return mix64(xb) ^ mix64(yb * 0x9e3779b97f4a7c15ULL);
 }
 
+// -- Strip classification ---------------------------------------------------
+//
+// One shared kernel: d² = (x - fx)² + (y - fy)² against a [lo, hi] band.
+//   d² <= lo  ->  kLinkIn      (definite: implies the scalar predicate true)
+//   d² >  hi  ->  kLinkOut     (definite: implies the scalar predicate false)
+//   otherwise ->  kLinkCheck   (borderline: re-decided by scalar link_exists)
+// Callers pick lo/hi so the definite verdicts hold with margin (see
+// kClassBand); anything ambiguous -- including NaN, which fails both vector
+// compares -- lands on kLinkCheck and the exact scalar comparison.
+
+/// Relative width of the Check band around a threshold. Vector and scalar
+/// d² use the same IEEE double ops so they agree exactly today; the band
+/// keeps the definite verdicts sound even if one side is ever compiled
+/// with FMA contraction.
+constexpr double kClassBand = 1e-9;
+
+void classify_scalar(util::Vec2 from, const double* xs, const double* ys, std::size_t n,
+                     double lo, double hi, std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - from.x;
+    const double dy = ys[i] - from.y;
+    const double d2 = dx * dx + dy * dy;
+    out[i] = d2 <= lo ? kLinkIn : (d2 > hi ? kLinkOut : kLinkCheck);
+  }
+}
+
+#if SND_PROPAGATION_X86
+
+/// Class bytes for every (in_mask << 4 | out_mask) movemask pair: the vector
+/// loops store four verdicts with one table row copy instead of four branchy
+/// per-lane selects (which dominated the kernel under dense sweeps). Rows are
+/// exact images of the scalar ternary, including the impossible in&out combos
+/// (in wins, matching the scalar evaluation order) and NaN (neither bit set,
+/// lands on kLinkCheck).
+constexpr auto kClassTable = [] {
+  std::array<std::array<std::uint8_t, 4>, 256> table{};
+  for (int idx = 0; idx < 256; ++idx) {
+    const int in_mask = idx >> 4;
+    const int out_mask = idx & 0xF;
+    for (int lane = 0; lane < 4; ++lane) {
+      table[static_cast<std::size_t>(idx)][static_cast<std::size_t>(lane)] =
+          ((in_mask >> lane) & 1) != 0 ? kLinkIn
+          : ((out_mask >> lane) & 1) != 0 ? kLinkOut
+                                          : kLinkCheck;
+    }
+  }
+  return table;
+}();
+
+__attribute__((target("sse2"))) void classify_sse2(util::Vec2 from, const double* xs,
+                                                   const double* ys, std::size_t n, double lo,
+                                                   double hi, std::uint8_t* out) {
+  const __m128d fx = _mm_set1_pd(from.x);
+  const __m128d fy = _mm_set1_pd(from.y);
+  const __m128d vlo = _mm_set1_pd(lo);
+  const __m128d vhi = _mm_set1_pd(hi);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), fx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), fy);
+    const __m128d d2 = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+    const int in_mask = _mm_movemask_pd(_mm_cmple_pd(d2, vlo));
+    const int out_mask = _mm_movemask_pd(_mm_cmpgt_pd(d2, vhi));
+    // Two-lane masks only populate table lanes 0-1, so the 4-wide rows serve
+    // here too; copy just the first two class bytes.
+    std::memcpy(out + i, kClassTable[static_cast<std::size_t>(in_mask << 4 | out_mask)].data(),
+                2);
+  }
+  if (i < n) classify_scalar(from, xs + i, ys + i, n - i, lo, hi, out + i);
+}
+
+__attribute__((target("avx2"))) void classify_avx2(util::Vec2 from, const double* xs,
+                                                   const double* ys, std::size_t n, double lo,
+                                                   double hi, std::uint8_t* out) {
+  const __m256d fx = _mm256_set1_pd(from.x);
+  const __m256d fy = _mm256_set1_pd(from.y);
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), fx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), fy);
+    const __m256d d2 = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    const int in_mask = _mm256_movemask_pd(_mm256_cmp_pd(d2, vlo, _CMP_LE_OQ));
+    const int out_mask = _mm256_movemask_pd(_mm256_cmp_pd(d2, vhi, _CMP_GT_OQ));
+    std::memcpy(out + i, kClassTable[static_cast<std::size_t>(in_mask << 4 | out_mask)].data(),
+                4);
+  }
+  if (i < n) classify_scalar(from, xs + i, ys + i, n - i, lo, hi, out + i);
+}
+
+#endif  // SND_PROPAGATION_X86
+
+void classify_banded(util::Vec2 from, const double* xs, const double* ys, std::size_t n,
+                     double lo, double hi, std::uint8_t* out) {
+#if SND_PROPAGATION_X86
+  switch (util::active_simd_tier()) {
+    case util::SimdTier::kAvx2:
+      classify_avx2(from, xs, ys, n, lo, hi, out);
+      return;
+    case util::SimdTier::kSse2:
+      classify_sse2(from, xs, ys, n, lo, hi, out);
+      return;
+    case util::SimdTier::kScalar:
+      break;
+  }
+#endif
+  classify_scalar(from, xs, ys, n, lo, hi, out);
+}
+
 }  // namespace
+
+void PropagationModel::classify_links(util::Vec2 /*from*/, const double* /*xs*/,
+                                      const double* /*ys*/, std::size_t n,
+                                      std::uint8_t* out) const {
+  std::memset(out, kLinkCheck, n);
+}
+
+void UnitDiskModel::classify_links(util::Vec2 from, const double* xs, const double* ys,
+                                   std::size_t n, std::uint8_t* out) const {
+  const double threshold = range_ * range_;
+  classify_banded(from, xs, ys, n, threshold * (1.0 - kClassBand),
+                  threshold * (1.0 + kClassBand), out);
+}
+
+void LogNormalModel::classify_links(util::Vec2 from, const double* xs, const double* ys,
+                                    std::size_t n, std::uint8_t* out) const {
+  // No definite-In region: the per-link fade draw is unbounded below, so
+  // lo = -1 keeps every near candidate on the scalar path.
+  const double cutoff = max_range_ * max_range_;
+  classify_banded(from, xs, ys, n, -1.0, cutoff * (1.0 + kClassBand), out);
+}
 
 Time PropagationModel::propagation_delay(double distance) {
   constexpr double kSpeedOfLight = 299'792'458.0;  // m/s

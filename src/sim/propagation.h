@@ -6,6 +6,8 @@
 // paper's static-network assumption.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "sim/time.h"
@@ -13,11 +15,35 @@
 
 namespace snd::sim {
 
+/// classify_links() verdicts. kLinkIn / kLinkOut are *definite*: they must
+/// imply link_exists() true / false for the same pair. kLinkCheck defers to
+/// a scalar link_exists() call, so a model that cannot decide a candidate
+/// cheaply (or at all) stays exactly as accurate as the scalar path.
+inline constexpr std::uint8_t kLinkOut = 0;
+inline constexpr std::uint8_t kLinkIn = 1;
+inline constexpr std::uint8_t kLinkCheck = 2;
+
 class PropagationModel {
  public:
   virtual ~PropagationModel() = default;
 
   [[nodiscard]] virtual bool link_exists(util::Vec2 a, util::Vec2 b) const = 0;
+
+  /// True if classify_links() can decide some candidates without a scalar
+  /// link_exists() call; the Network only gathers position strips when so.
+  [[nodiscard]] virtual bool supports_link_classes() const { return false; }
+
+  /// Vectorized candidate filter: classifies the n candidates at
+  /// (xs[i], ys[i]) against a transmission from `from`, writing one of
+  /// kLinkIn / kLinkOut / kLinkCheck per candidate to `out`. Distance² is
+  /// computed width-4 (AVX) / width-2 (SSE2) in doubles and compared
+  /// against a guard-banded threshold: candidates inside the band are
+  /// kLinkCheck, so a definite verdict never disagrees with link_exists()
+  /// even at rounding boundaries -- the strip path stays bit-identical to
+  /// the scalar filter by construction. The base implementation marks
+  /// everything kLinkCheck.
+  virtual void classify_links(util::Vec2 from, const double* xs, const double* ys,
+                              std::size_t n, std::uint8_t* out) const;
 
   /// The nominal maximum radio range R used by analytical formulas and the
   /// safety definitions (for shadowing models, the threshold-crossing
@@ -42,6 +68,12 @@ class UnitDiskModel final : public PropagationModel {
   [[nodiscard]] bool link_exists(util::Vec2 a, util::Vec2 b) const override;
   [[nodiscard]] double nominal_range() const override { return range_; }
   [[nodiscard]] double max_range() const override { return range_; }
+
+  /// d² <= range² is decidable straight from the strip: definite In below
+  /// the banded threshold, definite Out above it, Check inside the band.
+  [[nodiscard]] bool supports_link_classes() const override { return true; }
+  void classify_links(util::Vec2 from, const double* xs, const double* ys, std::size_t n,
+                      std::uint8_t* out) const override;
 
  private:
   double range_;
@@ -71,6 +103,14 @@ class LogNormalModel final : public PropagationModel {
   [[nodiscard]] bool link_exists(util::Vec2 a, util::Vec2 b) const override;
   [[nodiscard]] double nominal_range() const override { return range_; }
   [[nodiscard]] double max_range() const override { return max_range_; }
+
+  /// Only the truncated-fade cutoff is strip-decidable: candidates beyond
+  /// max_range() are definite Out (sparing them the sqrt + per-link fade
+  /// hash), everything nearer is Check -- the fade draw is unbounded below,
+  /// so no distance guarantees a link.
+  [[nodiscard]] bool supports_link_classes() const override { return true; }
+  void classify_links(util::Vec2 from, const double* xs, const double* ys, std::size_t n,
+                      std::uint8_t* out) const override;
 
  private:
   [[nodiscard]] double link_fade_db(util::Vec2 a, util::Vec2 b) const;

@@ -108,27 +108,50 @@ void Scheduler::set_next_event_id(EventId id) {
   }
 }
 
+// Both sifts percolate a hole instead of swapping: an Entry is ~112 bytes
+// with a small-buffer action whose move runs through a trampoline, so a swap
+// costs three such moves per level where the hole costs one. The element
+// comparisons -- and therefore the final array -- are exactly those of the
+// textbook swap formulation.
+
 void Scheduler::sift_up(std::size_t index) {
-  while (index > 0) {
-    const std::size_t parent = (index - 1) / 2;
-    if (!earlier(heap_[index], heap_[parent])) break;
-    std::swap(heap_[index], heap_[parent]);
+  if (index == 0) return;
+  std::size_t parent = (index - 1) / 2;
+  if (!earlier(heap_[index], heap_[parent])) return;
+  Entry moving = std::move(heap_[index]);
+  do {
+    heap_[index] = std::move(heap_[parent]);
     index = parent;
-  }
+    parent = (index - 1) / 2;
+  } while (index > 0 && earlier(moving, heap_[parent]));
+  heap_[index] = std::move(moving);
 }
 
 void Scheduler::sift_down(std::size_t index) {
   const std::size_t n = heap_.size();
-  for (;;) {
-    std::size_t smallest = index;
-    const std::size_t left = 2 * index + 1;
-    const std::size_t right = 2 * index + 2;
-    if (left < n && earlier(heap_[left], heap_[smallest])) smallest = left;
-    if (right < n && earlier(heap_[right], heap_[smallest])) smallest = right;
-    if (smallest == index) return;
-    std::swap(heap_[index], heap_[smallest]);
-    index = smallest;
-  }
+  // Smallest of {value-at-i, left child, right child}, where the sinking
+  // element is passed explicitly because its slot currently holds the hole.
+  const auto smaller_child = [&](std::size_t i, const Entry& value) {
+    std::size_t best = i;
+    const Entry* best_entry = &value;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && earlier(heap_[left], *best_entry)) {
+      best = left;
+      best_entry = &heap_[left];
+    }
+    if (right < n && earlier(heap_[right], *best_entry)) best = right;
+    return best;
+  };
+  std::size_t next = smaller_child(index, heap_[index]);
+  if (next == index) return;
+  Entry moving = std::move(heap_[index]);
+  do {
+    heap_[index] = std::move(heap_[next]);
+    index = next;
+    next = smaller_child(index, moving);
+  } while (next != index);
+  heap_[index] = std::move(moving);
 }
 
 void Scheduler::drop_cancelled_head() {

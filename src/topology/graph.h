@@ -4,6 +4,7 @@
 // every simulation result derived from it -- is deterministic.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <set>
@@ -23,7 +24,11 @@ std::size_t intersection_size(const NeighborList& a, const NeighborList& b);
 NeighborList intersect(const NeighborList& a, const NeighborList& b);
 /// Insert preserving sort order; no-op if already present.
 void insert_sorted(NeighborList& list, NodeId id);
-[[nodiscard]] bool contains(const NeighborList& list, NodeId id);
+/// Header-inline: membership runs once per delivered packet copy against the
+/// receiver's neighbor list, so the call overhead outweighs the search.
+[[nodiscard]] inline bool contains(const NeighborList& list, NodeId id) {
+  return std::binary_search(list.begin(), list.end(), id);
+}
 
 class Digraph {
  public:

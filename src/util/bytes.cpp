@@ -80,42 +80,6 @@ void put_varint_signed(Bytes& out, std::int64_t v) {
                       static_cast<std::uint64_t>(v >> 63));
 }
 
-bool ByteReader::take(std::size_t n) {
-  if (!ok_ || data_.size() - pos_ < n) {
-    ok_ = false;
-    return false;
-  }
-  return true;
-}
-
-std::optional<std::uint8_t> ByteReader::u8() {
-  if (!take(1)) return std::nullopt;
-  return data_[pos_++];
-}
-
-std::optional<std::uint16_t> ByteReader::u16() {
-  if (!take(2)) return std::nullopt;
-  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
-  pos_ += 2;
-  return v;
-}
-
-std::optional<std::uint32_t> ByteReader::u32() {
-  if (!take(4)) return std::nullopt;
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
-  pos_ += 4;
-  return v;
-}
-
-std::optional<std::uint64_t> ByteReader::u64() {
-  if (!take(8)) return std::nullopt;
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
-  pos_ += 8;
-  return v;
-}
-
 std::optional<std::uint64_t> ByteReader::varint() {
   std::uint64_t v = 0;
   for (int shift = 0; shift < 64; shift += 7) {

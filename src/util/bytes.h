@@ -44,10 +44,33 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  std::optional<std::uint8_t> u8();
-  std::optional<std::uint16_t> u16();
-  std::optional<std::uint32_t> u32();
-  std::optional<std::uint64_t> u64();
+  // The fixed-width getters live in the header: wire parsing runs once per
+  // delivered packet copy (hundreds of millions of reads per sweep), and an
+  // out-of-line call per field costs more than the read itself.
+  std::optional<std::uint8_t> u8() {
+    if (!take(1)) return std::nullopt;
+    return data_[pos_++];
+  }
+  std::optional<std::uint16_t> u16() {
+    if (!take(2)) return std::nullopt;
+    const auto v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::optional<std::uint32_t> u32() {
+    if (!take(4)) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  std::optional<std::uint64_t> u64() {
+    if (!take(8)) return std::nullopt;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return v;
+  }
   /// Unsigned LEB128 varint. Rejects encodings longer than 10 bytes and
   /// 10-byte encodings whose final group overflows 64 bits, so every value
   /// has exactly one accepted encoding length bound.
@@ -69,7 +92,13 @@ class ByteReader {
   [[nodiscard]] bool ok() const { return ok_; }
 
  private:
-  bool take(std::size_t n);
+  bool take(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

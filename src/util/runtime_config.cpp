@@ -35,6 +35,7 @@ RuntimeConfig load_runtime_config_from_env() {
   }
   config.soa = env_enabled("SND_SOA", true);
   config.crypto_fast = env_enabled("SND_CRYPTO_FAST", true);
+  config.simd = env_enabled("SND_SIMD", true);
   config.log_level = env_string("SND_LOG_LEVEL");
   config.trace_level = env_string("SND_TRACE_LEVEL");
   config.trace_json = env_string("SND_TRACE_JSON");

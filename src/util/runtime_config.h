@@ -12,6 +12,9 @@
 //                    state instead of the flat SoA core (default: on)
 //   SND_CRYPTO_FAST  "0|off|false" disables the pairwise-key/midstate cache
 //                    fast path (default: on)
+//   SND_SIMD         "0|off|false" disables the batched/wide execution layer
+//                    (multi-buffer SHA-256, strip candidate filtering) and
+//                    forces the one-at-a-time seed paths (default: on)
 //   SND_LOG_LEVEL    harness log level (--log fallback)
 //   SND_TRACE_LEVEL  trace verbosity (--trace fallback)
 //   SND_TRACE_JSON   JSON-lines event stream destination (--trace-json)
@@ -37,6 +40,8 @@ struct RuntimeConfig {
   bool soa = true;
   /// SND_CRYPTO_FAST; defaults to the cached fast path.
   bool crypto_fast = true;
+  /// SND_SIMD; defaults to the batched/wide hot-loop layer.
+  bool simd = true;
   /// SND_LOG_LEVEL / SND_TRACE_LEVEL / SND_TRACE_JSON / SND_TRACE_BIN,
   /// verbatim; parsed and validated by obs::resolve_obs.
   std::optional<std::string> log_level;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/binding_record.h"
+#include "util/simd.h"
 
 namespace snd::core {
 namespace {
@@ -54,6 +57,52 @@ TEST_F(CommitmentTest, DomainsAreSeparated) {
   const crypto::Digest binding = binding_commitment(master_, 1, 0, {});
   const crypto::Digest evidence = relation_evidence(master_, 1, 0, 0);
   EXPECT_NE(binding, evidence);
+}
+
+// Every batched derivation must equal its scalar counterpart element for
+// element, with SIMD batching both on (wide engine) and off (serial).
+TEST_F(CommitmentTest, BatchedDerivationsMatchScalar) {
+  const std::vector<NodeId> nodes = {3, 1, 4, 1, 5, 9, 2, 6};
+  const topology::NeighborList neighbors_a = {2, 3, 4};
+  const topology::NeighborList neighbors_b = {};
+
+  for (const bool simd : {true, false}) {
+    util::set_simd_enabled(simd);
+
+    std::vector<crypto::SymmetricKey> vkeys(nodes.size());
+    verification_keys(master_, nodes, vkeys);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_TRUE(vkeys[i] == verification_key(master_, nodes[i])) << "simd=" << simd;
+    }
+
+    std::vector<crypto::Digest> commits(nodes.size());
+    relation_commitments(vkeys, 7, commits);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      EXPECT_EQ(commits[i], relation_commitment(vkeys[i], 7)) << "simd=" << simd;
+    }
+
+    const std::vector<EvidenceSpec> specs = {{1, 2, 0}, {2, 1, 0}, {1, 2, 1}, {9, 9, 3}};
+    std::vector<crypto::Digest> evidences(specs.size());
+    relation_evidences(master_, specs, evidences);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_EQ(evidences[i],
+                relation_evidence(master_, specs[i].u, specs[i].v, specs[i].version))
+          << "simd=" << simd;
+    }
+
+    const std::vector<BindingSpec> bindings = {{1, 0, &neighbors_a},
+                                               {9, 2, &neighbors_b},
+                                               {1, 1, &neighbors_a}};
+    std::vector<crypto::Digest> binding_digests(bindings.size());
+    binding_commitments(master_, bindings, binding_digests);
+    for (std::size_t i = 0; i < bindings.size(); ++i) {
+      EXPECT_EQ(binding_digests[i],
+                binding_commitment(master_, bindings[i].node, bindings[i].version,
+                                   *bindings[i].neighbors))
+          << "simd=" << simd;
+    }
+  }
+  util::set_simd_enabled(true);
 }
 
 class BindingRecordTest : public ::testing::Test {

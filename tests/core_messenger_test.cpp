@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/simd.h"
+
 namespace snd::core {
 namespace {
 
@@ -264,6 +266,80 @@ TEST_F(MessengerTest, OutOfOrderDeliveryWithinWindowAccepted) {
   EXPECT_TRUE(bob_->open(captured[0]).has_value());   // older, in window
   EXPECT_FALSE(bob_->open(captured[0]).has_value());  // replay of the older
   EXPECT_FALSE(bob_->open(captured[1]).has_value());  // replay of the newer
+}
+
+// RAII helper for the SIMD batching gate, mirroring FastPathGuard.
+class SimdGuard {
+ public:
+  explicit SimdGuard(bool enabled) : previous_(util::simd_enabled()) {
+    util::set_simd_enabled(enabled);
+  }
+  ~SimdGuard() { util::set_simd_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+TEST_F(MessengerTest, SendManyMatchesSequentialSendByteForByte) {
+  // send_many() must be indistinguishable on the wire from calling send()
+  // in a loop: same nonces, same MACs, same packet order -- including a
+  // mid-burst message with no establishable pairwise key (to self), which
+  // is skipped without consuming a nonce.
+  const std::vector<Messenger::Outgoing> burst = {
+      {2, 9, {1, 2, 3}, obs::Phase::kCommit},
+      {1, 9, {9}, obs::Phase::kCommit},  // no key with ourselves: skipped
+      {2, 7, {}, obs::Phase::kEvidence},
+      {2, 9, {4, 5, 6, 7}, obs::Phase::kOther},
+  };
+
+  std::vector<sim::Packet> captured;
+  network_.set_receiver(bob_device_, [&](const sim::Packet& p) { captured.push_back(p); });
+
+  const auto run_sequential = [&]() {
+    captured.clear();
+    Messenger sender(network_, alice_device_, 1, keys_);
+    std::size_t sent = 0;
+    for (const Messenger::Outgoing& m : burst) {
+      if (sender.send(m.to, m.type, m.payload, m.phase)) ++sent;
+    }
+    run();
+    return std::pair(sent, captured);
+  };
+  const auto run_batched = [&](bool simd) {
+    captured.clear();
+    SimdGuard guard(simd);
+    Messenger sender(network_, alice_device_, 1, keys_);
+    const std::size_t sent = sender.send_many(burst);
+    run();
+    return std::pair(sent, captured);
+  };
+
+  const auto [seq_sent, seq_packets] = run_sequential();
+  ASSERT_EQ(seq_sent, 3u);
+  ASSERT_EQ(seq_packets.size(), 3u);
+
+  for (const bool simd : {true, false}) {
+    const auto [batch_sent, batch_packets] = run_batched(simd);
+    EXPECT_EQ(batch_sent, seq_sent) << "simd=" << simd;
+    ASSERT_EQ(batch_packets.size(), seq_packets.size()) << "simd=" << simd;
+    for (std::size_t i = 0; i < seq_packets.size(); ++i) {
+      EXPECT_EQ(batch_packets[i].src, seq_packets[i].src);
+      EXPECT_EQ(batch_packets[i].dst, seq_packets[i].dst);
+      EXPECT_EQ(batch_packets[i].type, seq_packets[i].type);
+      EXPECT_EQ(batch_packets[i].payload, seq_packets[i].payload)
+          << "simd=" << simd << " i=" << i;
+    }
+  }
+}
+
+TEST_F(MessengerTest, SendManyPacketsOpenAtTheReceiver) {
+  std::vector<Messenger::Outgoing> burst;
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    burst.push_back({2, 9, {i}, obs::Phase::kCommit});
+  }
+  EXPECT_EQ(alice_->send_many(burst), 5u);
+  run();
+  EXPECT_EQ(accepted_, 5);
 }
 
 }  // namespace

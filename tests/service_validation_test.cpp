@@ -3,11 +3,14 @@
 #include <utility>
 #include <vector>
 
+#include "core/commitment.h"
+#include "crypto/key.h"
 #include "service/events.h"
 #include "service/snapshot.h"
 #include "service/validation_service.h"
 #include "service/wire.h"
 #include "util/bytes.h"
+#include "util/simd.h"
 
 namespace snd::service {
 namespace {
@@ -203,6 +206,85 @@ TEST(ServiceWireTest, MalformedRequestsAnswerErrorWithoutMutating) {
     EXPECT_EQ(out[0], wire::kError);
   }
   EXPECT_EQ(service.snapshot()->canonical_json(), before);
+}
+
+// -- Commitment maintenance --------------------------------------------------
+
+/// Every live node's maintained commitment must equal the scalar
+/// core::binding_commitment over its snapshot tentative list.
+void expect_commitments_match_scalar(const ValidationService& service,
+                                     const crypto::SymmetricKey& master) {
+  const auto snapshot = service.snapshot();
+  std::size_t live = 0;
+  for (const auto& [id, state] : snapshot->nodes()) {
+    ++live;
+    const crypto::Digest* maintained = service.binding_commitment_of(id);
+    ASSERT_NE(maintained, nullptr) << "node " << id;
+    EXPECT_EQ(*maintained, core::binding_commitment(master, id, 0, state->neighbors))
+        << "node " << id;
+  }
+  EXPECT_EQ(service.commitment_count(), live);
+}
+
+TEST(ServiceCommitmentTest, MaintainedIncrementallyAcrossLifecycle) {
+  const crypto::SymmetricKey master = crypto::SymmetricKey::from_seed(0xc0117);
+  ServiceConfig config = small_config();
+  config.master_key = master;
+  ValidationService service(config);
+
+  service.seed_topology(clique4());
+  expect_commitments_match_scalar(service, master);
+
+  // Deploy a fifth node: its own commitment appears and every in-range
+  // neighbor's is refreshed.
+  ASSERT_TRUE(service.apply(TopologyEvent::deploy(5, {0.5, 0.5})).ok);
+  expect_commitments_match_scalar(service, master);
+
+  // Move it out of the clique's disc, then back near one corner.
+  ASSERT_TRUE(service.apply(TopologyEvent::update(5, {100.0, 100.0})).ok);
+  expect_commitments_match_scalar(service, master);
+  ASSERT_TRUE(service.apply(TopologyEvent::update(5, {1.5, 1.0})).ok);
+  expect_commitments_match_scalar(service, master);
+
+  // Revocation erases the node's commitment and refreshes its neighbors'.
+  ASSERT_TRUE(service.apply(TopologyEvent::revoke(5)).ok);
+  EXPECT_EQ(service.binding_commitment_of(5), nullptr);
+  expect_commitments_match_scalar(service, master);
+
+  // Rejected events leave the commitment table untouched.
+  EXPECT_FALSE(service.apply(TopologyEvent::revoke(99)).ok);
+  expect_commitments_match_scalar(service, master);
+}
+
+TEST(ServiceCommitmentTest, BatchedMaintenanceMatchesSerialFallback) {
+  const crypto::SymmetricKey master = crypto::SymmetricKey::from_seed(0xc0118);
+  ServiceConfig config = small_config();
+  config.master_key = master;
+
+  auto run = [&](bool simd) {
+    util::set_simd_enabled(simd);
+    ValidationService service(config);
+    service.seed_topology(clique4());
+    service.apply(TopologyEvent::deploy(5, {0.5, 0.5}));
+    service.apply(TopologyEvent::update(2, {0.5, 1.5}));
+    std::vector<std::pair<NodeId, crypto::Digest>> out;
+    for (const auto& [id, state] : service.snapshot()->nodes()) {
+      (void)state;
+      out.emplace_back(id, *service.binding_commitment_of(id));
+    }
+    return out;
+  };
+  const auto batched = run(true);
+  const auto serial = run(false);
+  util::set_simd_enabled(true);
+  EXPECT_EQ(batched, serial);
+}
+
+TEST(ServiceCommitmentTest, AbsentMasterKeyDisablesMaintenance) {
+  ValidationService service(small_config());
+  service.seed_topology(clique4());
+  EXPECT_EQ(service.commitment_count(), 0u);
+  EXPECT_EQ(service.binding_commitment_of(1), nullptr);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace snd::sim {
 namespace {
@@ -267,6 +268,68 @@ TEST(SpatialIndexTest, GridTrafficBitIdenticalToLinearScan) {
   EXPECT_GT(grid.deliveries, 100u);  // the field is actually busy
   EXPECT_EQ(grid.trace, linear.trace);
   EXPECT_TRUE(grid == linear);
+}
+
+// The SND_SIMD gate is latched into the Network at construction, so each
+// run_traffic call inside these tests picks up the toggled setting.
+TEST(SpatialIndexTest, StripFilterTrafficBitIdenticalToScalarFilter) {
+  util::set_simd_enabled(true);
+  const TrafficResult strip_grid = run_traffic(true);
+  const TrafficResult strip_linear = run_traffic(false);
+  util::set_simd_enabled(false);
+  const TrafficResult scalar_grid = run_traffic(true);
+  const TrafficResult scalar_linear = run_traffic(false);
+  util::set_simd_enabled(true);
+
+  EXPECT_GT(strip_grid.deliveries, 100u);
+  EXPECT_TRUE(strip_grid == scalar_grid);
+  EXPECT_TRUE(strip_linear == scalar_linear);
+  EXPECT_TRUE(strip_grid == scalar_linear);
+}
+
+/// Unit-disk variant: the strip path issues definite In verdicts here (not
+/// just Out), including for receivers exactly on the disk boundary.
+TrafficResult run_unit_disk_traffic() {
+  ChannelConfig config;
+  config.loss_probability = 0.15;
+  Network net(std::make_unique<UnitDiskModel>(50.0), config, 11);
+
+  util::Rng place(5);
+  for (std::size_t i = 0; i < 120; ++i) {
+    net.add_device(static_cast<NodeId>(i + 1),
+                   {place.uniform(0.0, 500.0), place.uniform(0.0, 500.0)});
+  }
+  // Boundary-inclusive pair: exactly one radio range apart.
+  net.add_device(300, {600.0, 0.0});
+  net.add_device(301, {650.0, 0.0});
+
+  TrafficResult result;
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    net.set_receiver(d, [&result, &net, d](const Packet& p) {
+      result.trace.emplace_back(net.now().ns(), d, p.sender_device);
+    });
+  }
+  for (DeviceId d = 0; d < net.device_count(); ++d) {
+    const NodeId self = net.device(d).identity;
+    net.transmit(d, Packet{.src = self, .dst = kNoNode, .type = 1, .payload = {}},
+                 obs::Phase::kOther);
+  }
+  net.scheduler().run();
+
+  result.deliveries = net.metrics().deliveries();
+  result.messages = net.metrics().total().messages;
+  result.bytes = net.metrics().total().bytes;
+  return result;
+}
+
+TEST(SpatialIndexTest, UnitDiskStripFilterBitIdenticalToScalar) {
+  util::set_simd_enabled(true);
+  const TrafficResult strip = run_unit_disk_traffic();
+  util::set_simd_enabled(false);
+  const TrafficResult scalar = run_unit_disk_traffic();
+  util::set_simd_enabled(true);
+  EXPECT_GT(strip.deliveries, 50u);
+  EXPECT_TRUE(strip == scalar);
 }
 
 TEST(SpatialIndexTest, DevicesInRangeMatchesLinearScan) {

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/simd.h"
 
 namespace snd::sim {
 namespace {
@@ -114,6 +119,120 @@ TEST(MaxRangeTest, NoLinkEverBeyondMaxRange) {
     const util::Vec2 b{a.x + beyond, a.y + 0.1 * i};
     EXPECT_FALSE(model.link_exists(a, b)) << i;
   }
+}
+
+// -- Strip classification ----------------------------------------------------
+
+/// Checks classify_links() soundness against the model's own link_exists():
+/// a definite verdict must agree, and Check is always allowed.
+void expect_classes_sound(const PropagationModel& model, util::Vec2 from,
+                          const std::vector<double>& xs, const std::vector<double>& ys) {
+  std::vector<std::uint8_t> classes(xs.size(), 99);
+  model.classify_links(from, xs.data(), ys.data(), xs.size(), classes.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const bool linked = model.link_exists(from, {xs[i], ys[i]});
+    if (classes[i] == kLinkIn) {
+      EXPECT_TRUE(linked) << "i=" << i << " x=" << xs[i] << " y=" << ys[i];
+    } else if (classes[i] == kLinkOut) {
+      EXPECT_FALSE(linked) << "i=" << i << " x=" << xs[i] << " y=" << ys[i];
+    } else {
+      EXPECT_EQ(classes[i], kLinkCheck) << "i=" << i;
+    }
+  }
+}
+
+class StripClassifyTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::set_simd_enabled(true);
+    util::set_forced_simd_tier(std::nullopt);
+  }
+};
+
+// Survivor classes must agree with the scalar filter at every dispatch
+// tier, over candidates packed onto the range boundary (cell-edge cases:
+// exactly range, one ulp either side) and at every ragged strip length.
+TEST_F(StripClassifyTest, UnitDiskClassesSoundAtBoundaries) {
+  util::set_simd_enabled(true);
+  const double range = 10.0;
+  UnitDiskModel model(range);
+  const util::Vec2 from{3.0, -2.0};
+
+  util::Rng rng(0xd15c);
+  for (const util::SimdTier tier :
+       {util::SimdTier::kScalar, util::SimdTier::kSse2, util::SimdTier::kAvx2}) {
+    util::set_forced_simd_tier(tier);
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 33u}) {
+      std::vector<double> xs;
+      std::vector<double> ys;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i % 3 == 0) {
+          // Boundary pack: exactly on the disk edge and one ulp off it.
+          const double edge = from.x + std::nextafter(
+                                           range, i % 2 == 0
+                                                      ? 0.0
+                                                      : std::numeric_limits<double>::infinity());
+          xs.push_back(i % 6 == 0 ? from.x + range : edge);
+          ys.push_back(from.y);
+        } else {
+          xs.push_back(from.x + rng.uniform(-2.0 * range, 2.0 * range));
+          ys.push_back(from.y + rng.uniform(-2.0 * range, 2.0 * range));
+        }
+      }
+      expect_classes_sound(model, from, xs, ys);
+    }
+  }
+}
+
+// Log-normal strips: definite Out only past the truncated-fade cutoff;
+// fade-edge candidates (just inside max_range) must be Check, never In.
+TEST_F(StripClassifyTest, LogNormalClassesSoundAroundFadeEdge) {
+  util::set_simd_enabled(true);
+  LogNormalModel model(50.0, 3.0, 6.0, 7);
+  const util::Vec2 from{10.0, 20.0};
+  const double cutoff = model.max_range();
+
+  util::Rng rng(0xfade);
+  for (const util::SimdTier tier :
+       {util::SimdTier::kScalar, util::SimdTier::kSse2, util::SimdTier::kAvx2}) {
+    util::set_forced_simd_tier(tier);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<std::uint8_t> expected_never_in;
+    for (int i = 0; i < 64; ++i) {
+      const double d = rng.uniform(0.0, 2.0 * cutoff);
+      const double angle = rng.uniform(0.0, 2.0 * M_PI);
+      xs.push_back(from.x + d * std::cos(angle));
+      ys.push_back(from.y + d * std::sin(angle));
+    }
+    // Fade-edge pack: straddle the cutoff exactly.
+    for (const double d : {cutoff, std::nextafter(cutoff, 0.0), cutoff * 1.000001}) {
+      xs.push_back(from.x + d);
+      ys.push_back(from.y);
+    }
+    expect_classes_sound(model, from, xs, ys);
+
+    std::vector<std::uint8_t> classes(xs.size());
+    model.classify_links(from, xs.data(), ys.data(), xs.size(), classes.data());
+    for (const std::uint8_t c : classes) EXPECT_NE(c, kLinkIn);
+  }
+}
+
+// The base-class default defers everything to the scalar path.
+TEST_F(StripClassifyTest, DefaultClassifierMarksEverythingCheck) {
+  class OpaqueModel final : public PropagationModel {
+   public:
+    [[nodiscard]] bool link_exists(util::Vec2, util::Vec2) const override { return true; }
+    [[nodiscard]] double nominal_range() const override { return 1.0; }
+    [[nodiscard]] double max_range() const override { return 1.0; }
+  };
+  OpaqueModel model;
+  EXPECT_FALSE(model.supports_link_classes());
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0};
+  std::vector<std::uint8_t> classes(3, 99);
+  model.classify_links({0, 0}, xs.data(), ys.data(), 3, classes.data());
+  for (const std::uint8_t c : classes) EXPECT_EQ(c, kLinkCheck);
 }
 
 }  // namespace
