@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "adversary/scenario.h"
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
 #include "fault/plan.h"
@@ -46,7 +47,8 @@ struct TrialResult {
 /// Fraction of the center node's actual neighbors that it validated.
 /// `plan` (optional) injects channel faults into every trial.
 TrialResult center_node_accuracy(std::size_t threshold, std::uint64_t seed,
-                                 const fault::FaultPlan* plan) {
+                                 const fault::FaultPlan* plan,
+                                 const adversary::ScenarioConfig* scenario) {
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {100.0, 100.0}};
   config.radio_range = 50.0;
@@ -55,8 +57,14 @@ TrialResult center_node_accuracy(std::size_t threshold, std::uint64_t seed,
 
   core::SndDeployment deployment(config);
   if (plan != nullptr && !plan->empty()) deployment.apply_fault_plan(*plan);
+  std::optional<adversary::ScenarioRuntime> runtime;
+  if (scenario != nullptr && !scenario->empty()) runtime.emplace(deployment, *scenario);
   const NodeId center = deployment.deploy_node_at(config.field.center());
-  deployment.deploy_round(199);
+  std::vector<NodeId> deployed = deployment.deploy_round(199);
+  if (runtime) {
+    deployed.insert(deployed.begin(), center);
+    runtime->arm(deployed);
+  }
   deployment.run();
 
   const core::SndNode* agent = deployment.agent(center);
@@ -82,6 +90,7 @@ int main(int argc, char** argv) {
   obs::ObsConfig obs_config;
   shard::SessionOptions session_options;
   std::optional<fault::FaultPlan> plan;
+  std::optional<adversary::ScenarioConfig> scenario;
   util::cli::DriverSpec spec(
       "fig3_threshold",
       "Figure 3 reproduction: fraction of actual neighbors validated by the\n"
@@ -93,6 +102,7 @@ int main(int argc, char** argv) {
                    "write the canonical sweep report JSON to PATH")
       .group(util::cli::jobs_group(&jobs))
       .group(fault::plan_flag_group(&plan))
+      .group(adversary::scenario_flag_group(&scenario))
       .group(shard::session_flag_group(&session_options))
       .group(obs::obs_flag_group(&obs_config));
   const util::cli::Driver cli = spec.parse(argc, argv);
@@ -137,7 +147,8 @@ int main(int argc, char** argv) {
   const auto trial_body = [&](std::size_t i, std::uint64_t seed) {
     try {
       TrialResult result =
-          center_node_accuracy(thresholds[i / seeds], seed, plan ? &*plan : nullptr);
+          center_node_accuracy(thresholds[i / seeds], seed, plan ? &*plan : nullptr,
+                               scenario ? &*scenario : nullptr);
       registry.record(i, result.trace);
       session.record_success(i, {result.accuracy}, result.trace);
       return result.accuracy;

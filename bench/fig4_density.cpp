@@ -11,6 +11,7 @@
 // bit-identical for any --jobs value.
 //
 //   ./fig4_density [--seeds 10] [--jobs N] [--fault-plan PATH]
+//                  [--adversary FAMILIES | --adversary-config PATH]
 //                  [--shard i/N] [--checkpoint PATH] [--resume]
 //                  [--checkpoint-every N] [--canonical-report PATH]
 //                  [--log warn] [--trace counters] [--trace-json PATH]
@@ -23,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "adversary/scenario.h"
 #include "analysis/model.h"
 #include "core/deployment_driver.h"
 #include "fault/plan.h"
@@ -43,7 +45,8 @@ struct TrialResult {
 };
 
 TrialResult center_node_accuracy(double density_per_m2, std::size_t threshold,
-                                 std::uint64_t seed, const fault::FaultPlan* plan) {
+                                 std::uint64_t seed, const fault::FaultPlan* plan,
+                                 const adversary::ScenarioConfig* scenario) {
   core::DeploymentConfig config;
   config.field = {{0.0, 0.0}, {100.0, 100.0}};
   config.radio_range = 50.0;
@@ -53,8 +56,14 @@ TrialResult center_node_accuracy(double density_per_m2, std::size_t threshold,
   const auto nodes = static_cast<std::size_t>(density_per_m2 * config.field.area());
   core::SndDeployment deployment(config);
   if (plan != nullptr && !plan->empty()) deployment.apply_fault_plan(*plan);
+  std::optional<adversary::ScenarioRuntime> runtime;
+  if (scenario != nullptr && !scenario->empty()) runtime.emplace(deployment, *scenario);
   const NodeId center = deployment.deploy_node_at(config.field.center());
-  deployment.deploy_round(nodes - 1);
+  std::vector<NodeId> deployed = deployment.deploy_round(nodes - 1);
+  if (runtime) {
+    deployed.insert(deployed.begin(), center);
+    runtime->arm(deployed);
+  }
   deployment.run();
 
   const core::SndNode* agent = deployment.agent(center);
@@ -80,6 +89,7 @@ int main(int argc, char** argv) {
   obs::ObsConfig obs_config;
   shard::SessionOptions session_options;
   std::optional<fault::FaultPlan> plan;
+  std::optional<adversary::ScenarioConfig> scenario;
   util::cli::DriverSpec driver_spec(
       "fig4_density",
       "Figure 4 reproduction: fraction of validated neighbors as a function\n"
@@ -90,6 +100,7 @@ int main(int argc, char** argv) {
                    "write the canonical sweep report JSON to PATH")
       .group(util::cli::jobs_group(&jobs))
       .group(fault::plan_flag_group(&plan))
+      .group(adversary::scenario_flag_group(&scenario))
       .group(shard::session_flag_group(&session_options))
       .group(obs::obs_flag_group(&obs_config));
   const util::cli::Driver cli = driver_spec.parse(argc, argv);
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
     std::cout << "fault plan: " << cli.get("fault-plan") << " ("
               << plan->actions.size() << " actions)\n";
   }
+  if (scenario) std::cout << "adversary scenario: " << scenario->to_json() << "\n";
 
   const std::vector<double> densities_per_1000m2 = {5, 10, 15, 20, 25, 30, 40};
   const std::vector<std::size_t> thresholds = {10, 30, 50};
@@ -133,7 +145,8 @@ int main(int argc, char** argv) {
     const double density = densities_per_1000m2[cell / thresholds.size()] / 1000.0;
     try {
       TrialResult result = center_node_accuracy(
-          density, thresholds[cell % thresholds.size()], seed, plan ? &*plan : nullptr);
+          density, thresholds[cell % thresholds.size()], seed, plan ? &*plan : nullptr,
+          scenario ? &*scenario : nullptr);
       registry.record(i, result.trace);
       session.record_success(i, {result.accuracy}, result.trace);
       return result.accuracy;

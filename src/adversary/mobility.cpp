@@ -1,0 +1,92 @@
+#include "adversary/mobility.h"
+
+#include <algorithm>
+
+namespace snd::adversary {
+
+WaypointMobility::WaypointMobility(sim::Network& network, util::Rect field,
+                                   std::vector<sim::DeviceId> movers, double speed_mps,
+                                   sim::Time step, std::uint32_t steps, std::uint64_t seed)
+    : network_(network),
+      field_(field),
+      movers_(std::move(movers)),
+      speed_mps_(speed_mps),
+      step_(step),
+      steps_left_(steps),
+      rng_(seed) {
+  std::sort(movers_.begin(), movers_.end());
+  movers_.erase(std::unique(movers_.begin(), movers_.end()), movers_.end());
+  waypoints_.reserve(movers_.size());
+  for (std::size_t i = 0; i < movers_.size(); ++i) {
+    waypoints_.push_back({rng_.uniform(field_.lo.x, field_.hi.x),
+                          rng_.uniform(field_.lo.y, field_.hi.y)});
+  }
+}
+
+void WaypointMobility::schedule() {
+  if (movers_.empty() || steps_left_ == 0) return;
+  network_.scheduler().schedule_at(network_.now() + step_, [this]() { step_once(); });
+}
+
+void WaypointMobility::step_once() {
+  const double hop = speed_mps_ * step_.to_seconds();
+  for (std::size_t i = 0; i < movers_.size(); ++i) {
+    const sim::DeviceId device = movers_[i];
+    if (!network_.device(device).alive) continue;  // churned away; keep rng cadence
+    const util::Vec2 pos = network_.device(device).position;
+    util::Vec2 to_target = waypoints_[i] - pos;
+    double remaining = to_target.norm();
+    if (remaining <= hop) {
+      // Arrive, then immediately head for a fresh waypoint.
+      network_.set_position(device, waypoints_[i]);
+      waypoints_[i] = {rng_.uniform(field_.lo.x, field_.hi.x),
+                       rng_.uniform(field_.lo.y, field_.hi.y)};
+    } else {
+      network_.set_position(device, pos + to_target * (hop / remaining));
+    }
+    ++moves_;
+  }
+  if (--steps_left_ > 0) {
+    network_.scheduler().schedule_at(network_.now() + step_, [this]() { step_once(); });
+  }
+}
+
+ChurnSchedule::ChurnSchedule(core::SndDeployment& deployment, std::vector<NodeId> pool,
+                             std::uint32_t victims, std::uint32_t cycles, sim::Time first_at,
+                             sim::Time period, sim::Time down, std::uint64_t seed)
+    : deployment_(deployment),
+      pool_(std::move(pool)),
+      victims_(victims),
+      cycles_(cycles),
+      first_at_(first_at),
+      period_(period),
+      down_(down),
+      rng_(seed) {}
+
+void ChurnSchedule::schedule() {
+  if (pool_.empty()) return;
+  auto& scheduler = deployment_.network().scheduler();
+  const sim::Time now = deployment_.network().now();
+  for (std::uint32_t c = 0; c < cycles_; ++c) {
+    const sim::Time crash_at =
+        now + first_at_ + sim::Time::nanoseconds(static_cast<std::int64_t>(c) * period_.ns());
+    // Draw this cycle's victims without replacement (up front, so the
+    // schedule does not depend on runtime state).
+    std::vector<NodeId> picks = pool_;
+    const std::size_t take = std::min<std::size_t>(victims_, picks.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      std::swap(picks[i], picks[i + rng_.uniform_int(picks.size() - i)]);
+    }
+    picks.resize(take);
+    for (const NodeId victim : picks) {
+      scheduler.schedule_at(crash_at, [this, victim]() {
+        if (deployment_.crash_node(victim)) ++crashes_;
+      });
+      scheduler.schedule_at(crash_at + down_, [this, victim]() {
+        if (deployment_.reboot_node(victim)) ++reboots_;
+      });
+    }
+  }
+}
+
+}  // namespace snd::adversary

@@ -1,0 +1,92 @@
+// Mobility and churn models (VANET-style workload for the binding-record
+// update path). Not adversaries in the threat-model sense, but they live in
+// the scenario subsystem because they are armed the same way and audited by
+// the same oracle registry: random-waypoint walks reposition protocol
+// devices through Network::set_position (exercising grid re-bucketing under
+// live traffic), and churn schedules crash/reboot cycles so neighbor sets
+// evolve, boot epochs advance, and record updates fire continuously.
+//
+// Both draw every decision from their own seeded Rng, so a (config, pool)
+// pair reproduces the identical walk/schedule on every run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/deployment_driver.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace snd::adversary {
+
+/// Random-waypoint walker over a fixed device set. schedule() plants the
+/// whole (finite) step program on the scheduler, so run-to-quiescence
+/// still terminates.
+class WaypointMobility {
+ public:
+  /// `movers` are the devices to walk (deduplicated, moved in index order
+  /// every step -- determinism does not depend on the caller's ordering
+  /// draws). Walk parameters: `speed_mps` toward rng waypoints inside
+  /// `field`, one repositioning every `step`, `steps` times.
+  WaypointMobility(sim::Network& network, util::Rect field, std::vector<sim::DeviceId> movers,
+                   double speed_mps, sim::Time step, std::uint32_t steps, std::uint64_t seed);
+
+  WaypointMobility(const WaypointMobility&) = delete;
+  WaypointMobility& operator=(const WaypointMobility&) = delete;
+
+  /// Schedules all steps starting one step interval from now. The object
+  /// must outlive the scheduled events.
+  void schedule();
+
+  [[nodiscard]] std::uint64_t moves_applied() const { return moves_; }
+  [[nodiscard]] const std::vector<sim::DeviceId>& movers() const { return movers_; }
+
+ private:
+  void step_once();
+
+  sim::Network& network_;
+  util::Rect field_;
+  std::vector<sim::DeviceId> movers_;
+  std::vector<util::Vec2> waypoints_;
+  double speed_mps_;
+  sim::Time step_;
+  std::uint32_t steps_left_;
+  util::Rng rng_;
+  std::uint64_t moves_ = 0;
+};
+
+/// Periodic crash/reboot cycles over a victim pool. Every cycle c the same
+/// seeded draw picks `victims` identities, crashes them at
+/// first_at + c*period, and reboots them down later (fresh agent, next boot
+/// epoch). Victims are drawn up front so the schedule is a pure function of
+/// (seed, pool).
+class ChurnSchedule {
+ public:
+  ChurnSchedule(core::SndDeployment& deployment, std::vector<NodeId> pool,
+                std::uint32_t victims, std::uint32_t cycles, sim::Time first_at,
+                sim::Time period, sim::Time down, std::uint64_t seed);
+
+  ChurnSchedule(const ChurnSchedule&) = delete;
+  ChurnSchedule& operator=(const ChurnSchedule&) = delete;
+
+  /// Plants every crash/reboot on the scheduler. The object must outlive
+  /// the scheduled events.
+  void schedule();
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t reboots() const { return reboots_; }
+
+ private:
+  core::SndDeployment& deployment_;
+  std::vector<NodeId> pool_;
+  std::uint32_t victims_;
+  std::uint32_t cycles_;
+  sim::Time first_at_;
+  sim::Time period_;
+  sim::Time down_;
+  util::Rng rng_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t reboots_ = 0;
+};
+
+}  // namespace snd::adversary

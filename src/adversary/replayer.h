@@ -1,0 +1,47 @@
+// Delayed-replay attacker (RPL replay-demo style): a planted radio records
+// authenticated protocol messages it overhears -- record exchanges,
+// commitment floods, evidences, updates -- and re-broadcasts each captured
+// packet verbatim after a fixed delay.
+//
+// The replayed copies carry valid MACs (the tag binds src|dst|type|payload|
+// nonce, not the transmitting radio), so they pass authentication at every
+// receiver that holds the pairwise key. The per-(peer, device) sliding
+// replay windows are the only line of defense; the replay.never_accepted
+// oracle and the e2e regression assert they hold, including across
+// reboot/boot-epoch nonce strides.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace snd::adversary {
+
+class ReplayAttacker {
+ public:
+  ReplayAttacker(sim::Network& network, util::Vec2 position,
+                 sim::Time delay = sim::Time::milliseconds(50),
+                 std::uint32_t max_captures = 256);
+
+  ReplayAttacker(const ReplayAttacker&) = delete;
+  ReplayAttacker& operator=(const ReplayAttacker&) = delete;
+  ~ReplayAttacker();
+
+  void start();
+
+  [[nodiscard]] std::uint64_t captured() const { return captured_; }
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] sim::DeviceId device() const { return device_; }
+
+ private:
+  void on_packet(const sim::Packet& packet);
+
+  sim::Network& network_;
+  sim::DeviceId device_;
+  sim::Time delay_;
+  std::uint32_t max_captures_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace snd::adversary

@@ -1,0 +1,179 @@
+// Pluggable adversary & mobility scenarios.
+//
+// A ScenarioConfig is pure data describing which attacker/mobility families
+// a run arms and with what parameters: a relay/timing attacker (the
+// wormhole channel with a configurable tunnel delay), a Sybil identity
+// flood, a delayed-replay attacker, random-waypoint mobility, and a
+// crash/reboot churn schedule. Configs round-trip through canonical JSON in
+// the FaultPlan idiom -- fields at their defaults are omitted, so a
+// parse -> to_json cycle is canonicalizing and idempotent -- and the shared
+// --adversary / --adversary-config DriverSpec flag group gives every driver
+// (fig3/fig4/proptest/bench) the same scenario surface.
+//
+// A ScenarioRuntime arms one config against a live core::SndDeployment:
+// it owns the attacker objects and schedules the mobility/churn events.
+// Everything it does is a deterministic function of (config, deployment),
+// so armed runs replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/deployment_driver.h"
+#include "util/driver_spec.h"
+#include "util/ids.h"
+
+namespace snd::util {
+class JsonValue;
+}
+
+namespace snd::adversary {
+
+class Wormhole;
+class SybilAttacker;
+class ReplayAttacker;
+class WaypointMobility;
+class ChurnSchedule;
+
+/// Relay/timing attacker: a wormhole whose endpoints sit at field-fraction
+/// positions (ax, ay) and (bx, by), tunneling everything heard at one end
+/// out of the other after `tunnel_latency_ns`. Against authenticated
+/// direct verification the relayed identities are provably far and must be
+/// rejected; the relay.bounded oracle audits exactly that.
+struct RelayConfig {
+  double ax = 0.1, ay = 0.1;
+  double bx = 0.9, by = 0.9;
+  std::int64_t tunnel_latency_ns = 200'000;  // 200 us
+};
+
+/// Sybil identity flood: one compromised radio at field fraction (x, y)
+/// minting `identities` credential-less identities -- Hello broadcasts at
+/// arm time plus a burst of HelloAcks for every Hello heard. Minted
+/// identities are base+1 .. base+identities (the radio itself claims
+/// `base`); none hold key-predistribution credentials, so authenticated
+/// verification must keep them all out of tentative lists.
+struct SybilConfig {
+  double x = 0.5, y = 0.5;
+  std::uint32_t identities = 8;
+  NodeId base = 0x5b110000;
+};
+
+/// Delayed-replay attacker: a radio at field fraction (x, y) that captures
+/// up to `max_captures` authenticated protocol messages (record exchanges,
+/// commitments, evidences, updates) and re-broadcasts each verbatim
+/// `delay_ns` later. The copies re-authenticate (the MAC covers payload and
+/// nonce, not the sending radio), so only the sliding replay windows stand
+/// between the replay and the protocol.
+struct ReplayConfig {
+  double x = 0.5, y = 0.5;
+  std::int64_t delay_ns = 50'000'000;  // 50 ms
+  std::uint32_t max_captures = 256;
+};
+
+/// Random-waypoint mobility: `movers` protocol devices walk at `speed_mps`
+/// toward rng-drawn waypoints, repositioned (Network::set_position) every
+/// `step_ns` for `steps` steps. All draws come from `seed`, so a config
+/// reproduces the same walk on every run.
+struct MobilityConfig {
+  std::uint32_t movers = 4;
+  double speed_mps = 8.0;
+  std::int64_t step_ns = 20'000'000;  // 20 ms
+  std::uint32_t steps = 25;
+  std::uint64_t seed = 1;
+};
+
+/// Join/leave churn: every cycle crashes `victims` rng-drawn nodes at
+/// first_at_ns + c * period_ns and reboots them down_ns later, forcing
+/// fresh boot epochs, re-discovery, and (with the update extension armed)
+/// continuous binding-record updates.
+struct ChurnConfig {
+  std::uint32_t victims = 1;
+  std::uint32_t cycles = 1;
+  std::int64_t first_at_ns = 250'000'000;  // 250 ms
+  std::int64_t period_ns = 400'000'000;    // 400 ms
+  std::int64_t down_ns = 150'000'000;      // 150 ms
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioConfig {
+  std::optional<RelayConfig> relay;
+  std::optional<SybilConfig> sybil;
+  std::optional<ReplayConfig> replay;
+  std::optional<MobilityConfig> mobility;
+  std::optional<ChurnConfig> churn;
+
+  [[nodiscard]] bool empty() const {
+    return !relay && !sybil && !replay && !mobility && !churn;
+  }
+
+  /// Canonical JSON: family sub-objects present only when armed, fields
+  /// omitted at their defaults.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses the canonical form; nullopt on syntax errors, unknown families,
+  /// or out-of-range field values.
+  [[nodiscard]] static std::optional<ScenarioConfig> parse(std::string_view json);
+  [[nodiscard]] static std::optional<ScenarioConfig> from_value(const util::JsonValue& value);
+
+  /// File round-trip helpers (FaultPlan idiom). save() false on I/O errors;
+  /// load() nullopt on I/O or parse errors.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<ScenarioConfig> load(const std::string& path);
+
+  /// Arms one family ("relay", "sybil", "replay", "mobility", "churn") with
+  /// its default parameters on top of *this; false for unknown names.
+  [[nodiscard]] bool arm_family(std::string_view family);
+};
+
+/// The shared scenario surface as a DriverSpec flag group:
+///   --adversary FAMILIES       comma-separated family presets
+///   --adversary-config PATH    full ScenarioConfig JSON (excludes the above)
+/// Resolves into `*out` during parse() (nullopt when neither flag is given);
+/// unknown families and unreadable/malformed files are validation errors.
+[[nodiscard]] util::cli::FlagGroup scenario_flag_group(std::optional<ScenarioConfig>* out);
+
+/// Arms a ScenarioConfig against a live deployment. Construct after the
+/// first deploy round, call arm() before run(), and keep the runtime alive
+/// until the scheduler quiesces (scheduled mobility/churn events reference
+/// it). Destruction detaches every attacker radio.
+class ScenarioRuntime {
+ public:
+  ScenarioRuntime(core::SndDeployment& deployment, ScenarioConfig config);
+  ScenarioRuntime(const ScenarioRuntime&) = delete;
+  ScenarioRuntime& operator=(const ScenarioRuntime&) = delete;
+  ~ScenarioRuntime();
+
+  /// Deploys the armed attackers and schedules mobility/churn. `pool` is
+  /// the identity pool mobility movers and churn victims are drawn from
+  /// (typically the first deploy round).
+  void arm(const std::vector<NodeId>& pool);
+
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+  // -- Telemetry (0 when the family is unarmed) ---------------------------
+  [[nodiscard]] std::uint64_t relay_tunneled() const;
+  [[nodiscard]] std::uint64_t sybil_sent() const;
+  [[nodiscard]] std::uint64_t replay_captured() const;
+  [[nodiscard]] std::uint64_t replay_injected() const;
+  [[nodiscard]] std::uint64_t moves_applied() const;
+  [[nodiscard]] std::uint64_t churn_crashes() const;
+  [[nodiscard]] std::uint64_t churn_reboots() const;
+  /// Sum of everything above -- the "attacker activity" bench metric.
+  [[nodiscard]] std::uint64_t attacker_events() const;
+
+ private:
+  core::SndDeployment& deployment_;
+  ScenarioConfig config_;
+  bool armed_ = false;
+  std::unique_ptr<Wormhole> wormhole_;
+  std::unique_ptr<SybilAttacker> sybil_;
+  std::unique_ptr<ReplayAttacker> replayer_;
+  std::unique_ptr<WaypointMobility> mobility_;
+  std::unique_ptr<ChurnSchedule> churn_;
+};
+
+}  // namespace snd::adversary

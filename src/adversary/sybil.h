@@ -1,0 +1,58 @@
+// Sybil identity flood (Universe Detectors threat class): one compromised
+// radio mints a batch of invented identities and speaks for all of them --
+// proactive Hello broadcasts at start() plus a burst of HelloAcks for every
+// benign Hello heard. Unlike the chaff attacker (which invents a fresh
+// identity per ACK to pollute list *sizes*), the Sybil radio presses the
+// same small identity set persistently, modeling one captured device
+// claiming to be many nodes.
+//
+// None of the minted identities hold key-predistribution credentials, so
+// any authenticated direct verifier must reject them all; the
+// sybil.bounded oracle audits that no minted identity reaches a benign
+// tentative list when verification is on.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace snd::adversary {
+
+class SybilAttacker {
+ public:
+  /// Plants the radio at `position` claiming `base` (the marker identity for
+  /// the compromised device itself); minted identities are
+  /// base+1 .. base+identities.
+  SybilAttacker(sim::Network& network, util::Vec2 position, NodeId base,
+                std::uint32_t identities);
+
+  SybilAttacker(const SybilAttacker&) = delete;
+  SybilAttacker& operator=(const SybilAttacker&) = delete;
+  ~SybilAttacker();
+
+  /// Broadcasts one Hello per minted identity (staggered so half-duplex
+  /// radios can hear them all) and starts answering benign Hellos.
+  void start();
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] sim::DeviceId device() const { return device_; }
+  [[nodiscard]] NodeId base() const { return base_; }
+  [[nodiscard]] std::uint32_t identities() const { return identities_; }
+
+  /// True when `identity` is one this attacker mints (base excluded: the
+  /// marker identity is the compromised device, not a Sybil).
+  [[nodiscard]] bool minted(NodeId identity) const {
+    return identity > base_ && identity <= base_ + identities_;
+  }
+
+ private:
+  void on_packet(const sim::Packet& packet);
+
+  sim::Network& network_;
+  sim::DeviceId device_;
+  NodeId base_;
+  std::uint32_t identities_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace snd::adversary

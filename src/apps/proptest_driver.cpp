@@ -4,7 +4,8 @@
 //
 //   ./proptest_driver [--trials 20] [--seed 1] [--jobs N] [--ab-every 8]
 //                     [--failcase-dir .] [--max-failures 5]
-//                     [--plant none|uncounted_drop]
+//                     [--plant none|uncounted_drop|verify_bypass|replay_window_bypass]
+//                     [--adversary FAMILIES | --adversary-config PATH]
 //                     [--replay-failcase PATH]
 //                     [--log warn] [--trace off]
 //
@@ -14,6 +15,7 @@
 // artifact and verifies the run is bit-identical to the recorded failure.
 #include <iostream>
 
+#include "adversary/scenario.h"
 #include "fault/injector.h"
 #include "obs/config.h"
 #include "proptest/runner.h"
@@ -47,6 +49,7 @@ int replay(const std::string& path) {
 int main(int argc, char** argv) {
   std::size_t jobs = 1;
   obs::ObsConfig obs_config;
+  std::optional<adversary::ScenarioConfig> scenario;
   util::cli::DriverSpec driver_spec(
       "proptest_driver",
       "Property-based invariant fuzzing over random fault-injected\n"
@@ -64,7 +67,8 @@ int main(int argc, char** argv) {
                    })
       .string_flag("replay-failcase", "", "PATH", "replay one failcase file and exit")
       .group(util::cli::jobs_group(&jobs))
-      .group(obs::obs_flag_group(&obs_config));
+      .group(obs::obs_flag_group(&obs_config))
+      .group(adversary::scenario_flag_group(&scenario));
   const util::cli::Driver cli = driver_spec.parse(argc, argv);
   if (!cli.ok()) return cli.exit_code();
   if (!obs::apply_obs(obs_config, std::cerr)) return 2;
@@ -80,6 +84,7 @@ int main(int argc, char** argv) {
   const std::string plant = cli.get("plant");
   const fault::PlantedBug planted = *fault::planted_bug_from_name(plant);
   fault::set_planted_bug(planted);
+  if (scenario) proptest::set_scenario_override(scenario);
 
   if (!replay_path.empty()) return replay(replay_path);
 
@@ -87,6 +92,9 @@ int main(int argc, char** argv) {
             << config.base_seed << ", " << config.jobs << " jobs ==\n";
   if (planted != fault::PlantedBug::kNone) {
     std::cout << "(planted bug armed: " << plant << ")\n";
+  }
+  if (scenario) {
+    std::cout << "(adversary scenario override: " << scenario->to_json() << ")\n";
   }
 
   const proptest::PropReport report = proptest::run_property_suite(config);

@@ -63,6 +63,9 @@ class SndDeployment {
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
   [[nodiscard]] std::shared_ptr<crypto::KeyPredistribution> key_scheme() { return keys_; }
   [[nodiscard]] std::shared_ptr<verify::DirectVerifier> verifier() { return verifier_; }
+  [[nodiscard]] std::shared_ptr<const verify::DirectVerifier> verifier() const {
+    return verifier_;
+  }
 
   /// Agent for a device; null if detached (compromised) or unknown.
   [[nodiscard]] SndNode* agent_for_device(sim::DeviceId device);

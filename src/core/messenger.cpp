@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "crypto/sha256_mb.h"
+#include "fault/injector.h"
 #include "util/simd.h"
 
 namespace snd::core {
@@ -191,6 +192,12 @@ std::optional<std::span<const std::uint8_t>> Messenger::open(const sim::Packet& 
   }
 
   if (!replay_accept(packet.src, *nonce)) {
+    if (fault::planted_bug() == fault::PlantedBug::kReplayWindowBypass) {
+      // Planted defect: the window said replay, deliver anyway (and count
+      // nothing). The replay.never_accepted oracle must catch this.
+      ++replay_accepts_;
+      return payload;
+    }
     // The packet authenticated but its counter is a duplicate or too old:
     // a replayed (or pathologically reordered) message. Charged as a typed
     // post-delivery drop so traces distinguish it from silent discard.

@@ -104,6 +104,11 @@ class Messenger {
   /// (also charged to obs::DropCause::kReplay on the network's metrics).
   [[nodiscard]] std::uint64_t replay_rejects() const { return replay_rejects_; }
 
+  /// Messages the replay window flagged as duplicates that were delivered
+  /// anyway. Always 0 unless the kReplayWindowBypass planted bug is armed;
+  /// the replay.never_accepted oracle audits it.
+  [[nodiscard]] std::uint64_t replay_accepts() const { return replay_accepts_; }
+
   /// Per-epoch nonce-counter stride (see the constructor comment).
   static constexpr std::uint64_t kEpochStride = 1ULL << 20;
 
@@ -131,6 +136,7 @@ class Messenger {
   crypto::PairKeyCache key_cache_;
   std::uint64_t nonce_counter_;
   std::uint64_t replay_rejects_ = 0;
+  std::uint64_t replay_accepts_ = 0;
   /// Representation of the replay table, captured at construction (see
   /// util::soa_enabled()). Replay state is lookup-only -- nothing iterates
   /// it on a decision path -- so the two representations are trivially

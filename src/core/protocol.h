@@ -80,6 +80,9 @@ class SndNode {
   [[nodiscard]] bool discovery_complete() const { return discovery_complete_; }
   /// Authenticated messages this node's transport rejected as replays.
   [[nodiscard]] std::uint64_t replay_rejects() const { return messenger_.replay_rejects(); }
+  /// Window-flagged duplicates delivered anyway (nonzero only under the
+  /// kReplayWindowBypass planted bug).
+  [[nodiscard]] std::uint64_t replay_accepts() const { return messenger_.replay_accepts(); }
 
   /// Evidences buffered since the last record update: (issuer, E(x, u)).
   [[nodiscard]] const EvidenceMap& evidence_buffer() const { return evidence_buffer_; }

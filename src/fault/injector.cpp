@@ -17,6 +17,8 @@ PlantedBug planted_bug() { return g_planted_bug.load(std::memory_order_relaxed);
 std::optional<PlantedBug> planted_bug_from_name(std::string_view name) {
   if (name == "none") return PlantedBug::kNone;
   if (name == "uncounted_drop") return PlantedBug::kUncountedDrop;
+  if (name == "verify_bypass") return PlantedBug::kVerifyBypass;
+  if (name == "replay_window_bypass") return PlantedBug::kReplayWindowBypass;
   return std::nullopt;
 }
 

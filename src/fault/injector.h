@@ -33,11 +33,19 @@ enum class PlantedBug : std::uint8_t {
   /// Injected drops are destroyed but not counted in the injector's own
   /// bookkeeping -- the metrics-vs-injector conservation oracle must fire.
   kUncountedDrop,
+  /// Direct verification silently accepts everything (the deployment swaps
+  /// in the naive verifier while the observation still claims verification
+  /// is on) -- the relay.bounded / sybil.bounded oracles must fire.
+  kVerifyBypass,
+  /// Messenger sliding replay windows accept duplicate nonces instead of
+  /// rejecting them -- the replay.never_accepted oracle must fire.
+  kReplayWindowBypass,
 };
 
 void set_planted_bug(PlantedBug bug);
 [[nodiscard]] PlantedBug planted_bug();
-/// Parses "none" / "uncounted_drop" (the --plant flag vocabulary).
+/// Parses "none" / "uncounted_drop" / "verify_bypass" / "replay_window_bypass"
+/// (the --plant flag vocabulary).
 [[nodiscard]] std::optional<PlantedBug> planted_bug_from_name(std::string_view name);
 
 class Injector final : public sim::FaultHook {

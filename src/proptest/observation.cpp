@@ -1,7 +1,11 @@
 #include "proptest/observation.h"
 
+#include <algorithm>
+
+#include "adversary/scenario.h"
 #include "core/safety.h"
 #include "crypto/sha256.h"
+#include "fault/injector.h"
 
 namespace snd::proptest {
 
@@ -47,6 +51,22 @@ std::string Observation::to_json() const {
   append_u64(out, "safety_violations", safety_violations);
   std::snprintf(buf, sizeof(buf), "\"max_impact_radius\":%.17g,", max_impact_radius);
   out += buf;
+  append_bool(out, "adversary_armed", adversary_armed);
+  append_bool(out, "verifier_authenticated", verifier_authenticated);
+  append_bool(out, "relay_armed", relay_armed);
+  append_u64(out, "relay_tunneled", relay_tunneled);
+  append_u64(out, "relay_overreach", relay_overreach);
+  append_bool(out, "sybil_armed", sybil_armed);
+  append_u64(out, "sybil_admitted", sybil_admitted);
+  append_bool(out, "replay_attack_armed", replay_attack_armed);
+  append_u64(out, "replay_captured", replay_captured);
+  append_u64(out, "replay_injected", replay_injected);
+  append_bool(out, "mobility_armed", mobility_armed);
+  append_u64(out, "moves_applied", moves_applied);
+  append_bool(out, "churn_armed", churn_armed);
+  append_u64(out, "churn_crashes", churn_crashes);
+  append_u64(out, "churn_reboots", churn_reboots);
+  append_u64(out, "max_updates", max_updates);
   out += "\"agents\":[";
   for (std::size_t i = 0; i < agents.size(); ++i) {
     const AgentObservation& a = agents[i];
@@ -63,6 +83,7 @@ std::string Observation::to_json() const {
     append_u64(out, "tentative", a.tentative);
     append_u64(out, "functional", a.functional);
     append_u64(out, "replay_rejects", a.replay_rejects);
+    append_u64(out, "replay_accepts", a.replay_accepts);
     out.pop_back();  // trailing comma
     out += "}";
   }
@@ -72,7 +93,24 @@ std::string Observation::to_json() const {
 
 std::string Observation::digest() const { return crypto::Sha256::hash(to_json()).hex(); }
 
-Observation observe(const core::SndDeployment& deployment, double safety_d) {
+namespace {
+
+/// True when some device other than `self` claims `identity` within radio
+/// reach of `from`. Dead devices and replicas count: a tentative entry is
+/// only *overreach* when no physical radio could have produced it.
+bool identity_reachable(const sim::Network& network, sim::DeviceId self, util::Vec2 from,
+                        NodeId identity) {
+  for (const sim::Device& d : network.devices()) {
+    if (d.id == self || d.identity != identity) continue;
+    if (network.propagation().link_exists(from, d.position)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Observation observe(const core::SndDeployment& deployment, double safety_d,
+                    const adversary::ScenarioRuntime* scenario) {
   Observation out;
   const sim::Network& network = deployment.network();
   const sim::Metrics& metrics = network.metrics();
@@ -116,7 +154,49 @@ Observation observe(const core::SndDeployment& deployment, double safety_d) {
     a.tentative = static_cast<std::uint32_t>(agent->tentative_neighbors().size());
     a.functional = static_cast<std::uint32_t>(agent->functional_neighbors().size());
     a.replay_rejects = agent->replay_rejects();
+    a.replay_accepts = agent->replay_accepts();
     out.agents.push_back(a);
+  }
+
+  out.max_updates = deployment.config().protocol.max_updates;
+  // The observation reports what the deployment *claims* its verification
+  // posture is; kVerifyBypass swaps the verifier underneath without
+  // changing the claim -- precisely the defect the relay/sybil oracles
+  // must surface from the observable state.
+  out.verifier_authenticated = deployment.verifier()->name() != "naive" ||
+                               fault::planted_bug() == fault::PlantedBug::kVerifyBypass;
+
+  if (scenario != nullptr) {
+    const adversary::ScenarioConfig& config = scenario->config();
+    out.adversary_armed = !config.empty();
+    out.relay_armed = config.relay.has_value();
+    out.relay_tunneled = scenario->relay_tunneled();
+    out.sybil_armed = config.sybil.has_value();
+    out.replay_attack_armed = config.replay.has_value();
+    out.replay_captured = scenario->replay_captured();
+    out.replay_injected = scenario->replay_injected();
+    out.mobility_armed = config.mobility.has_value();
+    out.moves_applied = scenario->moves_applied();
+    out.churn_armed = config.churn.has_value();
+    out.churn_crashes = scenario->churn_crashes();
+    out.churn_reboots = scenario->churn_reboots();
+
+    // Audit benign tentative lists against physical reachability and the
+    // Sybil identity range. Walked over live agents (compromised devices
+    // have no agent); devices/positions come from the network snapshot.
+    for (const core::SndNode* agent : deployment.agents()) {
+      const sim::Device& self = network.device(agent->device());
+      if (!self.benign()) continue;
+      for (const NodeId neighbor : agent->tentative_neighbors()) {
+        if (config.sybil) {
+          const adversary::SybilConfig& s = *config.sybil;
+          if (neighbor > s.base && neighbor <= s.base + s.identities) ++out.sybil_admitted;
+        }
+        if (!identity_reachable(network, self.id, self.position, neighbor)) {
+          ++out.relay_overreach;
+        }
+      }
+    }
   }
   return out;
 }

@@ -91,6 +91,59 @@ std::optional<std::string> check_safety(const Observation& o) {
          std::to_string(o.safety_d) + "-safety (max impact radius " + radius + ")";
 }
 
+std::optional<std::string> check_relay_bounded(const Observation& o) {
+  // Authenticated direct verification must keep physically unreachable
+  // identities out of benign tentative lists -- that is the division of
+  // labor the paper assumes (direct verification defeats relays, SND
+  // defeats compromise). Overreach is only well-defined when positions are
+  // static (mobility moves nodes after acceptance) and when a scenario
+  // audit ran at all; it is not gated on relay_armed because *any* armed
+  // adversary admitting an out-of-range identity under claimed
+  // authentication is the same defect.
+  if (!o.adversary_armed || !o.verifier_authenticated || o.mobility_armed) {
+    return std::nullopt;
+  }
+  if (o.relay_overreach == 0) return std::nullopt;
+  return std::to_string(o.relay_overreach) +
+         " tentative neighbor(s) on benign nodes have no in-range device "
+         "despite authenticated verification (relay accepted)";
+}
+
+std::optional<std::string> check_sybil_bounded(const Observation& o) {
+  // Sybil-minted identities hold no predistributed credentials, so with an
+  // authenticating verifier none may reach a benign tentative list.
+  if (!o.sybil_armed || !o.verifier_authenticated) return std::nullopt;
+  if (o.sybil_admitted == 0) return std::nullopt;
+  return std::to_string(o.sybil_admitted) +
+         " sybil-minted identity(ies) entered benign tentative lists "
+         "despite authenticated verification";
+}
+
+std::optional<std::string> check_replay_never_accepted(const Observation& o) {
+  // The sliding windows reject every duplicate nonce unconditionally; a
+  // window-flagged message that was still delivered is a transport defect
+  // regardless of what adversary (if any) produced the duplicate.
+  std::uint64_t accepts = 0;
+  for (const AgentObservation& a : o.agents) accepts += a.replay_accepts;
+  if (accepts == 0) return std::nullopt;
+  return std::to_string(accepts) +
+         " window-flagged duplicate message(s) were delivered to the protocol";
+}
+
+std::optional<std::string> check_record_version_bound(const Observation& o) {
+  // The record server refuses updates past the configured allowance, so no
+  // agent -- however churned, rebooted, or replayed-at -- may hold a record
+  // version above max_updates (Thm 4's bounded-update premise).
+  for (const AgentObservation& a : o.agents) {
+    if (a.has_record && a.record_version > o.max_updates) {
+      return "node " + std::to_string(a.id) + " holds record version " +
+             std::to_string(a.record_version) + " above the max_updates allowance " +
+             std::to_string(o.max_updates);
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 const std::vector<Oracle>& default_oracles() {
@@ -101,6 +154,10 @@ const std::vector<Oracle>& default_oracles() {
       {"record.consistency", check_record_consistency},
       {"key.erasure", check_key_erasure},
       {"safety.d", check_safety},
+      {"relay.bounded", check_relay_bounded},
+      {"sybil.bounded", check_sybil_bounded},
+      {"replay.never_accepted", check_replay_never_accepted},
+      {"record.version_bound", check_record_version_bound},
   };
   return kOracles;
 }

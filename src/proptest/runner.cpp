@@ -63,6 +63,7 @@ std::string FailCase::to_json() const {
   out += ",\"shrink_runs\":" + std::to_string(shrink_runs);
   out += ",\"violations\":" + violations_json(violations);
   out += ",\"plan\":" + plan.to_json();
+  if (!adversary.empty()) out += ",\"adversary\":" + adversary.to_json();
   out += "}";
   return out;
 }
@@ -108,6 +109,7 @@ PropReport run_property_suite(const PropConfig& config) {
     failcase.trial_seed = trial_seed;
     failcase.unshrunk_actions = scenario.plan.actions.size();
     failcase.shrink_runs = shrunk.runs;
+    failcase.adversary = scenario.adversary;
     if (shrunk.outcome.passed()) {
       // The serial re-run did not reproduce the sweep's failure -- record
       // the original outcome so the artifact still points at the evidence.
@@ -147,7 +149,9 @@ PropReport run_property_suite(const PropConfig& config) {
       failcase.violations.push_back(Violation{
           "crypto.ab", "fast-path digest " + results[i]->digest +
                            " != slow-path digest " + slow.digest});
-      failcase.plan = make_scenario(trial_seed).plan;
+      const Scenario ab_scenario = make_scenario(trial_seed);
+      failcase.plan = ab_scenario.plan;
+      failcase.adversary = ab_scenario.adversary;
       failcase.unshrunk_actions = failcase.plan.actions.size();
       emit(failcase, config);
       report.failcases.push_back(std::move(failcase));
@@ -182,9 +186,23 @@ ReplayResult replay_failcase(const std::string& path) {
     result.error = "FAILCASE plan does not parse";
     return result;
   }
+  // Older artifacts carry no "adversary" member: they replay with the
+  // seed-drawn families, exactly as they ran. Newer ones pin the armed
+  // config through the scenario override for the duration of the replay.
+  std::optional<adversary::ScenarioConfig> armed;
+  if (const util::JsonValue* adv = doc->find("adversary")) {
+    armed = adversary::ScenarioConfig::from_value(*adv);
+    if (!armed) {
+      result.error = "FAILCASE adversary config does not parse";
+      return result;
+    }
+  }
   result.loaded = true;
   result.expected_digest = std::string(*digest);
+  const std::optional<adversary::ScenarioConfig> previous = scenario_override();
+  if (armed) set_scenario_override(armed);
   result.outcome = run_trial(*trial_seed, *plan);
+  if (armed) set_scenario_override(previous);
   result.reproduced = !result.outcome.passed();
   result.digest_matches = result.outcome.digest == result.expected_digest;
   return result;

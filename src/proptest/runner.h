@@ -40,6 +40,10 @@ struct FailCase {
   std::vector<Violation> violations;
   /// Minimal plan that still reproduces the failure.
   fault::FaultPlan plan;
+  /// Adversary families the failing trial armed (empty() = none). Recorded
+  /// so replay can re-install the same scenario override and stay
+  /// self-contained even when the failure came from an overridden sweep.
+  adversary::ScenarioConfig adversary;
   /// Size of the plan before shrinking, and trial re-runs spent shrinking.
   std::size_t unshrunk_actions = 0;
   std::size_t shrink_runs = 0;

@@ -3,18 +3,26 @@
 #include <algorithm>
 
 #include "adversary/attacker.h"
+#include "fault/injector.h"
 #include "util/rng.h"
 
 namespace snd::proptest {
 
 namespace {
 
-// Domain separators so scenario generation, plan generation, and the attack
-// draw from independent streams: overriding the plan (shrinking) must not
-// change which node gets compromised.
+// Domain separators so scenario generation, plan generation, the attack,
+// and the adversary-family draws come from independent streams: overriding
+// the plan (shrinking) must not change which node gets compromised, and
+// arming an adversary must not reshuffle the deployment geometry.
 constexpr std::uint64_t kScenarioStream = 0x5ce7a210;
 constexpr std::uint64_t kPlanStream = 0xfa017a7;
 constexpr std::uint64_t kAttackStream = 0xa77ac4;
+constexpr std::uint64_t kAdvStream = 0xadd5ce00;
+
+std::optional<adversary::ScenarioConfig>& scenario_override_slot() {
+  static std::optional<adversary::ScenarioConfig> g_override;
+  return g_override;
+}
 
 // All fault windows land inside the first round's protocol activity.
 constexpr std::int64_t kHorizonNs = 700'000'000;
@@ -96,7 +104,74 @@ fault::FaultPlan random_plan(std::uint64_t trial_seed, std::size_t node_count) {
   return plan;
 }
 
+/// Seed-drawn adversary/mobility families (~45% of trials arm at least
+/// one). Every chance/uniform is drawn unconditionally in a fixed order so
+/// the mapping from seed to config is easy to reason about.
+adversary::ScenarioConfig random_adversary(std::uint64_t trial_seed) {
+  util::Rng rng(util::derive_seed(trial_seed, kAdvStream));
+  adversary::ScenarioConfig config;
+  const bool armed = rng.chance(0.45);
+  const bool want_mobility = rng.chance(0.35);
+  const bool want_relay = rng.chance(0.4);
+  const double relay_latency = rng.uniform(1e5, 1e6);
+  const bool want_sybil = rng.chance(0.35);
+  const auto sybil_identities = 4 + static_cast<std::uint32_t>(rng.uniform_int(9));
+  const double sybil_x = rng.uniform(0.15, 0.85);
+  const double sybil_y = rng.uniform(0.15, 0.85);
+  const bool want_replay = rng.chance(0.4);
+  const double replay_delay = rng.uniform(2e7, 2e8);
+  const double replay_x = rng.uniform(0.15, 0.85);
+  const double replay_y = rng.uniform(0.15, 0.85);
+  const bool want_churn = rng.chance(0.35);
+  const auto churn_victims = 1 + static_cast<std::uint32_t>(rng.uniform_int(2));
+  const auto churn_cycles = 1 + static_cast<std::uint32_t>(rng.uniform_int(2));
+  const auto mob_movers = 2 + static_cast<std::uint32_t>(rng.uniform_int(4));
+  const double mob_speed = rng.uniform(4.0, 12.0);
+  const auto mob_steps = 10 + static_cast<std::uint32_t>(rng.uniform_int(21));
+  if (!armed) return config;
+
+  if (want_mobility) {
+    config.mobility.emplace();
+    config.mobility->movers = mob_movers;
+    config.mobility->speed_mps = mob_speed;
+    config.mobility->steps = mob_steps;
+    config.mobility->seed = util::derive_seed(trial_seed, kAdvStream + 1);
+  } else if (want_relay) {
+    // Relay and mobility are mutually exclusive: the relay.bounded oracle's
+    // overreach audit is only sound over static positions.
+    config.relay.emplace();
+    config.relay->tunnel_latency_ns = static_cast<std::int64_t>(relay_latency);
+  }
+  if (want_sybil) {
+    config.sybil.emplace();
+    config.sybil->identities = sybil_identities;
+    config.sybil->x = sybil_x;
+    config.sybil->y = sybil_y;
+  }
+  if (want_replay) {
+    config.replay.emplace();
+    config.replay->delay_ns = static_cast<std::int64_t>(replay_delay);
+    config.replay->x = replay_x;
+    config.replay->y = replay_y;
+  }
+  if (want_churn) {
+    config.churn.emplace();
+    config.churn->victims = churn_victims;
+    config.churn->cycles = churn_cycles;
+    config.churn->seed = util::derive_seed(trial_seed, kAdvStream + 2);
+  }
+  return config;
+}
+
 }  // namespace
+
+void set_scenario_override(std::optional<adversary::ScenarioConfig> config) {
+  scenario_override_slot() = std::move(config);
+}
+
+const std::optional<adversary::ScenarioConfig>& scenario_override() {
+  return scenario_override_slot();
+}
 
 Scenario make_scenario(std::uint64_t trial_seed) {
   util::Rng rng(util::derive_seed(trial_seed, kScenarioStream));
@@ -124,14 +199,43 @@ Scenario make_scenario(std::uint64_t trial_seed) {
   s.safety_d = multiplier * d.radio_range;
 
   s.plan = random_plan(trial_seed, s.round1_nodes);
+
+  s.adversary = scenario_override() ? *scenario_override() : random_adversary(trial_seed);
+  if (s.adversary.mobility) {
+    // Moving nodes invalidate the replication attack's position audit and
+    // the relay overreach audit alike: positions at observation time no
+    // longer witness positions at acceptance time.
+    s.attack = false;
+    s.adversary.relay.reset();
+  }
   return s;
 }
 
 TrialOutcome run_scenario(const Scenario& scenario) {
   core::SndDeployment deployment(scenario.deployment);
+  if (fault::planted_bug() == fault::PlantedBug::kVerifyBypass) {
+    // Planted defect: verification silently accepts everything while the
+    // observation still reports it as authenticated (see observe()).
+    deployment.set_verifier(std::make_shared<verify::NaiveVerifier>());
+  }
   if (!scenario.plan.empty()) deployment.apply_fault_plan(scenario.plan);
 
+  std::optional<adversary::ScenarioRuntime> runtime;
+  if (!scenario.adversary.empty()) {
+    runtime.emplace(deployment, scenario.adversary);
+  }
+
   const std::vector<NodeId> round1 = deployment.deploy_round(scenario.round1_nodes);
+  if (runtime) {
+    if (scenario.adversary.churn && scenario.deployment.protocol.max_updates > 0) {
+      // Churned neighborhoods only stress the Thm 4 update path if nodes
+      // actually push updates as their functional sets evolve.
+      for (const NodeId id : round1) {
+        if (core::SndNode* agent = deployment.agent(id)) agent->set_auto_update(true);
+      }
+    }
+    runtime->arm(round1);
+  }
   deployment.run();
 
   std::optional<adversary::Attacker> attacker;
@@ -155,7 +259,7 @@ TrialOutcome run_scenario(const Scenario& scenario) {
   }
 
   TrialOutcome outcome;
-  outcome.observation = observe(deployment, scenario.safety_d);
+  outcome.observation = observe(deployment, scenario.safety_d, runtime ? &*runtime : nullptr);
   outcome.observation.trial_seed = scenario.trial_seed;
   outcome.violations = check_all(outcome.observation);
   outcome.digest = outcome.observation.digest();

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "adversary/scenario.h"
 #include "core/deployment_driver.h"
 #include "fault/plan.h"
 #include "proptest/observation.h"
@@ -31,10 +32,20 @@ struct Scenario {
   bool attack = false;
   /// The d the safety oracle audits: (m+1)R with updates enabled, else 2R.
   double safety_d = 0.0;
+  /// Adversary/mobility families armed for this trial (empty() = none).
+  adversary::ScenarioConfig adversary;
 };
 
-/// Derives a scenario from `trial_seed` alone (pure function of the seed).
+/// Derives a scenario from `trial_seed` alone (pure function of the seed
+/// and the process-wide scenario override, when one is installed).
 [[nodiscard]] Scenario make_scenario(std::uint64_t trial_seed);
+
+/// Forces every generated scenario to arm exactly `config` instead of the
+/// seed-drawn adversary families (nullopt restores seed-drawn). Process
+/// global in the planted-bug style: set before a sweep / FAILCASE replay,
+/// never mid-sweep -- trials read it concurrently.
+void set_scenario_override(std::optional<adversary::ScenarioConfig> config);
+[[nodiscard]] const std::optional<adversary::ScenarioConfig>& scenario_override();
 
 /// Everything a single trial produces.
 struct TrialOutcome {

@@ -116,6 +116,70 @@ TEST(OracleTest, SafetyFires) {
   EXPECT_EQ(firing_oracles(o), std::vector<std::string>{"safety.d"});
 }
 
+TEST(OracleTest, RelayBoundedFires) {
+  Observation o = green_observation();
+  o.adversary_armed = true;
+  o.verifier_authenticated = true;
+  o.relay_armed = true;
+  o.relay_tunneled = 40;
+  o.relay_overreach = 3;  // out-of-range identities in benign tentative lists
+  EXPECT_EQ(firing_oracles(o), std::vector<std::string>{"relay.bounded"});
+
+  // Not gated on relay_armed: any armed adversary admitting an unreachable
+  // identity under claimed authentication is the same defect.
+  Observation sybil_only = o;
+  sybil_only.relay_armed = false;
+  EXPECT_EQ(firing_oracles(sybil_only), std::vector<std::string>{"relay.bounded"});
+
+  // Overreach is undefined once nodes move after acceptance: exempt.
+  Observation moving = o;
+  moving.mobility_armed = true;
+  EXPECT_TRUE(firing_oracles(moving).empty());
+
+  // A naive (non-authenticating) verifier is *expected* to admit relays.
+  Observation naive = o;
+  naive.verifier_authenticated = false;
+  EXPECT_TRUE(firing_oracles(naive).empty());
+}
+
+TEST(OracleTest, SybilBoundedFires) {
+  Observation o = green_observation();
+  o.adversary_armed = true;
+  o.verifier_authenticated = true;
+  o.sybil_armed = true;
+  o.sybil_admitted = 5;  // credential-less identities admitted anyway
+  EXPECT_EQ(firing_oracles(o), std::vector<std::string>{"sybil.bounded"});
+
+  Observation naive = o;
+  naive.verifier_authenticated = false;
+  EXPECT_TRUE(firing_oracles(naive).empty());
+}
+
+TEST(OracleTest, ReplayNeverAcceptedFires) {
+  // Unconditional: a window-flagged duplicate delivered to the protocol is
+  // a transport defect whether or not any adversary is armed.
+  Observation o = green_observation();
+  o.agents[0].replay_accepts = 1;
+  EXPECT_EQ(firing_oracles(o), std::vector<std::string>{"replay.never_accepted"});
+}
+
+TEST(OracleTest, RecordVersionBoundFires) {
+  Observation o = green_observation();
+  o.max_updates = 2;
+  o.agents[0].record_version = 3;  // one past the server's allowance
+  EXPECT_EQ(firing_oracles(o), std::vector<std::string>{"record.version_bound"});
+
+  Observation at_bound = green_observation();
+  at_bound.max_updates = 2;
+  at_bound.agents[0].record_version = 2;
+  EXPECT_TRUE(firing_oracles(at_bound).empty());
+
+  // Dead agents that never formed a record are exempt (has_record gates).
+  Observation no_record = green_observation();
+  no_record.agents[1].record_version = 9;
+  EXPECT_TRUE(firing_oracles(no_record).empty());
+}
+
 TEST(ObservationTest, DigestIsCanonical) {
   const Observation a = green_observation();
   const Observation b = green_observation();
@@ -210,6 +274,87 @@ TEST(PropSuiteTest, PlantedBugIsCaughtShrunkAndReplayedBitIdentically) {
   EXPECT_TRUE(replay.reproduced);
   EXPECT_TRUE(replay.digest_matches);
   EXPECT_EQ(replay.outcome.digest, failcase.digest);
+}
+
+/// Scoped adversary-scenario override (process-global like the planted
+/// bug); restores the previous override on scope exit.
+struct ScenarioOverrideGuard {
+  explicit ScenarioOverrideGuard(adversary::ScenarioConfig config)
+      : previous_(scenario_override()) {
+    set_scenario_override(std::move(config));
+  }
+  ~ScenarioOverrideGuard() { set_scenario_override(previous_); }
+  std::optional<adversary::ScenarioConfig> previous_;
+};
+
+TEST(PropSuiteTest, PlantedReplayWindowBypassIsCaughtAndReplayed) {
+  // Force the delayed-replay attacker into every trial so window-flagged
+  // duplicates actually occur, then let the planted bug deliver them.
+  adversary::ScenarioConfig scenario;
+  ASSERT_TRUE(scenario.arm_family("replay"));
+  const ScenarioOverrideGuard scenario_guard(scenario);
+  const PlantedBugGuard guard(fault::PlantedBug::kReplayWindowBypass);
+
+  PropConfig config;
+  config.trials = 8;
+  config.base_seed = 7;
+  config.jobs = 1;
+  config.ab_every = 0;
+  config.max_failures = 1;
+  config.failcase_dir = ::testing::TempDir();
+  const PropReport report = run_property_suite(config);
+
+  ASSERT_GT(report.failed, 0u) << "planted replay-window bypass not caught";
+  ASSERT_FALSE(report.failcases.empty());
+  const FailCase& failcase = report.failcases.front();
+  bool found = false;
+  for (const Violation& v : failcase.violations) {
+    found = found || v.oracle == "replay.never_accepted";
+  }
+  EXPECT_TRUE(found) << "replay.never_accepted did not fire";
+
+  // The artifact records the scenario override, so replay is self-contained
+  // and bit-identical while the bug stays armed.
+  ASSERT_FALSE(failcase.path.empty());
+  const ReplayResult replay = replay_failcase(failcase.path);
+  ASSERT_TRUE(replay.loaded) << replay.error;
+  EXPECT_TRUE(replay.reproduced);
+  EXPECT_TRUE(replay.digest_matches);
+  EXPECT_EQ(replay.outcome.digest, failcase.digest);
+}
+
+TEST(PropSuiteTest, PlantedVerifyBypassIsCaughtUnderSybilFlood) {
+  // verify_bypass silently swaps in the naive verifier while the
+  // observation still claims authentication; with a sybil flood armed the
+  // minted identities land in tentative lists and sybil.bounded objects.
+  adversary::ScenarioConfig scenario;
+  ASSERT_TRUE(scenario.arm_family("sybil"));
+  const ScenarioOverrideGuard scenario_guard(scenario);
+  const PlantedBugGuard guard(fault::PlantedBug::kVerifyBypass);
+
+  PropConfig config;
+  config.trials = 8;
+  config.base_seed = 3;
+  config.jobs = 1;
+  config.ab_every = 0;
+  config.max_failures = 1;
+  config.failcase_dir = ::testing::TempDir();
+  const PropReport report = run_property_suite(config);
+
+  ASSERT_GT(report.failed, 0u) << "planted verifier bypass not caught";
+  ASSERT_FALSE(report.failcases.empty());
+  const FailCase& failcase = report.failcases.front();
+  bool found = false;
+  for (const Violation& v : failcase.violations) {
+    found = found || v.oracle == "sybil.bounded";
+  }
+  EXPECT_TRUE(found) << "sybil.bounded did not fire";
+
+  ASSERT_FALSE(failcase.path.empty());
+  const ReplayResult replay = replay_failcase(failcase.path);
+  ASSERT_TRUE(replay.loaded) << replay.error;
+  EXPECT_TRUE(replay.reproduced);
+  EXPECT_TRUE(replay.digest_matches);
 }
 
 TEST(ShrinkTest, PassingPlanShrinksToNothing) {
